@@ -1,0 +1,123 @@
+// PERF-2: anonymization algorithm runtime vs data-set size and k on
+// synthetic census microdata.
+
+#include <benchmark/benchmark.h>
+
+#include "anonymize/clustering.h"
+#include "anonymize/datafly.h"
+#include "anonymize/incognito.h"
+#include "anonymize/mondrian.h"
+#include "anonymize/optimal_lattice.h"
+#include "anonymize/samarati.h"
+#include "datagen/census_generator.h"
+
+namespace mdc {
+namespace {
+
+CensusData MakeCensus(size_t rows) {
+  CensusConfig config;
+  config.rows = rows;
+  config.seed = 1234;
+  config.with_occupation = false;
+  auto census = GenerateCensus(config);
+  MDC_CHECK(census.ok());
+  return std::move(census).value();
+}
+
+void BM_Datafly(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  DataflyConfig config;
+  config.k = static_cast<int>(state.range(1));
+  config.suppression.max_fraction = 0.02;
+  for (auto _ : state) {
+    auto result = DataflyAnonymize(census.data, census.hierarchies, config);
+    MDC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->evaluation.suppressed_count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Datafly)
+    ->Args({200, 5})
+    ->Args({1000, 5})
+    ->Args({5000, 5})
+    ->Args({1000, 2})
+    ->Args({1000, 20});
+
+void BM_Samarati(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  SamaratiConfig config;
+  config.k = static_cast<int>(state.range(1));
+  config.suppression.max_fraction = 0.02;
+  for (auto _ : state) {
+    auto result =
+        SamaratiAnonymize(census.data, census.hierarchies, config);
+    MDC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->minimal_height);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Samarati)->Args({200, 5})->Args({1000, 5})->Args({1000, 20});
+
+void BM_OptimalLattice(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  OptimalSearchConfig config;
+  config.k = static_cast<int>(state.range(1));
+  config.suppression.max_fraction = 0.02;
+  for (auto _ : state) {
+    auto result =
+        OptimalLatticeSearch(census.data, census.hierarchies, config);
+    MDC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->nodes_evaluated);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OptimalLattice)->Args({200, 5})->Args({1000, 5});
+
+void BM_Mondrian(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  MondrianConfig config;
+  config.k = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto result = MondrianAnonymize(census.data, config);
+    MDC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->partition_count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Mondrian)
+    ->Args({200, 5})
+    ->Args({1000, 5})
+    ->Args({5000, 5})
+    ->Args({1000, 2})
+    ->Args({1000, 20});
+
+void BM_Incognito(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  IncognitoConfig config;
+  config.k = static_cast<int>(state.range(1));
+  config.suppression.max_fraction = 0.02;
+  for (auto _ : state) {
+    auto result =
+        IncognitoAnonymize(census.data, census.hierarchies, config);
+    MDC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->frequency_evaluations);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Incognito)->Args({200, 5})->Args({1000, 5});
+
+void BM_KMemberClustering(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  ClusteringConfig config;
+  config.k = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto result = KMemberClusterAnonymize(census.data, config);
+    MDC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cluster_count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KMemberClustering)->Args({200, 5})->Args({1000, 5});
+
+}  // namespace
+}  // namespace mdc

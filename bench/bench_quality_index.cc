@@ -1,0 +1,88 @@
+// PERF-1: throughput of the quality-index functions and comparators as
+// the data-set size N grows — the cost of switching comparative studies
+// from scalar indices to the paper's vector machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/bias.h"
+#include "core/dominance.h"
+#include "core/quality_index.h"
+
+namespace mdc {
+namespace {
+
+PropertyVector MakeVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  for (double& v : values) v = static_cast<double>(rng.NextInt(1, 64));
+  return PropertyVector("bench", std::move(values));
+}
+
+void BM_CoverageIndex(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyVector a = MakeVector(n, 1);
+  PropertyVector b = MakeVector(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoverageIndex(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CoverageIndex)->Range(64, 1 << 16);
+
+void BM_SpreadIndex(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyVector a = MakeVector(n, 3);
+  PropertyVector b = MakeVector(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpreadIndex(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SpreadIndex)->Range(64, 1 << 16);
+
+void BM_RankIndex(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyVector a = MakeVector(n, 5);
+  PropertyVector d_max("max", std::vector<double>(n, 64.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RankIndex(a, d_max));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RankIndex)->Range(64, 1 << 16);
+
+void BM_DominanceCompare(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyVector a = MakeVector(n, 6);
+  PropertyVector b = MakeVector(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompareDominance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DominanceCompare)->Range(64, 1 << 16);
+
+void BM_BiasReport(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyVector a = MakeVector(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeBias(a));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BiasReport)->Range(64, 1 << 16);
+
+// Scalar baseline for comparison: the index studies use today.
+void BM_ScalarMinIndex(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PropertyVector a = MakeVector(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinIndex(a));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ScalarMinIndex)->Range(64, 1 << 16);
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,110 @@
+// PERF-3: substrate microbenchmarks — equivalence partitioning, hierarchy
+// generalization, EMD, and loss-metric evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "anonymize/equivalence.h"
+#include "anonymize/generalizer.h"
+#include "common/rng.h"
+#include "datagen/census_generator.h"
+#include "privacy/t_closeness.h"
+#include "utility/loss_metric.h"
+
+namespace mdc {
+namespace {
+
+CensusData MakeCensus(size_t rows) {
+  CensusConfig config;
+  config.rows = rows;
+  config.seed = 7;
+  config.with_occupation = false;
+  auto census = GenerateCensus(config);
+  MDC_CHECK(census.ok());
+  return std::move(census).value();
+}
+
+Anonymization MakeRelease(const CensusData& census, int level) {
+  std::vector<int> levels(census.hierarchies.size(), 0);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    levels[i] = std::min(level, census.hierarchies.At(i).height());
+  }
+  auto scheme = GeneralizationScheme::Create(census.hierarchies, levels);
+  MDC_CHECK(scheme.ok());
+  auto anon = Generalizer::Apply(census.data, *scheme, "bench");
+  MDC_CHECK(anon.ok());
+  return std::move(anon).value();
+}
+
+void BM_GeneralizeRelease(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  std::vector<int> levels(census.hierarchies.size(), 1);
+  auto scheme = GeneralizationScheme::Create(census.hierarchies, levels);
+  MDC_CHECK(scheme.ok());
+  for (auto _ : state) {
+    auto anon = Generalizer::Apply(census.data, *scheme, "bench");
+    MDC_CHECK(anon.ok());
+    benchmark::DoNotOptimize(anon->release.row_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GeneralizeRelease)->Range(256, 1 << 14);
+
+void BM_EquivalencePartition(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  Anonymization anon = MakeRelease(census, 2);
+  for (auto _ : state) {
+    EquivalencePartition partition =
+        EquivalencePartition::FromAnonymization(anon);
+    benchmark::DoNotOptimize(partition.class_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EquivalencePartition)->Range(256, 1 << 14);
+
+void BM_LossMetric(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  Anonymization anon = MakeRelease(census, 2);
+  for (auto _ : state) {
+    auto loss = LossMetric::TotalLoss(anon);
+    MDC_CHECK(loss.ok());
+    benchmark::DoNotOptimize(*loss);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LossMetric)->Range(256, 1 << 12);
+
+void BM_EmdPerClass(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  Anonymization anon = MakeRelease(census, 2);
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(anon);
+  for (auto _ : state) {
+    auto emds = EmdPerClass(anon, partition, GroundDistance::kOrdered,
+                            census.sensitive_column);
+    MDC_CHECK(emds.ok());
+    benchmark::DoNotOptimize(emds->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EmdPerClass)->Range(256, 1 << 13);
+
+void BM_HierarchyGeneralize(benchmark::State& state) {
+  CensusData census = MakeCensus(1024);
+  const ValueHierarchy& age = census.hierarchies.At(0);
+  Rng rng(3);
+  std::vector<Value> ages;
+  for (int i = 0; i < 1024; ++i) ages.push_back(Value(rng.NextInt(17, 90)));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto label = age.Generalize(ages[i++ & 1023], 2);
+    MDC_CHECK(label.ok());
+    benchmark::DoNotOptimize(label->size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyGeneralize);
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,194 @@
+// EXT-A: the comparison the paper's framework is *for* — five disclosure
+// control algorithms on synthetic census microdata, judged first with the
+// scalar indices comparative studies usually use, then with the paper's
+// vector-based machinery (coverage / spread / rank matrices, bias
+// reports), showing where the scalar view is misleading.
+
+#include <cstdio>
+
+#include "anonymize/datafly.h"
+#include "anonymize/mondrian.h"
+#include "anonymize/optimal_lattice.h"
+#include "anonymize/samarati.h"
+#include "anonymize/stochastic.h"
+#include "anonymize/top_down.h"
+#include "common/text_table.h"
+#include "core/bias.h"
+#include "core/properties.h"
+#include "core/quality_index.h"
+#include "datagen/census_generator.h"
+#include "privacy/k_anonymity.h"
+#include "privacy/l_diversity.h"
+#include "privacy/t_closeness.h"
+#include "repro_util.h"
+#include "utility/avg_class_size.h"
+#include "utility/discernibility.h"
+#include "utility/loss_metric.h"
+
+namespace {
+
+using namespace mdc;
+
+struct NamedRelease {
+  std::string name;
+  Anonymization anonymization;
+  EquivalencePartition partition;
+};
+
+std::vector<NamedRelease> RunAll(const CensusData& census, int k) {
+  SuppressionBudget budget{0.02};
+  std::vector<NamedRelease> releases;
+
+  DataflyConfig datafly_config{k, budget};
+  auto datafly =
+      DataflyAnonymize(census.data, census.hierarchies, datafly_config);
+  MDC_CHECK(datafly.ok());
+  releases.push_back({"datafly", std::move(datafly->evaluation.anonymization),
+                      std::move(datafly->evaluation.partition)});
+
+  SamaratiConfig samarati_config{k, budget};
+  auto samarati =
+      SamaratiAnonymize(census.data, census.hierarchies, samarati_config);
+  MDC_CHECK(samarati.ok());
+  releases.push_back({"samarati", std::move(samarati->best.anonymization),
+                      std::move(samarati->best.partition)});
+
+  OptimalSearchConfig optimal_config;
+  optimal_config.k = k;
+  optimal_config.suppression = budget;
+  LossFn lm_loss = [](const Anonymization& anon,
+                      const EquivalencePartition&) {
+    auto loss = LossMetric::TotalLoss(anon);
+    MDC_CHECK(loss.ok());
+    return *loss;
+  };
+  auto optimal = OptimalLatticeSearch(census.data, census.hierarchies,
+                                      optimal_config, lm_loss);
+  MDC_CHECK(optimal.ok());
+  releases.push_back({"optimal", std::move(optimal->best.anonymization),
+                      std::move(optimal->best.partition)});
+
+  StochasticConfig stochastic_config;
+  stochastic_config.k = k;
+  stochastic_config.suppression = budget;
+  stochastic_config.seed = 17;
+  auto stochastic = StochasticAnonymize(census.data, census.hierarchies,
+                                        stochastic_config, lm_loss);
+  MDC_CHECK(stochastic.ok());
+  releases.push_back({"stochastic",
+                      std::move(stochastic->best.anonymization),
+                      std::move(stochastic->best.partition)});
+
+  GreedyWalkConfig walk_config{k, budget};
+  auto tds = TopDownSpecialize(census.data, census.hierarchies, walk_config,
+                               lm_loss);
+  MDC_CHECK(tds.ok());
+  releases.push_back({"top-down", std::move(tds->evaluation.anonymization),
+                      std::move(tds->evaluation.partition)});
+  auto bug = BottomUpGeneralize(census.data, census.hierarchies, walk_config,
+                                lm_loss);
+  MDC_CHECK(bug.ok());
+  releases.push_back({"bottom-up", std::move(bug->evaluation.anonymization),
+                      std::move(bug->evaluation.partition)});
+
+  MondrianConfig mondrian_config{k};
+  auto mondrian = MondrianAnonymize(census.data, mondrian_config);
+  MDC_CHECK(mondrian.ok());
+  releases.push_back({"mondrian", std::move(mondrian->anonymization),
+                      std::move(mondrian->partition)});
+  return releases;
+}
+
+void ScalarTable(const std::vector<NamedRelease>& releases, int k,
+                 size_t sensitive_column) {
+  repro::Banner("Scalar view at k = " + std::to_string(k) +
+                " (what comparative studies usually report)");
+  TextTable table;
+  table.SetHeader({"algorithm", "min |EC|", "avg |EC|", "C_avg", "DM",
+                   "spread-loss", "l-div", "t-close", "suppressed"});
+  for (const NamedRelease& release : releases) {
+    double min_ec =
+        KAnonymity(1).Measure(release.anonymization, release.partition);
+    double avg_ec = AvgClassSize::PerTupleAverage(release.partition);
+    auto c_avg = AvgClassSize::Normalized(release.partition, k);
+    double dm = Discernibility::Total(release.anonymization,
+                                      release.partition);
+    auto spread = ClassSpreadLoss::TotalLoss(release.anonymization,
+                                             release.partition);
+    MDC_CHECK(c_avg.ok());
+    MDC_CHECK(spread.ok());
+    double ldiv = DistinctLDiversity(1, sensitive_column)
+                      .Measure(release.anonymization, release.partition);
+    double tclose =
+        TCloseness(1.0, GroundDistance::kEqual, sensitive_column)
+            .Measure(release.anonymization, release.partition);
+    table.AddRow({release.name, FormatCompact(min_ec),
+                  FormatCompact(avg_ec, 2), FormatCompact(*c_avg, 2),
+                  FormatCompact(dm), FormatCompact(*spread, 1),
+                  FormatCompact(ldiv), FormatCompact(tclose, 3),
+                  std::to_string(release.anonymization.SuppressedCount())});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+void VectorTables(const std::vector<NamedRelease>& releases) {
+  repro::Banner("Vector view — pairwise P_cov on the class-size property");
+  std::vector<PropertyVector> sizes;
+  for (const NamedRelease& release : releases) {
+    sizes.push_back(EquivalenceClassSizeVector(release.partition));
+  }
+  TextTable cov_table;
+  std::vector<std::string> header = {"P_cov(row,col)"};
+  for (const NamedRelease& release : releases) header.push_back(release.name);
+  cov_table.SetHeader(header);
+  for (size_t i = 0; i < releases.size(); ++i) {
+    std::vector<std::string> row = {releases[i].name};
+    for (size_t j = 0; j < releases.size(); ++j) {
+      row.push_back(FormatCompact(CoverageIndex(sizes[i], sizes[j]), 2));
+    }
+    cov_table.AddRow(row);
+  }
+  std::printf("%s", cov_table.Render().c_str());
+
+  repro::Banner("Vector view — per-algorithm bias report (class sizes)");
+  TextTable bias_table;
+  bias_table.SetHeader({"algorithm", "min", "max", "mean", "stddev",
+                        "at-min frac", "gini"});
+  for (size_t i = 0; i < releases.size(); ++i) {
+    BiasReport bias = ComputeBias(sizes[i]);
+    bias_table.AddRow({releases[i].name, FormatCompact(bias.min),
+                       FormatCompact(bias.max), FormatCompact(bias.mean, 2),
+                       FormatCompact(bias.stddev, 2),
+                       FormatCompact(bias.fraction_at_min, 2),
+                       FormatCompact(bias.gini, 3)});
+  }
+  std::printf("%s", bias_table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  CensusConfig config;
+  config.rows = 600;
+  config.seed = 20260705;
+  config.with_occupation = false;
+  auto census = GenerateCensus(config);
+  MDC_CHECK(census.ok());
+
+  for (int k : {2, 5, 10}) {
+    std::vector<NamedRelease> releases = RunAll(*census, k);
+    ScalarTable(releases, k, census->sensitive_column);
+    if (k == 5) VectorTables(releases);
+    // Contract: every algorithm satisfies its k.
+    for (const NamedRelease& release : releases) {
+      double min_ec =
+          KAnonymity(1).Measure(release.anonymization, release.partition);
+      repro::CheckEq(release.name + " achieves k=" + std::to_string(k),
+                     1.0, min_ec >= k ? 1.0 : 0.0);
+    }
+  }
+  repro::Note("\nReading: scalar min |EC| is identical across algorithms at "
+              "each k, yet the coverage matrix and bias reports separate "
+              "them — the paper's anonymization bias made visible.");
+  return repro::Finish();
+}

@@ -1,0 +1,83 @@
+// EXT-B: anonymization bias as a function of k — for each algorithm,
+// sweep k and report the Gini coefficient, spread and at-minimum fraction
+// of the per-tuple class-size distribution. Quantifies §2's claim that
+// the scalar parameter says little about how evenly privacy is shared.
+
+#include <cstdio>
+
+#include "anonymize/datafly.h"
+#include "anonymize/mondrian.h"
+#include "anonymize/optimal_lattice.h"
+#include "common/text_table.h"
+#include "core/bias.h"
+#include "core/properties.h"
+#include "datagen/census_generator.h"
+#include "repro_util.h"
+
+int main() {
+  using namespace mdc;
+  CensusConfig config;
+  config.rows = 500;
+  config.seed = 99;
+  config.with_occupation = false;
+  auto census = GenerateCensus(config);
+  MDC_CHECK(census.ok());
+
+  repro::Banner("Bias sweep — class-size distribution statistics vs k");
+  TextTable table;
+  table.SetHeader({"k", "algorithm", "min", "mean", "stddev", "at-min frac",
+                   "gini"});
+  SuppressionBudget budget{0.02};
+  for (int k : {2, 3, 5, 8, 12, 20}) {
+    struct Entry {
+      std::string name;
+      PropertyVector sizes;
+      bool satisfied;
+    };
+    std::vector<Entry> entries;
+
+    DataflyConfig datafly_config{k, budget};
+    auto datafly =
+        DataflyAnonymize(census->data, census->hierarchies, datafly_config);
+    MDC_CHECK(datafly.ok());
+    entries.push_back(
+        {"datafly",
+         EquivalenceClassSizeVector(datafly->evaluation.partition),
+         datafly->evaluation.feasible});
+
+    OptimalSearchConfig optimal_config;
+    optimal_config.k = k;
+    optimal_config.suppression = budget;
+    auto optimal =
+        OptimalLatticeSearch(census->data, census->hierarchies,
+                             optimal_config);
+    MDC_CHECK(optimal.ok());
+    entries.push_back(
+        {"optimal", EquivalenceClassSizeVector(optimal->best.partition),
+         optimal->best.feasible});
+
+    MondrianConfig mondrian_config{k};
+    auto mondrian = MondrianAnonymize(census->data, mondrian_config);
+    MDC_CHECK(mondrian.ok());
+    entries.push_back(
+        {"mondrian", EquivalenceClassSizeVector(mondrian->partition),
+         mondrian->partition.MinClassSize() >= static_cast<size_t>(k)});
+
+    for (const Entry& entry : entries) {
+      BiasReport bias = ComputeBias(entry.sizes);
+      table.AddRow({std::to_string(k), entry.name, FormatCompact(bias.min),
+                    FormatCompact(bias.mean, 2),
+                    FormatCompact(bias.stddev, 2),
+                    FormatCompact(bias.fraction_at_min, 2),
+                    FormatCompact(bias.gini, 3)});
+      repro::CheckEq("k=" + std::to_string(k) + " " + entry.name +
+                         " satisfies k (suppressed rows exempt)",
+                     1.0, entry.satisfied ? 1.0 : 0.0);
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  repro::Note("Mondrian's local cuts track k tightly (low gini); "
+              "full-domain schemes overshoot for many tuples (high gini), "
+              "i.e. their scalar k understates most individuals' privacy.");
+  return repro::Finish();
+}

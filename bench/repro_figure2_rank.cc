@@ -1,0 +1,55 @@
+// Reproduces Figure 2: the rank-based comparator — vectors ranked by
+// distance to the most desired property vector D_max; equidistant vectors
+// (the figure's arcs) share a rank.
+
+#include <cstdio>
+
+#include "anonymize/equivalence.h"
+#include "common/text_table.h"
+#include "core/properties.h"
+#include "core/quality_index.h"
+#include "paper/paper_data.h"
+#include "repro_util.h"
+
+int main() {
+  using namespace mdc;
+  repro::Banner("Paper Figure 2 — rank comparator (distance to D_max)");
+
+  // D_max for the class-size property on 10 tuples: one class holding
+  // everything, i.e. (10, ..., 10).
+  PropertyVector d_max("d-max", std::vector<double>(10, 10.0));
+  PropertyVector sa = paper::ExpectedClassSizesT3a();
+  PropertyVector sb = paper::ExpectedClassSizesT3b();
+  PropertyVector s4 = paper::ExpectedClassSizesT4();
+
+  TextTable table;
+  table.SetHeader({"anonymization", "P_rank (L2 to D_max)"});
+  table.AddRow({"T3a", FormatCompact(RankIndex(sa, d_max), 4)});
+  table.AddRow({"T3b", FormatCompact(RankIndex(sb, d_max), 4)});
+  table.AddRow({"T4", FormatCompact(RankIndex(s4, d_max), 4)});
+  std::printf("%s", table.Render().c_str());
+
+  repro::CheckEq("T3b rank-better than T3a", 1.0,
+                 RankBetter(sb, sa, d_max) ? 1.0 : 0.0);
+  repro::CheckEq("T3b rank-better than T4", 1.0,
+                 RankBetter(sb, s4, d_max) ? 1.0 : 0.0);
+  repro::CheckEq("T4 rank-better than T3a", 1.0,
+                 RankBetter(s4, sa, d_max) ? 1.0 : 0.0);
+
+  repro::Banner("Equi-ranked arcs (Figure 2's same-distance locus)");
+  PropertyVector a("a", {3, 4});
+  PropertyVector b("b", {4, 3});
+  PropertyVector origin("o", {0, 0});
+  repro::CheckEq("||(3,4)|| == ||(4,3)||", RankIndex(a, origin),
+                 RankIndex(b, origin));
+  repro::CheckEq("neither rank-better", 0.0,
+                 (RankBetter(a, b, origin) || RankBetter(b, a, origin))
+                     ? 1.0
+                     : 0.0);
+  repro::Note("epsilon tolerance: rank difference below epsilon counts as "
+              "equally good");
+  PropertyVector close("c", {3.0, 4.05});
+  repro::CheckEq("eps=0.1 mutes a 0.04 rank gap", 0.0,
+                 RankBetter(close, a, origin, 0.1) ? 1.0 : 0.0);
+  return repro::Finish();
+}

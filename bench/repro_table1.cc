@@ -1,0 +1,18 @@
+// Reproduces Table 1 of the paper: the hypothetical microdata set.
+
+#include <cstdio>
+
+#include "repro_util.h"
+#include "paper/paper_data.h"
+
+int main() {
+  using namespace mdc;
+  repro::Banner("Paper Table 1 — hypothetical microdata");
+  auto data = paper::Table1();
+  MDC_CHECK(data.ok());
+  std::printf("%s", (*data)->ToText().c_str());
+  repro::CheckEq("row count", 10, static_cast<double>((*data)->row_count()));
+  repro::CheckEq("attribute count", 3,
+                 static_cast<double>((*data)->column_count()));
+  return repro::Finish();
+}

@@ -1,0 +1,88 @@
+// Shared helpers for the repro_* binaries: section banners, paper-style
+// release rendering, and a tiny expectation checker that makes every
+// repro binary double as a verification pass (paper value vs measured).
+
+#ifndef MDC_BENCH_REPRO_UTIL_H_
+#define MDC_BENCH_REPRO_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "anonymize/generalizer.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+#include "core/property_vector.h"
+
+namespace mdc::repro {
+
+inline int g_failures = 0;
+
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+// Prints "ok" or "MISMATCH" next to a paper-vs-measured comparison and
+// tracks failures for the process exit code.
+inline void CheckEq(const std::string& what, double paper, double measured,
+                    double tolerance = 1e-9) {
+  bool ok = std::abs(paper - measured) <= tolerance;
+  if (!ok) ++g_failures;
+  std::printf("  %-46s paper=%-10s measured=%-10s %s\n", what.c_str(),
+              FormatCompact(paper, 4).c_str(),
+              FormatCompact(measured, 4).c_str(), ok ? "ok" : "MISMATCH");
+}
+
+inline void CheckVec(const std::string& what, const PropertyVector& paper,
+                     const PropertyVector& measured) {
+  bool ok = paper == measured;
+  if (!ok) ++g_failures;
+  std::printf("  %-24s\n    paper    = %s\n    measured = %s   %s\n",
+              what.c_str(), paper.ToString().c_str(),
+              measured.ToString().c_str(), ok ? "ok" : "MISMATCH");
+}
+
+// Renders a release the way the paper prints Tables 2-3: generalized
+// quasi-identifiers, with the original value of `annotated_column` shown
+// in parentheses next to its generalized label.
+inline std::string RenderRelease(const Anonymization& anonymization,
+                                 size_t annotated_column) {
+  TextTable table;
+  std::vector<std::string> header = {"#"};
+  const Schema& schema = anonymization.release.schema();
+  for (const AttributeDef& attr : schema.attributes()) {
+    header.push_back(attr.name);
+  }
+  table.SetHeader(std::move(header));
+  for (size_t r = 0; r < anonymization.release.row_count(); ++r) {
+    std::vector<std::string> row = {std::to_string(r + 1)};
+    for (size_t c = 0; c < schema.attribute_count(); ++c) {
+      std::string cell = anonymization.release.cell(r, c).ToString();
+      if (c == annotated_column) {
+        cell += " (" + anonymization.original->cell(r, c).ToString() + ")";
+      }
+      row.push_back(std::move(cell));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.Render();
+}
+
+// Exit code for main(): 0 iff every CheckEq/CheckVec passed.
+inline int Finish() {
+  if (g_failures == 0) {
+    std::printf("\nAll reproduced values match the paper.\n");
+    return 0;
+  }
+  std::printf("\n%d MISMATCH(es) against the paper.\n", g_failures);
+  return 1;
+}
+
+}  // namespace mdc::repro
+
+#endif  // MDC_BENCH_REPRO_UTIL_H_

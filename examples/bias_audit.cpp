@@ -1,0 +1,95 @@
+// Bias audit: a data publisher has one release candidate and wants to know
+// WHO gets the protection the scalar k advertises. Walks the per-tuple
+// privacy distribution, the individuals stuck at the minimum, and how the
+// paper's indices quantify what the scalar hides.
+
+#include <cstdio>
+#include <map>
+
+#include "anonymize/datafly.h"
+#include "anonymize/mondrian.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+#include "core/bias.h"
+#include "core/properties.h"
+#include "core/quality_index.h"
+#include "datagen/census_generator.h"
+#include "privacy/personalized.h"
+
+using namespace mdc;
+
+int main() {
+  CensusConfig config;
+  config.rows = 800;
+  config.seed = 55;
+  config.with_occupation = false;
+  auto census = GenerateCensus(config);
+  MDC_CHECK(census.ok());
+
+  const int k = 5;
+  DataflyConfig datafly_config;
+  datafly_config.k = k;
+  datafly_config.suppression.max_fraction = 0.02;
+  auto release =
+      DataflyAnonymize(census->data, census->hierarchies, datafly_config);
+  MDC_CHECK(release.ok());
+  const Anonymization& anonymization = release->evaluation.anonymization;
+  const EquivalencePartition& partition = release->evaluation.partition;
+
+  PropertyVector sizes = EquivalenceClassSizeVector(partition);
+  PropertyVector breach = BreachProbabilityVector(partition);
+  BiasReport bias = ComputeBias(sizes);
+
+  std::printf("Release: Datafly, k=%d over %zu tuples\n", k, sizes.size());
+  std::printf("advertised privacy (scalar): every tuple in a class of >= "
+              "%.0f\n",
+              sizes.Min());
+  std::printf("actual distribution: %s\n\n", bias.ToString().c_str());
+
+  // Histogram of class sizes.
+  std::printf("class-size histogram (who gets how much anonymity):\n");
+  std::map<int, int> histogram;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    ++histogram[static_cast<int>(sizes[i])];
+  }
+  TextTable hist_table;
+  hist_table.SetHeader({"class size", "#tuples", "share"});
+  for (const auto& [size, count] : histogram) {
+    hist_table.AddRow({std::to_string(size), std::to_string(count),
+                       FormatCompact(100.0 * count / sizes.size(), 1) + "%"});
+  }
+  std::printf("%s\n", hist_table.Render().c_str());
+
+  std::printf("tuples at the advertised minimum: %.1f%% — for the rest the "
+              "scalar k UNDERSTATES their privacy\n",
+              100.0 * bias.fraction_at_min);
+  std::printf("max breach probability: %.3f (tuple-level view of 1/|EC|)\n\n",
+              breach.Max());
+
+  // Compare against Mondrian: same k, different bias profile.
+  MondrianConfig mondrian_config;
+  mondrian_config.k = k;
+  auto mondrian = MondrianAnonymize(census->data, mondrian_config);
+  MDC_CHECK(mondrian.ok());
+  PropertyVector mondrian_sizes =
+      EquivalenceClassSizeVector(mondrian->partition);
+  BiasReport mondrian_bias = ComputeBias(mondrian_sizes);
+  std::printf("same audit for Mondrian at k=%d: %s\n", k,
+              mondrian_bias.ToString().c_str());
+  std::printf("P_cov(datafly, mondrian) = %.2f vs P_cov(mondrian, datafly) "
+              "= %.2f\n",
+              CoverageIndex(sizes, mondrian_sizes),
+              CoverageIndex(mondrian_sizes, sizes));
+  std::printf("P_spr(datafly, mondrian) = %.0f vs P_spr(mondrian, datafly) "
+              "= %.0f\n\n",
+              SpreadIndex(sizes, mondrian_sizes),
+              SpreadIndex(mondrian_sizes, sizes));
+
+  std::printf(
+      "Verdict: %s gives more tuples better-than-advertised privacy;\n"
+      "%s tracks the advertised level tightly (low bias). Neither is\n"
+      "'better' unconditionally — pick by comparator, per the paper.\n",
+      CoverageBetter(sizes, mondrian_sizes) ? "datafly" : "mondrian",
+      mondrian_bias.gini < bias.gini ? "mondrian" : "datafly");
+  return 0;
+}

@@ -1,0 +1,270 @@
+// mdc_cli — command-line anonymization and comparison.
+//
+//   example_mdc_cli anonymize --input data.csv --schema <spec> \
+//       --hierarchies spec.txt --algorithm datafly --k 3 \
+//       [--max-suppression 0.02] [--output out.csv]
+//   example_mdc_cli compare --input data.csv --schema <spec> \
+//       --hierarchies spec.txt --k 3 --algorithms datafly,mondrian
+//
+// `--schema` is an inline column list "name:type:role,..." with type in
+// {int,real,string} and role in {qi,sensitive,insensitive,id}.
+// `--hierarchies` is a hierarchy spec file (see hierarchy/spec_parser.h);
+// Mondrian and clustering work without one.
+//
+// Run without arguments for a self-contained demo on the paper's Table 1.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anonymize/clustering.h"
+#include "anonymize/datafly.h"
+#include "anonymize/mondrian.h"
+#include "anonymize/optimal_lattice.h"
+#include "anonymize/samarati.h"
+#include "common/csv.h"
+#include "common/strings.h"
+#include "core/report.h"
+#include "hierarchy/spec_parser.h"
+#include "paper/paper_data.h"
+#include "privacy/k_anonymity.h"
+
+using namespace mdc;
+
+namespace {
+
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;
+};
+
+CliArgs ParseArgs(int argc, char** argv) {
+  CliArgs args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (StartsWith(key, "--")) key = key.substr(2);
+    args.flags[key] = argv[i + 1];
+  }
+  return args;
+}
+
+StatusOr<Schema> ParseSchemaFlag(const std::string& spec) {
+  std::vector<AttributeDef> attributes;
+  for (const std::string& column : StrSplit(spec, ',')) {
+    std::vector<std::string> parts = StrSplit(column, ':');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("schema column must be name:type:role");
+    }
+    AttributeDef attr;
+    attr.name = parts[0];
+    if (parts[1] == "int") {
+      attr.type = AttributeType::kInt;
+    } else if (parts[1] == "real") {
+      attr.type = AttributeType::kReal;
+    } else if (parts[1] == "string") {
+      attr.type = AttributeType::kString;
+    } else {
+      return Status::InvalidArgument("unknown type '" + parts[1] + "'");
+    }
+    if (parts[2] == "qi") {
+      attr.role = AttributeRole::kQuasiIdentifier;
+    } else if (parts[2] == "sensitive") {
+      attr.role = AttributeRole::kSensitive;
+    } else if (parts[2] == "insensitive") {
+      attr.role = AttributeRole::kInsensitive;
+    } else if (parts[2] == "id") {
+      attr.role = AttributeRole::kIdentifier;
+    } else {
+      return Status::InvalidArgument("unknown role '" + parts[2] + "'");
+    }
+    attributes.push_back(std::move(attr));
+  }
+  return Schema::Create(std::move(attributes));
+}
+
+struct NamedRelease {
+  Anonymization anonymization;
+  EquivalencePartition partition;
+};
+
+StatusOr<NamedRelease> RunAlgorithm(const std::string& algorithm,
+                                    std::shared_ptr<const Dataset> data,
+                                    const HierarchySet& hierarchies, int k,
+                                    double max_suppression) {
+  SuppressionBudget budget{max_suppression};
+  if (algorithm == "datafly") {
+    DataflyConfig config{k, budget};
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         DataflyAnonymize(data, hierarchies, config));
+    return NamedRelease{std::move(result.evaluation.anonymization),
+                        std::move(result.evaluation.partition)};
+  }
+  if (algorithm == "samarati") {
+    SamaratiConfig config{k, budget};
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         SamaratiAnonymize(data, hierarchies, config));
+    return NamedRelease{std::move(result.best.anonymization),
+                        std::move(result.best.partition)};
+  }
+  if (algorithm == "optimal") {
+    OptimalSearchConfig config;
+    config.k = k;
+    config.suppression = budget;
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         OptimalLatticeSearch(data, hierarchies, config));
+    return NamedRelease{std::move(result.best.anonymization),
+                        std::move(result.best.partition)};
+  }
+  if (algorithm == "mondrian") {
+    MondrianConfig config{k};
+    MDC_ASSIGN_OR_RETURN(auto result, MondrianAnonymize(data, config));
+    return NamedRelease{std::move(result.anonymization),
+                        std::move(result.partition)};
+  }
+  if (algorithm == "cluster") {
+    ClusteringConfig config{k};
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         KMemberClusterAnonymize(data, config));
+    return NamedRelease{std::move(result.anonymization),
+                        std::move(result.partition)};
+  }
+  return Status::InvalidArgument("unknown algorithm '" + algorithm +
+                                 "' (datafly|samarati|optimal|mondrian|"
+                                 "cluster)");
+}
+
+Status LoadInputs(const CliArgs& args,
+                  std::shared_ptr<const Dataset>& data,
+                  HierarchySet& hierarchies) {
+  auto schema_flag = args.flags.find("schema");
+  auto input_flag = args.flags.find("input");
+  if (schema_flag == args.flags.end() || input_flag == args.flags.end()) {
+    return Status::InvalidArgument("--schema and --input are required");
+  }
+  MDC_ASSIGN_OR_RETURN(Schema schema, ParseSchemaFlag(schema_flag->second));
+  MDC_ASSIGN_OR_RETURN(std::string csv,
+                       ReadFileToString(input_flag->second));
+  MDC_ASSIGN_OR_RETURN(Dataset parsed, Dataset::FromCsv(schema, csv));
+  data = std::make_shared<const Dataset>(std::move(parsed));
+  if (auto it = args.flags.find("hierarchies"); it != args.flags.end()) {
+    MDC_ASSIGN_OR_RETURN(std::string spec, ReadFileToString(it->second));
+    MDC_ASSIGN_OR_RETURN(hierarchies,
+                         ParseHierarchySpec(data->schema(), spec));
+  }
+  return Status::Ok();
+}
+
+int Demo() {
+  std::printf("no arguments: demo on the paper's Table 1\n\n");
+  auto data = paper::Table1();
+  MDC_CHECK(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  MDC_CHECK(hierarchies.ok());
+  auto datafly =
+      RunAlgorithm("datafly", *data, *hierarchies, 3, 0.0);
+  auto mondrian =
+      RunAlgorithm("mondrian", *data, *hierarchies, 3, 0.0);
+  MDC_CHECK(datafly.ok());
+  MDC_CHECK(mondrian.ok());
+  std::printf("datafly release:\n%s\n",
+              datafly->anonymization.release.ToText().c_str());
+  ComparisonOptions options;
+  options.sensitive_column = paper::kMaritalColumn;
+  auto report = CompareAnonymizations(
+      datafly->anonymization, datafly->partition, mondrian->anonymization,
+      mondrian->partition, options);
+  MDC_CHECK(report.ok());
+  std::printf("%s", report->ToText().c_str());
+  return 0;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args = ParseArgs(argc, argv);
+  if (args.command.empty()) return Demo();
+
+  int k = 2;
+  if (auto it = args.flags.find("k"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value()) {
+      return Fail(Status::InvalidArgument("bad --k"));
+    }
+    k = static_cast<int>(*parsed);
+  }
+  double max_suppression = 0.0;
+  if (auto it = args.flags.find("max-suppression");
+      it != args.flags.end()) {
+    auto parsed = ParseDouble(it->second);
+    if (!parsed.has_value()) {
+      return Fail(Status::InvalidArgument("bad --max-suppression"));
+    }
+    max_suppression = *parsed;
+  }
+
+  std::shared_ptr<const Dataset> data;
+  HierarchySet hierarchies;
+  if (Status status = LoadInputs(args, data, hierarchies); !status.ok()) {
+    return Fail(status);
+  }
+
+  if (args.command == "anonymize") {
+    std::string algorithm = "mondrian";
+    if (auto it = args.flags.find("algorithm"); it != args.flags.end()) {
+      algorithm = it->second;
+    }
+    auto release =
+        RunAlgorithm(algorithm, data, hierarchies, k, max_suppression);
+    if (!release.ok()) return Fail(release.status());
+    double achieved = KAnonymity(1).Measure(release->anonymization,
+                                            release->partition);
+    std::fprintf(stderr, "%s: %zu rows, achieved k=%.0f, %zu suppressed\n",
+                 algorithm.c_str(), release->anonymization.row_count(),
+                 achieved, release->anonymization.SuppressedCount());
+    std::string csv = release->anonymization.release.ToCsv();
+    if (auto it = args.flags.find("output"); it != args.flags.end()) {
+      if (Status status = WriteStringToFile(it->second, csv); !status.ok()) {
+        return Fail(status);
+      }
+    } else {
+      std::printf("%s", csv.c_str());
+    }
+    return 0;
+  }
+
+  if (args.command == "compare") {
+    std::string algorithms = "datafly,mondrian";
+    if (auto it = args.flags.find("algorithms"); it != args.flags.end()) {
+      algorithms = it->second;
+    }
+    std::vector<std::string> names = StrSplit(algorithms, ',');
+    if (names.size() != 2) {
+      return Fail(Status::InvalidArgument(
+          "--algorithms needs exactly two comma-separated names"));
+    }
+    auto first = RunAlgorithm(names[0], data, hierarchies, k,
+                              max_suppression);
+    if (!first.ok()) return Fail(first.status());
+    auto second = RunAlgorithm(names[1], data, hierarchies, k,
+                               max_suppression);
+    if (!second.ok()) return Fail(second.status());
+    auto report = CompareAnonymizations(first->anonymization,
+                                        first->partition,
+                                        second->anonymization,
+                                        second->partition);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s", report->ToText().c_str());
+    return 0;
+  }
+
+  return Fail(Status::InvalidArgument("unknown command '" + args.command +
+                                      "' (anonymize|compare)"));
+}

@@ -1,0 +1,97 @@
+// Quickstart: load microdata, declare hierarchies, k-anonymize with two
+// algorithms, and compare the results with the paper's vector-based
+// framework instead of a single scalar.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "anonymize/datafly.h"
+#include "anonymize/mondrian.h"
+#include "core/bias.h"
+#include "core/properties.h"
+#include "core/quality_index.h"
+#include "hierarchy/interval_hierarchy.h"
+#include "hierarchy/suffix_hierarchy.h"
+#include "privacy/k_anonymity.h"
+
+using namespace mdc;
+
+int main() {
+  // 1. Describe the microdata: roles drive the anonymization.
+  auto schema = Schema::Create({
+      {"zip", AttributeType::kString, AttributeRole::kQuasiIdentifier},
+      {"age", AttributeType::kInt, AttributeRole::kQuasiIdentifier},
+      {"diagnosis", AttributeType::kString, AttributeRole::kSensitive},
+  });
+  MDC_CHECK(schema.ok());
+
+  // 2. Load rows (here: inline CSV; Dataset::FromCsv also reads files).
+  const char* csv =
+      "zip,age,diagnosis\n"
+      "13053,28,Flu\n13268,41,Cold\n13268,39,Flu\n13053,26,Angina\n"
+      "13253,50,Cold\n13253,55,Flu\n13250,49,Cold\n13052,31,Flu\n"
+      "13269,42,Angina\n13250,47,Flu\n";
+  auto data = Dataset::FromCsv(*schema, csv);
+  MDC_CHECK(data.ok());
+  auto shared = std::make_shared<const Dataset>(std::move(data).value());
+  std::printf("Original microdata:\n%s\n", shared->ToText().c_str());
+
+  // 3. Declare how each quasi-identifier generalizes.
+  HierarchySet hierarchies;
+  auto zip = SuffixHierarchy::Create(5);
+  MDC_CHECK(zip.ok());
+  MDC_CHECK(hierarchies
+                .Bind(0, std::make_shared<const SuffixHierarchy>(
+                             std::move(zip).value()))
+                .ok());
+  auto age = IntervalHierarchy::Create({{5.0, 10.0}, {15.0, 20.0}});
+  MDC_CHECK(age.ok());
+  MDC_CHECK(hierarchies
+                .Bind(1, std::make_shared<const IntervalHierarchy>(
+                             std::move(age).value()))
+                .ok());
+
+  // 4. Anonymize: Datafly (full-domain, greedy) vs Mondrian
+  //    (multidimensional).
+  DataflyConfig datafly_config;
+  datafly_config.k = 3;
+  auto datafly = DataflyAnonymize(shared, hierarchies, datafly_config);
+  MDC_CHECK(datafly.ok());
+  std::printf("Datafly release (k=3):\n%s\n",
+              datafly->evaluation.anonymization.release.ToText().c_str());
+
+  MondrianConfig mondrian_config;
+  mondrian_config.k = 3;
+  auto mondrian = MondrianAnonymize(shared, mondrian_config);
+  MDC_CHECK(mondrian.ok());
+  std::printf("Mondrian release (k=3):\n%s\n",
+              mondrian->anonymization.release.ToText().c_str());
+
+  // 5. The scalar view: both are 3-anonymous — indistinguishable.
+  double k_datafly = KAnonymity(1).Measure(datafly->evaluation.anonymization,
+                                           datafly->evaluation.partition);
+  double k_mondrian =
+      KAnonymity(1).Measure(mondrian->anonymization, mondrian->partition);
+  std::printf("scalar k:  datafly=%.0f  mondrian=%.0f\n", k_datafly,
+              k_mondrian);
+
+  // 6. The paper's view: per-tuple property vectors expose the difference.
+  PropertyVector datafly_sizes =
+      EquivalenceClassSizeVector(datafly->evaluation.partition);
+  PropertyVector mondrian_sizes =
+      EquivalenceClassSizeVector(mondrian->partition);
+  std::printf("per-tuple class sizes:\n  datafly  = %s\n  mondrian = %s\n",
+              datafly_sizes.ToString().c_str(),
+              mondrian_sizes.ToString().c_str());
+  std::printf("P_cov(datafly, mondrian) = %.2f, P_cov(mondrian, datafly) "
+              "= %.2f\n",
+              CoverageIndex(datafly_sizes, mondrian_sizes),
+              CoverageIndex(mondrian_sizes, datafly_sizes));
+  std::printf("bias: datafly {%s}\n      mondrian {%s}\n",
+              ComputeBias(datafly_sizes).ToString().c_str(),
+              ComputeBias(mondrian_sizes).ToString().c_str());
+  return 0;
+}

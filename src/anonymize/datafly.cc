@@ -1,0 +1,60 @@
+#include "anonymize/datafly.h"
+
+#include <set>
+#include <string>
+
+namespace mdc {
+
+StatusOr<DataflyResult> DataflyAnonymize(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const DataflyConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (original == nullptr) {
+    return Status::InvalidArgument("null original dataset");
+  }
+  MDC_RETURN_IF_ERROR(
+      hierarchies.CoversQuasiIdentifiers(original->schema()));
+
+  MDC_ASSIGN_OR_RETURN(Lattice lattice,
+                       Lattice::ForHierarchies(hierarchies));
+  LatticeNode node = lattice.Bottom();
+  int steps = 0;
+
+  while (true) {
+    MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
+                         EvaluateNode(original, hierarchies, node, config.k,
+                                      config.suppression, "datafly"));
+    if (evaluation.feasible) {
+      return DataflyResult{std::move(evaluation), node, steps};
+    }
+
+    // Generalize the attribute whose labels are currently most diverse,
+    // among attributes that can still be generalized.
+    size_t best_pos = hierarchies.size();
+    size_t best_distinct = 0;
+    for (size_t pos = 0; pos < hierarchies.size(); ++pos) {
+      if (node[pos] >= hierarchies.At(pos).height()) continue;
+      size_t column = hierarchies.columns()[pos];
+      std::set<std::string> distinct;
+      for (size_t r = 0; r < evaluation.anonymization.release.row_count();
+           ++r) {
+        distinct.insert(
+            evaluation.anonymization.release.cell(r, column).ToString());
+      }
+      if (best_pos == hierarchies.size() || distinct.size() > best_distinct) {
+        best_pos = pos;
+        best_distinct = distinct.size();
+      }
+    }
+    if (best_pos == hierarchies.size()) {
+      // Everything is fully generalized and the table is still infeasible.
+      return Status::Infeasible(
+          "Datafly: table cannot be made " + std::to_string(config.k) +
+          "-anonymous even at full generalization");
+    }
+    ++node[best_pos];
+    ++steps;
+  }
+}
+
+}  // namespace mdc

@@ -1,0 +1,40 @@
+// Sweeney's Datafly algorithm (greedy full-domain generalization).
+//
+// Datafly repeatedly generalizes the quasi-identifier whose current labels
+// have the most distinct values until every equivalence class has size
+// >= k or the remaining undersized rows fit in the suppression budget,
+// which are then suppressed. Greedy and fast, but not utility-optimal —
+// exactly the kind of algorithm the paper's comparison framework is meant
+// to evaluate against others.
+
+#ifndef MDC_ANONYMIZE_DATAFLY_H_
+#define MDC_ANONYMIZE_DATAFLY_H_
+
+#include <memory>
+
+#include "anonymize/full_domain.h"
+
+namespace mdc {
+
+struct DataflyConfig {
+  int k = 2;
+  SuppressionBudget suppression;
+};
+
+struct DataflyResult {
+  NodeEvaluation evaluation;
+  LatticeNode node;        // The full-domain node Datafly stopped at.
+  int generalization_steps = 0;
+};
+
+// Runs Datafly over the quasi-identifiers of `original` (all of which must
+// be bound in `hierarchies`). Fails with kInfeasible if even the fully
+// generalized table cannot satisfy k (i.e. the table has fewer than k
+// non-suppressible rows).
+StatusOr<DataflyResult> DataflyAnonymize(std::shared_ptr<const Dataset> original,
+                                         const HierarchySet& hierarchies,
+                                         const DataflyConfig& config);
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_DATAFLY_H_

@@ -1,0 +1,88 @@
+#include "anonymize/equivalence.h"
+
+#include <map>
+#include <string>
+
+namespace mdc {
+
+EquivalencePartition EquivalencePartition::FromAnonymization(
+    const Anonymization& anonymization) {
+  return FromColumns(anonymization.release, anonymization.qi_columns);
+}
+
+EquivalencePartition EquivalencePartition::FromColumns(
+    const Dataset& dataset, const std::vector<size_t>& columns) {
+  // std::map keys give deterministic (sorted) class order.
+  std::map<std::vector<std::string>, std::vector<size_t>> groups;
+  for (size_t r = 0; r < dataset.row_count(); ++r) {
+    std::vector<std::string> key;
+    key.reserve(columns.size());
+    for (size_t c : columns) key.push_back(dataset.cell(r, c).ToString());
+    groups[std::move(key)].push_back(r);
+  }
+  EquivalencePartition partition;
+  partition.class_of_row_.assign(dataset.row_count(), 0);
+  partition.classes_.reserve(groups.size());
+  for (auto& [key, members] : groups) {
+    size_t class_id = partition.classes_.size();
+    for (size_t row : members) partition.class_of_row_[row] = class_id;
+    partition.classes_.push_back(std::move(members));
+  }
+  return partition;
+}
+
+const std::vector<size_t>& EquivalencePartition::class_members(
+    size_t class_id) const {
+  MDC_CHECK_LT(class_id, classes_.size());
+  return classes_[class_id];
+}
+
+size_t EquivalencePartition::ClassOfRow(size_t row) const {
+  MDC_CHECK_LT(row, class_of_row_.size());
+  return class_of_row_[row];
+}
+
+size_t EquivalencePartition::ClassSize(size_t class_id) const {
+  MDC_CHECK_LT(class_id, classes_.size());
+  return classes_[class_id].size();
+}
+
+std::vector<double> EquivalencePartition::ClassSizePerRow() const {
+  std::vector<double> sizes(class_of_row_.size(), 0.0);
+  for (size_t r = 0; r < class_of_row_.size(); ++r) {
+    sizes[r] = static_cast<double>(classes_[class_of_row_[r]].size());
+  }
+  return sizes;
+}
+
+size_t EquivalencePartition::MinClassSize() const {
+  size_t min_size = 0;
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (i == 0 || classes_[i].size() < min_size) min_size = classes_[i].size();
+  }
+  return min_size;
+}
+
+size_t EquivalencePartition::MinClassSizeExempting(
+    const std::vector<bool>& exempt) const {
+  MDC_CHECK_EQ(exempt.size(), class_of_row_.size());
+  size_t min_size = 0;
+  bool found = false;
+  for (const std::vector<size_t>& members : classes_) {
+    bool counts = false;
+    for (size_t row : members) {
+      if (!exempt[row]) {
+        counts = true;
+        break;
+      }
+    }
+    if (!counts) continue;
+    if (!found || members.size() < min_size) {
+      min_size = members.size();
+      found = true;
+    }
+  }
+  return found ? min_size : 0;
+}
+
+}  // namespace mdc

@@ -1,0 +1,59 @@
+// Equivalence-class partitioning of a released table.
+//
+// Rows with identical quasi-identifier label tuples form an equivalence
+// class. Suppressed rows all carry the top label in every QI cell, so they
+// naturally coalesce into one class. Class order is deterministic
+// (lexicographic in the label tuples).
+
+#ifndef MDC_ANONYMIZE_EQUIVALENCE_H_
+#define MDC_ANONYMIZE_EQUIVALENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "anonymize/generalizer.h"
+#include "table/dataset.h"
+
+namespace mdc {
+
+class EquivalencePartition {
+ public:
+  // Groups the rows of `anonymization.release` by its QI columns.
+  static EquivalencePartition FromAnonymization(
+      const Anonymization& anonymization);
+
+  // Groups the rows of `dataset` by the given columns (used internally and
+  // by Datafly's frequency loop before a release exists).
+  static EquivalencePartition FromColumns(const Dataset& dataset,
+                                          const std::vector<size_t>& columns);
+
+  size_t class_count() const { return classes_.size(); }
+  size_t row_count() const { return class_of_row_.size(); }
+
+  // Row indices of each class; classes are in deterministic label order.
+  const std::vector<std::vector<size_t>>& classes() const { return classes_; }
+  const std::vector<size_t>& class_members(size_t class_id) const;
+
+  size_t ClassOfRow(size_t row) const;
+  size_t ClassSize(size_t class_id) const;
+
+  // classes()[ClassOfRow(row)].size() for each row — the raw material of
+  // the paper's equivalence-class-size property vector.
+  std::vector<double> ClassSizePerRow() const;
+
+  // Smallest class size; 0 for an empty partition.
+  size_t MinClassSize() const;
+
+  // Smallest class size among classes with at least one row for which
+  // `exempt[row]` is false; suppressed rows are conventionally exempt when
+  // algorithms check k-anonymity under a suppression budget.
+  size_t MinClassSizeExempting(const std::vector<bool>& exempt) const;
+
+ private:
+  std::vector<std::vector<size_t>> classes_;
+  std::vector<size_t> class_of_row_;
+};
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_EQUIVALENCE_H_

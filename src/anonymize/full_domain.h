@@ -1,0 +1,62 @@
+// Shared machinery for full-domain generalization algorithms.
+//
+// Datafly, Samarati, the optimal lattice search and the stochastic search
+// all evaluate lattice nodes the same way: apply the node's scheme, find
+// the equivalence classes, suppress the rows of classes smaller than k if
+// the suppression budget allows, and report feasibility. Suppressed rows
+// stay in the release fully generalized (paper §3) and are exempt from the
+// k-anonymity check.
+
+#ifndef MDC_ANONYMIZE_FULL_DOMAIN_H_
+#define MDC_ANONYMIZE_FULL_DOMAIN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "anonymize/equivalence.h"
+#include "anonymize/generalizer.h"
+#include "hierarchy/lattice.h"
+#include "hierarchy/scheme.h"
+
+namespace mdc {
+
+struct SuppressionBudget {
+  // Maximum fraction of rows that may be suppressed (0 = none).
+  double max_fraction = 0.0;
+
+  size_t MaxRows(size_t row_count) const {
+    return static_cast<size_t>(max_fraction * static_cast<double>(row_count));
+  }
+};
+
+struct NodeEvaluation {
+  Anonymization anonymization;     // Suppression already applied.
+  EquivalencePartition partition;  // Partition of the final release.
+  size_t suppressed_count = 0;
+  bool feasible = false;  // k-anonymous after within-budget suppression.
+};
+
+// Applies `node` over `hierarchies`, suppresses undersized classes within
+// budget, and reports whether the result is k-anonymous (suppressed rows
+// exempt). `k` must be >= 1.
+StatusOr<NodeEvaluation> EvaluateNode(std::shared_ptr<const Dataset> original,
+                                      const HierarchySet& hierarchies,
+                                      const LatticeNode& node, int k,
+                                      const SuppressionBudget& budget,
+                                      std::string algorithm);
+
+// Scores an evaluated node; lower is better. Algorithms take a LossFn so
+// callers can plug in any utility metric (e.g. Iyengar's LM from
+// utility/loss_metric.h) without this layer depending on that one.
+using LossFn =
+    std::function<double(const Anonymization&, const EquivalencePartition&)>;
+
+// Default proxy loss: total generalization height plus the suppressed
+// fraction — cheap, monotone-ish, and hierarchy-agnostic.
+double ProxyLoss(const Anonymization& anonymization,
+                 const EquivalencePartition& partition);
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_FULL_DOMAIN_H_

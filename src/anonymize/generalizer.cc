@@ -1,0 +1,92 @@
+#include "anonymize/generalizer.h"
+
+#include <algorithm>
+
+namespace mdc {
+
+size_t Anonymization::SuppressedCount() const {
+  return static_cast<size_t>(
+      std::count(suppressed.begin(), suppressed.end(), true));
+}
+
+StatusOr<Schema> Generalizer::ReleaseSchema(
+    const Schema& schema, const std::vector<size_t>& qi_columns) {
+  std::vector<AttributeDef> attributes = schema.attributes();
+  for (size_t column : qi_columns) {
+    if (column >= attributes.size()) {
+      return Status::OutOfRange("QI column index out of range: " +
+                                std::to_string(column));
+    }
+    attributes[column].type = AttributeType::kString;
+  }
+  return Schema::Create(std::move(attributes));
+}
+
+StatusOr<Anonymization> Generalizer::Apply(
+    std::shared_ptr<const Dataset> original,
+    const GeneralizationScheme& scheme, std::string algorithm) {
+  if (original == nullptr) {
+    return Status::InvalidArgument("null original dataset");
+  }
+  const Schema& schema = original->schema();
+  MDC_RETURN_IF_ERROR(scheme.hierarchies().CoversQuasiIdentifiers(schema));
+  for (size_t column : scheme.hierarchies().columns()) {
+    if (column >= schema.attribute_count()) {
+      return Status::OutOfRange("scheme binds column " +
+                                std::to_string(column) +
+                                " beyond the schema");
+    }
+    if (schema.attribute(column).role != AttributeRole::kQuasiIdentifier) {
+      return Status::FailedPrecondition(
+          "scheme generalizes non-quasi-identifier column '" +
+          schema.attribute(column).name + "'");
+    }
+  }
+
+  const std::vector<size_t>& qi_columns = scheme.hierarchies().columns();
+  MDC_ASSIGN_OR_RETURN(Schema release_schema,
+                       ReleaseSchema(schema, qi_columns));
+  Dataset release(release_schema);
+  for (size_t r = 0; r < original->row_count(); ++r) {
+    Dataset::Row row = original->row(r);
+    for (size_t pos = 0; pos < qi_columns.size(); ++pos) {
+      size_t column = qi_columns[pos];
+      const ValueHierarchy& hierarchy = scheme.hierarchies().At(pos);
+      MDC_ASSIGN_OR_RETURN(
+          std::string label,
+          hierarchy.Generalize(original->cell(r, column),
+                               scheme.levels()[pos]));
+      row[column] = Value(std::move(label));
+    }
+    MDC_RETURN_IF_ERROR(release.AppendRow(std::move(row)));
+  }
+
+  const size_t rows = release.row_count();
+  Anonymization out{std::move(original),
+                    std::move(release),
+                    qi_columns,
+                    std::vector<bool>(rows, false),
+                    scheme,
+                    std::move(algorithm)};
+  return out;
+}
+
+Status Generalizer::SuppressRows(Anonymization& anonymization,
+                                 const std::vector<size_t>& rows) {
+  for (size_t row : rows) {
+    if (row >= anonymization.release.row_count()) {
+      return Status::OutOfRange("suppress row out of range: " +
+                                std::to_string(row));
+    }
+  }
+  for (size_t row : rows) {
+    anonymization.suppressed[row] = true;
+    for (size_t column : anonymization.qi_columns) {
+      anonymization.release.set_cell(row, column,
+                                     Value(std::string(kSuppressedLabel)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdc

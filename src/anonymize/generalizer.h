@@ -1,0 +1,58 @@
+// Applying generalization schemes to data sets.
+//
+// An Anonymization bundles the released (generalized) table with the
+// original it came from, which rows were suppressed, and — when produced by
+// a full-domain algorithm — the GeneralizationScheme used. Following the
+// paper (§3), suppressed tuples are NOT removed: they stay in the release
+// with every quasi-identifier cell generalized to the top label, so the
+// original and released data sets always have the same size.
+
+#ifndef MDC_ANONYMIZE_GENERALIZER_H_
+#define MDC_ANONYMIZE_GENERALIZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/scheme.h"
+#include "table/dataset.h"
+
+namespace mdc {
+
+struct Anonymization {
+  std::shared_ptr<const Dataset> original;
+  Dataset release;                 // QI cells hold generalized labels.
+  std::vector<size_t> qi_columns;  // Columns that were generalized.
+  std::vector<bool> suppressed;    // Per-row suppression flags.
+  // Set when the anonymization is full-domain (Datafly, Samarati, optimal
+  // search, hand-built schemes); absent for multidimensional (Mondrian).
+  std::optional<GeneralizationScheme> scheme;
+  std::string algorithm;  // Provenance ("datafly", "mondrian", ...).
+
+  size_t row_count() const { return release.row_count(); }
+  size_t SuppressedCount() const;
+};
+
+class Generalizer {
+ public:
+  // The released table's schema: quasi-identifier columns become kString
+  // (labels); all other columns keep their type.
+  static StatusOr<Schema> ReleaseSchema(const Schema& schema,
+                                        const std::vector<size_t>& qi_columns);
+
+  // Applies `scheme` to every row of `*original`. The scheme must bind
+  // exactly the schema's quasi-identifier columns.
+  static StatusOr<Anonymization> Apply(std::shared_ptr<const Dataset> original,
+                                       const GeneralizationScheme& scheme,
+                                       std::string algorithm = "scheme");
+
+  // Marks `rows` suppressed and rewrites their QI cells to the top label.
+  static Status SuppressRows(Anonymization& anonymization,
+                             const std::vector<size_t>& rows);
+};
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_GENERALIZER_H_

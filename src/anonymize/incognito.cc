@@ -1,0 +1,231 @@
+#include "anonymize/incognito.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace mdc {
+namespace {
+
+// Interned labels: label_ids[pos][level][row] is a small integer
+// identifying Generalize(cell(row, column_of(pos)), level).
+struct LabelTable {
+  std::vector<std::vector<std::vector<int>>> label_ids;
+
+  static StatusOr<LabelTable> Build(const Dataset& data,
+                                    const HierarchySet& hierarchies) {
+    LabelTable table;
+    table.label_ids.resize(hierarchies.size());
+    for (size_t pos = 0; pos < hierarchies.size(); ++pos) {
+      const ValueHierarchy& hierarchy = hierarchies.At(pos);
+      size_t column = hierarchies.columns()[pos];
+      table.label_ids[pos].resize(
+          static_cast<size_t>(hierarchy.height()) + 1);
+      for (int level = 0; level <= hierarchy.height(); ++level) {
+        std::unordered_map<std::string, int> interned;
+        std::vector<int>& ids =
+            table.label_ids[pos][static_cast<size_t>(level)];
+        ids.resize(data.row_count());
+        for (size_t row = 0; row < data.row_count(); ++row) {
+          MDC_ASSIGN_OR_RETURN(
+              std::string label,
+              hierarchy.Generalize(data.cell(row, column), level));
+          auto [it, inserted] =
+              interned.emplace(std::move(label),
+                               static_cast<int>(interned.size()));
+          ids[row] = it->second;
+        }
+      }
+    }
+    return table;
+  }
+};
+
+struct VectorHash {
+  size_t operator()(const std::vector<int>& v) const {
+    size_t h = 146527;
+    for (int x : v) {
+      h = h * 1000003 + static_cast<size_t>(x);
+    }
+    return h;
+  }
+};
+
+// Frequency check: rows in classes smaller than k, over the projection of
+// the data onto `subset` at `node` levels. Feasible iff the count fits in
+// the suppression budget.
+bool ProjectionFeasible(const LabelTable& labels,
+                        const std::vector<size_t>& subset,
+                        const std::vector<int>& node, size_t row_count,
+                        int k, size_t max_suppressed) {
+  std::unordered_map<std::vector<int>, size_t, VectorHash> counts;
+  counts.reserve(row_count);
+  std::vector<int> key(subset.size());
+  for (size_t row = 0; row < row_count; ++row) {
+    for (size_t i = 0; i < subset.size(); ++i) {
+      key[i] = labels.label_ids[subset[i]][static_cast<size_t>(node[i])][row];
+    }
+    ++counts[key];
+  }
+  size_t undersized = 0;
+  for (const auto& [group, count] : counts) {
+    if (count < static_cast<size_t>(k)) undersized += count;
+  }
+  return undersized <= max_suppressed;
+}
+
+// Enumerates the nodes of the sub-lattice spanned by `subset`, by height.
+void EnumerateSubLattice(const std::vector<int>& max_levels,
+                         std::vector<std::vector<int>>& out) {
+  // Mixed-radix count-up, then stable-sort by height for monotone sweeps.
+  std::vector<int> node(max_levels.size(), 0);
+  while (true) {
+    out.push_back(node);
+    size_t i = 0;
+    while (i < node.size() && node[i] == max_levels[i]) {
+      node[i] = 0;
+      ++i;
+    }
+    if (i == node.size()) break;
+    ++node[i];
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const std::vector<int>& a, const std::vector<int>& b) {
+                     int ha = 0;
+                     int hb = 0;
+                     for (int v : a) ha += v;
+                     for (int v : b) hb += v;
+                     return ha < hb;
+                   });
+}
+
+}  // namespace
+
+StatusOr<IncognitoResult> IncognitoAnonymize(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const IncognitoConfig& config, const LossFn& loss) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (original == nullptr) {
+    return Status::InvalidArgument("null original dataset");
+  }
+  MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
+  MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
+  MDC_ASSIGN_OR_RETURN(LabelTable labels,
+                       LabelTable::Build(*original, hierarchies));
+
+  IncognitoResult result;
+  result.lattice_size = lattice.NodeCount();
+  const size_t m = hierarchies.size();
+  const size_t row_count = original->row_count();
+  const size_t max_suppressed = config.suppression.MaxRows(row_count);
+  const std::vector<int> all_max = hierarchies.MaxLevels();
+
+  // satisfying[subset] = set of satisfying level vectors over that subset.
+  std::map<std::vector<size_t>, std::set<std::vector<int>>> satisfying;
+
+  // Subsets of {0..m-1} in order of increasing size.
+  std::vector<std::vector<size_t>> subsets;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
+    std::vector<size_t> subset;
+    for (size_t i = 0; i < m; ++i) {
+      if (mask & (uint64_t{1} << i)) subset.push_back(i);
+    }
+    subsets.push_back(std::move(subset));
+  }
+  std::stable_sort(subsets.begin(), subsets.end(),
+                   [](const std::vector<size_t>& a,
+                      const std::vector<size_t>& b) {
+                     return a.size() < b.size();
+                   });
+
+  for (const std::vector<size_t>& subset : subsets) {
+    std::vector<int> max_levels;
+    for (size_t pos : subset) max_levels.push_back(all_max[pos]);
+    std::vector<std::vector<int>> nodes;
+    EnumerateSubLattice(max_levels, nodes);
+
+    std::set<std::vector<int>>& sat = satisfying[subset];
+    for (const std::vector<int>& node : nodes) {
+      // Subset pruning: every (|S|-1)-projection must satisfy.
+      bool candidate = true;
+      if (subset.size() > 1) {
+        for (size_t drop = 0; drop < subset.size() && candidate; ++drop) {
+          std::vector<size_t> sub_subset;
+          std::vector<int> sub_node;
+          for (size_t i = 0; i < subset.size(); ++i) {
+            if (i == drop) continue;
+            sub_subset.push_back(subset[i]);
+            sub_node.push_back(node[i]);
+          }
+          if (satisfying[sub_subset].count(sub_node) == 0) candidate = false;
+        }
+      }
+      if (!candidate) continue;
+      // Generalization pruning: a satisfying direct predecessor implies
+      // this node satisfies.
+      bool implied = false;
+      for (size_t i = 0; i < node.size() && !implied; ++i) {
+        if (node[i] > 0) {
+          std::vector<int> pred = node;
+          --pred[i];
+          if (sat.count(pred) != 0) implied = true;
+        }
+      }
+      if (implied) {
+        sat.insert(node);
+        continue;
+      }
+      ++result.frequency_evaluations;
+      if (ProjectionFeasible(labels, subset, node, row_count, config.k,
+                             max_suppressed)) {
+        sat.insert(node);
+      }
+    }
+  }
+
+  // Full-QI subset = the last one (all positions).
+  std::vector<size_t> full(m);
+  for (size_t i = 0; i < m; ++i) full[i] = i;
+  const std::set<std::vector<int>>& full_sat = satisfying[full];
+  if (full_sat.empty()) {
+    return Status::Infeasible(
+        "Incognito: no k-anonymous full-domain generalization within the "
+        "suppression budget");
+  }
+  result.anonymous_nodes.assign(full_sat.begin(), full_sat.end());
+
+  // Minimal frontier: satisfying nodes with no satisfying predecessor.
+  for (const std::vector<int>& node : result.anonymous_nodes) {
+    bool minimal = true;
+    for (size_t i = 0; i < node.size() && minimal; ++i) {
+      if (node[i] > 0) {
+        std::vector<int> pred = node;
+        --pred[i];
+        if (full_sat.count(pred) != 0) minimal = false;
+      }
+    }
+    if (minimal) result.minimal_nodes.push_back(node);
+  }
+
+  bool have_best = false;
+  for (const LatticeNode& node : result.minimal_nodes) {
+    MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
+                         EvaluateNode(original, hierarchies, node, config.k,
+                                      config.suppression, "incognito"));
+    MDC_CHECK_MSG(evaluation.feasible,
+                  "Incognito-satisfying node fails full evaluation");
+    double node_loss = loss(evaluation.anonymization, evaluation.partition);
+    if (!have_best || node_loss < result.best_loss) {
+      result.best_loss = node_loss;
+      result.best_node = node;
+      result.best = std::move(evaluation);
+      have_best = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace mdc

@@ -1,0 +1,47 @@
+// Incognito (LeFevre, DeWitt, Ramakrishnan, SIGMOD 2005): all k-anonymous
+// full-domain generalizations via subset pruning.
+//
+// Two prunings compose:
+//  - subset property: a node can only be k-anonymous if every projection
+//    onto a strict subset of the quasi-identifiers is k-anonymous at the
+//    same levels, so satisfying sets are built up one attribute at a time;
+//  - generalization (monotonicity) property: within a subset's lattice, a
+//    node above a satisfying node satisfies without evaluation.
+//
+// Output: ALL k-anonymous nodes of the full lattice (the optimal search
+// returns only the minimal ones), the minimal frontier, the loss-best
+// evaluation among the minimal nodes, and the evaluation count (the
+// pruning-ablation number `repro_pruning_ablation` reports).
+
+#ifndef MDC_ANONYMIZE_INCOGNITO_H_
+#define MDC_ANONYMIZE_INCOGNITO_H_
+
+#include <memory>
+#include <vector>
+
+#include "anonymize/full_domain.h"
+
+namespace mdc {
+
+struct IncognitoConfig {
+  int k = 2;
+  SuppressionBudget suppression;
+};
+
+struct IncognitoResult {
+  std::vector<LatticeNode> anonymous_nodes;  // Every satisfying node.
+  std::vector<LatticeNode> minimal_nodes;    // No satisfying predecessor.
+  LatticeNode best_node;
+  NodeEvaluation best;  // Loss-best among minimal nodes.
+  double best_loss = 0.0;
+  size_t frequency_evaluations = 0;  // Subset partition computations.
+  uint64_t lattice_size = 0;         // Full-QI lattice size.
+};
+
+StatusOr<IncognitoResult> IncognitoAnonymize(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const IncognitoConfig& config, const LossFn& loss = ProxyLoss);
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_INCOGNITO_H_

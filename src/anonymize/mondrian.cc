@@ -1,0 +1,200 @@
+#include "anonymize/mondrian.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mdc {
+namespace {
+
+struct Split {
+  std::vector<size_t> left;
+  std::vector<size_t> right;
+};
+
+// Normalized spread of `column` over `rows`: (#distinct - 1) for strings,
+// (max - min) for numerics, both scaled by the column's global spread so
+// dimensions are comparable (LeFevre's "choose_dimension" heuristic).
+double NormalizedSpread(const Dataset& data, const std::vector<size_t>& rows,
+                        size_t column, double global_spread) {
+  if (global_spread <= 0.0) return 0.0;
+  const AttributeDef& attr = data.schema().attribute(column);
+  if (attr.type == AttributeType::kString) {
+    std::vector<std::string> values;
+    values.reserve(rows.size());
+    for (size_t r : rows) values.push_back(data.cell(r, column).AsString());
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    return static_cast<double>(values.size() - 1) / global_spread;
+  }
+  double lo = data.cell(rows[0], column).AsNumber();
+  double hi = lo;
+  for (size_t r : rows) {
+    double v = data.cell(r, column).AsNumber();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return (hi - lo) / global_spread;
+}
+
+// Median split of `rows` on `column`; strict: both sides >= k, rows with
+// equal values never straddle the cut. Returns empty halves when no
+// allowable cut exists.
+Split TrySplit(const Dataset& data, std::vector<size_t> rows, size_t column,
+               int k) {
+  std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    const Value& va = data.cell(a, column);
+    const Value& vb = data.cell(b, column);
+    if (va == vb) return a < b;
+    return va < vb;
+  });
+  const size_t n = rows.size();
+  const size_t want = n / 2;
+  // The cut index must separate distinct values; search outward from the
+  // median for the nearest boundary between different values.
+  auto boundary_ok = [&](size_t cut) {
+    return cut >= static_cast<size_t>(k) && n - cut >= static_cast<size_t>(k) &&
+           data.cell(rows[cut - 1], column) != data.cell(rows[cut], column);
+  };
+  for (size_t delta = 0; delta <= n; ++delta) {
+    for (size_t cut : {want > delta ? want - delta : size_t{0}, want + delta}) {
+      if (cut == 0 || cut >= n) continue;
+      if (boundary_ok(cut)) {
+        return Split{{rows.begin(), rows.begin() + static_cast<long>(cut)},
+                     {rows.begin() + static_cast<long>(cut), rows.end()}};
+      }
+    }
+  }
+  return Split{};
+}
+
+// Label of `column` over the finished partition `rows`.
+std::string PartitionLabel(const Dataset& data,
+                           const std::vector<size_t>& rows, size_t column) {
+  const AttributeDef& attr = data.schema().attribute(column);
+  if (attr.type == AttributeType::kString) {
+    std::string lo = data.cell(rows[0], column).AsString();
+    std::string hi = lo;
+    for (size_t r : rows) {
+      const std::string& v = data.cell(r, column).AsString();
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (lo == hi) return lo;
+    return "[" + lo + ".." + hi + "]";
+  }
+  double lo = data.cell(rows[0], column).AsNumber();
+  double hi = lo;
+  for (size_t r : rows) {
+    double v = data.cell(r, column).AsNumber();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == hi) return FormatCompact(lo);
+  return "[" + FormatCompact(lo) + "-" + FormatCompact(hi) + "]";
+}
+
+struct MondrianState {
+  const Dataset* data = nullptr;
+  std::vector<size_t> qi_columns;
+  std::vector<double> global_spread;
+  int k = 2;
+  std::vector<std::vector<size_t>> finished;
+  int max_depth = 0;
+};
+
+void Recurse(MondrianState& state, std::vector<size_t> rows, int depth) {
+  state.max_depth = std::max(state.max_depth, depth);
+  // Rank QI columns by normalized spread, widest first, and take the first
+  // allowable cut.
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t i = 0; i < state.qi_columns.size(); ++i) {
+    double spread = NormalizedSpread(*state.data, rows, state.qi_columns[i],
+                                     state.global_spread[i]);
+    if (spread > 0.0) ranked.emplace_back(-spread, state.qi_columns[i]);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (const auto& [neg_spread, column] : ranked) {
+    Split split = TrySplit(*state.data, rows, column, state.k);
+    if (!split.left.empty()) {
+      Recurse(state, std::move(split.left), depth + 1);
+      Recurse(state, std::move(split.right), depth + 1);
+      return;
+    }
+  }
+  state.finished.push_back(std::move(rows));
+}
+
+}  // namespace
+
+StatusOr<MondrianResult> MondrianAnonymize(
+    std::shared_ptr<const Dataset> original, const MondrianConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (original == nullptr) {
+    return Status::InvalidArgument("null original dataset");
+  }
+  const Schema& schema = original->schema();
+  std::vector<size_t> qi_columns = schema.QuasiIdentifierIndices();
+  if (qi_columns.empty()) {
+    return Status::FailedPrecondition(
+        "Mondrian requires at least one quasi-identifier column");
+  }
+  if (original->row_count() < static_cast<size_t>(config.k)) {
+    return Status::Infeasible("Mondrian: fewer than k rows");
+  }
+
+  MondrianState state;
+  state.data = original.get();
+  state.qi_columns = qi_columns;
+  state.k = config.k;
+  for (size_t column : qi_columns) {
+    std::vector<size_t> all(original->row_count());
+    for (size_t r = 0; r < all.size(); ++r) all[r] = r;
+    double spread = NormalizedSpread(*original, all, column, 1.0);
+    state.global_spread.push_back(spread > 0.0 ? spread : 1.0);
+  }
+  {
+    std::vector<size_t> all(original->row_count());
+    for (size_t r = 0; r < all.size(); ++r) all[r] = r;
+    Recurse(state, std::move(all), 0);
+  }
+
+  MDC_ASSIGN_OR_RETURN(Schema release_schema,
+                       Generalizer::ReleaseSchema(schema, qi_columns));
+  Dataset release(release_schema);
+  // Build rows in original order: precompute each row's labels.
+  std::vector<std::vector<std::string>> labels(original->row_count());
+  for (const std::vector<size_t>& partition : state.finished) {
+    std::vector<std::string> partition_labels;
+    partition_labels.reserve(qi_columns.size());
+    for (size_t column : qi_columns) {
+      partition_labels.push_back(PartitionLabel(*original, partition, column));
+    }
+    for (size_t r : partition) labels[r] = partition_labels;
+  }
+  for (size_t r = 0; r < original->row_count(); ++r) {
+    Dataset::Row row = original->row(r);
+    for (size_t i = 0; i < qi_columns.size(); ++i) {
+      row[qi_columns[i]] = Value(labels[r][i]);
+    }
+    MDC_RETURN_IF_ERROR(release.AppendRow(std::move(row)));
+  }
+
+  MondrianResult result;
+  result.partition_count = state.finished.size();
+  result.max_depth = state.max_depth;
+  result.anonymization =
+      Anonymization{std::move(original),
+                    std::move(release),
+                    qi_columns,
+                    std::vector<bool>(labels.size(), false),
+                    std::nullopt,
+                    "mondrian"};
+  result.partition =
+      EquivalencePartition::FromAnonymization(result.anonymization);
+  return result;
+}
+
+}  // namespace mdc

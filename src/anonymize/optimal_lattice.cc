@@ -1,0 +1,91 @@
+#include "anonymize/optimal_lattice.h"
+
+#include <unordered_map>
+
+namespace mdc {
+namespace {
+
+bool SatisfiesAll(const OptimalSearchConfig& config,
+                  const NodeEvaluation& evaluation) {
+  if (!evaluation.feasible) return false;
+  if (config.extra_predicate &&
+      !config.extra_predicate(evaluation.anonymization,
+                              evaluation.partition)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<OptimalSearchResult> OptimalLatticeSearch(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const OptimalSearchConfig& config, const LossFn& loss) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (original == nullptr) {
+    return Status::InvalidArgument("null original dataset");
+  }
+  MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
+  MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
+
+  OptimalSearchResult result;
+  result.lattice_size = lattice.NodeCount();
+
+  // satisfying[index] records nodes known to satisfy (directly evaluated or
+  // implied by monotonicity from a predecessor).
+  std::vector<char> satisfying(result.lattice_size, 0);
+
+  for (const LatticeNode& node : lattice.AllNodesByHeight()) {
+    size_t index = lattice.IndexOf(node);
+    bool implied = false;
+    for (const LatticeNode& pred : lattice.Predecessors(node)) {
+      if (satisfying[lattice.IndexOf(pred)] != 0) {
+        implied = true;
+        break;
+      }
+    }
+    if (implied) {
+      satisfying[index] = 1;
+      continue;  // Not minimal; skip evaluation entirely.
+    }
+    MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
+                         EvaluateNode(original, hierarchies, node, config.k,
+                                      config.suppression, "optimal"));
+    ++result.nodes_evaluated;
+    if (!SatisfiesAll(config, evaluation)) continue;
+
+    satisfying[index] = 1;
+    result.minimal_nodes.push_back(node);
+    double node_loss = loss(evaluation.anonymization, evaluation.partition);
+    if (result.minimal_nodes.size() == 1 || node_loss < result.best_loss) {
+      result.best_loss = node_loss;
+      result.best_node = node;
+      result.best = std::move(evaluation);
+    }
+  }
+
+  if (result.minimal_nodes.empty()) {
+    return Status::Infeasible(
+        "optimal lattice search: no node satisfies the privacy constraints");
+  }
+
+  if (config.verify_monotonicity) {
+    for (const LatticeNode& node : result.minimal_nodes) {
+      for (const LatticeNode& succ : lattice.Successors(node)) {
+        MDC_ASSIGN_OR_RETURN(
+            NodeEvaluation evaluation,
+            EvaluateNode(original, hierarchies, succ, config.k,
+                         config.suppression, "optimal"));
+        if (!SatisfiesAll(config, evaluation)) {
+          return Status::FailedPrecondition(
+              "privacy predicate is not monotone: " +
+              Lattice::ToString(node) + " satisfies but its successor " +
+              Lattice::ToString(succ) + " does not");
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mdc

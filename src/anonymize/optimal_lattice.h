@@ -1,0 +1,57 @@
+// Optimal full-domain lattice search with monotonicity pruning.
+//
+// Walks the generalization lattice bottom-up by height. A node whose direct
+// predecessor already satisfies the privacy predicate is satisfying by
+// monotonicity and is never re-evaluated; the *minimal* satisfying nodes
+// (no satisfying predecessor) are collected and the loss-minimizing one is
+// returned. With the k-anonymity predicate this is the guaranteed-optimal
+// search in the spirit of Incognito / Bayardo–Agrawal restricted to
+// full-domain generalization; the predicate is pluggable so distinct
+// ℓ-diversity, entropy ℓ-diversity and t-closeness (all monotone under
+// full-domain generalization) can be searched the same way.
+
+#ifndef MDC_ANONYMIZE_OPTIMAL_LATTICE_H_
+#define MDC_ANONYMIZE_OPTIMAL_LATTICE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "anonymize/full_domain.h"
+
+namespace mdc {
+
+// Extra constraint evaluated on the post-suppression release; suppressed
+// rows are exempt inside the implementations (see privacy/). The predicate
+// MUST be monotone under generalization or the pruning is unsound;
+// OptimalSearchConfig::verify_monotonicity enables a spot check.
+using PrivacyPredicate = std::function<bool(const Anonymization&,
+                                            const EquivalencePartition&)>;
+
+struct OptimalSearchConfig {
+  int k = 2;  // k-anonymity + suppression policy applied at every node.
+  SuppressionBudget suppression;
+  // Optional extra predicate (ℓ-diversity, t-closeness, ...) that must also
+  // hold; null means k-anonymity only.
+  PrivacyPredicate extra_predicate;
+  // If true, every satisfying minimal node's successors are re-checked and
+  // a violation returns kFailedPrecondition instead of a wrong optimum.
+  bool verify_monotonicity = false;
+};
+
+struct OptimalSearchResult {
+  std::vector<LatticeNode> minimal_nodes;
+  LatticeNode best_node;
+  NodeEvaluation best;
+  double best_loss = 0.0;
+  size_t nodes_evaluated = 0;  // Predicate evaluations (pruning metric).
+  uint64_t lattice_size = 0;
+};
+
+StatusOr<OptimalSearchResult> OptimalLatticeSearch(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const OptimalSearchConfig& config, const LossFn& loss = ProxyLoss);
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_OPTIMAL_LATTICE_H_

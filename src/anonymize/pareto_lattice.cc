@@ -1,0 +1,56 @@
+#include "anonymize/pareto_lattice.h"
+
+#include "core/pareto.h"
+#include "core/properties.h"
+#include "utility/loss_metric.h"
+
+namespace mdc {
+
+StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const ParetoLatticeConfig& config) {
+  (void)config;
+  if (original == nullptr) {
+    return Status::InvalidArgument("null original dataset");
+  }
+  MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
+  MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
+
+  ParetoLatticeResult result;
+  result.lattice_size = lattice.NodeCount();
+
+  for (const LatticeNode& node : lattice.AllNodesByHeight()) {
+    MDC_ASSIGN_OR_RETURN(
+        GeneralizationScheme scheme,
+        GeneralizationScheme::Create(hierarchies, node));
+    MDC_ASSIGN_OR_RETURN(Anonymization anonymization,
+                         Generalizer::Apply(original, scheme, "pareto"));
+    EquivalencePartition partition =
+        EquivalencePartition::FromAnonymization(anonymization);
+
+    ParetoCandidate candidate;
+    candidate.node = node;
+    PropertyVector sizes = EquivalenceClassSizeVector(partition);
+    MDC_ASSIGN_OR_RETURN(PropertyVector utility,
+                         LossMetric::PerTupleUtility(anonymization));
+    candidate.min_class_size = sizes.Min();
+    candidate.total_utility = utility.Sum();
+    candidate.properties = {std::move(sizes), std::move(utility)};
+    result.candidates.push_back(std::move(candidate));
+  }
+
+  std::vector<PropertySet> property_sets;
+  std::vector<std::vector<double>> scalar_points;
+  property_sets.reserve(result.candidates.size());
+  scalar_points.reserve(result.candidates.size());
+  for (const ParetoCandidate& candidate : result.candidates) {
+    property_sets.push_back(candidate.properties);
+    scalar_points.push_back(
+        {candidate.min_class_size, candidate.total_utility});
+  }
+  result.vector_front = ParetoFront(property_sets);
+  result.scalar_front = ParetoFrontScalar(scalar_points);
+  return result;
+}
+
+}  // namespace mdc

@@ -1,0 +1,50 @@
+// Multi-objective lattice search — the paper's §7 proposal implemented.
+//
+// Instead of fixing a privacy constraint and maximizing utility, treat
+// both as objectives over the full-domain lattice: each node induces a
+// privacy property vector (equivalence-class sizes) and a utility property
+// vector (per-tuple LM utility). A node is on the *vector Pareto front*
+// when no other node's {privacy, utility} property-set strongly dominates
+// it (Table 4 set semantics), and on the *scalar front* when no node beats
+// it on both (min class size, total utility). The vector front is what the
+// paper argues for: two nodes with the same scalar profile can still be
+// distinguished (or be mutually incomparable) per tuple.
+
+#ifndef MDC_ANONYMIZE_PARETO_LATTICE_H_
+#define MDC_ANONYMIZE_PARETO_LATTICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "anonymize/full_domain.h"
+#include "core/dominance.h"
+
+namespace mdc {
+
+struct ParetoLatticeConfig {
+  // Nodes with suppressed tuples are excluded (suppression would make
+  // per-tuple vectors incomparable across nodes in a trivial way), so the
+  // search runs without a suppression budget.
+};
+
+struct ParetoCandidate {
+  LatticeNode node;
+  double min_class_size = 0.0;  // Scalar privacy (the classic k).
+  double total_utility = 0.0;   // Scalar utility (sum of LM utilities).
+  PropertySet properties;       // {class sizes, per-tuple LM utility}.
+};
+
+struct ParetoLatticeResult {
+  std::vector<ParetoCandidate> candidates;  // All lattice nodes.
+  std::vector<size_t> vector_front;   // Indices: set-dominance front.
+  std::vector<size_t> scalar_front;   // Indices: (k, utility) front.
+  uint64_t lattice_size = 0;
+};
+
+StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const ParetoLatticeConfig& config = {});
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_PARETO_LATTICE_H_

@@ -1,0 +1,102 @@
+#include "anonymize/samarati.h"
+
+#include <optional>
+
+namespace mdc {
+namespace {
+
+// Evaluates all nodes at `height`, appending feasible ones to `feasible`.
+Status CollectFeasibleAtHeight(const std::shared_ptr<const Dataset>& original,
+                               const HierarchySet& hierarchies,
+                               const Lattice& lattice, int height,
+                               const SamaratiConfig& config,
+                               size_t& nodes_evaluated,
+                               std::vector<LatticeNode>& feasible) {
+  for (const LatticeNode& node : lattice.NodesAtHeight(height)) {
+    MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
+                         EvaluateNode(original, hierarchies, node, config.k,
+                                      config.suppression, "samarati"));
+    ++nodes_evaluated;
+    if (evaluation.feasible) feasible.push_back(node);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<SamaratiResult> SamaratiAnonymize(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const SamaratiConfig& config, const LossFn& loss) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (original == nullptr) {
+    return Status::InvalidArgument("null original dataset");
+  }
+  MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
+  MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
+
+  SamaratiResult result;
+
+  // Feasibility by height is monotone, so binary search for the lowest
+  // height with at least one feasible node.
+  int lo = 0;
+  int hi = lattice.MaxHeight();
+  {
+    // The top must be feasible for the search to make sense.
+    std::vector<LatticeNode> feasible;
+    MDC_RETURN_IF_ERROR(CollectFeasibleAtHeight(original, hierarchies,
+                                                lattice, hi, config,
+                                                result.nodes_evaluated,
+                                                feasible));
+    if (feasible.empty()) {
+      return Status::Infeasible(
+          "Samarati: no " + std::to_string(config.k) +
+          "-anonymous generalization exists within the suppression budget");
+    }
+  }
+  std::vector<LatticeNode> lowest_feasible;
+  int feasible_height = -1;  // Height at which lowest_feasible was found.
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    std::vector<LatticeNode> feasible;
+    MDC_RETURN_IF_ERROR(CollectFeasibleAtHeight(original, hierarchies,
+                                                lattice, mid, config,
+                                                result.nodes_evaluated,
+                                                feasible));
+    if (!feasible.empty()) {
+      hi = mid;
+      lowest_feasible = std::move(feasible);
+      feasible_height = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.minimal_height = lo;
+  if (feasible_height != lo) {
+    lowest_feasible.clear();
+    MDC_RETURN_IF_ERROR(CollectFeasibleAtHeight(original, hierarchies,
+                                                lattice, lo, config,
+                                                result.nodes_evaluated,
+                                                lowest_feasible));
+  }
+  result.minimal_nodes = lowest_feasible;
+  MDC_CHECK(!result.minimal_nodes.empty());
+
+  // Pick the loss-minimizing node among the k-minimal generalizations.
+  double best_loss = 0.0;
+  bool have_best = false;
+  for (const LatticeNode& node : result.minimal_nodes) {
+    MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
+                         EvaluateNode(original, hierarchies, node, config.k,
+                                      config.suppression, "samarati"));
+    double node_loss = loss(evaluation.anonymization, evaluation.partition);
+    if (!have_best || node_loss < best_loss) {
+      best_loss = node_loss;
+      result.best_node = node;
+      result.best = std::move(evaluation);
+      have_best = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace mdc

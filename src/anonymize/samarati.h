@@ -1,0 +1,39 @@
+// Samarati's algorithm for k-minimal full-domain generalization.
+//
+// Binary-searches the lattice height for the minimal height at which some
+// node is k-anonymous within the suppression budget (feasibility is
+// monotone in height: every feasible node has a feasible successor one
+// level higher). Returns every feasible node at that height — Samarati's
+// "k-minimal generalizations" — and the one among them minimizing a
+// caller-supplied loss.
+
+#ifndef MDC_ANONYMIZE_SAMARATI_H_
+#define MDC_ANONYMIZE_SAMARATI_H_
+
+#include <memory>
+#include <vector>
+
+#include "anonymize/full_domain.h"
+
+namespace mdc {
+
+struct SamaratiConfig {
+  int k = 2;
+  SuppressionBudget suppression;
+};
+
+struct SamaratiResult {
+  int minimal_height = 0;
+  std::vector<LatticeNode> minimal_nodes;  // All feasible at minimal height.
+  LatticeNode best_node;
+  NodeEvaluation best;            // Evaluation of best_node.
+  size_t nodes_evaluated = 0;     // Predicate evaluations (for benches).
+};
+
+StatusOr<SamaratiResult> SamaratiAnonymize(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const SamaratiConfig& config, const LossFn& loss = ProxyLoss);
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_SAMARATI_H_

@@ -1,0 +1,129 @@
+#include "anonymize/stochastic.h"
+
+#include <unordered_map>
+
+namespace mdc {
+namespace {
+
+// Memoizing evaluator so restarts revisiting a node don't recompute it.
+class NodeCache {
+ public:
+  NodeCache(std::shared_ptr<const Dataset> original,
+            const HierarchySet& hierarchies, const Lattice& lattice, int k,
+            const SuppressionBudget& budget)
+      : original_(std::move(original)),
+        hierarchies_(hierarchies),
+        lattice_(lattice),
+        k_(k),
+        budget_(budget) {}
+
+  StatusOr<const NodeEvaluation*> Get(const LatticeNode& node,
+                                      size_t& evaluations) {
+    size_t index = lattice_.IndexOf(node);
+    auto it = cache_.find(index);
+    if (it != cache_.end()) return &it->second;
+    MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
+                         EvaluateNode(original_, hierarchies_, node, k_,
+                                      budget_, "stochastic"));
+    ++evaluations;
+    auto [inserted, _] = cache_.emplace(index, std::move(evaluation));
+    return &inserted->second;
+  }
+
+ private:
+  std::shared_ptr<const Dataset> original_;
+  const HierarchySet& hierarchies_;
+  const Lattice& lattice_;
+  int k_;
+  SuppressionBudget budget_;
+  std::unordered_map<size_t, NodeEvaluation> cache_;
+};
+
+}  // namespace
+
+StatusOr<StochasticResult> StochasticAnonymize(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const StochasticConfig& config, const LossFn& loss) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (config.restarts < 1) {
+    return Status::InvalidArgument("restarts must be >= 1");
+  }
+  if (original == nullptr) {
+    return Status::InvalidArgument("null original dataset");
+  }
+  MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
+  MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
+
+  StochasticResult result;
+  NodeCache cache(original, hierarchies, lattice, config.k,
+                  config.suppression);
+  Rng rng(config.seed);
+
+  // The top node is feasible iff anything is.
+  {
+    MDC_ASSIGN_OR_RETURN(const NodeEvaluation* top,
+                         cache.Get(lattice.Top(), result.nodes_evaluated));
+    if (!top->feasible) {
+      return Status::Infeasible(
+          "stochastic search: table infeasible even at full generalization");
+    }
+  }
+
+  bool have_best = false;
+  for (int restart = 0; restart < config.restarts; ++restart) {
+    // Random start: sample a node, then raise it until feasible.
+    LatticeNode node(lattice.dimension());
+    for (size_t i = 0; i < node.size(); ++i) {
+      node[i] = static_cast<int>(
+          rng.NextBelow(static_cast<uint64_t>(lattice.max_levels()[i]) + 1));
+    }
+    while (true) {
+      MDC_ASSIGN_OR_RETURN(const NodeEvaluation* eval,
+                           cache.Get(node, result.nodes_evaluated));
+      if (eval->feasible) break;
+      std::vector<LatticeNode> ups = lattice.Successors(node);
+      MDC_CHECK(!ups.empty());  // Top is feasible, so we stop before it.
+      node = ups[rng.NextBelow(ups.size())];
+    }
+
+    // Greedy descent: move to any feasible neighbor (prefer predecessors,
+    // which reduce generalization) with strictly lower loss.
+    MDC_ASSIGN_OR_RETURN(const NodeEvaluation* current,
+                         cache.Get(node, result.nodes_evaluated));
+    double current_loss = loss(current->anonymization, current->partition);
+    for (int step = 0; step < config.max_steps_per_restart; ++step) {
+      std::vector<LatticeNode> neighbors = lattice.Predecessors(node);
+      std::vector<LatticeNode> ups = lattice.Successors(node);
+      neighbors.insert(neighbors.end(), ups.begin(), ups.end());
+      rng.Shuffle(neighbors);
+      bool moved = false;
+      for (const LatticeNode& candidate : neighbors) {
+        MDC_ASSIGN_OR_RETURN(const NodeEvaluation* eval,
+                             cache.Get(candidate, result.nodes_evaluated));
+        if (!eval->feasible) continue;
+        double candidate_loss = loss(eval->anonymization, eval->partition);
+        if (candidate_loss < current_loss) {
+          node = candidate;
+          current_loss = candidate_loss;
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) break;  // Local optimum.
+    }
+    if (!have_best || current_loss < result.best_loss) {
+      result.best_loss = current_loss;
+      result.best_node = node;
+      have_best = true;
+    }
+  }
+
+  MDC_ASSIGN_OR_RETURN(NodeEvaluation best,
+                       EvaluateNode(original, hierarchies, result.best_node,
+                                    config.k, config.suppression,
+                                    "stochastic"));
+  result.best = std::move(best);
+  return result;
+}
+
+}  // namespace mdc

@@ -1,0 +1,40 @@
+// Seeded stochastic search over the full-domain lattice.
+//
+// Stand-in for Iyengar's genetic-algorithm anonymizer (KDD 2002; see
+// DESIGN.md substitutions): restart hill-climbing that starts from a
+// random feasible node and greedily walks toward lower loss while staying
+// feasible, with a configurable number of restarts. Deterministic given
+// the seed.
+
+#ifndef MDC_ANONYMIZE_STOCHASTIC_H_
+#define MDC_ANONYMIZE_STOCHASTIC_H_
+
+#include <memory>
+
+#include "anonymize/full_domain.h"
+#include "common/rng.h"
+
+namespace mdc {
+
+struct StochasticConfig {
+  int k = 2;
+  SuppressionBudget suppression;
+  uint64_t seed = 1;
+  int restarts = 8;
+  int max_steps_per_restart = 256;
+};
+
+struct StochasticResult {
+  LatticeNode best_node;
+  NodeEvaluation best;
+  double best_loss = 0.0;
+  size_t nodes_evaluated = 0;
+};
+
+StatusOr<StochasticResult> StochasticAnonymize(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const StochasticConfig& config, const LossFn& loss = ProxyLoss);
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_STOCHASTIC_H_

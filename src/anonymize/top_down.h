@@ -1,0 +1,53 @@
+// Greedy top-down specialization and bottom-up generalization — the
+// paper's related-work baselines [3] (Fung, Wang, Yu, ICDE 2005) and
+// [20] (Wang, Yu, Chakraborty, ICDM 2004), adapted to full-domain
+// (global) recoding over the generalization lattice:
+//
+//  - TopDownSpecialize starts from the fully generalized table and
+//    repeatedly SPECIALIZES one attribute (decrements one lattice
+//    coordinate), always picking the step with the largest utility gain
+//    per step, as long as the release stays k-anonymous within the
+//    suppression budget. Deterministic; ends at a minimal feasible node
+//    along the chosen path.
+//  - BottomUpGeneralize starts from the raw table and repeatedly
+//    GENERALIZES the attribute with the best privacy-gain-per-loss ratio
+//    until the release is feasible (the ILoss/privacy-gain trade-off of
+//    [20], with our pluggable loss in place of their information gain).
+//
+// Both are greedy global-recoding interpretations of the cited
+// algorithms (the originals operate on specialization trees / itemsets);
+// DESIGN.md records the adaptation. Both satisfy the same contract as
+// the other full-domain algorithms and are compared by the same
+// framework.
+
+#ifndef MDC_ANONYMIZE_TOP_DOWN_H_
+#define MDC_ANONYMIZE_TOP_DOWN_H_
+
+#include <memory>
+
+#include "anonymize/full_domain.h"
+
+namespace mdc {
+
+struct GreedyWalkConfig {
+  int k = 2;
+  SuppressionBudget suppression;
+};
+
+struct GreedyWalkResult {
+  NodeEvaluation evaluation;
+  LatticeNode node;
+  int steps = 0;  // Lattice moves taken.
+};
+
+StatusOr<GreedyWalkResult> TopDownSpecialize(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const GreedyWalkConfig& config, const LossFn& loss = ProxyLoss);
+
+StatusOr<GreedyWalkResult> BottomUpGeneralize(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    const GreedyWalkConfig& config, const LossFn& loss = ProxyLoss);
+
+}  // namespace mdc
+
+#endif  // MDC_ANONYMIZE_TOP_DOWN_H_

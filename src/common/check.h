@@ -1,0 +1,57 @@
+// Lightweight assertion macros for programming errors.
+//
+// The library does not use exceptions (it follows the Google C++ style
+// guide); recoverable errors travel through mdc::Status, while violated
+// invariants and API misuse abort the process with a diagnostic. The
+// macros are always on — anonymization code is not hot enough for the
+// checks to matter, and silent invariant corruption in a privacy library
+// is far worse than a crash.
+
+#ifndef MDC_COMMON_CHECK_H_
+#define MDC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mdc {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* message) {
+  std::fprintf(stderr, "MDC_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, (message[0] != '\0' ? " — " : ""), message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace mdc
+
+// Aborts with a diagnostic if `condition` is false.
+#define MDC_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::mdc::internal_check::CheckFailed(__FILE__, __LINE__, #condition, \
+                                         "");                             \
+    }                                                                     \
+  } while (false)
+
+// Aborts with a diagnostic and an explanatory message if `condition` is
+// false. `message` must be a C string literal or `const char*`.
+#define MDC_CHECK_MSG(condition, message)                                 \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::mdc::internal_check::CheckFailed(__FILE__, __LINE__, #condition, \
+                                         (message));                      \
+    }                                                                     \
+  } while (false)
+
+#define MDC_CHECK_EQ(a, b) MDC_CHECK((a) == (b))
+#define MDC_CHECK_NE(a, b) MDC_CHECK((a) != (b))
+#define MDC_CHECK_LT(a, b) MDC_CHECK((a) < (b))
+#define MDC_CHECK_LE(a, b) MDC_CHECK((a) <= (b))
+#define MDC_CHECK_GT(a, b) MDC_CHECK((a) > (b))
+#define MDC_CHECK_GE(a, b) MDC_CHECK((a) >= (b))
+
+#endif  // MDC_COMMON_CHECK_H_

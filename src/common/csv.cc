@@ -1,0 +1,148 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace mdc {
+
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_started = false;
+
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted CSV field");
+        }
+        in_quotes = true;
+        row_started = true;
+        ++i;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_started = true;
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        break;
+      case '\n':
+        if (row_started || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+        }
+        row_started = false;
+        ++i;
+        break;
+      default:
+        field += c;
+        row_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (row_started || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    if (row.size() == 1 && row[0].empty()) {
+      // A bare newline would read back as "no record"; an explicitly
+      // quoted empty field round-trips.
+      out += "\"\"\n";
+      continue;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvEscape(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::string contents;
+  char buffer[1 << 14];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::Internal("read error on file: " + path);
+  }
+  return contents;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open file for writing: " + path);
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool write_error = written != contents.size();
+  if (std::fclose(file) != 0) write_error = true;
+  if (write_error) {
+    return Status::Internal("write error on file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdc

@@ -1,0 +1,35 @@
+// Minimal RFC-4180-style CSV reading and writing.
+//
+// Supports quoted fields containing commas, quotes (doubled), and newlines.
+// Used by table I/O (Dataset::FromCsv / Dataset::ToCsv) and by the bench
+// harness to dump series for plotting.
+
+#ifndef MDC_COMMON_CSV_H_
+#define MDC_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mdc {
+
+// Parses a whole CSV document into rows of fields. Handles \n and \r\n line
+// endings. A trailing newline does not produce an empty final row.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text);
+
+// Quotes `field` if it contains a comma, quote, or newline.
+std::string CsvEscape(std::string_view field);
+
+// Serializes rows to CSV text with \n line endings.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+// File helpers.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace mdc
+
+#endif  // MDC_COMMON_CSV_H_

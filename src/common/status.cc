@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace mdc {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kInfeasible:
+      return "infeasible";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string result = StatusCodeName(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace mdc

@@ -1,0 +1,138 @@
+// Error handling for the mdc library.
+//
+// mdc::Status carries an error code and a human-readable message;
+// mdc::StatusOr<T> carries either a value or a non-OK Status. The style
+// follows RocksDB/Abseil: functions that can fail for data-dependent
+// reasons return Status/StatusOr, while programming errors use MDC_CHECK.
+
+#ifndef MDC_COMMON_STATUS_H_
+#define MDC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mdc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kInfeasible,  // No anonymization satisfying the constraints exists.
+};
+
+// Returns a stable lower-case name for `code` ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic error indicator. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    MDC_CHECK_MSG(code != StatusCode::kOk,
+                  "use Status::Ok() for success, not a message");
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so that `return value;` and `return status;`
+  // both work, mirroring absl::StatusOr.
+  StatusOr(T value) : value_(std::move(value)) {}           // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {    // NOLINT
+    MDC_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MDC_CHECK_MSG(ok(), "value() called on errored StatusOr");
+    return *value_;
+  }
+  T& value() & {
+    MDC_CHECK_MSG(ok(), "value() called on errored StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    MDC_CHECK_MSG(ok(), "value() called on errored StatusOr");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace mdc
+
+// Propagates a non-OK status from an expression that yields mdc::Status.
+#define MDC_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::mdc::Status _mdc_status = (expr);        \
+    if (!_mdc_status.ok()) return _mdc_status; \
+  } while (false)
+
+// Evaluates a StatusOr expression; on error returns the status, otherwise
+// move-assigns the value into `lhs` (which must already be declared or be a
+// declaration, e.g. MDC_ASSIGN_OR_RETURN(auto x, Foo());).
+#define MDC_ASSIGN_OR_RETURN(lhs, expr)                      \
+  MDC_ASSIGN_OR_RETURN_IMPL_(                                \
+      MDC_STATUS_CONCAT_(_mdc_statusor, __LINE__), lhs, expr)
+
+#define MDC_STATUS_CONCAT_INNER_(a, b) a##b
+#define MDC_STATUS_CONCAT_(a, b) MDC_STATUS_CONCAT_INNER_(a, b)
+#define MDC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)   \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // MDC_COMMON_STATUS_H_

@@ -1,0 +1,61 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+
+namespace mdc {
+namespace {
+
+void AppendPadded(std::string& out, const std::string& cell, size_t width,
+                  bool last) {
+  out += cell;
+  if (!last) out.append(width - cell.size() + 2, ' ');
+}
+
+}  // namespace
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return "";
+
+  std::vector<size_t> widths(columns, 0);
+  auto account = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  std::string out;
+  if (!header_.empty()) {
+    for (size_t i = 0; i < columns; ++i) {
+      AppendPadded(out, i < header_.size() ? header_[i] : "", widths[i],
+                   i + 1 == columns);
+    }
+    out += '\n';
+    for (size_t i = 0; i < columns; ++i) {
+      AppendPadded(out, std::string(widths[i], '-'), widths[i],
+                   i + 1 == columns);
+    }
+    out += '\n';
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < columns; ++i) {
+      AppendPadded(out, i < row.size() ? row[i] : "", widths[i],
+                   i + 1 == columns);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mdc

@@ -1,0 +1,41 @@
+// Fixed-width text table rendering for the repro binaries.
+//
+// The paper's tables and figure data are reproduced as aligned console
+// tables; TextTable collects rows of strings and renders them with column
+// widths derived from the content.
+
+#ifndef MDC_COMMON_TEXT_TABLE_H_
+#define MDC_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mdc {
+
+class TextTable {
+ public:
+  TextTable() = default;
+
+  // Sets the header row. Columns are created on demand.
+  void SetHeader(std::vector<std::string> header);
+
+  // Appends a data row. Rows may have differing lengths; short rows are
+  // padded with empty cells at render time.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with a header separator and two spaces between columns:
+  //   col_a  col_b
+  //   -----  -----
+  //   1      x
+  std::string Render() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mdc
+
+#endif  // MDC_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,55 @@
+#include "core/bias.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mdc {
+
+double GiniCoefficient(const PropertyVector& d) {
+  MDC_CHECK(!d.empty());
+  std::vector<double> sorted = d.values();
+  for (double v : sorted) {
+    if (v < 0.0) return 0.0;  // Undefined for negative values.
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) * sorted[i];
+    total += sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return weighted / (n * total);
+}
+
+BiasReport ComputeBias(const PropertyVector& d) {
+  MDC_CHECK(!d.empty());
+  BiasReport report;
+  report.size = d.size();
+  report.min = d.Min();
+  report.max = d.Max();
+  report.mean = d.Mean();
+  report.stddev = d.StdDev();
+  report.range = report.max - report.min;
+  size_t at_min = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (d[i] == report.min) ++at_min;
+  }
+  report.fraction_at_min =
+      static_cast<double>(at_min) / static_cast<double>(d.size());
+  report.gini = GiniCoefficient(d);
+  return report;
+}
+
+std::string BiasReport::ToString() const {
+  return "min=" + FormatCompact(min, 4) + " max=" + FormatCompact(max, 4) +
+         " mean=" + FormatCompact(mean, 4) +
+         " stddev=" + FormatCompact(stddev, 4) +
+         " at_min=" + FormatCompact(fraction_at_min, 4) +
+         " gini=" + FormatCompact(gini, 4);
+}
+
+}  // namespace mdc

@@ -1,0 +1,40 @@
+// Quantifying anonymization bias (§2 of the paper).
+//
+// Anonymization bias is the skew of a property's per-tuple distribution:
+// the same scalar privacy level can hide very uneven individual levels.
+// BiasReport summarizes that unevenness — spread statistics, the fraction
+// of tuples stuck at the minimum (the tuples the scalar model is "about"),
+// and the Gini coefficient of the distribution (0 = perfectly even,
+// 1 = maximally concentrated).
+
+#ifndef MDC_CORE_BIAS_H_
+#define MDC_CORE_BIAS_H_
+
+#include <string>
+
+#include "core/property_vector.h"
+
+namespace mdc {
+
+struct BiasReport {
+  size_t size = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double range = 0.0;            // max - min.
+  double fraction_at_min = 0.0;  // Tuples whose value equals the minimum.
+  double gini = 0.0;             // Defined for non-negative vectors; 0 else.
+
+  std::string ToString() const;
+};
+
+// Fails only on an empty vector (MDC_CHECK).
+BiasReport ComputeBias(const PropertyVector& d);
+
+// Gini coefficient of a non-negative vector; 0 when the sum is 0.
+double GiniCoefficient(const PropertyVector& d);
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_BIAS_H_

@@ -1,0 +1,102 @@
+#include "core/dominance.h"
+
+namespace mdc {
+
+const char* DominanceRelationName(DominanceRelation relation) {
+  switch (relation) {
+    case DominanceRelation::kEqual:
+      return "equal";
+    case DominanceRelation::kFirstDominates:
+      return "first strongly dominates";
+    case DominanceRelation::kSecondDominates:
+      return "second strongly dominates";
+    case DominanceRelation::kIncomparable:
+      return "incomparable";
+  }
+  return "unknown";
+}
+
+bool WeaklyDominates(const PropertyVector& d1, const PropertyVector& d2) {
+  MDC_CHECK_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (d1[i] < d2[i]) return false;
+  }
+  return true;
+}
+
+bool StronglyDominates(const PropertyVector& d1, const PropertyVector& d2) {
+  MDC_CHECK_EQ(d1.size(), d2.size());
+  bool strict = false;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (d1[i] < d2[i]) return false;
+    if (d1[i] > d2[i]) strict = true;
+  }
+  return strict;
+}
+
+bool NonDominated(const PropertyVector& d1, const PropertyVector& d2) {
+  MDC_CHECK_EQ(d1.size(), d2.size());
+  bool first_better = false;
+  bool second_better = false;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (d1[i] > d2[i]) first_better = true;
+    if (d1[i] < d2[i]) second_better = true;
+  }
+  return first_better && second_better;
+}
+
+DominanceRelation CompareDominance(const PropertyVector& d1,
+                                   const PropertyVector& d2) {
+  MDC_CHECK_EQ(d1.size(), d2.size());
+  bool first_better = false;
+  bool second_better = false;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (d1[i] > d2[i]) first_better = true;
+    if (d1[i] < d2[i]) second_better = true;
+  }
+  if (first_better && second_better) return DominanceRelation::kIncomparable;
+  if (first_better) return DominanceRelation::kFirstDominates;
+  if (second_better) return DominanceRelation::kSecondDominates;
+  return DominanceRelation::kEqual;
+}
+
+bool WeaklyDominates(const PropertySet& s1, const PropertySet& s2) {
+  MDC_CHECK_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    if (!WeaklyDominates(s1[i], s2[i])) return false;
+  }
+  return true;
+}
+
+bool StronglyDominates(const PropertySet& s1, const PropertySet& s2) {
+  MDC_CHECK_EQ(s1.size(), s2.size());
+  if (!WeaklyDominates(s1, s2)) return false;
+  for (size_t i = 0; i < s1.size(); ++i) {
+    if (StronglyDominates(s1[i], s2[i])) return true;
+  }
+  return false;
+}
+
+bool NonDominated(const PropertySet& s1, const PropertySet& s2) {
+  MDC_CHECK_EQ(s1.size(), s2.size());
+  bool first_better = false;
+  bool second_better = false;
+  for (size_t i = 0; i < s1.size(); ++i) {
+    if (StronglyDominates(s1[i], s2[i])) first_better = true;
+    if (StronglyDominates(s2[i], s1[i])) second_better = true;
+  }
+  return first_better && second_better;
+}
+
+DominanceRelation CompareDominance(const PropertySet& s1,
+                                   const PropertySet& s2) {
+  if (StronglyDominates(s1, s2)) return DominanceRelation::kFirstDominates;
+  if (StronglyDominates(s2, s1)) return DominanceRelation::kSecondDominates;
+  if (NonDominated(s1, s2)) return DominanceRelation::kIncomparable;
+  if (WeaklyDominates(s1, s2) && WeaklyDominates(s2, s1)) {
+    return DominanceRelation::kEqual;
+  }
+  return DominanceRelation::kIncomparable;
+}
+
+}  // namespace mdc

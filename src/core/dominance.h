@@ -1,0 +1,52 @@
+// Strict (dominance-based) comparators — Table 4 of the paper.
+//
+// For property vectors (higher is better):
+//   weak dominance   D1 ⪰ D2 : ∀i d1_i >= d2_i            ("not worse than")
+//   strong dominance D1 ≻ D2 : D1 ⪰ D2 and ∃j d1_j > d2_j ("better than")
+//   non-dominance    D1 ∥ D2 : ∃i d1_i < d2_i and ∃j d1_j > d2_j
+//
+// For sets of property vectors (r-property anonymizations, aligned by
+// property index): Υ1 ⪰ Υ2 iff every aligned pair weakly dominates;
+// Υ1 ≻ Υ2 iff additionally some aligned pair strongly dominates;
+// Υ1 ∥ Υ2 iff some pair strongly dominates one way and some pair the other.
+
+#ifndef MDC_CORE_DOMINANCE_H_
+#define MDC_CORE_DOMINANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/property_vector.h"
+
+namespace mdc {
+
+// Aligned set of property vectors induced by an r-property anonymization
+// (Definition 2's Υ).
+using PropertySet = std::vector<PropertyVector>;
+
+enum class DominanceRelation {
+  kEqual,            // Identical entries everywhere.
+  kFirstDominates,   // D1 ≻ D2.
+  kSecondDominates,  // D2 ≻ D1.
+  kIncomparable,     // D1 ∥ D2.
+};
+
+const char* DominanceRelationName(DominanceRelation relation);
+
+// Vector-level comparators. Sizes must match (MDC_CHECK).
+bool WeaklyDominates(const PropertyVector& d1, const PropertyVector& d2);
+bool StronglyDominates(const PropertyVector& d1, const PropertyVector& d2);
+bool NonDominated(const PropertyVector& d1, const PropertyVector& d2);
+DominanceRelation CompareDominance(const PropertyVector& d1,
+                                   const PropertyVector& d2);
+
+// Set-level comparators (Table 4, middle column). Arities must match.
+bool WeaklyDominates(const PropertySet& s1, const PropertySet& s2);
+bool StronglyDominates(const PropertySet& s1, const PropertySet& s2);
+bool NonDominated(const PropertySet& s1, const PropertySet& s2);
+DominanceRelation CompareDominance(const PropertySet& s1,
+                                   const PropertySet& s2);
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_DOMINANCE_H_

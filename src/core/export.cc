@@ -1,0 +1,83 @@
+#include "core/export.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace mdc {
+
+StatusOr<std::string> SeriesToCsv(
+    const std::vector<PropertyVector>& series) {
+  if (series.empty()) {
+    return Status::InvalidArgument("no series to export");
+  }
+  const size_t n = series[0].size();
+  for (const PropertyVector& s : series) {
+    if (s.size() != n) {
+      return Status::InvalidArgument("series sizes differ");
+    }
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"tuple"};
+  for (const PropertyVector& s : series) {
+    header.push_back(s.name().empty() ? "series" : s.name());
+  }
+  rows.push_back(std::move(header));
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> row = {std::to_string(i + 1)};
+    for (const PropertyVector& s : series) {
+      row.push_back(FormatCompact(s[i], 6));
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows);
+}
+
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<PropertyVector>& series) {
+  MDC_ASSIGN_OR_RETURN(std::string csv, SeriesToCsv(series));
+  return WriteStringToFile(path, csv);
+}
+
+StatusOr<std::vector<std::pair<double, double>>> LorenzCurve(
+    const PropertyVector& d) {
+  if (d.empty()) {
+    return Status::InvalidArgument("empty property vector");
+  }
+  std::vector<double> sorted = d.values();
+  double total = 0.0;
+  for (double v : sorted) {
+    if (v < 0.0) {
+      return Status::InvalidArgument(
+          "Lorenz curves need non-negative values");
+    }
+    total += v;
+  }
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("property vector sums to zero");
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<double, double>> points;
+  points.reserve(sorted.size() + 1);
+  points.emplace_back(0.0, 0.0);
+  double cumulative = 0.0;
+  const double n = static_cast<double>(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    cumulative += sorted[i];
+    points.emplace_back(static_cast<double>(i + 1) / n, cumulative / total);
+  }
+  return points;
+}
+
+StatusOr<std::string> LorenzCurveCsv(const PropertyVector& d) {
+  MDC_ASSIGN_OR_RETURN(auto points, LorenzCurve(d));
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"population_share", "property_share"});
+  for (const auto& [x, y] : points) {
+    rows.push_back({FormatCompact(x, 6), FormatCompact(y, 6)});
+  }
+  return WriteCsv(rows);
+}
+
+}  // namespace mdc

@@ -1,0 +1,37 @@
+// Exporting framework outputs for external plotting.
+//
+// Property vectors, comparison series and Lorenz curves (the graphical
+// form of the bias Gini coefficient) serialize to CSV so the figures the
+// repro binaries print as text can be re-drawn with any plotting tool.
+
+#ifndef MDC_CORE_EXPORT_H_
+#define MDC_CORE_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/property_vector.h"
+
+namespace mdc {
+
+// CSV with one "tuple" index column and one column per series; all series
+// must share the same size.
+StatusOr<std::string> SeriesToCsv(
+    const std::vector<PropertyVector>& series);
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<PropertyVector>& series);
+
+// Lorenz curve of a non-negative property vector: points (i/n,
+// cumulative_share_i) for i = 0..n, sorted ascending. The area between
+// the curve and the diagonal is gini/2.
+StatusOr<std::vector<std::pair<double, double>>> LorenzCurve(
+    const PropertyVector& d);
+
+// Lorenz curve as two-column CSV ("population_share,property_share").
+StatusOr<std::string> LorenzCurveCsv(const PropertyVector& d);
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_EXPORT_H_

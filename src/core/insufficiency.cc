@@ -1,0 +1,100 @@
+#include "core/insufficiency.h"
+
+#include "common/strings.h"
+#include "core/dominance.h"
+
+namespace mdc {
+namespace {
+
+std::vector<double> Evaluate(const std::vector<UnaryIndex>& battery,
+                             const PropertyVector& d) {
+  std::vector<double> values;
+  values.reserve(battery.size());
+  for (const UnaryIndex& index : battery) values.push_back(index.fn(d));
+  return values;
+}
+
+// True iff every index value of `a` is >= the corresponding value of `b`.
+bool IndexGe(const std::vector<double>& a, const std::vector<double>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+// Checks both directions of the equivalence on the pair; fills the witness
+// and returns true when a violation is found.
+bool CheckPair(const std::vector<UnaryIndex>& battery,
+               const PropertyVector& d1, const PropertyVector& d2,
+               InsufficiencyWitness& witness) {
+  std::vector<double> v1 = Evaluate(battery, d1);
+  std::vector<double> v2 = Evaluate(battery, d2);
+  bool idx_ge_12 = IndexGe(v1, v2);
+  bool idx_ge_21 = IndexGe(v2, v1);
+  bool dom_12 = WeaklyDominates(d1, d2);
+  bool dom_21 = WeaklyDominates(d2, d1);
+
+  std::string explanation;
+  if (idx_ge_12 && !dom_12) {
+    explanation = "all indices rate D1 >= D2 but D1 does not weakly "
+                  "dominate D2";
+  } else if (idx_ge_21 && !dom_21) {
+    explanation = "all indices rate D2 >= D1 but D2 does not weakly "
+                  "dominate D1";
+  } else if (dom_12 && !idx_ge_12) {
+    explanation = "D1 weakly dominates D2 but some index rates D1 below D2";
+  } else if (dom_21 && !idx_ge_21) {
+    explanation = "D2 weakly dominates D1 but some index rates D2 below D1";
+  } else {
+    return false;
+  }
+  witness.found = true;
+  witness.d1 = d1;
+  witness.d2 = d2;
+  witness.index_values_1 = std::move(v1);
+  witness.index_values_2 = std::move(v2);
+  witness.explanation = std::move(explanation);
+  return true;
+}
+
+}  // namespace
+
+InsufficiencyWitness SwapCounterexample(
+    const std::vector<UnaryIndex>& battery, size_t n, double a, double b,
+    double fill) {
+  MDC_CHECK_GE(n, 2u);
+  MDC_CHECK_LT(a, b);
+  std::vector<double> values1(n, fill);
+  std::vector<double> values2(n, fill);
+  values1[0] = a;
+  values1[1] = b;
+  values2[0] = b;
+  values2[1] = a;
+  PropertyVector d1("swap-1", std::move(values1));
+  PropertyVector d2("swap-2", std::move(values2));
+  InsufficiencyWitness witness;
+  CheckPair(battery, d1, d2, witness);
+  return witness;
+}
+
+InsufficiencyWitness FindEquivalenceViolation(
+    const std::vector<UnaryIndex>& battery, size_t n, Rng& rng,
+    int max_trials, int value_range) {
+  MDC_CHECK_GE(n, 1u);
+  MDC_CHECK_GE(value_range, 1);
+  InsufficiencyWitness witness;
+  for (int trial = 0; trial < max_trials; ++trial) {
+    std::vector<double> values1(n);
+    std::vector<double> values2(n);
+    for (size_t i = 0; i < n; ++i) {
+      values1[i] = static_cast<double>(rng.NextInt(1, value_range));
+      values2[i] = static_cast<double>(rng.NextInt(1, value_range));
+    }
+    PropertyVector d1("random-1", std::move(values1));
+    PropertyVector d2("random-2", std::move(values2));
+    if (CheckPair(battery, d1, d2, witness)) return witness;
+  }
+  return witness;
+}
+
+}  // namespace mdc

@@ -1,0 +1,56 @@
+// Executable companion to Theorem 1 and its corollaries.
+//
+// Theorem 1 proves that no battery of fewer than N unary quality indices
+// can characterize weak dominance on N-dimensional property vectors, i.e.
+// the equivalence  [∀i P_i(D1) >= P_i(D2)]  <=>  [D1 ⪰ D2]  is impossible
+// with n < N indices. Being a proof, it cannot be "measured" — but it can
+// be *witnessed*: for any concrete battery, we can exhibit vector pairs on
+// which the equivalence fails. Two constructions are provided:
+//
+//  1. SwapCounterexample: the proof's own seed — D1 = (a,b,...), D2 with
+//     two coordinates swapped are incomparable, yet most aggregate indices
+//     order them; any battery that orders all incomparable pairs the same
+//     way violates the <= direction.
+//  2. FindEquivalenceViolation: randomized search that, given a battery,
+//     samples vector pairs until one violates either direction of the
+//     equivalence.
+
+#ifndef MDC_CORE_INSUFFICIENCY_H_
+#define MDC_CORE_INSUFFICIENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/quality_index.h"
+
+namespace mdc {
+
+struct InsufficiencyWitness {
+  bool found = false;
+  PropertyVector d1;
+  PropertyVector d2;
+  std::vector<double> index_values_1;  // P_i(D1) for each battery index.
+  std::vector<double> index_values_2;
+  // Human-readable account of which direction of the equivalence failed.
+  std::string explanation;
+};
+
+// The incomparable pair (a,b,c,c,...) vs (b,a,c,c,...) with a < b; always
+// incomparable, and any index battery computes *some* order on it.
+// Returns a witness iff the battery orders the pair consistently in one
+// direction (i.e. claims dominance where there is none).
+InsufficiencyWitness SwapCounterexample(
+    const std::vector<UnaryIndex>& battery, size_t n, double a = 1.0,
+    double b = 2.0, double fill = 1.5);
+
+// Randomized search over integer-valued vectors in [1, value_range];
+// stops at the first violation or after `max_trials` pairs.
+InsufficiencyWitness FindEquivalenceViolation(
+    const std::vector<UnaryIndex>& battery, size_t n, Rng& rng,
+    int max_trials = 10000, int value_range = 10);
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_INSUFFICIENCY_H_

@@ -1,0 +1,141 @@
+#include "core/multi_property.h"
+
+#include <cmath>
+
+namespace mdc {
+namespace {
+
+Status ValidateArity(const PropertySet& s1, const PropertySet& s2,
+                     const BinaryIndexList& indices) {
+  if (s1.size() != s2.size()) {
+    return Status::InvalidArgument("property sets have different arity");
+  }
+  if (s1.empty()) {
+    return Status::InvalidArgument("property sets are empty");
+  }
+  if (indices.size() != 1 && indices.size() != s1.size()) {
+    return Status::InvalidArgument(
+        "index list must have one entry or one per property");
+  }
+  for (size_t i = 0; i < s1.size(); ++i) {
+    if (s1[i].size() != s2[i].size()) {
+      return Status::InvalidArgument("aligned property vectors differ in "
+                                     "size at position " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+const BinaryIndex& IndexAt(const BinaryIndexList& indices, size_t i) {
+  return indices.size() == 1 ? indices[0] : indices[i];
+}
+
+}  // namespace
+
+StatusOr<double> WtdIndex(const PropertySet& s1, const PropertySet& s2,
+                          const std::vector<double>& weights,
+                          const BinaryIndexList& indices) {
+  MDC_RETURN_IF_ERROR(ValidateArity(s1, s2, indices));
+  if (weights.size() != s1.size()) {
+    return Status::InvalidArgument("weight vector arity mismatch");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0 || w >= 1.0) {
+      // A single property with weight 1 is allowed as the degenerate case.
+      if (!(weights.size() == 1 && w == 1.0)) {
+        return Status::InvalidArgument(
+            "weights must lie strictly between 0 and 1");
+      }
+    }
+    sum += w;
+  }
+  if (std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("weights must sum to 1");
+  }
+  double value = 0.0;
+  for (size_t i = 0; i < s1.size(); ++i) {
+    value += weights[i] * IndexAt(indices, i).fn(s1[i], s2[i]);
+  }
+  return value;
+}
+
+StatusOr<bool> WtdBetter(const PropertySet& s1, const PropertySet& s2,
+                         const std::vector<double>& weights,
+                         const BinaryIndexList& indices) {
+  MDC_ASSIGN_OR_RETURN(double forward, WtdIndex(s1, s2, weights, indices));
+  MDC_ASSIGN_OR_RETURN(double backward, WtdIndex(s2, s1, weights, indices));
+  return forward > backward;
+}
+
+StatusOr<size_t> LexIndex(const PropertySet& s1, const PropertySet& s2,
+                          const std::vector<double>& epsilons,
+                          const BinaryIndexList& indices) {
+  MDC_RETURN_IF_ERROR(ValidateArity(s1, s2, indices));
+  if (epsilons.size() != 1 && epsilons.size() != s1.size()) {
+    return Status::InvalidArgument(
+        "epsilon vector must have one entry or one per property");
+  }
+  for (double e : epsilons) {
+    if (e < 0.0) {
+      return Status::InvalidArgument("epsilons must be non-negative");
+    }
+  }
+  for (size_t i = 0; i < s1.size(); ++i) {
+    const BinaryIndex& index = IndexAt(indices, i);
+    double forward = index.fn(s1[i], s2[i]);
+    double backward = index.fn(s2[i], s1[i]);
+    double epsilon = epsilons.size() == 1 ? epsilons[0] : epsilons[i];
+    if (forward - backward > epsilon) return i + 1;
+  }
+  return s1.size() + 1;
+}
+
+StatusOr<bool> LexBetter(const PropertySet& s1, const PropertySet& s2,
+                         const std::vector<double>& epsilons,
+                         const BinaryIndexList& indices) {
+  MDC_ASSIGN_OR_RETURN(size_t forward, LexIndex(s1, s2, epsilons, indices));
+  MDC_ASSIGN_OR_RETURN(size_t backward, LexIndex(s2, s1, epsilons, indices));
+  return forward < backward;
+}
+
+StatusOr<double> GoalIndex(const PropertySet& s1, const PropertySet& s2,
+                           const std::vector<double>& goals,
+                           const BinaryIndexList& indices) {
+  MDC_RETURN_IF_ERROR(ValidateArity(s1, s2, indices));
+  if (goals.size() != s1.size()) {
+    return Status::InvalidArgument("goal vector arity mismatch");
+  }
+  double deviation = 0.0;
+  for (size_t i = 0; i < s1.size(); ++i) {
+    double achieved = IndexAt(indices, i).fn(s1[i], s2[i]);
+    deviation += (achieved - goals[i]) * (achieved - goals[i]);
+  }
+  return deviation;
+}
+
+StatusOr<bool> GoalBetter(const PropertySet& s1, const PropertySet& s2,
+                          const std::vector<double>& goals,
+                          const BinaryIndexList& indices) {
+  MDC_ASSIGN_OR_RETURN(double forward, GoalIndex(s1, s2, goals, indices));
+  MDC_ASSIGN_OR_RETURN(double backward, GoalIndex(s2, s1, goals, indices));
+  return forward < backward;
+}
+
+StatusOr<double> GoalIndexUnary(const PropertySet& s,
+                                const std::vector<double>& goals,
+                                const std::vector<UnaryIndex>& indices) {
+  if (s.empty()) return Status::InvalidArgument("property set is empty");
+  if (goals.size() != s.size() || indices.size() != s.size()) {
+    return Status::InvalidArgument(
+        "goal/index vectors must have one entry per property");
+  }
+  double deviation = 0.0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    double achieved = indices[i].fn(s[i]);
+    deviation += (achieved - goals[i]) * (achieved - goals[i]);
+  }
+  return deviation;
+}
+
+}  // namespace mdc

@@ -1,0 +1,80 @@
+// Preference-based comparison across multiple properties (§5.5–5.7).
+//
+// When an r-property anonymization induces several property vectors
+// (privacy AND utility, or several privacy models), single-property
+// indices must be combined. The paper suggests three mechanisms:
+//
+//   P_WTD(Υ1,Υ2)  = Σ w_i · P(D_1i, D_2i)                (weighted sum)
+//   P_LEX(Υ1,Υ2)  = min{ i : P(D_1i,D_2i) - P(D_2i,D_1i) > ε_i }
+//                                                 (ε-lexicographic, 1-based)
+//   P_GOAL(Υ1,Υ2) = Σ (P(D_1i,D_2i) - g_i)²              (goal-based)
+//
+// Each property position may use its own binary index P (coverage for a
+// privacy property, spread for a utility property, ...). Higher P values
+// are assumed better; negate an index otherwise.
+
+#ifndef MDC_CORE_MULTI_PROPERTY_H_
+#define MDC_CORE_MULTI_PROPERTY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dominance.h"
+#include "core/quality_index.h"
+
+namespace mdc {
+
+// Per-position binary indices; a single-element vector is broadcast to
+// all r positions.
+using BinaryIndexList = std::vector<BinaryIndex>;
+
+// --------------------------------------------------------------- P_WTD --
+
+// Weights must be positive and sum to 1 (tolerance 1e-9); arities must
+// match the property sets.
+StatusOr<double> WtdIndex(const PropertySet& s1, const PropertySet& s2,
+                          const std::vector<double>& weights,
+                          const BinaryIndexList& indices);
+
+// ▶_WTD: P_WTD(Υ1,Υ2) > P_WTD(Υ2,Υ1).
+StatusOr<bool> WtdBetter(const PropertySet& s1, const PropertySet& s2,
+                         const std::vector<double>& weights,
+                         const BinaryIndexList& indices);
+
+// --------------------------------------------------------------- P_LEX --
+
+// Returns the FIRST (1-based) property position where Υ1 beats Υ2 by more
+// than ε_i; returns r+1 when Υ1 is nowhere significantly better. Epsilons
+// must be non-negative; a single-element epsilon vector is broadcast.
+StatusOr<size_t> LexIndex(const PropertySet& s1, const PropertySet& s2,
+                          const std::vector<double>& epsilons,
+                          const BinaryIndexList& indices);
+
+// ▶_LEX: P_LEX(Υ1,Υ2) < P_LEX(Υ2,Υ1).
+StatusOr<bool> LexBetter(const PropertySet& s1, const PropertySet& s2,
+                         const std::vector<double>& epsilons,
+                         const BinaryIndexList& indices);
+
+// -------------------------------------------------------------- P_GOAL --
+
+// Sum-of-squares deviation of the achieved index values from the goal
+// vector; SMALLER is better.
+StatusOr<double> GoalIndex(const PropertySet& s1, const PropertySet& s2,
+                           const std::vector<double>& goals,
+                           const BinaryIndexList& indices);
+
+// ▶_GOAL: P_GOAL(Υ1,Υ2) < P_GOAL(Υ2,Υ1).
+StatusOr<bool> GoalBetter(const PropertySet& s1, const PropertySet& s2,
+                          const std::vector<double>& goals,
+                          const BinaryIndexList& indices);
+
+// Unary-index variant (§5.7's closing remark): deviation of unary index
+// values of Υ1's vectors from goal values derived from goal property
+// vectors. One unary index per position.
+StatusOr<double> GoalIndexUnary(const PropertySet& s,
+                                const std::vector<double>& goals,
+                                const std::vector<UnaryIndex>& indices);
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_MULTI_PROPERTY_H_

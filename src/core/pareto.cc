@@ -1,0 +1,93 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdc {
+namespace {
+
+// Strong dominance for scalar objective tuples.
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  MDC_CHECK_EQ(a.size(), b.size());
+  bool strict = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+    if (a[i] > b[i]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace
+
+std::vector<size_t> ParetoFront(const std::vector<PropertySet>& candidates) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (i != j && StronglyDominates(candidates[j], candidates[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<size_t> ParetoFrontScalar(
+    const std::vector<std::vector<double>>& points) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i != j && Dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+StatusOr<size_t> KneePoint(const std::vector<std::vector<double>>& points) {
+  if (points.empty()) {
+    return Status::InvalidArgument("empty point set");
+  }
+  const size_t dims = points[0].size();
+  if (dims == 0) {
+    return Status::InvalidArgument("zero-dimensional points");
+  }
+  std::vector<double> lo(dims), hi(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    lo[d] = hi[d] = points[0][d];
+  }
+  for (const std::vector<double>& p : points) {
+    if (p.size() != dims) {
+      return Status::InvalidArgument("inconsistent point arity");
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  size_t best = 0;
+  double best_distance = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    double distance = 0.0;
+    for (size_t d = 0; d < dims; ++d) {
+      double span = hi[d] - lo[d];
+      double normalized =
+          span > 0.0 ? (hi[d] - points[i][d]) / span : 0.0;
+      distance += normalized * normalized;
+    }
+    distance = std::sqrt(distance);
+    if (i == 0 || distance < best_distance) {
+      best = i;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+}  // namespace mdc

@@ -1,0 +1,43 @@
+// Property extractors: from an anonymized release to the paper's property
+// vectors (Definition 1).
+//
+// Each extractor measures one property per tuple:
+//  - EquivalenceClassSizeVector: the size of the tuple's equivalence class
+//    (the k-anonymity property; Figure 1 of the paper plots exactly this).
+//  - SensitiveCountVector: how often the tuple's sensitive value appears
+//    within its class (the ℓ-diversity property of §3; for T3a this is
+//    (2,2,1,2,2,1,2,1,2,1)).
+//  - BreachProbabilityVector: 1/|class| per tuple — the re-identification
+//    probability of §1 (lower is better).
+//  - LinkagePrivacyVector: 1 - 1/|class| — the same information oriented
+//    higher-is-better.
+//
+// Utility property vectors come from utility/ (LossMetric::PerTupleUtility
+// and friends).
+
+#ifndef MDC_CORE_PROPERTIES_H_
+#define MDC_CORE_PROPERTIES_H_
+
+#include <optional>
+
+#include "anonymize/equivalence.h"
+#include "anonymize/generalizer.h"
+#include "core/property_vector.h"
+
+namespace mdc {
+
+PropertyVector EquivalenceClassSizeVector(
+    const EquivalencePartition& partition);
+
+// Fails if no sensitive column can be resolved.
+StatusOr<PropertyVector> SensitiveCountVector(
+    const Anonymization& anonymization, const EquivalencePartition& partition,
+    std::optional<size_t> sensitive_column = std::nullopt);
+
+PropertyVector BreachProbabilityVector(const EquivalencePartition& partition);
+
+PropertyVector LinkagePrivacyVector(const EquivalencePartition& partition);
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_PROPERTIES_H_

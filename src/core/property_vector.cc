@@ -1,0 +1,74 @@
+#include "core/property_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace mdc {
+
+double PropertyVector::Min() const {
+  MDC_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double PropertyVector::Max() const {
+  MDC_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double PropertyVector::Sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double PropertyVector::Mean() const {
+  MDC_CHECK(!values_.empty());
+  return Sum() / static_cast<double>(values_.size());
+}
+
+double PropertyVector::StdDev() const {
+  MDC_CHECK(!values_.empty());
+  double mean = Mean();
+  double sum_sq = 0.0;
+  for (double v : values_) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values_.size()));
+}
+
+double PropertyVector::DistanceTo(const PropertyVector& other,
+                                  double p) const {
+  MDC_CHECK_EQ(values_.size(), other.values_.size());
+  MDC_CHECK_GE(p, 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    sum += std::pow(std::abs(values_[i] - other.values_[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+double PropertyVector::LInfDistance(const PropertyVector& other) const {
+  MDC_CHECK_EQ(values_.size(), other.values_.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(values_[i] - other.values_[i]));
+  }
+  return max_diff;
+}
+
+PropertyVector PropertyVector::Negated(std::string new_name) const {
+  std::vector<double> negated(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) negated[i] = -values_[i];
+  return PropertyVector(std::move(new_name), std::move(negated));
+}
+
+std::string PropertyVector::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatCompact(values_[i], 4);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mdc

@@ -1,0 +1,68 @@
+// Property vectors — Definition 1 of the paper.
+//
+// A property vector D for a data set of size N is an N-dimensional real
+// vector whose i-th entry measures some property (privacy, utility, ...)
+// of the i-th tuple of an anonymized data set. Property vectors are the
+// paper's replacement for scalar privacy levels: they expose the
+// anonymization bias that aggregates like min() hide.
+//
+// Convention (paper §5): a HIGHER entry is better. Extractors for
+// loss-like quantities either negate or invert and say so in their names.
+
+#ifndef MDC_CORE_PROPERTY_VECTOR_H_
+#define MDC_CORE_PROPERTY_VECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mdc {
+
+class PropertyVector {
+ public:
+  PropertyVector() = default;
+  PropertyVector(std::string name, std::vector<double> values)
+      : name_(std::move(name)), values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  double operator[](size_t i) const {
+    MDC_CHECK_LT(i, values_.size());
+    return values_[i];
+  }
+
+  // Aggregates (each MDC_CHECKs against emptiness where undefined).
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+  double Mean() const;
+  double StdDev() const;  // Population standard deviation.
+
+  // Lp distance to `other` (p >= 1); p defaults to Euclidean. Sizes must
+  // match. p = infinity is supported via LInfDistance.
+  double DistanceTo(const PropertyVector& other, double p = 2.0) const;
+  double LInfDistance(const PropertyVector& other) const;
+
+  // Entry-wise negation, for flipping a lower-is-better measurement into
+  // the paper's higher-is-better convention.
+  PropertyVector Negated(std::string new_name) const;
+
+  // "(3, 3, 4, ...)" — matches how the paper prints vectors.
+  std::string ToString() const;
+
+  friend bool operator==(const PropertyVector& a, const PropertyVector& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<double> values_;
+};
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_PROPERTY_VECTOR_H_

@@ -1,0 +1,126 @@
+#include "core/quality_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdc {
+
+double MinIndex(const PropertyVector& d) { return d.Min(); }
+double MaxIndex(const PropertyVector& d) { return d.Max(); }
+double MeanIndex(const PropertyVector& d) { return d.Mean(); }
+double SumIndex(const PropertyVector& d) { return d.Sum(); }
+
+double RankIndex(const PropertyVector& d, const PropertyVector& d_max,
+                 double p) {
+  return d.DistanceTo(d_max, p);
+}
+
+bool RankBetter(const PropertyVector& d1, const PropertyVector& d2,
+                const PropertyVector& d_max, double epsilon, double p) {
+  MDC_CHECK_GE(epsilon, 0.0);
+  return RankIndex(d1, d_max, p) < RankIndex(d2, d_max, p) - epsilon;
+}
+
+double CoverageIndex(const PropertyVector& d1, const PropertyVector& d2) {
+  MDC_CHECK_EQ(d1.size(), d2.size());
+  MDC_CHECK(!d1.empty());
+  size_t count = 0;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (d1[i] >= d2[i]) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(d1.size());
+}
+
+bool CoverageBetter(const PropertyVector& d1, const PropertyVector& d2) {
+  return CoverageIndex(d1, d2) > CoverageIndex(d2, d1);
+}
+
+size_t StrictlyBetterCount(const PropertyVector& d1,
+                           const PropertyVector& d2) {
+  MDC_CHECK_EQ(d1.size(), d2.size());
+  size_t count = 0;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (d1[i] > d2[i]) ++count;
+  }
+  return count;
+}
+
+double SpreadIndex(const PropertyVector& d1, const PropertyVector& d2) {
+  MDC_CHECK_EQ(d1.size(), d2.size());
+  double spread = 0.0;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    spread += std::max(d1[i] - d2[i], 0.0);
+  }
+  return spread;
+}
+
+bool SpreadBetter(const PropertyVector& d1, const PropertyVector& d2) {
+  return SpreadIndex(d1, d2) > SpreadIndex(d2, d1);
+}
+
+double DominatedHypervolume(const PropertyVector& d) {
+  MDC_CHECK(!d.empty());
+  double volume = 1.0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    MDC_CHECK_MSG(d[i] > 0.0,
+                  "hypervolume indices require strictly positive entries");
+    volume *= d[i];
+  }
+  return volume;
+}
+
+double HypervolumeIndex(const PropertyVector& d1, const PropertyVector& d2) {
+  MDC_CHECK_EQ(d1.size(), d2.size());
+  MDC_CHECK(!d1.empty());
+  double own = 1.0;
+  double shared = 1.0;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    MDC_CHECK_MSG(d1[i] > 0.0 && d2[i] > 0.0,
+                  "hypervolume indices require strictly positive entries");
+    own *= d1[i];
+    shared *= std::min(d1[i], d2[i]);
+  }
+  return own - shared;
+}
+
+bool HypervolumeBetter(const PropertyVector& d1, const PropertyVector& d2) {
+  return HypervolumeIndex(d1, d2) > HypervolumeIndex(d2, d1);
+}
+
+std::vector<UnaryIndex> StandardUnaryIndices(const PropertyVector& d_max) {
+  std::vector<UnaryIndex> indices = {
+      {"min", [](const PropertyVector& d) { return d.Min(); }},
+      {"max", [](const PropertyVector& d) { return d.Max(); }},
+      {"mean", [](const PropertyVector& d) { return d.Mean(); }},
+      {"sum", [](const PropertyVector& d) { return d.Sum(); }},
+      {"stddev", [](const PropertyVector& d) { return -d.StdDev(); }},
+  };
+  if (!d_max.empty()) {
+    indices.push_back({"neg-rank", [d_max](const PropertyVector& d) {
+                         // Negated so that "higher index value" matches
+                         // "closer to D_max".
+                         return -RankIndex(d, d_max);
+                       }});
+  }
+  return indices;
+}
+
+BinaryIndex MakeCoverageIndex() {
+  return {"cov", [](const PropertyVector& a, const PropertyVector& b) {
+            return CoverageIndex(a, b);
+          }};
+}
+
+BinaryIndex MakeSpreadIndex() {
+  return {"spr", [](const PropertyVector& a, const PropertyVector& b) {
+            return SpreadIndex(a, b);
+          }};
+}
+
+BinaryIndex MakeHypervolumeIndex() {
+  return {"hv", [](const PropertyVector& a, const PropertyVector& b) {
+            return HypervolumeIndex(a, b);
+          }};
+}
+
+}  // namespace mdc

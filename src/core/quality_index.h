@@ -1,0 +1,97 @@
+// Quality index functions (Definition 3) and the ▶-better comparators of
+// Section 5 of the paper.
+//
+// Unary indices map one property vector to a real; binary indices score
+// one vector relative to another. The comparator predicates (…Better)
+// implement the induced ▶-better relations:
+//
+//   P_rank(D)      = ||D - D_max||            (§5.1; lower rank is better)
+//   P_cov(D1,D2)   = |{i : d1_i >= d2_i}| / N (§5.2)
+//   P_spr(D1,D2)   = Σ max(d1_i - d2_i, 0)    (§5.3)
+//   P_hv(D1,D2)    = Π d1_i - Π min(d1_i,d2_i)(§5.4; positive vectors)
+//   P_binary(s,t)  = |{i : s_i > t_i}|        (§3 worked example)
+//   P_k-anon(s)    = min(s),  P_s-avg(s) = Σ s_i / N (§3)
+
+#ifndef MDC_CORE_QUALITY_INDEX_H_
+#define MDC_CORE_QUALITY_INDEX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/property_vector.h"
+
+namespace mdc {
+
+// ---------------------------------------------------------------- unary --
+
+double MinIndex(const PropertyVector& d);   // P_k-anon.
+double MaxIndex(const PropertyVector& d);
+double MeanIndex(const PropertyVector& d);  // P_s-avg.
+double SumIndex(const PropertyVector& d);
+
+// P_rank: Lp distance to the most desired vector D_max (§5.1). Lower is
+// better. Sizes must match.
+double RankIndex(const PropertyVector& d, const PropertyVector& d_max,
+                 double p = 2.0);
+
+// ▶_rank with tolerance: true iff rank(d1) < rank(d2) - epsilon.
+bool RankBetter(const PropertyVector& d1, const PropertyVector& d2,
+                const PropertyVector& d_max, double epsilon = 0.0,
+                double p = 2.0);
+
+// --------------------------------------------------------------- binary --
+
+// P_cov in [0, 1]; ties (>=) count toward the first argument.
+double CoverageIndex(const PropertyVector& d1, const PropertyVector& d2);
+
+// ▶_cov: P_cov(d1,d2) > P_cov(d2,d1).
+bool CoverageBetter(const PropertyVector& d1, const PropertyVector& d2);
+
+// P_binary of §3: the number of entries of d1 STRICTLY above d2's.
+size_t StrictlyBetterCount(const PropertyVector& d1, const PropertyVector& d2);
+
+// P_spr: total magnitude by which d1 exceeds d2 where it does.
+double SpreadIndex(const PropertyVector& d1, const PropertyVector& d2);
+
+// ▶_spr: P_spr(d1,d2) > P_spr(d2,d1).
+bool SpreadBetter(const PropertyVector& d1, const PropertyVector& d2);
+
+// P_hv: hypervolume (w.r.t. the origin) dominated solely by d1. All
+// entries of both vectors must be positive (MDC_CHECK).
+double HypervolumeIndex(const PropertyVector& d1, const PropertyVector& d2);
+
+// Π d_i — the hypervolume of {x : 0 <= x <= D} (the region of §5.4's Ψ).
+double DominatedHypervolume(const PropertyVector& d);
+
+// ▶_hv: P_hv(d1,d2) > P_hv(d2,d1).
+bool HypervolumeBetter(const PropertyVector& d1, const PropertyVector& d2);
+
+// ------------------------------------------------- named functor bundles --
+
+// Named unary index, the currency of the Theorem-1 insufficiency
+// experiment (core/insufficiency.h).
+struct UnaryIndex {
+  std::string name;
+  std::function<double(const PropertyVector&)> fn;
+};
+
+// A standard battery of unary indices: min, max, mean, sum, stddev, and
+// L2-distance-to-dmax when `d_max` is nonempty.
+std::vector<UnaryIndex> StandardUnaryIndices(
+    const PropertyVector& d_max = PropertyVector());
+
+// Named binary index, the P(X, Y) plugged into the multi-property
+// comparators of §5.5–5.7.
+struct BinaryIndex {
+  std::string name;
+  std::function<double(const PropertyVector&, const PropertyVector&)> fn;
+};
+
+BinaryIndex MakeCoverageIndex();
+BinaryIndex MakeSpreadIndex();
+BinaryIndex MakeHypervolumeIndex();
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_QUALITY_INDEX_H_

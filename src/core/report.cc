@@ -1,0 +1,140 @@
+#include "core/report.h"
+
+#include "common/text_table.h"
+#include "core/properties.h"
+#include "privacy/privacy_model.h"
+#include "utility/loss_metric.h"
+
+namespace mdc {
+namespace {
+
+struct NamedProperty {
+  std::string name;
+  PropertyVector first;
+  PropertyVector second;
+};
+
+StatusOr<PropertyVector> UtilityVector(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) {
+  if (anonymization.scheme.has_value()) {
+    return LossMetric::PerTupleUtility(anonymization);
+  }
+  return ClassSpreadLoss::PerTupleUtility(anonymization, partition);
+}
+
+}  // namespace
+
+StatusOr<ComparisonReport> CompareAnonymizations(
+    const Anonymization& first, const EquivalencePartition& first_partition,
+    const Anonymization& second,
+    const EquivalencePartition& second_partition,
+    const ComparisonOptions& options) {
+  if (first.row_count() != second.row_count()) {
+    return Status::InvalidArgument(
+        "anonymizations cover data sets of different sizes");
+  }
+  if (first.row_count() == 0) {
+    return Status::InvalidArgument("empty anonymizations");
+  }
+
+  std::vector<NamedProperty> properties;
+  PropertyVector first_sizes = EquivalenceClassSizeVector(first_partition);
+  PropertyVector second_sizes = EquivalenceClassSizeVector(second_partition);
+  properties.push_back({"equivalence-class-size", first_sizes, second_sizes});
+
+  // Diversity property: count of the tuple's sensitive value in its class,
+  // negated so that higher is better (rarer value in class = harder to
+  // infer).
+  auto sensitive_column = ResolveSensitiveColumn(
+      first.original->schema(), options.sensitive_column);
+  if (sensitive_column.ok()) {
+    MDC_ASSIGN_OR_RETURN(
+        PropertyVector first_counts,
+        SensitiveCountVector(first, first_partition, *sensitive_column));
+    MDC_ASSIGN_OR_RETURN(
+        PropertyVector second_counts,
+        SensitiveCountVector(second, second_partition, *sensitive_column));
+    properties.push_back({"sensitive-rarity",
+                          first_counts.Negated("sensitive-rarity"),
+                          second_counts.Negated("sensitive-rarity")});
+  } else if (options.sensitive_column.has_value()) {
+    return sensitive_column.status();
+  }
+
+  if (options.include_utility) {
+    MDC_ASSIGN_OR_RETURN(PropertyVector first_utility,
+                         UtilityVector(first, first_partition));
+    MDC_ASSIGN_OR_RETURN(PropertyVector second_utility,
+                         UtilityVector(second, second_partition));
+    properties.push_back(
+        {"per-tuple-utility", std::move(first_utility),
+         std::move(second_utility)});
+  }
+
+  ComparisonReport report;
+  report.first_name =
+      first.algorithm.empty() ? "first" : first.algorithm;
+  report.second_name =
+      second.algorithm.empty() ? "second" : second.algorithm;
+  if (report.first_name == report.second_name) {
+    report.first_name += "#1";
+    report.second_name += "#2";
+  }
+  report.first_bias = ComputeBias(first_sizes);
+  report.second_bias = ComputeBias(second_sizes);
+
+  PropertyVector d_max;
+  if (options.include_rank) {
+    d_max = PropertyVector(
+        "ideal", std::vector<double>(first.row_count(),
+                                     static_cast<double>(first.row_count())));
+  }
+
+  for (const NamedProperty& property : properties) {
+    report.properties.push_back(property.name);
+    // The rank ideal only makes sense for the class-size property.
+    PropertyVector ideal =
+        property.name == "equivalence-class-size" ? d_max : PropertyVector();
+    std::vector<std::unique_ptr<Comparator>> battery =
+        StandardComparators(std::move(ideal), /*include_hypervolume=*/false);
+    for (const auto& comparator : battery) {
+      ComparatorOutcome outcome =
+          comparator->Compare(property.first, property.second);
+      if (outcome == ComparatorOutcome::kFirstBetter) ++report.net_score;
+      if (outcome == ComparatorOutcome::kSecondBetter) --report.net_score;
+      report.verdicts.push_back(
+          {property.name, comparator->Name(), outcome});
+    }
+  }
+  return report;
+}
+
+std::string ComparisonReport::ToText() const {
+  TextTable table;
+  table.SetHeader({"property", "comparator", "verdict"});
+  for (const ComparatorVerdict& verdict : verdicts) {
+    std::string outcome;
+    switch (verdict.outcome) {
+      case ComparatorOutcome::kFirstBetter:
+        outcome = first_name;
+        break;
+      case ComparatorOutcome::kSecondBetter:
+        outcome = second_name;
+        break;
+      default:
+        outcome = ComparatorOutcomeName(verdict.outcome);
+        break;
+    }
+    table.AddRow({verdict.property, verdict.comparator, std::move(outcome)});
+  }
+  std::string out = "comparison: " + first_name + " vs " + second_name + "\n";
+  out += table.Render();
+  out += "bias(" + first_name + "):  " + first_bias.ToString() + "\n";
+  out += "bias(" + second_name + "): " + second_bias.ToString() + "\n";
+  out += "net score: " + std::to_string(net_score) + " (positive favors " +
+         first_name + ")\n";
+  return out;
+}
+
+}  // namespace mdc

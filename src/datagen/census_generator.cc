@@ -1,0 +1,186 @@
+#include "datagen/census_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "hierarchy/interval_hierarchy.h"
+#include "hierarchy/suffix_hierarchy.h"
+#include "hierarchy/taxonomy_hierarchy.h"
+
+namespace mdc {
+namespace {
+
+constexpr const char* kZipPrefixes[] = {"13", "80", "94", "60",
+                                        "30", "77", "02", "48"};
+
+struct CategoricalSpec {
+  const char* group;
+  const char* leaf;
+  double weight;
+};
+
+constexpr CategoricalSpec kEducation[] = {
+    {"Low", "NoSchool", 0.03},     {"Low", "Primary", 0.07},
+    {"Low", "SomeSecondary", 0.1}, {"Medium", "HighSchool", 0.32},
+    {"Medium", "SomeCollege", 0.2}, {"Medium", "AssocDegree", 0.08},
+    {"High", "Bachelors", 0.12},   {"High", "Masters", 0.06},
+    {"High", "Doctorate", 0.02},
+};
+
+constexpr CategoricalSpec kMarital[] = {
+    {"Married", "CivSpouse", 0.42},      {"Married", "AFSpouse", 0.02},
+    {"Married", "SpouseAbsent", 0.04},   {"NotMarried", "NeverMarried", 0.3},
+    {"NotMarried", "Divorced", 0.13},    {"NotMarried", "Separated", 0.04},
+    {"NotMarried", "Widowed", 0.05},
+};
+
+constexpr CategoricalSpec kOccupation[] = {
+    {"WhiteCollar", "Exec", 0.12},     {"WhiteCollar", "Prof", 0.13},
+    {"WhiteCollar", "Sales", 0.11},    {"WhiteCollar", "Clerical", 0.12},
+    {"BlueCollar", "Craft", 0.13},     {"BlueCollar", "Machine", 0.07},
+    {"BlueCollar", "Transport", 0.05}, {"BlueCollar", "Labor", 0.06},
+    {"Service", "Protective", 0.03},   {"Service", "HouseServ", 0.02},
+    {"Service", "OtherServ", 0.16},
+};
+
+constexpr const char* kDiseases[] = {"Flu",   "Cold",   "Hypertension",
+                                     "Diabetes", "HeartDisease", "Cancer",
+                                     "HIV"};
+
+template <size_t N>
+std::shared_ptr<const TaxonomyHierarchy> BuildTaxonomy(
+    const CategoricalSpec (&specs)[N]) {
+  TaxonomyHierarchy::Builder builder;
+  std::vector<std::string> groups;
+  for (const CategoricalSpec& spec : specs) {
+    if (std::find(groups.begin(), groups.end(), spec.group) == groups.end()) {
+      groups.push_back(spec.group);
+      builder.Add(spec.group, "*");
+    }
+  }
+  for (const CategoricalSpec& spec : specs) {
+    builder.Add(spec.leaf, spec.group);
+  }
+  auto tree = builder.Build();
+  MDC_CHECK_MSG(tree.ok(), "census taxonomy must build");
+  return std::make_shared<const TaxonomyHierarchy>(std::move(tree).value());
+}
+
+template <size_t N>
+const char* DrawCategorical(const CategoricalSpec (&specs)[N], Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(N);
+  for (const CategoricalSpec& spec : specs) weights.push_back(spec.weight);
+  return specs[rng.NextWeighted(weights)].leaf;
+}
+
+int64_t DrawAge(Rng& rng) {
+  // Mixture of three age bands, clamped to [17, 90].
+  double draw = rng.NextDouble();
+  double age = 0.0;
+  if (draw < 0.45) {
+    age = 28.0 + rng.NextGaussian() * 7.0;
+  } else if (draw < 0.85) {
+    age = 46.0 + rng.NextGaussian() * 9.0;
+  } else {
+    age = 68.0 + rng.NextGaussian() * 8.0;
+  }
+  return std::clamp<int64_t>(static_cast<int64_t>(std::lround(age)), 17, 90);
+}
+
+std::string DrawZip(Rng& rng, int regions) {
+  const char* prefix =
+      kZipPrefixes[rng.NextBelow(static_cast<uint64_t>(regions))];
+  std::string zip = prefix;
+  for (int i = 0; i < 3; ++i) {
+    zip += static_cast<char>('0' + rng.NextBelow(10));
+  }
+  return zip;
+}
+
+std::string DrawDisease(Rng& rng, double skew) {
+  constexpr size_t kCount = std::size(kDiseases);
+  // Geometric-ish weights: weight_i proportional to (1 - skew)^i, so
+  // skew 0 is uniform and larger skews concentrate on the first disease.
+  std::vector<double> weights(kCount);
+  double w = 1.0;
+  for (size_t i = 0; i < kCount; ++i) {
+    weights[i] = w;
+    w *= (1.0 - skew);
+    if (w < 1e-9) w = 1e-9;
+  }
+  return kDiseases[rng.NextWeighted(weights)];
+}
+
+}  // namespace
+
+StatusOr<CensusData> GenerateCensus(const CensusConfig& config) {
+  if (config.rows == 0) {
+    return Status::InvalidArgument("rows must be positive");
+  }
+  if (config.zip_regions < 2 ||
+      config.zip_regions > static_cast<int>(std::size(kZipPrefixes))) {
+    return Status::InvalidArgument("zip_regions must be in [2, 8]");
+  }
+  if (config.sensitive_skew < 0.0 || config.sensitive_skew >= 1.0) {
+    return Status::InvalidArgument("sensitive_skew must be in [0, 1)");
+  }
+
+  std::vector<AttributeDef> attributes = {
+      {"age", AttributeType::kInt, AttributeRole::kQuasiIdentifier},
+      {"zip", AttributeType::kString, AttributeRole::kQuasiIdentifier},
+      {"education", AttributeType::kString, AttributeRole::kQuasiIdentifier},
+      {"marital", AttributeType::kString, AttributeRole::kQuasiIdentifier},
+  };
+  if (config.with_occupation) {
+    attributes.push_back({"occupation", AttributeType::kString,
+                          AttributeRole::kQuasiIdentifier});
+  }
+  attributes.push_back(
+      {"disease", AttributeType::kString, AttributeRole::kSensitive});
+  MDC_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attributes)));
+
+  Rng rng(config.seed);
+  auto data = std::make_shared<Dataset>(schema);
+  for (size_t r = 0; r < config.rows; ++r) {
+    Dataset::Row row;
+    row.push_back(Value(DrawAge(rng)));
+    row.push_back(Value(DrawZip(rng, config.zip_regions)));
+    row.push_back(Value(std::string(DrawCategorical(kEducation, rng))));
+    row.push_back(Value(std::string(DrawCategorical(kMarital, rng))));
+    if (config.with_occupation) {
+      row.push_back(Value(std::string(DrawCategorical(kOccupation, rng))));
+    }
+    row.push_back(Value(DrawDisease(rng, config.sensitive_skew)));
+    MDC_RETURN_IF_ERROR(data->AppendRow(std::move(row)));
+  }
+
+  CensusData census;
+  census.sensitive_column = schema.attribute_count() - 1;
+
+  // Age chain: 5-year, 10-year, 20-year, 40-year bins, all origin 0.
+  auto age_hierarchy = IntervalHierarchy::Create(
+      {{0.0, 5.0}, {0.0, 10.0}, {0.0, 20.0}, {0.0, 40.0}});
+  MDC_CHECK(age_hierarchy.ok());
+  MDC_RETURN_IF_ERROR(census.hierarchies.Bind(
+      0, std::make_shared<const IntervalHierarchy>(
+             std::move(age_hierarchy).value())));
+  auto zip_hierarchy = SuffixHierarchy::Create(5);
+  MDC_CHECK(zip_hierarchy.ok());
+  MDC_RETURN_IF_ERROR(census.hierarchies.Bind(
+      1, std::make_shared<const SuffixHierarchy>(
+             std::move(zip_hierarchy).value())));
+  MDC_RETURN_IF_ERROR(census.hierarchies.Bind(2, BuildTaxonomy(kEducation)));
+  MDC_RETURN_IF_ERROR(census.hierarchies.Bind(3, BuildTaxonomy(kMarital)));
+  if (config.with_occupation) {
+    MDC_RETURN_IF_ERROR(
+        census.hierarchies.Bind(4, BuildTaxonomy(kOccupation)));
+  }
+  census.data = std::move(data);
+  return census;
+}
+
+}  // namespace mdc

@@ -1,0 +1,45 @@
+// Seeded synthetic census microdata (Adult-data-set stand-in; see
+// DESIGN.md substitution 3).
+//
+// Attributes: age (int, QI), zip (string, QI), education (string, QI),
+// marital (string, QI), occupation (string, QI), disease (string,
+// sensitive). Hierarchies matching the attribute shapes are generated
+// alongside the data: an interval chain for age, suffix masking for zip,
+// and two-level taxonomies for the categorical attributes.
+
+#ifndef MDC_DATAGEN_CENSUS_GENERATOR_H_
+#define MDC_DATAGEN_CENSUS_GENERATOR_H_
+
+#include <memory>
+
+#include "hierarchy/scheme.h"
+#include "table/dataset.h"
+
+namespace mdc {
+
+struct CensusConfig {
+  size_t rows = 1000;
+  uint64_t seed = 42;
+  // Concentration of the sensitive attribute: 0 = uniform over diseases,
+  // 1 = everyone has the most common one. Drives diversity/closeness
+  // experiments.
+  double sensitive_skew = 0.3;
+  // Number of distinct zip regions to draw from (2..8). Fewer regions make
+  // k-anonymity easier at low generalization levels.
+  int zip_regions = 6;
+  // Include the occupation attribute as a quasi-identifier (more QI
+  // dimensions = harder instances).
+  bool with_occupation = true;
+};
+
+struct CensusData {
+  std::shared_ptr<const Dataset> data;
+  HierarchySet hierarchies;  // One hierarchy per quasi-identifier.
+  size_t sensitive_column = 0;
+};
+
+StatusOr<CensusData> GenerateCensus(const CensusConfig& config);
+
+}  // namespace mdc
+
+#endif  // MDC_DATAGEN_CENSUS_GENERATOR_H_

@@ -1,0 +1,111 @@
+#include "hierarchy/interval_hierarchy.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mdc {
+
+std::string Interval::ToLabel() const {
+  return "(" + FormatCompact(lo) + "," + FormatCompact(hi) + "]";
+}
+
+std::optional<Interval> Interval::FromLabel(const std::string& label) {
+  if (label.size() < 5 || label.front() != '(' || label.back() != ']') {
+    return std::nullopt;
+  }
+  size_t comma = label.find(',');
+  if (comma == std::string::npos) return std::nullopt;
+  std::optional<double> lo = ParseDouble(label.substr(1, comma - 1));
+  std::optional<double> hi =
+      ParseDouble(label.substr(comma + 1, label.size() - comma - 2));
+  if (!lo.has_value() || !hi.has_value() || !(*lo < *hi)) return std::nullopt;
+  return Interval{*lo, *hi};
+}
+
+StatusOr<IntervalHierarchy> IntervalHierarchy::Create(
+    std::vector<IntervalLevel> levels) {
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].width <= 0.0) {
+      return Status::InvalidArgument("interval level width must be positive");
+    }
+    if (i > 0) {
+      const IntervalLevel& prev = levels[i - 1];
+      const IntervalLevel& cur = levels[i];
+      if (cur.width <= prev.width) {
+        return Status::InvalidArgument(
+            "interval level widths must strictly increase");
+      }
+      double ratio = cur.width / prev.width;
+      double offset = (cur.origin - prev.origin) / prev.width;
+      if (std::abs(ratio - std::round(ratio)) > 1e-9 ||
+          std::abs(offset - std::round(offset)) > 1e-9) {
+        return Status::InvalidArgument(
+            "interval level " + std::to_string(i + 1) +
+            " does not nest in level " + std::to_string(i) +
+            " (width must be a multiple and origins must align)");
+      }
+    }
+  }
+  return IntervalHierarchy(std::move(levels));
+}
+
+std::string IntervalHierarchy::Describe() const {
+  std::string desc = "interval[";
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (i > 0) desc += ",";
+    desc += FormatCompact(levels_[i].width) + "@" +
+            FormatCompact(levels_[i].origin);
+  }
+  desc += "]";
+  return desc;
+}
+
+Interval IntervalHierarchy::BinOf(double v, size_t index) const {
+  MDC_CHECK_LT(index, levels_.size());
+  const IntervalLevel& level = levels_[index];
+  // Bins are (origin + k*width, origin + (k+1)*width]; v belongs to bin
+  // k = ceil((v - origin)/width) - 1.
+  double k = std::ceil((v - level.origin) / level.width) - 1.0;
+  // Guard against v sitting exactly on a boundary with floating error.
+  double lo = level.origin + k * level.width;
+  double hi = lo + level.width;
+  if (v <= lo) {
+    lo -= level.width;
+    hi -= level.width;
+  } else if (v > hi) {
+    lo += level.width;
+    hi += level.width;
+  }
+  return Interval{lo, hi};
+}
+
+StatusOr<std::string> IntervalHierarchy::Generalize(const Value& value,
+                                                    int level) const {
+  if (level < 0 || level > height()) {
+    return Status::OutOfRange("interval hierarchy level out of range: " +
+                              std::to_string(level));
+  }
+  if (value.is_string()) {
+    return Status::InvalidArgument(
+        "interval hierarchy applied to string value '" + value.AsString() +
+        "'");
+  }
+  if (level == 0) return value.ToString();
+  if (level == height()) return std::string(kSuppressedLabel);
+  return BinOf(value.AsNumber(), static_cast<size_t>(level - 1)).ToLabel();
+}
+
+bool IntervalHierarchy::Covers(const std::string& label,
+                               const Value& value) const {
+  if (value.is_string()) return false;
+  if (label == kSuppressedLabel) return true;
+  if (std::optional<Interval> interval = Interval::FromLabel(label);
+      interval.has_value()) {
+    return interval->Contains(value.AsNumber());
+  }
+  // Exact (level 0) label.
+  return label == value.ToString();
+}
+
+}  // namespace mdc

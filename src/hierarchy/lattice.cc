@@ -1,0 +1,137 @@
+#include "hierarchy/lattice.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mdc {
+
+StatusOr<Lattice> Lattice::Create(std::vector<int> max_levels) {
+  if (max_levels.empty()) {
+    return Status::InvalidArgument("lattice needs at least one dimension");
+  }
+  for (int h : max_levels) {
+    if (h < 0) {
+      return Status::InvalidArgument("negative hierarchy height");
+    }
+  }
+  return Lattice(std::move(max_levels));
+}
+
+LatticeNode Lattice::Bottom() const {
+  return LatticeNode(max_levels_.size(), 0);
+}
+
+LatticeNode Lattice::Top() const { return max_levels_; }
+
+uint64_t Lattice::NodeCount() const {
+  uint64_t count = 1;
+  for (int h : max_levels_) count *= static_cast<uint64_t>(h) + 1;
+  return count;
+}
+
+int Lattice::Height(const LatticeNode& node) const {
+  MDC_CHECK_EQ(node.size(), max_levels_.size());
+  return std::accumulate(node.begin(), node.end(), 0);
+}
+
+int Lattice::MaxHeight() const {
+  return std::accumulate(max_levels_.begin(), max_levels_.end(), 0);
+}
+
+bool Lattice::Contains(const LatticeNode& node) const {
+  if (node.size() != max_levels_.size()) return false;
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (node[i] < 0 || node[i] > max_levels_[i]) return false;
+  }
+  return true;
+}
+
+std::vector<LatticeNode> Lattice::Successors(const LatticeNode& node) const {
+  MDC_CHECK(Contains(node));
+  std::vector<LatticeNode> out;
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (node[i] < max_levels_[i]) {
+      LatticeNode next = node;
+      ++next[i];
+      out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+std::vector<LatticeNode> Lattice::Predecessors(const LatticeNode& node) const {
+  MDC_CHECK(Contains(node));
+  std::vector<LatticeNode> out;
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (node[i] > 0) {
+      LatticeNode prev = node;
+      --prev[i];
+      out.push_back(std::move(prev));
+    }
+  }
+  return out;
+}
+
+bool Lattice::GeneralizesOrEquals(const LatticeNode& a, const LatticeNode& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+void Lattice::EnumerateAtHeight(int height, size_t coordinate,
+                                LatticeNode& prefix,
+                                std::vector<LatticeNode>& out) const {
+  if (coordinate + 1 == max_levels_.size()) {
+    if (height <= max_levels_[coordinate]) {
+      prefix[coordinate] = height;
+      out.push_back(prefix);
+    }
+    return;
+  }
+  int limit = std::min(height, max_levels_[coordinate]);
+  for (int level = 0; level <= limit; ++level) {
+    prefix[coordinate] = level;
+    EnumerateAtHeight(height - level, coordinate + 1, prefix, out);
+  }
+}
+
+std::vector<LatticeNode> Lattice::NodesAtHeight(int height) const {
+  std::vector<LatticeNode> out;
+  if (height < 0 || height > MaxHeight()) return out;
+  LatticeNode prefix(max_levels_.size(), 0);
+  EnumerateAtHeight(height, 0, prefix, out);
+  return out;
+}
+
+std::vector<LatticeNode> Lattice::AllNodesByHeight() const {
+  std::vector<LatticeNode> out;
+  for (int h = 0; h <= MaxHeight(); ++h) {
+    std::vector<LatticeNode> layer = NodesAtHeight(h);
+    out.insert(out.end(), layer.begin(), layer.end());
+  }
+  return out;
+}
+
+size_t Lattice::IndexOf(const LatticeNode& node) const {
+  MDC_CHECK(Contains(node));
+  size_t index = 0;
+  for (size_t i = 0; i < node.size(); ++i) {
+    index = index * (static_cast<size_t>(max_levels_[i]) + 1) +
+            static_cast<size_t>(node[i]);
+  }
+  return index;
+}
+
+std::string Lattice::ToString(const LatticeNode& node) {
+  std::string out = "<";
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(node[i]);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace mdc

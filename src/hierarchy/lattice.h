@@ -1,0 +1,77 @@
+// The full-domain generalization lattice.
+//
+// A lattice node is a level vector aligned with HierarchySet::columns();
+// node A generalizes node B ("A >= B") iff every coordinate of A is >= the
+// corresponding coordinate of B. The bottom node is all zeros, the top is
+// the per-hierarchy heights. Samarati's algorithm walks the lattice by
+// height (sum of levels); the optimal search walks it bottom-up with
+// monotonicity pruning.
+
+#ifndef MDC_HIERARCHY_LATTICE_H_
+#define MDC_HIERARCHY_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/scheme.h"
+
+namespace mdc {
+
+using LatticeNode = std::vector<int>;
+
+class Lattice {
+ public:
+  // Built from the heights of a hierarchy set. Fails on empty input.
+  static StatusOr<Lattice> Create(std::vector<int> max_levels);
+  static StatusOr<Lattice> ForHierarchies(const HierarchySet& hierarchies) {
+    return Create(hierarchies.MaxLevels());
+  }
+
+  size_t dimension() const { return max_levels_.size(); }
+  const std::vector<int>& max_levels() const { return max_levels_; }
+
+  LatticeNode Bottom() const;
+  LatticeNode Top() const;
+
+  // Total number of nodes (product of (height_i + 1)).
+  uint64_t NodeCount() const;
+
+  // Height of a node = sum of its levels; MaxHeight = height of Top().
+  int Height(const LatticeNode& node) const;
+  int MaxHeight() const;
+
+  bool Contains(const LatticeNode& node) const;
+
+  // Nodes reachable by incrementing (decrementing) exactly one coordinate.
+  std::vector<LatticeNode> Successors(const LatticeNode& node) const;
+  std::vector<LatticeNode> Predecessors(const LatticeNode& node) const;
+
+  // True iff `a` generalizes (is coordinate-wise >=) `b`.
+  static bool GeneralizesOrEquals(const LatticeNode& a, const LatticeNode& b);
+
+  // All nodes with the given height, in lexicographic order.
+  std::vector<LatticeNode> NodesAtHeight(int height) const;
+
+  // All nodes, ordered by height then lexicographically.
+  std::vector<LatticeNode> AllNodesByHeight() const;
+
+  // Dense index of a node in mixed-radix order, for flat lookup tables.
+  size_t IndexOf(const LatticeNode& node) const;
+
+  static std::string ToString(const LatticeNode& node);
+
+ private:
+  explicit Lattice(std::vector<int> max_levels)
+      : max_levels_(std::move(max_levels)) {}
+
+  void EnumerateAtHeight(int height, size_t coordinate, LatticeNode& prefix,
+                         std::vector<LatticeNode>& out) const;
+
+  std::vector<int> max_levels_;
+};
+
+}  // namespace mdc
+
+#endif  // MDC_HIERARCHY_LATTICE_H_

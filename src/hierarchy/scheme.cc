@@ -1,0 +1,101 @@
+#include "hierarchy/scheme.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mdc {
+
+Status HierarchySet::Bind(size_t column,
+                          std::shared_ptr<const ValueHierarchy> hierarchy) {
+  if (hierarchy == nullptr) {
+    return Status::InvalidArgument("cannot bind null hierarchy");
+  }
+  if (ForColumn(column) != nullptr) {
+    return Status::InvalidArgument("column " + std::to_string(column) +
+                                   " already has a hierarchy");
+  }
+  // Keep columns_ sorted so lattice coordinates are deterministic.
+  size_t pos = static_cast<size_t>(
+      std::lower_bound(columns_.begin(), columns_.end(), column) -
+      columns_.begin());
+  columns_.insert(columns_.begin() + static_cast<ptrdiff_t>(pos), column);
+  hierarchies_.insert(hierarchies_.begin() + static_cast<ptrdiff_t>(pos),
+                      std::move(hierarchy));
+  return Status::Ok();
+}
+
+const ValueHierarchy* HierarchySet::ForColumn(size_t column) const {
+  auto it = std::lower_bound(columns_.begin(), columns_.end(), column);
+  if (it == columns_.end() || *it != column) return nullptr;
+  return hierarchies_[static_cast<size_t>(it - columns_.begin())].get();
+}
+
+const ValueHierarchy& HierarchySet::At(size_t pos) const {
+  MDC_CHECK_LT(pos, hierarchies_.size());
+  return *hierarchies_[pos];
+}
+
+std::shared_ptr<const ValueHierarchy> HierarchySet::SharedAt(
+    size_t pos) const {
+  MDC_CHECK_LT(pos, hierarchies_.size());
+  return hierarchies_[pos];
+}
+
+std::vector<int> HierarchySet::MaxLevels() const {
+  std::vector<int> levels;
+  levels.reserve(hierarchies_.size());
+  for (const auto& h : hierarchies_) levels.push_back(h->height());
+  return levels;
+}
+
+Status HierarchySet::CoversQuasiIdentifiers(const Schema& schema) const {
+  for (size_t column : schema.QuasiIdentifierIndices()) {
+    if (ForColumn(column) == nullptr) {
+      return Status::FailedPrecondition(
+          "quasi-identifier '" + schema.attribute(column).name +
+          "' has no bound hierarchy");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<GeneralizationScheme> GeneralizationScheme::Create(
+    HierarchySet hierarchies, std::vector<int> levels) {
+  if (levels.size() != hierarchies.size()) {
+    return Status::InvalidArgument(
+        "level vector arity " + std::to_string(levels.size()) +
+        " != bound column count " + std::to_string(hierarchies.size()));
+  }
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i] < 0 || levels[i] > hierarchies.At(i).height()) {
+      return Status::OutOfRange(
+          "level " + std::to_string(levels[i]) + " out of range for " +
+          hierarchies.At(i).Describe());
+    }
+  }
+  return GeneralizationScheme(std::move(hierarchies), std::move(levels));
+}
+
+int GeneralizationScheme::LevelForColumn(size_t column) const {
+  for (size_t i = 0; i < hierarchies_.columns().size(); ++i) {
+    if (hierarchies_.columns()[i] == column) return levels_[i];
+  }
+  MDC_CHECK_MSG(false, "column not bound in scheme");
+  return -1;
+}
+
+int GeneralizationScheme::TotalLevel() const {
+  return std::accumulate(levels_.begin(), levels_.end(), 0);
+}
+
+std::string GeneralizationScheme::Describe(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute(hierarchies_.columns()[i]).name + ":" +
+           std::to_string(levels_[i]);
+  }
+  return out;
+}
+
+}  // namespace mdc

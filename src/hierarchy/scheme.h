@@ -1,0 +1,84 @@
+// Binding of hierarchies to quasi-identifier columns, and full-domain
+// generalization schemes.
+//
+// A HierarchySet maps dataset columns to ValueHierarchy instances (shared,
+// immutable). A GeneralizationScheme is a HierarchySet plus one level per
+// bound column — the unit the paper compares: T3a, T3b and T4 are three
+// GeneralizationSchemes over Table 1.
+
+#ifndef MDC_HIERARCHY_SCHEME_H_
+#define MDC_HIERARCHY_SCHEME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/hierarchy.h"
+#include "table/schema.h"
+
+namespace mdc {
+
+class HierarchySet {
+ public:
+  HierarchySet() = default;
+
+  // Binds `hierarchy` to `column`; fails if the column is already bound.
+  Status Bind(size_t column, std::shared_ptr<const ValueHierarchy> hierarchy);
+
+  // Bound columns in ascending order. This order defines the coordinate
+  // order of lattice nodes and scheme level vectors.
+  const std::vector<size_t>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+
+  // Hierarchy bound to `column`, or nullptr.
+  const ValueHierarchy* ForColumn(size_t column) const;
+
+  // Hierarchy at position `pos` in columns() order.
+  const ValueHierarchy& At(size_t pos) const;
+  std::shared_ptr<const ValueHierarchy> SharedAt(size_t pos) const;
+
+  // Heights of the bound hierarchies, in columns() order (the lattice's
+  // per-coordinate maxima).
+  std::vector<int> MaxLevels() const;
+
+  // Verifies that every column of `schema` with role kQuasiIdentifier is
+  // bound. Algorithms call this before running.
+  Status CoversQuasiIdentifiers(const Schema& schema) const;
+
+ private:
+  std::vector<size_t> columns_;
+  std::vector<std::shared_ptr<const ValueHierarchy>> hierarchies_;
+};
+
+// A full-domain generalization scheme: one level per bound column.
+class GeneralizationScheme {
+ public:
+  // `levels` aligns with `hierarchies.columns()`; each must lie in
+  // [0, height].
+  static StatusOr<GeneralizationScheme> Create(HierarchySet hierarchies,
+                                               std::vector<int> levels);
+
+  const HierarchySet& hierarchies() const { return hierarchies_; }
+  const std::vector<int>& levels() const { return levels_; }
+
+  // Level for `column`; the column must be bound.
+  int LevelForColumn(size_t column) const;
+
+  // Sum of levels (the scheme's height in the lattice).
+  int TotalLevel() const;
+
+  // "zip:3, age:1, marital:2" given the schema for names.
+  std::string Describe(const Schema& schema) const;
+
+ private:
+  GeneralizationScheme(HierarchySet hierarchies, std::vector<int> levels)
+      : hierarchies_(std::move(hierarchies)), levels_(std::move(levels)) {}
+
+  HierarchySet hierarchies_;
+  std::vector<int> levels_;
+};
+
+}  // namespace mdc
+
+#endif  // MDC_HIERARCHY_SCHEME_H_

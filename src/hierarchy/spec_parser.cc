@@ -1,0 +1,132 @@
+#include "hierarchy/spec_parser.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "hierarchy/interval_hierarchy.h"
+#include "hierarchy/suffix_hierarchy.h"
+#include "hierarchy/taxonomy_hierarchy.h"
+
+namespace mdc {
+namespace {
+
+Status ParseError(size_t line_number, const std::string& message) {
+  return Status::InvalidArgument("hierarchy spec line " +
+                                 std::to_string(line_number) + ": " +
+                                 message);
+}
+
+// "10@5" -> IntervalLevel{origin 5, width 10}.
+StatusOr<IntervalLevel> ParseIntervalLevel(std::string_view token,
+                                           size_t line_number) {
+  size_t at = token.find('@');
+  if (at == std::string_view::npos) {
+    return ParseError(line_number,
+                      "interval level must look like <width>@<origin>");
+  }
+  std::optional<double> width = ParseDouble(token.substr(0, at));
+  std::optional<double> origin = ParseDouble(token.substr(at + 1));
+  if (!width.has_value() || !origin.has_value()) {
+    return ParseError(line_number, "cannot parse interval level '" +
+                                       std::string(token) + "'");
+  }
+  return IntervalLevel{*origin, *width};
+}
+
+}  // namespace
+
+StatusOr<HierarchySet> ParseHierarchySpec(const Schema& schema,
+                                          std::string_view text) {
+  HierarchySet hierarchies;
+  std::vector<std::string> lines = StrSplit(text, '\n');
+
+  size_t i = 0;
+  while (i < lines.size()) {
+    size_t line_number = i + 1;
+    std::string line(StripWhitespace(lines[i]));
+    ++i;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> tokens = StrSplit(line, ' ');
+    if (tokens.size() < 3 || tokens[0] != "column") {
+      return ParseError(line_number,
+                        "expected 'column <name> <kind> ...', got '" + line +
+                            "'");
+    }
+    // The column name may itself contain no spaces in this grammar; the
+    // kind is the second-to-last structural token.
+    const std::string& name = tokens[1];
+    const std::string& kind = tokens[2];
+    MDC_ASSIGN_OR_RETURN(size_t column, schema.IndexOf(name));
+
+    if (kind == "suffix") {
+      if (tokens.size() != 4) {
+        return ParseError(line_number, "suffix needs exactly one length");
+      }
+      std::optional<int64_t> length = ParseInt64(tokens[3]);
+      if (!length.has_value()) {
+        return ParseError(line_number, "bad suffix length");
+      }
+      MDC_ASSIGN_OR_RETURN(SuffixHierarchy hierarchy,
+                           SuffixHierarchy::Create(static_cast<int>(*length)));
+      MDC_RETURN_IF_ERROR(hierarchies.Bind(
+          column, std::make_shared<const SuffixHierarchy>(
+                      std::move(hierarchy))));
+    } else if (kind == "intervals") {
+      if (tokens.size() < 4) {
+        return ParseError(line_number, "intervals needs at least one level");
+      }
+      std::vector<IntervalLevel> levels;
+      for (size_t t = 3; t < tokens.size(); ++t) {
+        if (tokens[t].empty()) continue;
+        MDC_ASSIGN_OR_RETURN(IntervalLevel level,
+                             ParseIntervalLevel(tokens[t], line_number));
+        levels.push_back(level);
+      }
+      MDC_ASSIGN_OR_RETURN(IntervalHierarchy hierarchy,
+                           IntervalHierarchy::Create(std::move(levels)));
+      MDC_RETURN_IF_ERROR(hierarchies.Bind(
+          column, std::make_shared<const IntervalHierarchy>(
+                      std::move(hierarchy))));
+    } else if (kind == "taxonomy") {
+      TaxonomyHierarchy::Builder builder;
+      bool closed = false;
+      while (i < lines.size()) {
+        size_t edge_line = i + 1;
+        std::string edge(StripWhitespace(lines[i]));
+        ++i;
+        if (edge.empty() || edge[0] == '#') continue;
+        if (edge == "end") {
+          closed = true;
+          break;
+        }
+        if (!StartsWith(edge, "edge ")) {
+          return ParseError(edge_line,
+                            "expected 'edge <child>|<parent>' or 'end'");
+        }
+        std::string payload = edge.substr(5);
+        size_t bar = payload.find('|');
+        if (bar == std::string::npos) {
+          return ParseError(edge_line, "edge needs a '|' separator");
+        }
+        std::string child(StripWhitespace(payload.substr(0, bar)));
+        std::string parent(StripWhitespace(payload.substr(bar + 1)));
+        builder.Add(child, parent);
+      }
+      if (!closed) {
+        return ParseError(line_number, "taxonomy block missing 'end'");
+      }
+      MDC_ASSIGN_OR_RETURN(TaxonomyHierarchy hierarchy, builder.Build());
+      MDC_RETURN_IF_ERROR(hierarchies.Bind(
+          column, std::make_shared<const TaxonomyHierarchy>(
+                      std::move(hierarchy))));
+    } else {
+      return ParseError(line_number, "unknown hierarchy kind '" + kind + "'");
+    }
+  }
+  return hierarchies;
+}
+
+}  // namespace mdc

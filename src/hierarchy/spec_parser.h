@@ -1,0 +1,41 @@
+// Declarative hierarchy specifications.
+//
+// A spec is a line-oriented text format binding generalization hierarchies
+// to schema columns — the configuration a data publisher ships alongside a
+// CSV instead of writing C++:
+//
+//   # comments and blank lines are ignored
+//   column zip suffix 5
+//   column age intervals 10@5 20@15
+//   column marital taxonomy
+//   edge Married|*
+//   edge Not Married|*
+//   edge CF-Spouse|Married
+//   edge Spouse Present|Married
+//   end
+//
+// `column <name> suffix <len>`            — suffix-mask hierarchy
+// `column <name> intervals <w>@<o> ...`   — interval chain (validated)
+// `column <name> taxonomy` ... `end`      — taxonomy built from
+//     `edge <child>|<parent>` lines ('|' separator allows spaces; the
+//     root is always "*")
+//
+// Column names are resolved against the schema; every declared column
+// must exist and duplicates are rejected.
+
+#ifndef MDC_HIERARCHY_SPEC_PARSER_H_
+#define MDC_HIERARCHY_SPEC_PARSER_H_
+
+#include <string_view>
+
+#include "hierarchy/scheme.h"
+#include "table/schema.h"
+
+namespace mdc {
+
+StatusOr<HierarchySet> ParseHierarchySpec(const Schema& schema,
+                                          std::string_view text);
+
+}  // namespace mdc
+
+#endif  // MDC_HIERARCHY_SPEC_PARSER_H_

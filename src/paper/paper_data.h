@@ -1,0 +1,58 @@
+// The paper's running example, exactly: Table 1's microdata, the
+// hierarchies and schemes behind Tables 2–3, and the property vectors the
+// paper prints. The repro binaries and reproduction tests are built on
+// these fixtures.
+//
+// Column order: 0 = "Zip Code" (string, QI), 1 = "Age" (int, QI),
+// 2 = "Marital Status" (string, sensitive).
+//
+// Scheme levels (see DESIGN.md §5 for why T4 uses a different age chain):
+//   T3a: zip suffix level 1, age chain A level 1 (width 10 @ 5), marital 1
+//   T3b: zip suffix level 2, age chain A level 2 (width 20 @ 15), marital 1
+//   T4 : zip suffix level 3, age chain B level 1 (width 20 @ 0), marital 2
+
+#ifndef MDC_PAPER_PAPER_DATA_H_
+#define MDC_PAPER_PAPER_DATA_H_
+
+#include <memory>
+
+#include "anonymize/equivalence.h"
+#include "anonymize/generalizer.h"
+#include "core/property_vector.h"
+#include "hierarchy/interval_hierarchy.h"
+#include "hierarchy/suffix_hierarchy.h"
+#include "hierarchy/taxonomy_hierarchy.h"
+
+namespace mdc::paper {
+
+inline constexpr size_t kZipColumn = 0;
+inline constexpr size_t kAgeColumn = 1;
+inline constexpr size_t kMaritalColumn = 2;
+
+StatusOr<Schema> Table1Schema();
+StatusOr<std::shared_ptr<const Dataset>> Table1();
+
+// Marital-status taxonomy: * -> {Married, Not Married} -> leaves.
+std::shared_ptr<const TaxonomyHierarchy> MaritalTaxonomy();
+std::shared_ptr<const SuffixHierarchy> ZipHierarchy();
+std::shared_ptr<const IntervalHierarchy> AgeHierarchyA();  // 10@5, 20@15.
+std::shared_ptr<const IntervalHierarchy> AgeHierarchyB();  // 20@0.
+
+// zip + age chain A/B + marital, bound to the Table-1 columns.
+StatusOr<HierarchySet> HierarchySetA();
+StatusOr<HierarchySet> HierarchySetB();
+
+// The three anonymizations of Tables 2–3.
+StatusOr<Anonymization> MakeT3a();
+StatusOr<Anonymization> MakeT3b();
+StatusOr<Anonymization> MakeT4();
+
+// Property vectors as printed in the paper.
+PropertyVector ExpectedClassSizesT3a();      // (3,3,3,3,4,4,4,3,3,4)
+PropertyVector ExpectedClassSizesT3b();      // (3,7,7,3,7,7,7,3,7,7)
+PropertyVector ExpectedClassSizesT4();       // (4,6,4,4,6,6,6,4,6,6)
+PropertyVector ExpectedSensitiveCountsT3a(); // (2,2,1,2,2,1,2,1,2,1)
+
+}  // namespace mdc::paper
+
+#endif  // MDC_PAPER_PAPER_DATA_H_

@@ -1,0 +1,21 @@
+#include "privacy/k_anonymity.h"
+
+namespace mdc {
+
+bool KAnonymity::Satisfies(const Anonymization& anonymization,
+                           const EquivalencePartition& partition) const {
+  double measure = Measure(anonymization, partition);
+  if (measure == 0.0) {
+    // No active class: vacuously satisfied (everything is suppressed).
+    return true;
+  }
+  return measure >= static_cast<double>(k_);
+}
+
+double KAnonymity::Measure(const Anonymization& anonymization,
+                           const EquivalencePartition& partition) const {
+  return static_cast<double>(
+      partition.MinClassSizeExempting(anonymization.suppressed));
+}
+
+}  // namespace mdc

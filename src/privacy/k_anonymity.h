@@ -1,0 +1,34 @@
+// k-anonymity (Samarati & Sweeney): every active equivalence class must
+// contain at least k tuples. The achieved parameter is the minimum active
+// class size — the scalar P_k-anon(s) = min(s) index of the paper's §3.
+
+#ifndef MDC_PRIVACY_K_ANONYMITY_H_
+#define MDC_PRIVACY_K_ANONYMITY_H_
+
+#include "privacy/privacy_model.h"
+
+namespace mdc {
+
+class KAnonymity final : public PrivacyModel {
+ public:
+  explicit KAnonymity(int k) : k_(k) { MDC_CHECK_GE(k, 1); }
+
+  std::string Name() const override {
+    return "k-anonymity(" + std::to_string(k_) + ")";
+  }
+  bool Satisfies(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  // Minimum active class size (0 when every row is suppressed).
+  double Measure(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  bool HigherIsStronger() const override { return true; }
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+};
+
+}  // namespace mdc
+
+#endif  // MDC_PRIVACY_K_ANONYMITY_H_

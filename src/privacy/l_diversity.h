@@ -1,0 +1,100 @@
+// ℓ-diversity (Machanavajjhala et al., ICDE 2006) in its three standard
+// instantiations: distinct, entropy, and recursive (c,ℓ). Each model also
+// exposes the per-class statistic it is built on, which core/properties.h
+// turns into the paper's property vectors.
+
+#ifndef MDC_PRIVACY_L_DIVERSITY_H_
+#define MDC_PRIVACY_L_DIVERSITY_H_
+
+#include <optional>
+
+#include "privacy/privacy_model.h"
+
+namespace mdc {
+
+// Distinct ℓ-diversity: every active class has >= ℓ distinct sensitive
+// values. Measure = minimum distinct count.
+class DistinctLDiversity final : public PrivacyModel {
+ public:
+  DistinctLDiversity(int l, std::optional<size_t> sensitive_column =
+                                std::nullopt)
+      : l_(l), sensitive_column_(sensitive_column) {
+    MDC_CHECK_GE(l, 1);
+  }
+
+  std::string Name() const override {
+    return "distinct-l-diversity(" + std::to_string(l_) + ")";
+  }
+  bool Satisfies(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  double Measure(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  bool HigherIsStronger() const override { return true; }
+
+ private:
+  int l_;
+  std::optional<size_t> sensitive_column_;
+};
+
+// Entropy ℓ-diversity: every active class has entropy >= log(ℓ).
+// Measure = min over classes of exp(H(class)) — the "effective ℓ".
+class EntropyLDiversity final : public PrivacyModel {
+ public:
+  EntropyLDiversity(double l, std::optional<size_t> sensitive_column =
+                                  std::nullopt)
+      : l_(l), sensitive_column_(sensitive_column) {
+    MDC_CHECK_GE(l, 1.0);
+  }
+
+  std::string Name() const override;
+  bool Satisfies(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  double Measure(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  bool HigherIsStronger() const override { return true; }
+
+ private:
+  double l_;
+  std::optional<size_t> sensitive_column_;
+};
+
+// Recursive (c,ℓ)-diversity: in every active class, with sensitive value
+// counts r_1 >= r_2 >= ... >= r_m, require r_1 < c * (r_ℓ + ... + r_m).
+// Measure = the largest ℓ' (>= 1) such that every active class satisfies
+// (c,ℓ')-diversity.
+class RecursiveCLDiversity final : public PrivacyModel {
+ public:
+  RecursiveCLDiversity(double c, int l,
+                       std::optional<size_t> sensitive_column = std::nullopt)
+      : c_(c), l_(l), sensitive_column_(sensitive_column) {
+    MDC_CHECK_GT(c, 0.0);
+    MDC_CHECK_GE(l, 1);
+  }
+
+  std::string Name() const override;
+  bool Satisfies(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  double Measure(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  bool HigherIsStronger() const override { return true; }
+
+ private:
+  double c_;
+  int l_;
+  std::optional<size_t> sensitive_column_;
+};
+
+// Per-class distinct sensitive-value counts for active classes, in class
+// order (shared by the models above and by property extractors).
+StatusOr<std::vector<size_t>> DistinctSensitivePerClass(
+    const Anonymization& anonymization, const EquivalencePartition& partition,
+    std::optional<size_t> sensitive_column);
+
+// Per-class sensitive-value entropy (natural log) for active classes.
+StatusOr<std::vector<double>> SensitiveEntropyPerClass(
+    const Anonymization& anonymization, const EquivalencePartition& partition,
+    std::optional<size_t> sensitive_column);
+
+}  // namespace mdc
+
+#endif  // MDC_PRIVACY_L_DIVERSITY_H_

@@ -1,0 +1,31 @@
+#include "privacy/p_sensitive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "privacy/k_anonymity.h"
+#include "privacy/l_diversity.h"
+
+namespace mdc {
+
+bool PSensitiveKAnonymity::Satisfies(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) const {
+  if (!KAnonymity(k_).Satisfies(anonymization, partition)) return false;
+  return Measure(anonymization, partition) >= static_cast<double>(p_);
+}
+
+double PSensitiveKAnonymity::Measure(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) const {
+  // Identical statistic to distinct l-diversity: min distinct sensitive
+  // values over active classes.
+  auto distinct =
+      DistinctSensitivePerClass(anonymization, partition, sensitive_column_);
+  MDC_CHECK(distinct.ok());
+  if (distinct->empty()) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(
+      *std::min_element(distinct->begin(), distinct->end()));
+}
+
+}  // namespace mdc

@@ -1,0 +1,43 @@
+// p-sensitive k-anonymity (Truta & Vinay, ICDE-W 2006): the release must
+// be k-anonymous AND every active equivalence class must contain at least
+// p distinct sensitive values.
+
+#ifndef MDC_PRIVACY_P_SENSITIVE_H_
+#define MDC_PRIVACY_P_SENSITIVE_H_
+
+#include <optional>
+
+#include "privacy/privacy_model.h"
+
+namespace mdc {
+
+class PSensitiveKAnonymity final : public PrivacyModel {
+ public:
+  PSensitiveKAnonymity(int p, int k,
+                       std::optional<size_t> sensitive_column = std::nullopt)
+      : p_(p), k_(k), sensitive_column_(sensitive_column) {
+    MDC_CHECK_GE(p, 1);
+    MDC_CHECK_GE(k, 1);
+  }
+
+  std::string Name() const override {
+    return std::to_string(p_) + "-sensitive-" + std::to_string(k_) +
+           "-anonymity";
+  }
+  bool Satisfies(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  // Achieved p: minimum distinct sensitive count over active classes
+  // (infinite when nothing is active).
+  double Measure(const Anonymization& anonymization,
+                 const EquivalencePartition& partition) const override;
+  bool HigherIsStronger() const override { return true; }
+
+ private:
+  int p_;
+  int k_;
+  std::optional<size_t> sensitive_column_;
+};
+
+}  // namespace mdc
+
+#endif  // MDC_PRIVACY_P_SENSITIVE_H_

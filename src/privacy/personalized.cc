@@ -1,0 +1,66 @@
+#include "privacy/personalized.h"
+
+#include <algorithm>
+
+namespace mdc {
+
+PersonalizedPrivacy::PersonalizedPrivacy(
+    std::shared_ptr<const TaxonomyHierarchy> taxonomy,
+    std::vector<std::string> guarding_nodes, std::vector<double> thresholds,
+    std::optional<size_t> sensitive_column)
+    : taxonomy_(std::move(taxonomy)),
+      guarding_nodes_(std::move(guarding_nodes)),
+      thresholds_(std::move(thresholds)),
+      sensitive_column_(sensitive_column) {
+  MDC_CHECK(taxonomy_ != nullptr);
+  MDC_CHECK_EQ(guarding_nodes_.size(), thresholds_.size());
+}
+
+StatusOr<std::vector<double>> PersonalizedPrivacy::BreachProbabilities(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) const {
+  if (guarding_nodes_.size() != anonymization.row_count()) {
+    return Status::InvalidArgument(
+        "guarding-node vector arity does not match the release");
+  }
+  MDC_ASSIGN_OR_RETURN(size_t column,
+                       ResolveSensitiveColumn(anonymization.release.schema(),
+                                              sensitive_column_));
+  std::vector<double> breach(anonymization.row_count(), 0.0);
+  for (size_t row = 0; row < anonymization.row_count(); ++row) {
+    if (anonymization.suppressed[row]) continue;
+    const std::vector<size_t>& members =
+        partition.class_members(partition.ClassOfRow(row));
+    size_t guarded = 0;
+    for (size_t member : members) {
+      const Value& sensitive = anonymization.original->cell(member, column);
+      if (taxonomy_->Covers(guarding_nodes_[row], sensitive)) ++guarded;
+    }
+    breach[row] =
+        static_cast<double>(guarded) / static_cast<double>(members.size());
+  }
+  return breach;
+}
+
+bool PersonalizedPrivacy::Satisfies(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) const {
+  auto breach = BreachProbabilities(anonymization, partition);
+  MDC_CHECK(breach.ok());
+  for (size_t row = 0; row < breach->size(); ++row) {
+    if (anonymization.suppressed[row]) continue;
+    if ((*breach)[row] > thresholds_[row] + 1e-12) return false;
+  }
+  return true;
+}
+
+double PersonalizedPrivacy::Measure(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) const {
+  auto breach = BreachProbabilities(anonymization, partition);
+  MDC_CHECK(breach.ok());
+  if (breach->empty()) return 0.0;
+  return *std::max_element(breach->begin(), breach->end());
+}
+
+}  // namespace mdc

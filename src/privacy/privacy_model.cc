@@ -1,0 +1,53 @@
+#include "privacy/privacy_model.h"
+
+namespace mdc {
+
+StatusOr<size_t> ResolveSensitiveColumn(const Schema& schema,
+                                        std::optional<size_t> requested) {
+  if (requested.has_value()) {
+    if (*requested >= schema.attribute_count()) {
+      return Status::OutOfRange("sensitive column index out of range");
+    }
+    return *requested;
+  }
+  std::vector<size_t> sensitive = schema.SensitiveIndices();
+  if (sensitive.empty()) {
+    return Status::FailedPrecondition(
+        "schema has no sensitive attribute; specify the column explicitly");
+  }
+  if (sensitive.size() > 1) {
+    return Status::FailedPrecondition(
+        "schema has several sensitive attributes; specify the column "
+        "explicitly");
+  }
+  return sensitive[0];
+}
+
+bool ClassIsActive(const EquivalencePartition& partition, size_t class_id,
+                   const std::vector<bool>& suppressed) {
+  for (size_t row : partition.class_members(class_id)) {
+    if (!suppressed[row]) return true;
+  }
+  return false;
+}
+
+std::map<std::string, size_t> SensitiveCounts(
+    const Anonymization& anonymization, const EquivalencePartition& partition,
+    size_t class_id, size_t sensitive_column) {
+  std::map<std::string, size_t> counts;
+  for (size_t row : partition.class_members(class_id)) {
+    ++counts[anonymization.original->cell(row, sensitive_column).ToString()];
+  }
+  return counts;
+}
+
+std::map<std::string, size_t> GlobalSensitiveCounts(
+    const Anonymization& anonymization, size_t sensitive_column) {
+  std::map<std::string, size_t> counts;
+  for (size_t row = 0; row < anonymization.original->row_count(); ++row) {
+    ++counts[anonymization.original->cell(row, sensitive_column).ToString()];
+  }
+  return counts;
+}
+
+}  // namespace mdc

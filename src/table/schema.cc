@@ -1,0 +1,56 @@
+#include "table/schema.h"
+
+#include <unordered_set>
+
+namespace mdc {
+
+const char* AttributeRoleName(AttributeRole role) {
+  switch (role) {
+    case AttributeRole::kIdentifier:
+      return "identifier";
+    case AttributeRole::kQuasiIdentifier:
+      return "quasi-identifier";
+    case AttributeRole::kSensitive:
+      return "sensitive";
+    case AttributeRole::kInsensitive:
+      return "insensitive";
+  }
+  return "unknown";
+}
+
+StatusOr<Schema> Schema::Create(std::vector<AttributeDef> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const AttributeDef& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute with empty name");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + attr.name);
+    }
+  }
+  Schema schema;
+  schema.attributes_ = std::move(attributes);
+  return schema;
+}
+
+const AttributeDef& Schema::attribute(size_t index) const {
+  MDC_CHECK_LT(index, attributes_.size());
+  return attributes_[index];
+}
+
+StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named: " + name);
+}
+
+std::vector<size_t> Schema::IndicesWithRole(AttributeRole role) const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].role == role) indices.push_back(i);
+  }
+  return indices;
+}
+
+}  // namespace mdc

@@ -1,0 +1,64 @@
+// Relational schema with privacy roles.
+//
+// Each attribute carries, besides its name and type, its disclosure-control
+// role: quasi-identifier attributes participate in generalization and
+// equivalence-class formation, sensitive attributes drive diversity/
+// closeness models, identifiers must be dropped before release, and
+// insensitive attributes pass through untouched.
+
+#ifndef MDC_TABLE_SCHEMA_H_
+#define MDC_TABLE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace mdc {
+
+enum class AttributeRole {
+  kIdentifier,       // Direct identifier (name, SSN); removed on release.
+  kQuasiIdentifier,  // Linkable in combination; subject to generalization.
+  kSensitive,        // The value whose disclosure we protect.
+  kInsensitive,      // Neither linkable nor sensitive.
+};
+
+const char* AttributeRoleName(AttributeRole role);
+
+struct AttributeDef {
+  std::string name;
+  AttributeType type = AttributeType::kString;
+  AttributeRole role = AttributeRole::kInsensitive;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+
+  // Fails on duplicate or empty attribute names.
+  static StatusOr<Schema> Create(std::vector<AttributeDef> attributes);
+
+  size_t attribute_count() const { return attributes_.size(); }
+  const AttributeDef& attribute(size_t index) const;
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  // Index of the attribute named `name`, or kNotFound.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+
+  // Indices of all attributes with the given role, in schema order.
+  std::vector<size_t> IndicesWithRole(AttributeRole role) const;
+  std::vector<size_t> QuasiIdentifierIndices() const {
+    return IndicesWithRole(AttributeRole::kQuasiIdentifier);
+  }
+  std::vector<size_t> SensitiveIndices() const {
+    return IndicesWithRole(AttributeRole::kSensitive);
+  }
+
+ private:
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace mdc
+
+#endif  // MDC_TABLE_SCHEMA_H_

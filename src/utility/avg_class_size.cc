@@ -1,0 +1,26 @@
+#include "utility/avg_class_size.h"
+
+namespace mdc {
+
+double AvgClassSize::PerTupleAverage(const EquivalencePartition& partition) {
+  MDC_CHECK_GT(partition.row_count(), 0u);
+  double sum = 0.0;
+  for (const std::vector<size_t>& members : partition.classes()) {
+    sum += static_cast<double>(members.size()) *
+           static_cast<double>(members.size());
+  }
+  return sum / static_cast<double>(partition.row_count());
+}
+
+StatusOr<double> AvgClassSize::Normalized(
+    const EquivalencePartition& partition, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (partition.row_count() == 0 || partition.class_count() == 0) {
+    return Status::FailedPrecondition("empty partition");
+  }
+  double avg = static_cast<double>(partition.row_count()) /
+               static_cast<double>(partition.class_count());
+  return avg / static_cast<double>(k);
+}
+
+}  // namespace mdc

@@ -1,0 +1,27 @@
+// Normalized average equivalence class size C_AVG (LeFevre et al., 2006):
+// (N / #classes) / k. Values near 1 mean classes are close to the minimum
+// size k demands; larger values mean over-generalization. Also exposes the
+// plain average class size — the paper's P_s-avg unary index (§3, = 3.4
+// for T3a).
+
+#ifndef MDC_UTILITY_AVG_CLASS_SIZE_H_
+#define MDC_UTILITY_AVG_CLASS_SIZE_H_
+
+#include "anonymize/equivalence.h"
+#include "anonymize/generalizer.h"
+
+namespace mdc {
+
+class AvgClassSize {
+ public:
+  // Average, over tuples, of the tuple's class size — P_s-avg(s) = Σs_i/N.
+  static double PerTupleAverage(const EquivalencePartition& partition);
+
+  // C_AVG = (N / #classes) / k; requires k >= 1 and a nonempty partition.
+  static StatusOr<double> Normalized(const EquivalencePartition& partition,
+                                     int k);
+};
+
+}  // namespace mdc
+
+#endif  // MDC_UTILITY_AVG_CLASS_SIZE_H_

@@ -1,0 +1,33 @@
+#include "utility/discernibility.h"
+
+namespace mdc {
+
+PropertyVector Discernibility::PerTuplePenalty(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) {
+  const size_t rows = anonymization.row_count();
+  MDC_CHECK_EQ(partition.row_count(), rows);
+  std::vector<double> penalty(rows, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    if (anonymization.suppressed[r]) {
+      penalty[r] = static_cast<double>(rows);
+    } else {
+      penalty[r] = static_cast<double>(
+          partition.ClassSize(partition.ClassOfRow(r)));
+    }
+  }
+  return PropertyVector("dm-penalty", std::move(penalty));
+}
+
+PropertyVector Discernibility::PerTupleUtility(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) {
+  return PerTuplePenalty(anonymization, partition).Negated("dm-utility");
+}
+
+double Discernibility::Total(const Anonymization& anonymization,
+                             const EquivalencePartition& partition) {
+  return PerTuplePenalty(anonymization, partition).Sum();
+}
+
+}  // namespace mdc

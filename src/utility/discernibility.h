@@ -1,0 +1,33 @@
+// Discernibility metric (DM, Bayardo & Agrawal, ICDE 2005).
+//
+// Each tuple is charged the size of its equivalence class; suppressed
+// tuples are charged the full table size N (they are indistinguishable
+// from everything). DM = sum of charges. Lower is better.
+
+#ifndef MDC_UTILITY_DISCERNIBILITY_H_
+#define MDC_UTILITY_DISCERNIBILITY_H_
+
+#include "anonymize/equivalence.h"
+#include "anonymize/generalizer.h"
+#include "core/property_vector.h"
+
+namespace mdc {
+
+class Discernibility {
+ public:
+  // Per-tuple charge (class size, or N when suppressed). Lower is better.
+  static PropertyVector PerTuplePenalty(const Anonymization& anonymization,
+                                        const EquivalencePartition& partition);
+
+  // Negated charges — the paper's higher-is-better orientation.
+  static PropertyVector PerTupleUtility(const Anonymization& anonymization,
+                                        const EquivalencePartition& partition);
+
+  // Total DM cost.
+  static double Total(const Anonymization& anonymization,
+                      const EquivalencePartition& partition);
+};
+
+}  // namespace mdc
+
+#endif  // MDC_UTILITY_DISCERNIBILITY_H_

@@ -1,0 +1,165 @@
+#include "utility/loss_metric.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace mdc {
+namespace {
+
+// Distinct ORIGINAL values of `column`, computed once per call site.
+std::vector<Value> DistinctOriginal(const Anonymization& anonymization,
+                                    size_t column) {
+  return anonymization.original->DistinctValues(column);
+}
+
+}  // namespace
+
+StatusOr<double> LossMetric::LabelLoss(const Anonymization& anonymization,
+                                       size_t column,
+                                       const std::string& label) {
+  if (!anonymization.scheme.has_value()) {
+    return Status::FailedPrecondition(
+        "LossMetric requires a full-domain scheme (use ClassSpreadLoss for "
+        "multidimensional releases)");
+  }
+  const ValueHierarchy* hierarchy =
+      anonymization.scheme->hierarchies().ForColumn(column);
+  if (hierarchy == nullptr) {
+    return Status::InvalidArgument("column has no hierarchy in the scheme");
+  }
+  std::vector<Value> distinct = DistinctOriginal(anonymization, column);
+  const size_t total = distinct.size();
+  if (total <= 1) return 0.0;
+  size_t covered = 0;
+  for (const Value& v : distinct) {
+    if (hierarchy->Covers(label, v)) ++covered;
+  }
+  if (covered == 0) {
+    return Status::Internal("label '" + label +
+                            "' covers no present value of its column");
+  }
+  return static_cast<double>(covered - 1) / static_cast<double>(total - 1);
+}
+
+StatusOr<PropertyVector> LossMetric::PerTupleLoss(
+    const Anonymization& anonymization) {
+  if (!anonymization.scheme.has_value()) {
+    return Status::FailedPrecondition(
+        "LossMetric requires a full-domain scheme (use ClassSpreadLoss for "
+        "multidimensional releases)");
+  }
+  const size_t rows = anonymization.row_count();
+  std::vector<double> loss(rows, 0.0);
+  for (size_t column : anonymization.qi_columns) {
+    // Cache per-label losses; full-domain releases have few labels.
+    std::unordered_map<std::string, double> label_loss;
+    for (size_t r = 0; r < rows; ++r) {
+      const std::string& label =
+          anonymization.release.cell(r, column).AsString();
+      auto it = label_loss.find(label);
+      if (it == label_loss.end()) {
+        MDC_ASSIGN_OR_RETURN(double charge,
+                             LabelLoss(anonymization, column, label));
+        it = label_loss.emplace(label, charge).first;
+      }
+      loss[r] += it->second;
+    }
+  }
+  return PropertyVector("lm-loss", std::move(loss));
+}
+
+StatusOr<PropertyVector> LossMetric::PerTupleUtility(
+    const Anonymization& anonymization) {
+  MDC_ASSIGN_OR_RETURN(PropertyVector loss, PerTupleLoss(anonymization));
+  const double qi = static_cast<double>(anonymization.qi_columns.size());
+  std::vector<double> utility(loss.size());
+  for (size_t i = 0; i < loss.size(); ++i) utility[i] = qi - loss[i];
+  return PropertyVector("lm-utility", std::move(utility));
+}
+
+StatusOr<double> LossMetric::TotalLoss(const Anonymization& anonymization) {
+  MDC_ASSIGN_OR_RETURN(PropertyVector loss, PerTupleLoss(anonymization));
+  return loss.Sum();
+}
+
+StatusOr<PropertyVector> ClassSpreadLoss::PerTupleLoss(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) {
+  const Dataset& original = *anonymization.original;
+  const Schema& schema = original.schema();
+  const size_t rows = anonymization.row_count();
+  if (partition.row_count() != rows) {
+    return Status::InvalidArgument("partition arity mismatch");
+  }
+  std::vector<double> loss(rows, 0.0);
+
+  for (size_t column : anonymization.qi_columns) {
+    const bool is_string =
+        schema.attribute(column).type == AttributeType::kString;
+    double global_spread = 1.0;
+    size_t global_distinct = original.DistinctValues(column).size();
+    if (!is_string) {
+      MDC_ASSIGN_OR_RETURN(auto range, original.NumericRange(column));
+      global_spread = range.second - range.first;
+    }
+
+    for (size_t class_id = 0; class_id < partition.class_count();
+         ++class_id) {
+      const std::vector<size_t>& members = partition.class_members(class_id);
+      double charge = 0.0;
+      bool class_suppressed = true;
+      for (size_t row : members) {
+        if (!anonymization.suppressed[row]) {
+          class_suppressed = false;
+          break;
+        }
+      }
+      if (class_suppressed) {
+        charge = 1.0;
+      } else if (is_string) {
+        std::map<std::string, bool> distinct;
+        for (size_t row : members) {
+          distinct[original.cell(row, column).AsString()] = true;
+        }
+        charge = global_distinct <= 1
+                     ? 0.0
+                     : static_cast<double>(distinct.size() - 1) /
+                           static_cast<double>(global_distinct - 1);
+      } else {
+        double lo = original.cell(members[0], column).AsNumber();
+        double hi = lo;
+        for (size_t row : members) {
+          double v = original.cell(row, column).AsNumber();
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        charge = global_spread <= 0.0 ? 0.0 : (hi - lo) / global_spread;
+      }
+      for (size_t row : members) loss[row] += charge;
+    }
+  }
+  return PropertyVector("class-spread-loss", std::move(loss));
+}
+
+StatusOr<PropertyVector> ClassSpreadLoss::PerTupleUtility(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) {
+  MDC_ASSIGN_OR_RETURN(PropertyVector loss,
+                       PerTupleLoss(anonymization, partition));
+  const double qi = static_cast<double>(anonymization.qi_columns.size());
+  std::vector<double> utility(loss.size());
+  for (size_t i = 0; i < loss.size(); ++i) utility[i] = qi - loss[i];
+  return PropertyVector("class-spread-utility", std::move(utility));
+}
+
+StatusOr<double> ClassSpreadLoss::TotalLoss(
+    const Anonymization& anonymization,
+    const EquivalencePartition& partition) {
+  MDC_ASSIGN_OR_RETURN(PropertyVector loss,
+                       PerTupleLoss(anonymization, partition));
+  return loss.Sum();
+}
+
+}  // namespace mdc

@@ -1,0 +1,38 @@
+#include "utility/precision.h"
+
+namespace mdc {
+
+StatusOr<PropertyVector> Precision::PerTuplePrecision(
+    const Anonymization& anonymization) {
+  if (!anonymization.scheme.has_value()) {
+    return Status::FailedPrecondition(
+        "Precision requires a full-domain scheme");
+  }
+  const GeneralizationScheme& scheme = *anonymization.scheme;
+  const HierarchySet& hierarchies = scheme.hierarchies();
+  const size_t qi = hierarchies.size();
+  if (qi == 0) {
+    return Status::FailedPrecondition("scheme binds no columns");
+  }
+  std::vector<double> precision(anonymization.row_count(), 0.0);
+  for (size_t r = 0; r < anonymization.row_count(); ++r) {
+    double charge = 0.0;
+    for (size_t pos = 0; pos < qi; ++pos) {
+      const int height = hierarchies.At(pos).height();
+      const int level = anonymization.suppressed[r] ? height
+                                                    : scheme.levels()[pos];
+      charge += static_cast<double>(level) / static_cast<double>(height);
+    }
+    precision[r] = 1.0 - charge / static_cast<double>(qi);
+  }
+  return PropertyVector("precision", std::move(precision));
+}
+
+StatusOr<double> Precision::Overall(const Anonymization& anonymization) {
+  MDC_ASSIGN_OR_RETURN(PropertyVector per_tuple,
+                       PerTuplePrecision(anonymization));
+  if (per_tuple.empty()) return 1.0;
+  return per_tuple.Mean();
+}
+
+}  // namespace mdc

@@ -1,0 +1,26 @@
+// Sweeney's precision metric (Prec, IJUFKS 2002) for full-domain releases:
+// each generalized cell is charged level/height of its hierarchy;
+// Prec = 1 - average charge over all QI cells. Per-tuple precision is
+// 1 - the average charge over the tuple's QI cells (suppressed tuples are
+// charged the full height). Higher is better; values lie in [0, 1].
+
+#ifndef MDC_UTILITY_PRECISION_H_
+#define MDC_UTILITY_PRECISION_H_
+
+#include "anonymize/generalizer.h"
+#include "core/property_vector.h"
+
+namespace mdc {
+
+class Precision {
+ public:
+  // Requires anonymization.scheme.
+  static StatusOr<PropertyVector> PerTuplePrecision(
+      const Anonymization& anonymization);
+
+  static StatusOr<double> Overall(const Anonymization& anonymization);
+};
+
+}  // namespace mdc
+
+#endif  // MDC_UTILITY_PRECISION_H_

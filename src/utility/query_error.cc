@@ -1,0 +1,148 @@
+#include "utility/query_error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mdc {
+namespace {
+
+// Fraction of the class's numeric envelope [lo, hi] that overlaps the
+// query range, under the uniform assumption. A point envelope is in or
+// out.
+double NumericOverlap(double class_lo, double class_hi, double query_lo,
+                      double query_hi) {
+  if (class_lo == class_hi) {
+    return (class_lo >= query_lo && class_lo <= query_hi) ? 1.0 : 0.0;
+  }
+  double lo = std::max(class_lo, query_lo);
+  double hi = std::min(class_hi, query_hi);
+  if (hi < lo) return 0.0;
+  return (hi - lo) / (class_hi - class_lo);
+}
+
+}  // namespace
+
+StatusOr<QueryWorkload> QueryWorkload::Random(
+    const Dataset& original, size_t numeric_column,
+    std::optional<size_t> categorical_column, size_t query_count,
+    double selectivity, Rng& rng) {
+  if (query_count == 0) {
+    return Status::InvalidArgument("query count must be positive");
+  }
+  if (selectivity <= 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  MDC_ASSIGN_OR_RETURN(auto range, original.NumericRange(numeric_column));
+  double span = range.second - range.first;
+  if (span <= 0.0) {
+    return Status::FailedPrecondition("numeric column is constant");
+  }
+  std::vector<Value> categorical_values;
+  if (categorical_column.has_value()) {
+    if (original.schema().attribute(*categorical_column).type !=
+        AttributeType::kString) {
+      return Status::InvalidArgument(
+          "categorical predicate column must be a string column");
+    }
+    categorical_values = original.DistinctValues(*categorical_column);
+  }
+
+  QueryWorkload workload;
+  for (size_t i = 0; i < query_count; ++i) {
+    RangeQuery query;
+    query.numeric_column = numeric_column;
+    double width = span * selectivity;
+    double start =
+        range.first + rng.NextDouble() * std::max(span - width, 0.0);
+    query.lo = start;
+    query.hi = start + width;
+    if (categorical_column.has_value()) {
+      query.categorical_column = categorical_column;
+      query.categorical_value =
+          categorical_values[rng.NextBelow(categorical_values.size())]
+              .AsString();
+    }
+    workload.queries_.push_back(std::move(query));
+  }
+  return workload;
+}
+
+double TrueCount(const Dataset& original, const RangeQuery& query) {
+  double count = 0.0;
+  for (size_t row = 0; row < original.row_count(); ++row) {
+    double v = original.cell(row, query.numeric_column).AsNumber();
+    if (v < query.lo || v > query.hi) continue;
+    if (query.categorical_column.has_value() &&
+        original.cell(row, *query.categorical_column).AsString() !=
+            query.categorical_value) {
+      continue;
+    }
+    count += 1.0;
+  }
+  return count;
+}
+
+StatusOr<double> EstimatedCount(const Anonymization& anonymization,
+                                const EquivalencePartition& partition,
+                                const RangeQuery& query) {
+  const Dataset& original = *anonymization.original;
+  if (query.numeric_column >= original.column_count()) {
+    return Status::OutOfRange("query column out of range");
+  }
+  double estimate = 0.0;
+  for (size_t class_id = 0; class_id < partition.class_count(); ++class_id) {
+    const std::vector<size_t>& members = partition.class_members(class_id);
+    // Class envelope on the numeric attribute.
+    double lo = original.cell(members[0], query.numeric_column).AsNumber();
+    double hi = lo;
+    for (size_t row : members) {
+      double v = original.cell(row, query.numeric_column).AsNumber();
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    double fraction = NumericOverlap(lo, hi, query.lo, query.hi);
+    if (fraction <= 0.0) continue;
+    if (query.categorical_column.has_value()) {
+      std::set<std::string> distinct;
+      for (size_t row : members) {
+        distinct.insert(
+            original.cell(row, *query.categorical_column).AsString());
+      }
+      if (distinct.count(query.categorical_value) == 0) {
+        continue;
+      }
+      fraction /= static_cast<double>(distinct.size());
+    }
+    estimate += fraction * static_cast<double>(members.size());
+  }
+  return estimate;
+}
+
+StatusOr<QueryErrorReport> EvaluateWorkload(
+    const Anonymization& anonymization, const EquivalencePartition& partition,
+    const QueryWorkload& workload) {
+  QueryErrorReport report;
+  std::vector<double> errors;
+  for (const RangeQuery& query : workload.queries()) {
+    double truth = TrueCount(*anonymization.original, query);
+    if (truth == 0.0) {
+      ++report.skipped_queries;
+      continue;
+    }
+    MDC_ASSIGN_OR_RETURN(double estimate,
+                         EstimatedCount(anonymization, partition, query));
+    errors.push_back(std::abs(estimate - truth) / truth);
+  }
+  report.evaluated_queries = errors.size();
+  if (!errors.empty()) {
+    double sum = 0.0;
+    for (double e : errors) sum += e;
+    report.mean_relative_error = sum / static_cast<double>(errors.size());
+    std::sort(errors.begin(), errors.end());
+    report.median_relative_error = errors[errors.size() / 2];
+  }
+  return report;
+}
+
+}  // namespace mdc

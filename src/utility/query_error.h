@@ -1,0 +1,81 @@
+// Workload-based utility: relative error of range-count queries answered
+// from the release vs the original microdata.
+//
+// A query selects rows by one numeric QI range plus (optionally) one
+// categorical QI value. The original answer is an exact count; the release
+// answer assumes uniformity inside each equivalence class — every row
+// contributes the fraction of its class's ORIGINAL rows that satisfy the
+// predicate... which the estimator cannot see. Instead, the standard
+// uniform-class estimator is used: a class contributes
+//   |class| * overlap_fraction
+// where overlap_fraction is estimated per class from the class's value
+// envelope (numeric: interval overlap; categorical: distinct-value
+// overlap), computed from the release labels via the original rows it
+// groups. Works for any Anonymization (full-domain, Mondrian, clustering).
+//
+// This is the utility axis on which multidimensional/local algorithms
+// typically overtake full-domain schemes — a crossover the
+// repro_query_error bench demonstrates.
+
+#ifndef MDC_UTILITY_QUERY_ERROR_H_
+#define MDC_UTILITY_QUERY_ERROR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anonymize/equivalence.h"
+#include "anonymize/generalizer.h"
+#include "common/rng.h"
+
+namespace mdc {
+
+struct RangeQuery {
+  size_t numeric_column = 0;  // Must be a numeric QI column.
+  double lo = 0.0;            // Inclusive.
+  double hi = 0.0;            // Inclusive.
+  // Optional categorical equality predicate.
+  std::optional<size_t> categorical_column;
+  std::string categorical_value;
+};
+
+class QueryWorkload {
+ public:
+  // `selectivity` sets the expected width of the numeric range as a
+  // fraction of the attribute's domain. Queries are drawn uniformly.
+  static StatusOr<QueryWorkload> Random(const Dataset& original,
+                                        size_t numeric_column,
+                                        std::optional<size_t>
+                                            categorical_column,
+                                        size_t query_count,
+                                        double selectivity, Rng& rng);
+
+  const std::vector<RangeQuery>& queries() const { return queries_; }
+
+ private:
+  std::vector<RangeQuery> queries_;
+};
+
+struct QueryErrorReport {
+  double mean_relative_error = 0.0;    // Of queries with nonzero truth.
+  double median_relative_error = 0.0;
+  size_t evaluated_queries = 0;        // Queries with nonzero true count.
+  size_t skipped_queries = 0;          // True count was zero.
+};
+
+// Exact count on the original microdata.
+double TrueCount(const Dataset& original, const RangeQuery& query);
+
+// Uniform-class estimate on the release.
+StatusOr<double> EstimatedCount(const Anonymization& anonymization,
+                                const EquivalencePartition& partition,
+                                const RangeQuery& query);
+
+// Relative-error summary of the workload on one release.
+StatusOr<QueryErrorReport> EvaluateWorkload(
+    const Anonymization& anonymization, const EquivalencePartition& partition,
+    const QueryWorkload& workload);
+
+}  // namespace mdc
+
+#endif  // MDC_UTILITY_QUERY_ERROR_H_

@@ -1,0 +1,67 @@
+// Tests for core/bias.h.
+
+#include "core/bias.h"
+
+#include <gtest/gtest.h>
+
+namespace mdc {
+namespace {
+
+PropertyVector V(std::vector<double> values) {
+  return PropertyVector("v", std::move(values));
+}
+
+TEST(BiasTest, UniformVectorHasNoBias) {
+  BiasReport report = ComputeBias(V({4, 4, 4, 4}));
+  EXPECT_DOUBLE_EQ(report.range, 0.0);
+  EXPECT_DOUBLE_EQ(report.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(report.gini, 0.0);
+  EXPECT_DOUBLE_EQ(report.fraction_at_min, 1.0);
+}
+
+TEST(BiasTest, PaperT3aVector) {
+  BiasReport report = ComputeBias(V({3, 3, 3, 3, 4, 4, 4, 3, 3, 4}));
+  EXPECT_EQ(report.size, 10u);
+  EXPECT_DOUBLE_EQ(report.min, 3.0);
+  EXPECT_DOUBLE_EQ(report.max, 4.0);
+  EXPECT_DOUBLE_EQ(report.mean, 3.4);
+  EXPECT_DOUBLE_EQ(report.range, 1.0);
+  EXPECT_DOUBLE_EQ(report.fraction_at_min, 0.6);
+  EXPECT_GT(report.gini, 0.0);
+}
+
+TEST(BiasTest, T3bIsMoreSkewedThanT3a) {
+  // T3b gives 7 tuples class size 7 and 3 tuples size 3 — a more unequal
+  // distribution than T3a's 3s and 4s.
+  BiasReport t3a = ComputeBias(V({3, 3, 3, 3, 4, 4, 4, 3, 3, 4}));
+  BiasReport t3b = ComputeBias(V({3, 7, 7, 3, 7, 7, 7, 3, 7, 7}));
+  EXPECT_GT(t3b.gini, t3a.gini);
+  EXPECT_GT(t3b.stddev, t3a.stddev);
+  EXPECT_GT(t3b.range, t3a.range);
+}
+
+TEST(GiniTest, ExtremeConcentration) {
+  // One tuple holds everything: gini -> (n-1)/n.
+  double gini = GiniCoefficient(V({0, 0, 0, 10}));
+  EXPECT_NEAR(gini, 0.75, 1e-12);
+}
+
+TEST(GiniTest, ScaleInvariant) {
+  PropertyVector small = V({1, 2, 3});
+  PropertyVector big = V({10, 20, 30});
+  EXPECT_NEAR(GiniCoefficient(small), GiniCoefficient(big), 1e-12);
+}
+
+TEST(GiniTest, NegativeValuesYieldZero) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient(V({-1, 2})), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient(V({0, 0})), 0.0);
+}
+
+TEST(BiasTest, ToStringMentionsFields) {
+  std::string text = ComputeBias(V({1, 2})).ToString();
+  EXPECT_NE(text.find("min="), std::string::npos);
+  EXPECT_NE(text.find("gini="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,117 @@
+// Tests for anonymize/clustering.h (k-member local recoding).
+
+#include "anonymize/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/census_generator.h"
+#include "paper/paper_data.h"
+#include "privacy/k_anonymity.h"
+#include "utility/loss_metric.h"
+
+namespace mdc {
+namespace {
+
+TEST(ClusteringTest, AchievesKOnPaperData) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  ClusteringConfig config;
+  config.k = 3;
+  auto result = KMemberClusterAnonymize(*data, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->partition.MinClassSize(), 3u);
+  EXPECT_TRUE(KAnonymity(3).Satisfies(result->anonymization,
+                                      result->partition));
+  EXPECT_EQ(result->anonymization.algorithm, "k-member-clustering");
+  EXPECT_FALSE(result->anonymization.scheme.has_value());
+}
+
+TEST(ClusteringTest, EveryClusterAtLeastKAcrossSweep) {
+  CensusConfig census_config;
+  census_config.rows = 157;  // Deliberately not a multiple of k.
+  census_config.seed = 3;
+  auto census = GenerateCensus(census_config);
+  ASSERT_TRUE(census.ok());
+  for (int k : {2, 4, 7}) {
+    ClusteringConfig config;
+    config.k = k;
+    auto result = KMemberClusterAnonymize(census->data, config);
+    ASSERT_TRUE(result.ok());
+    size_t covered = 0;
+    for (const auto& members : result->partition.classes()) {
+      EXPECT_GE(members.size(), static_cast<size_t>(k)) << "k=" << k;
+      covered += members.size();
+    }
+    EXPECT_EQ(covered, census->data->row_count());
+    // At most floor(n/k) clusters.
+    EXPECT_LE(result->cluster_count, census->data->row_count() /
+                                         static_cast<size_t>(k));
+  }
+}
+
+TEST(ClusteringTest, Deterministic) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  ClusteringConfig config;
+  config.k = 2;
+  auto a = KMemberClusterAnonymize(*data, config);
+  auto b = KMemberClusterAnonymize(*data, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t r = 0; r < 10; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(a->anonymization.release.cell(r, c),
+                b->anonymization.release.cell(r, c));
+    }
+  }
+}
+
+TEST(ClusteringTest, LocalRecodingBeatsFullDomainSpreadOnPaperData) {
+  // Local recoding groups nearby rows, so its class-spread loss should
+  // not exceed the coarse full-domain T3b's.
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  ClusteringConfig config;
+  config.k = 3;
+  auto clustered = KMemberClusterAnonymize(*data, config);
+  ASSERT_TRUE(clustered.ok());
+  auto cluster_loss = ClassSpreadLoss::TotalLoss(
+      clustered->anonymization, clustered->partition);
+  ASSERT_TRUE(cluster_loss.ok());
+
+  auto t3b = paper::MakeT3b();
+  ASSERT_TRUE(t3b.ok());
+  EquivalencePartition t3b_partition =
+      EquivalencePartition::FromAnonymization(*t3b);
+  auto t3b_loss = ClassSpreadLoss::TotalLoss(*t3b, t3b_partition);
+  ASSERT_TRUE(t3b_loss.ok());
+  EXPECT_LE(*cluster_loss, *t3b_loss + 1e-9);
+}
+
+TEST(ClusteringTest, ErrorsOnBadInput) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  ClusteringConfig config;
+  config.k = 0;
+  EXPECT_FALSE(KMemberClusterAnonymize(*data, config).ok());
+  config.k = 2;
+  EXPECT_FALSE(KMemberClusterAnonymize(nullptr, config).ok());
+  config.k = 11;
+  auto result = KMemberClusterAnonymize(*data, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(ClusteringTest, SingleClusterWhenKEqualsN) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  ClusteringConfig config;
+  config.k = 10;
+  auto result = KMemberClusterAnonymize(*data, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cluster_count, 1u);
+  EXPECT_EQ(result->partition.class_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mdc

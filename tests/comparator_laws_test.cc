@@ -1,0 +1,149 @@
+// Law-level randomized tests for the comparator layer: the ▶-better
+// relations of §5 must be asymmetric and consistent with dominance, the
+// multi-property indices must be order-consistent, and all EMD grounds
+// must behave like metrics on random distributions.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/comparator.h"
+#include "core/multi_property.h"
+#include "core/quality_index.h"
+#include "paper/paper_data.h"
+#include "privacy/t_closeness.h"
+
+namespace mdc {
+namespace {
+
+PropertyVector RandomVector(Rng& rng, size_t n) {
+  std::vector<double> values(n);
+  for (double& v : values) v = static_cast<double>(rng.NextInt(1, 9));
+  return PropertyVector("r", std::move(values));
+}
+
+class ComparatorLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ComparatorLaws, BetterRelationsAreAsymmetric) {
+  Rng rng(GetParam());
+  PropertyVector d_max("m", std::vector<double>(6, 10.0));
+  auto battery = StandardComparators(d_max, /*include_hypervolume=*/true);
+  for (int trial = 0; trial < 200; ++trial) {
+    PropertyVector a = RandomVector(rng, 6);
+    PropertyVector b = RandomVector(rng, 6);
+    for (const auto& comparator : battery) {
+      ComparatorOutcome forward = comparator->Compare(a, b);
+      ComparatorOutcome backward = comparator->Compare(b, a);
+      // ▶ is asymmetric: a better than b implies b not better than a...
+      if (forward == ComparatorOutcome::kFirstBetter) {
+        EXPECT_EQ(backward, ComparatorOutcome::kSecondBetter)
+            << comparator->Name();
+      }
+      // ...and ties/incomparability are symmetric.
+      if (forward == ComparatorOutcome::kEquivalent ||
+          forward == ComparatorOutcome::kIncomparable) {
+        EXPECT_EQ(backward, forward) << comparator->Name();
+      }
+    }
+  }
+}
+
+TEST_P(ComparatorLaws, StrongDominanceWinsEveryBetterComparator) {
+  // If D1 strongly dominates D2, every §5 comparator must agree or tie —
+  // never prefer D2 (the "compatible with dominance" property quality
+  // measures are expected to have).
+  Rng rng(GetParam() + 10);
+  PropertyVector d_max("m", std::vector<double>(6, 12.0));
+  auto battery = StandardComparators(d_max, /*include_hypervolume=*/true);
+  for (int trial = 0; trial < 200; ++trial) {
+    PropertyVector b = RandomVector(rng, 6);
+    std::vector<double> bumped = b.values();
+    bumped[rng.NextBelow(6)] += 1.0;
+    PropertyVector a("a", bumped);  // a strongly dominates b.
+    for (const auto& comparator : battery) {
+      ComparatorOutcome outcome = comparator->Compare(a, b);
+      EXPECT_NE(outcome, ComparatorOutcome::kSecondBetter)
+          << comparator->Name();
+      EXPECT_NE(outcome, ComparatorOutcome::kIncomparable)
+          << comparator->Name();
+    }
+  }
+}
+
+TEST_P(ComparatorLaws, MultiPropertyBetterRelationsNeverBothWin) {
+  Rng rng(GetParam() + 20);
+  BinaryIndexList cov = {MakeCoverageIndex()};
+  for (int trial = 0; trial < 100; ++trial) {
+    PropertySet s1 = {RandomVector(rng, 5), RandomVector(rng, 5)};
+    PropertySet s2 = {RandomVector(rng, 5), RandomVector(rng, 5)};
+    auto wtd_forward = WtdBetter(s1, s2, {0.5, 0.5}, cov);
+    auto wtd_backward = WtdBetter(s2, s1, {0.5, 0.5}, cov);
+    ASSERT_TRUE(wtd_forward.ok());
+    ASSERT_TRUE(wtd_backward.ok());
+    EXPECT_FALSE(*wtd_forward && *wtd_backward);
+
+    auto lex_forward = LexBetter(s1, s2, {0.0}, cov);
+    auto lex_backward = LexBetter(s2, s1, {0.0}, cov);
+    ASSERT_TRUE(lex_forward.ok());
+    ASSERT_TRUE(lex_backward.ok());
+    EXPECT_FALSE(*lex_forward && *lex_backward);
+
+    auto goal_forward = GoalBetter(s1, s2, {1.0, 1.0}, cov);
+    auto goal_backward = GoalBetter(s2, s1, {1.0, 1.0}, cov);
+    ASSERT_TRUE(goal_forward.ok());
+    ASSERT_TRUE(goal_backward.ok());
+    EXPECT_FALSE(*goal_forward && *goal_backward);
+  }
+}
+
+TEST_P(ComparatorLaws, EmdMetricLawsAllGrounds) {
+  Rng rng(GetParam() + 30);
+  auto taxonomy = paper::MaritalTaxonomy();
+  std::vector<std::string> leaves = taxonomy->Leaves();
+  const size_t m = leaves.size();
+  auto random_distribution = [&](int denom) {
+    std::vector<double> p(m, 0.0);
+    for (int i = 0; i < denom; ++i) {
+      p[rng.NextBelow(m)] += 1.0 / denom;
+    }
+    return p;
+  };
+  auto to_map = [&](const std::vector<double>& p) {
+    std::map<std::string, double> out;
+    for (size_t i = 0; i < m; ++i) {
+      if (p[i] > 0) out[leaves[i]] = p[i];
+    }
+    return out;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> p = random_distribution(10);
+    std::vector<double> q = random_distribution(10);
+    std::vector<double> r = random_distribution(10);
+    for (GroundDistance g :
+         {GroundDistance::kEqual, GroundDistance::kOrdered}) {
+      double pq = EarthMoversDistance(p, q, g);
+      double qp = EarthMoversDistance(q, p, g);
+      double qr = EarthMoversDistance(q, r, g);
+      double pr = EarthMoversDistance(p, r, g);
+      EXPECT_NEAR(pq, qp, 1e-12);                       // Symmetry.
+      EXPECT_GE(pq, -1e-12);                            // Non-negativity.
+      EXPECT_LE(pr, pq + qr + 1e-9);                    // Triangle.
+      EXPECT_NEAR(EarthMoversDistance(p, p, g), 0.0, 1e-12);  // Identity.
+    }
+    auto hp = taxonomy->HierarchicalEmd(to_map(p), to_map(q));
+    auto hq = taxonomy->HierarchicalEmd(to_map(q), to_map(p));
+    auto hqr = taxonomy->HierarchicalEmd(to_map(q), to_map(r));
+    auto hpr = taxonomy->HierarchicalEmd(to_map(p), to_map(r));
+    ASSERT_TRUE(hp.ok());
+    ASSERT_TRUE(hq.ok());
+    ASSERT_TRUE(hqr.ok());
+    ASSERT_TRUE(hpr.ok());
+    EXPECT_NEAR(*hp, *hq, 1e-12);
+    EXPECT_LE(*hpr, *hp + *hqr + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComparatorLaws,
+                         ::testing::Values(31, 37, 41));
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,107 @@
+// Tests for anonymize/datafly.h.
+
+#include "anonymize/datafly.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/census_generator.h"
+#include "paper/paper_data.h"
+#include "privacy/k_anonymity.h"
+
+namespace mdc {
+namespace {
+
+TEST(DataflyTest, AchievesKOnPaperData) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  DataflyConfig config;
+  config.k = 3;
+  auto result = DataflyAnonymize(*data, *hierarchies, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->evaluation.feasible);
+  EXPECT_TRUE(KAnonymity(3).Satisfies(result->evaluation.anonymization,
+                                      result->evaluation.partition));
+  EXPECT_EQ(result->evaluation.suppressed_count, 0u);
+  EXPECT_GT(result->generalization_steps, 0);
+}
+
+TEST(DataflyTest, K1IsIdentity) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  DataflyConfig config;
+  config.k = 1;
+  auto result = DataflyAnonymize(*data, *hierarchies, config);
+  ASSERT_TRUE(result.ok());
+  // Every table is 1-anonymous with zero generalization.
+  EXPECT_EQ(result->node, (LatticeNode{0, 0, 0}));
+  EXPECT_EQ(result->generalization_steps, 0);
+}
+
+TEST(DataflyTest, SuppressionBudgetUsed) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  DataflyConfig with_budget;
+  with_budget.k = 3;
+  with_budget.suppression.max_fraction = 0.3;
+  auto budget_result = DataflyAnonymize(*data, *hierarchies, with_budget);
+  ASSERT_TRUE(budget_result.ok());
+
+  DataflyConfig without_budget;
+  without_budget.k = 3;
+  auto strict_result = DataflyAnonymize(*data, *hierarchies, without_budget);
+  ASSERT_TRUE(strict_result.ok());
+
+  // A budget can only stop generalization earlier (fewer steps).
+  EXPECT_LE(budget_result->generalization_steps,
+            strict_result->generalization_steps);
+}
+
+TEST(DataflyTest, InfeasibleWhenKExceedsRows) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  DataflyConfig config;
+  config.k = 11;  // More than 10 rows.
+  auto result = DataflyAnonymize(*data, *hierarchies, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(DataflyTest, InvalidArguments) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  DataflyConfig config;
+  config.k = 0;
+  EXPECT_FALSE(DataflyAnonymize(*data, *hierarchies, config).ok());
+  config.k = 2;
+  EXPECT_FALSE(DataflyAnonymize(nullptr, *hierarchies, config).ok());
+}
+
+TEST(DataflyTest, WorksOnCensusData) {
+  CensusConfig census_config;
+  census_config.rows = 300;
+  census_config.seed = 7;
+  auto census = GenerateCensus(census_config);
+  ASSERT_TRUE(census.ok());
+  DataflyConfig config;
+  config.k = 5;
+  config.suppression.max_fraction = 0.05;
+  auto result = DataflyAnonymize(census->data, census->hierarchies, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->evaluation.feasible);
+  EXPECT_TRUE(KAnonymity(5).Satisfies(result->evaluation.anonymization,
+                                      result->evaluation.partition));
+  EXPECT_LE(result->evaluation.suppressed_count, 15u);  // 5% of 300.
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,114 @@
+// Tests for core/dominance.h — Table 4 of the paper.
+
+#include "core/dominance.h"
+
+#include <gtest/gtest.h>
+
+namespace mdc {
+namespace {
+
+PropertyVector V(std::vector<double> values) {
+  return PropertyVector("v", std::move(values));
+}
+
+TEST(DominanceTest, WeakDominance) {
+  EXPECT_TRUE(WeaklyDominates(V({3, 3, 4}), V({3, 3, 4})));   // Equal.
+  EXPECT_TRUE(WeaklyDominates(V({3, 4, 4}), V({3, 3, 4})));
+  EXPECT_FALSE(WeaklyDominates(V({3, 3, 3}), V({3, 3, 4})));
+}
+
+TEST(DominanceTest, StrongDominanceNeedsStrictImprovement) {
+  EXPECT_FALSE(StronglyDominates(V({3, 3}), V({3, 3})));
+  EXPECT_TRUE(StronglyDominates(V({3, 4}), V({3, 3})));
+  EXPECT_FALSE(StronglyDominates(V({4, 2}), V({3, 3})));
+}
+
+TEST(DominanceTest, NonDominance) {
+  EXPECT_TRUE(NonDominated(V({1, 2}), V({2, 1})));
+  EXPECT_FALSE(NonDominated(V({2, 2}), V({1, 1})));
+  EXPECT_FALSE(NonDominated(V({1, 1}), V({1, 1})));
+}
+
+TEST(DominanceTest, CompareEnum) {
+  EXPECT_EQ(CompareDominance(V({1, 2}), V({1, 2})),
+            DominanceRelation::kEqual);
+  EXPECT_EQ(CompareDominance(V({2, 2}), V({1, 2})),
+            DominanceRelation::kFirstDominates);
+  EXPECT_EQ(CompareDominance(V({1, 2}), V({2, 2})),
+            DominanceRelation::kSecondDominates);
+  EXPECT_EQ(CompareDominance(V({1, 2}), V({2, 1})),
+            DominanceRelation::kIncomparable);
+}
+
+TEST(DominanceTest, PaperFigure1Vectors) {
+  // T3b's class sizes weakly dominate T3a's; T4 is incomparable to both.
+  PropertyVector t3a = V({3, 3, 3, 3, 4, 4, 4, 3, 3, 4});
+  PropertyVector t3b = V({3, 7, 7, 3, 7, 7, 7, 3, 7, 7});
+  PropertyVector t4 = V({4, 6, 4, 4, 6, 6, 6, 4, 6, 6});
+  EXPECT_TRUE(WeaklyDominates(t3b, t3a));
+  EXPECT_TRUE(StronglyDominates(t3b, t3a));
+  EXPECT_TRUE(NonDominated(t4, t3b));  // 4>3 on row 1, 6<7 on row 2.
+  EXPECT_FALSE(WeaklyDominates(t4, t3b));
+  EXPECT_TRUE(StronglyDominates(t4, t3a));
+}
+
+// Partial-order laws, spot-checked.
+TEST(DominanceTest, WeakDominanceIsReflexiveTransitive) {
+  PropertyVector a = V({1, 2, 3});
+  PropertyVector b = V({2, 2, 3});
+  PropertyVector c = V({2, 5, 3});
+  EXPECT_TRUE(WeaklyDominates(a, a));
+  EXPECT_TRUE(WeaklyDominates(b, a));
+  EXPECT_TRUE(WeaklyDominates(c, b));
+  EXPECT_TRUE(WeaklyDominates(c, a));  // Transitivity.
+}
+
+TEST(DominanceTest, StrongDominanceIsIrreflexiveAsymmetric) {
+  PropertyVector a = V({1, 2});
+  PropertyVector b = V({2, 2});
+  EXPECT_FALSE(StronglyDominates(a, a));
+  EXPECT_TRUE(StronglyDominates(b, a));
+  EXPECT_FALSE(StronglyDominates(a, b));
+}
+
+// ---- set-level (r-property anonymizations) ----
+
+TEST(DominanceSetTest, AllPairsMustDominate) {
+  PropertySet s1 = {V({2, 2}), V({3, 3})};
+  PropertySet s2 = {V({1, 1}), V({3, 3})};
+  EXPECT_TRUE(WeaklyDominates(s1, s2));
+  EXPECT_TRUE(StronglyDominates(s1, s2));
+  PropertySet s3 = {V({1, 1}), V({4, 4})};
+  EXPECT_FALSE(WeaklyDominates(s1, s3));  // Second property worse.
+}
+
+TEST(DominanceSetTest, EqualSets) {
+  PropertySet s = {V({1, 2}), V({3, 4})};
+  EXPECT_TRUE(WeaklyDominates(s, s));
+  EXPECT_FALSE(StronglyDominates(s, s));
+  EXPECT_EQ(CompareDominance(s, s), DominanceRelation::kEqual);
+}
+
+TEST(DominanceSetTest, NonDominatedSets) {
+  // First property favors s1, second favors s2.
+  PropertySet s1 = {V({2, 2}), V({1, 1})};
+  PropertySet s2 = {V({1, 1}), V({2, 2})};
+  EXPECT_TRUE(NonDominated(s1, s2));
+  EXPECT_EQ(CompareDominance(s1, s2), DominanceRelation::kIncomparable);
+}
+
+TEST(DominanceSetTest, CompareEnumDirections) {
+  PropertySet s1 = {V({2, 2})};
+  PropertySet s2 = {V({1, 2})};
+  EXPECT_EQ(CompareDominance(s1, s2), DominanceRelation::kFirstDominates);
+  EXPECT_EQ(CompareDominance(s2, s1), DominanceRelation::kSecondDominates);
+}
+
+TEST(DominanceTest, RelationNames) {
+  EXPECT_STREQ(DominanceRelationName(DominanceRelation::kEqual), "equal");
+  EXPECT_STREQ(DominanceRelationName(DominanceRelation::kIncomparable),
+               "incomparable");
+}
+
+}  // namespace
+}  // namespace mdc

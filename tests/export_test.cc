@@ -1,0 +1,95 @@
+// Tests for core/export.h.
+
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "core/bias.h"
+
+namespace mdc {
+namespace {
+
+TEST(SeriesToCsvTest, HeaderAndRows) {
+  PropertyVector a("t3a", {3, 3, 4});
+  PropertyVector b("t3b", {3, 7, 7});
+  auto csv = SeriesToCsv({a, b});
+  ASSERT_TRUE(csv.ok());
+  auto parsed = ParseCsv(*csv);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 4u);
+  EXPECT_EQ((*parsed)[0], (std::vector<std::string>{"tuple", "t3a", "t3b"}));
+  EXPECT_EQ((*parsed)[1], (std::vector<std::string>{"1", "3", "3"}));
+  EXPECT_EQ((*parsed)[3], (std::vector<std::string>{"3", "4", "7"}));
+}
+
+TEST(SeriesToCsvTest, Validation) {
+  EXPECT_FALSE(SeriesToCsv({}).ok());
+  PropertyVector a("a", {1, 2});
+  PropertyVector b("b", {1});
+  EXPECT_FALSE(SeriesToCsv({a, b}).ok());
+}
+
+TEST(WriteSeriesCsvTest, WritesFile) {
+  PropertyVector a("a", {1, 2});
+  std::string path = ::testing::TempDir() + "/mdc_series.csv";
+  ASSERT_TRUE(WriteSeriesCsv(path, {a}).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("tuple,a"), std::string::npos);
+}
+
+TEST(LorenzCurveTest, UniformIsDiagonal) {
+  PropertyVector d("u", {2, 2, 2, 2});
+  auto points = LorenzCurve(d);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 5u);
+  for (const auto& [x, y] : *points) {
+    EXPECT_NEAR(x, y, 1e-12);  // Perfect equality hugs the diagonal.
+  }
+}
+
+TEST(LorenzCurveTest, EndpointsAndMonotonicity) {
+  PropertyVector d("v", {1, 5, 2, 8});
+  auto points = LorenzCurve(d);
+  ASSERT_TRUE(points.ok());
+  EXPECT_DOUBLE_EQ(points->front().first, 0.0);
+  EXPECT_DOUBLE_EQ(points->front().second, 0.0);
+  EXPECT_DOUBLE_EQ(points->back().first, 1.0);
+  EXPECT_DOUBLE_EQ(points->back().second, 1.0);
+  for (size_t i = 1; i < points->size(); ++i) {
+    EXPECT_GE((*points)[i].second, (*points)[i - 1].second);
+    // The curve never rises above the diagonal.
+    EXPECT_LE((*points)[i].second, (*points)[i].first + 1e-12);
+  }
+}
+
+TEST(LorenzCurveTest, AreaMatchesGini) {
+  // gini = 1 - 2 * area under the Lorenz curve (trapezoid rule is exact
+  // for the piecewise-linear curve).
+  PropertyVector d("v", {3, 7, 7, 3, 7, 7, 7, 3, 7, 7});
+  auto points = LorenzCurve(d);
+  ASSERT_TRUE(points.ok());
+  double area = 0.0;
+  for (size_t i = 1; i < points->size(); ++i) {
+    double dx = (*points)[i].first - (*points)[i - 1].first;
+    area += dx * ((*points)[i].second + (*points)[i - 1].second) / 2.0;
+  }
+  EXPECT_NEAR(1.0 - 2.0 * area, GiniCoefficient(d), 1e-9);
+}
+
+TEST(LorenzCurveTest, Validation) {
+  EXPECT_FALSE(LorenzCurve(PropertyVector()).ok());
+  EXPECT_FALSE(LorenzCurve(PropertyVector("n", {-1, 2})).ok());
+  EXPECT_FALSE(LorenzCurve(PropertyVector("z", {0, 0})).ok());
+}
+
+TEST(LorenzCurveCsvTest, TwoColumns) {
+  auto csv = LorenzCurveCsv(PropertyVector("v", {1, 3}));
+  ASSERT_TRUE(csv.ok());
+  EXPECT_NE(csv->find("population_share,property_share"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdc

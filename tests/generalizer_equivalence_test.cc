@@ -1,0 +1,162 @@
+// Tests for anonymize/generalizer.h and anonymize/equivalence.h.
+
+#include <gtest/gtest.h>
+
+#include "anonymize/equivalence.h"
+#include "anonymize/generalizer.h"
+#include "paper/paper_data.h"
+
+namespace mdc {
+namespace {
+
+Anonymization MustMakeT3a() {
+  auto anon = paper::MakeT3a();
+  MDC_CHECK(anon.ok());
+  return std::move(anon).value();
+}
+
+TEST(GeneralizerTest, ReleaseSchemaTurnsQiColumnsToString) {
+  auto schema = paper::Table1Schema();
+  ASSERT_TRUE(schema.ok());
+  auto release = Generalizer::ReleaseSchema(*schema, {0, 1});
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->attribute(1).type, AttributeType::kString);
+  EXPECT_EQ(release->attribute(1).role, AttributeRole::kQuasiIdentifier);
+  EXPECT_FALSE(Generalizer::ReleaseSchema(*schema, {17}).ok());
+}
+
+TEST(GeneralizerTest, T3aLabelsMatchPaperTable2) {
+  Anonymization t3a = MustMakeT3a();
+  // Row 1 (index 0): 1305*, (25,35], Married.
+  EXPECT_EQ(t3a.release.cell(0, 0).AsString(), "1305*");
+  EXPECT_EQ(t3a.release.cell(0, 1).AsString(), "(25,35]");
+  EXPECT_EQ(t3a.release.cell(0, 2).AsString(), "Married");
+  // Row 5 (index 4): 1325*, (45,55], Not Married.
+  EXPECT_EQ(t3a.release.cell(4, 0).AsString(), "1325*");
+  EXPECT_EQ(t3a.release.cell(4, 1).AsString(), "(45,55]");
+  EXPECT_EQ(t3a.release.cell(4, 2).AsString(), "Not Married");
+}
+
+TEST(GeneralizerTest, T4LabelsMatchPaperTable3) {
+  auto t4 = paper::MakeT4();
+  ASSERT_TRUE(t4.ok());
+  for (size_t r = 0; r < t4->release.row_count(); ++r) {
+    EXPECT_EQ(t4->release.cell(r, 0).AsString(), "13***");
+    EXPECT_EQ(t4->release.cell(r, 2).AsString(), "*");
+  }
+  EXPECT_EQ(t4->release.cell(0, 1).AsString(), "(20,40]");  // Age 28.
+  EXPECT_EQ(t4->release.cell(1, 1).AsString(), "(40,60]");  // Age 41.
+}
+
+TEST(GeneralizerTest, PreservesSizeAndOriginal) {
+  Anonymization t3a = MustMakeT3a();
+  EXPECT_EQ(t3a.row_count(), 10u);
+  EXPECT_EQ(t3a.original->row_count(), 10u);
+  EXPECT_EQ(t3a.original->cell(0, 2).AsString(), "CF-Spouse");
+  EXPECT_EQ(t3a.SuppressedCount(), 0u);
+  ASSERT_TRUE(t3a.scheme.has_value());
+  EXPECT_EQ(t3a.scheme->levels(), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(GeneralizerTest, NullOriginalRejected) {
+  auto set = paper::HierarchySetA();
+  ASSERT_TRUE(set.ok());
+  auto scheme = GeneralizationScheme::Create(*set, {1, 1, 1});
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_FALSE(Generalizer::Apply(nullptr, *scheme).ok());
+}
+
+TEST(GeneralizerTest, SchemeMustCoverQuasiIdentifiers) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  HierarchySet partial;
+  ASSERT_TRUE(partial.Bind(0, paper::ZipHierarchy()).ok());
+  auto scheme = GeneralizationScheme::Create(partial, {1});
+  ASSERT_TRUE(scheme.ok());
+  auto anon = Generalizer::Apply(*data, *scheme);
+  EXPECT_FALSE(anon.ok());
+  EXPECT_EQ(anon.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GeneralizerTest, SuppressRows) {
+  Anonymization t3a = MustMakeT3a();
+  ASSERT_TRUE(Generalizer::SuppressRows(t3a, {0, 3}).ok());
+  EXPECT_TRUE(t3a.suppressed[0]);
+  EXPECT_TRUE(t3a.suppressed[3]);
+  EXPECT_EQ(t3a.SuppressedCount(), 2u);
+  for (size_t column : t3a.qi_columns) {
+    EXPECT_EQ(t3a.release.cell(0, column).AsString(), "*");
+  }
+  // Row 1 untouched.
+  EXPECT_EQ(t3a.release.cell(1, 0).AsString(), "1326*");
+  EXPECT_FALSE(Generalizer::SuppressRows(t3a, {99}).ok());
+}
+
+TEST(EquivalencePartitionTest, T3aClasses) {
+  Anonymization t3a = MustMakeT3a();
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(t3a);
+  EXPECT_EQ(partition.class_count(), 3u);
+  EXPECT_EQ(partition.row_count(), 10u);
+  EXPECT_EQ(partition.MinClassSize(), 3u);
+  // Rows 0, 3, 7 (tuples 1, 4, 8) share a class.
+  EXPECT_EQ(partition.ClassOfRow(0), partition.ClassOfRow(3));
+  EXPECT_EQ(partition.ClassOfRow(0), partition.ClassOfRow(7));
+  EXPECT_NE(partition.ClassOfRow(0), partition.ClassOfRow(1));
+  // The per-row class sizes are the paper's property vector.
+  EXPECT_EQ(partition.ClassSizePerRow(),
+            paper::ExpectedClassSizesT3a().values());
+}
+
+TEST(EquivalencePartitionTest, SuppressedRowsCoalesce) {
+  Anonymization t3a = MustMakeT3a();
+  ASSERT_TRUE(Generalizer::SuppressRows(t3a, {0, 5}).ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(t3a);
+  // Rows 0 and 5 now share the all-* class.
+  EXPECT_EQ(partition.ClassOfRow(0), partition.ClassOfRow(5));
+}
+
+TEST(EquivalencePartitionTest, MinClassSizeExempting) {
+  Anonymization t3a = MustMakeT3a();
+  ASSERT_TRUE(Generalizer::SuppressRows(t3a, {0, 3, 7}).ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(t3a);
+  // With the suppressed class exempt, min size is over {2,3,9} and
+  // {5,6,7,10}: 3.
+  EXPECT_EQ(partition.MinClassSizeExempting(t3a.suppressed), 3u);
+  // Without exemption the all-* class of size 3 also counts.
+  EXPECT_EQ(partition.MinClassSize(), 3u);
+}
+
+TEST(EquivalencePartitionTest, AllExemptReturnsZero) {
+  Anonymization t3a = MustMakeT3a();
+  std::vector<bool> all(10, true);
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(t3a);
+  EXPECT_EQ(partition.MinClassSizeExempting(all), 0u);
+}
+
+TEST(EquivalencePartitionTest, FromColumnsOnOriginal) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  // Partition by raw zip: 13053 x2, 13268 x2, 13253 x2, 13250 x2, 13052,
+  // 13269.
+  EquivalencePartition partition =
+      EquivalencePartition::FromColumns(**data, {0});
+  EXPECT_EQ(partition.class_count(), 6u);
+  EXPECT_EQ(partition.MinClassSize(), 1u);
+}
+
+TEST(EquivalencePartitionTest, EmptyDataset) {
+  auto schema = paper::Table1Schema();
+  ASSERT_TRUE(schema.ok());
+  Dataset empty(*schema);
+  EquivalencePartition partition =
+      EquivalencePartition::FromColumns(empty, {0});
+  EXPECT_EQ(partition.class_count(), 0u);
+  EXPECT_EQ(partition.MinClassSize(), 0u);
+}
+
+}  // namespace
+}  // namespace mdc

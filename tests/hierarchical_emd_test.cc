@@ -1,0 +1,133 @@
+// Tests for the hierarchical-ground-distance EMD (Li et al. t-closeness)
+// on taxonomies, and the TClosenessHierarchical model.
+
+#include <gtest/gtest.h>
+
+#include "anonymize/equivalence.h"
+#include "paper/paper_data.h"
+#include "privacy/t_closeness.h"
+
+namespace mdc {
+namespace {
+
+using Dist = std::map<std::string, double>;
+
+std::shared_ptr<const TaxonomyHierarchy> Marital() {
+  return paper::MaritalTaxonomy();
+}
+
+TEST(HierarchicalEmdTest, IdenticalDistributionsAreZero) {
+  Dist p = {{"CF-Spouse", 0.5}, {"Divorced", 0.5}};
+  auto emd = Marital()->HierarchicalEmd(p, p);
+  ASSERT_TRUE(emd.ok());
+  EXPECT_DOUBLE_EQ(*emd, 0.0);
+}
+
+TEST(HierarchicalEmdTest, SiblingMoveIsCheap) {
+  // CF-Spouse and Spouse Present share the parent "Married" whose subtree
+  // height is 1; tree height is 2 -> distance 1/2.
+  Dist p = {{"CF-Spouse", 1.0}};
+  Dist q = {{"Spouse Present", 1.0}};
+  auto emd = Marital()->HierarchicalEmd(p, q);
+  ASSERT_TRUE(emd.ok());
+  EXPECT_DOUBLE_EQ(*emd, 0.5);
+}
+
+TEST(HierarchicalEmdTest, CrossSubtreeMoveIsExpensive) {
+  // CF-Spouse -> Divorced crosses the root: distance 2/2 = 1.
+  Dist p = {{"CF-Spouse", 1.0}};
+  Dist q = {{"Divorced", 1.0}};
+  auto emd = Marital()->HierarchicalEmd(p, q);
+  ASSERT_TRUE(emd.ok());
+  EXPECT_DOUBLE_EQ(*emd, 1.0);
+}
+
+TEST(HierarchicalEmdTest, MixedTransportDecomposes) {
+  // Half the mass moves to a sibling (0.5 * 1/2), half across the root
+  // (0.5 * 1).
+  Dist p = {{"CF-Spouse", 1.0}};
+  Dist q = {{"Spouse Present", 0.5}, {"Divorced", 0.5}};
+  auto emd = Marital()->HierarchicalEmd(p, q);
+  ASSERT_TRUE(emd.ok());
+  EXPECT_DOUBLE_EQ(*emd, 0.5 * 0.5 + 0.5 * 1.0);
+}
+
+TEST(HierarchicalEmdTest, SymmetricAndBoundedByEqualGround) {
+  Dist p = {{"CF-Spouse", 0.6}, {"Separated", 0.2}, {"Divorced", 0.2}};
+  Dist q = {{"Spouse Present", 0.3}, {"Never Married", 0.4},
+            {"Divorced", 0.3}};
+  auto forward = Marital()->HierarchicalEmd(p, q);
+  auto backward = Marital()->HierarchicalEmd(q, p);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_NEAR(*forward, *backward, 1e-12);
+  EXPECT_GE(*forward, 0.0);
+  // Hierarchical ground distances are <= 1, so EMD_H <= total variation.
+  double tv = 0.5 * (0.6 + 0.3 + 0.2 + 0.4 + 0.1);
+  EXPECT_LE(*forward, tv + 1e-12);
+}
+
+TEST(HierarchicalEmdTest, Validation) {
+  Dist p = {{"CF-Spouse", 1.0}};
+  EXPECT_FALSE(Marital()->HierarchicalEmd(p, {{"Martian", 1.0}}).ok());
+  EXPECT_FALSE(Marital()->HierarchicalEmd(p, {{"Married", 1.0}}).ok());
+  EXPECT_FALSE(Marital()->HierarchicalEmd(p, {{"Divorced", 0.4}}).ok());
+  EXPECT_FALSE(
+      Marital()
+          ->HierarchicalEmd(p, {{"Divorced", 1.4}, {"Separated", -0.4}})
+          .ok());
+}
+
+TEST(TClosenessHierarchicalTest, PerClassValuesOnT3a) {
+  auto t3a = paper::MakeT3a();
+  ASSERT_TRUE(t3a.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*t3a);
+  auto emds = HierarchicalEmdPerClass(*t3a, partition, *Marital(),
+                                      paper::kMaritalColumn);
+  ASSERT_TRUE(emds.ok()) << emds.status().ToString();
+  ASSERT_EQ(emds->size(), 3u);
+  for (double emd : *emds) {
+    EXPECT_GE(emd, 0.0);
+    EXPECT_LE(emd, 1.0);
+  }
+  // Class {1,4,8} is all-Married while the table is 30% Married: the
+  // cross-root move of 0.7 mass costs 0.7; plus cheap within-subtree
+  // shuffles. The hierarchical t must be at least 0.7 for that class.
+  double max_emd = *std::max_element(emds->begin(), emds->end());
+  EXPECT_GE(max_emd, 0.7 - 1e-9);
+}
+
+TEST(TClosenessHierarchicalTest, ModelAgreesWithMeasure) {
+  auto t3a = paper::MakeT3a();
+  ASSERT_TRUE(t3a.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*t3a);
+  TClosenessHierarchical strict(0.1, Marital(), paper::kMaritalColumn);
+  TClosenessHierarchical loose(1.0, Marital(), paper::kMaritalColumn);
+  EXPECT_FALSE(strict.Satisfies(*t3a, partition));
+  EXPECT_TRUE(loose.Satisfies(*t3a, partition));
+  EXPECT_FALSE(strict.HigherIsStronger());
+  EXPECT_EQ(strict.Name(), "t-closeness(0.1,hierarchical)");
+}
+
+TEST(TClosenessHierarchicalTest, HierarchicalNoLargerThanEqualGround) {
+  // For every class, EMD_H <= EMD_equal (ground distances are <= 1).
+  auto t4 = paper::MakeT4();
+  ASSERT_TRUE(t4.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*t4);
+  auto hier = HierarchicalEmdPerClass(*t4, partition, *Marital(),
+                                      paper::kMaritalColumn);
+  auto equal = EmdPerClass(*t4, partition, GroundDistance::kEqual,
+                           paper::kMaritalColumn);
+  ASSERT_TRUE(hier.ok());
+  ASSERT_TRUE(equal.ok());
+  ASSERT_EQ(hier->size(), equal->size());
+  for (size_t i = 0; i < hier->size(); ++i) {
+    EXPECT_LE((*hier)[i], (*equal)[i] + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,103 @@
+// Tests for core/insufficiency.h — the executable face of Theorem 1.
+
+#include "core/insufficiency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dominance.h"
+
+namespace mdc {
+namespace {
+
+TEST(SwapCounterexampleTest, AggregateBatteryOrdersIncomparablePair) {
+  // min/mean/sum/etc. are symmetric in coordinates, so the swapped pair
+  // gets IDENTICAL index values — the battery claims mutual weak
+  // dominance on an incomparable pair. Theorem 1 witnessed.
+  InsufficiencyWitness witness =
+      SwapCounterexample(StandardUnaryIndices(), 5);
+  ASSERT_TRUE(witness.found);
+  EXPECT_TRUE(NonDominated(witness.d1, witness.d2));
+  EXPECT_EQ(witness.index_values_1, witness.index_values_2);
+  EXPECT_FALSE(witness.explanation.empty());
+}
+
+TEST(SwapCounterexampleTest, WorksForAnyDimensionAtLeastTwo) {
+  for (size_t n : {2u, 3u, 10u, 50u}) {
+    InsufficiencyWitness witness =
+        SwapCounterexample(StandardUnaryIndices(), n);
+    EXPECT_TRUE(witness.found) << "n = " << n;
+    EXPECT_EQ(witness.d1.size(), n);
+  }
+}
+
+TEST(FindEquivalenceViolationTest, RandomSearchFindsWitness) {
+  Rng rng(77);
+  InsufficiencyWitness witness =
+      FindEquivalenceViolation(StandardUnaryIndices(), 4, rng, 10000);
+  ASSERT_TRUE(witness.found);
+  // The witness genuinely violates the claimed equivalence: re-verify.
+  bool idx_ge_12 = true;
+  bool idx_ge_21 = true;
+  for (size_t i = 0; i < witness.index_values_1.size(); ++i) {
+    if (witness.index_values_1[i] < witness.index_values_2[i]) {
+      idx_ge_12 = false;
+    }
+    if (witness.index_values_2[i] < witness.index_values_1[i]) {
+      idx_ge_21 = false;
+    }
+  }
+  bool consistent =
+      (!idx_ge_12 || WeaklyDominates(witness.d1, witness.d2)) &&
+      (!idx_ge_21 || WeaklyDominates(witness.d2, witness.d1)) &&
+      (!WeaklyDominates(witness.d1, witness.d2) || idx_ge_12) &&
+      (!WeaklyDominates(witness.d2, witness.d1) || idx_ge_21);
+  EXPECT_FALSE(consistent);
+}
+
+TEST(FindEquivalenceViolationTest, NEqualsOneIsCharacterizable) {
+  // For N = 1 the identity index characterizes dominance, so a battery
+  // containing only "min" (= the value itself) admits no violation.
+  std::vector<UnaryIndex> battery = {
+      {"identity", [](const PropertyVector& d) { return d[0]; }}};
+  Rng rng(5);
+  InsufficiencyWitness witness =
+      FindEquivalenceViolation(battery, 1, rng, 2000);
+  EXPECT_FALSE(witness.found);
+}
+
+TEST(FindEquivalenceViolationTest, FullBatteryOfNCoordinatesIsSound) {
+  // With one index per coordinate (n = N), the equivalence holds by
+  // construction — no violation should be found. This is the other side
+  // of Theorem 1's bound.
+  std::vector<UnaryIndex> battery;
+  const size_t n = 3;
+  for (size_t i = 0; i < n; ++i) {
+    battery.push_back(
+        {"coord-" + std::to_string(i),
+         [i](const PropertyVector& d) { return d[i]; }});
+  }
+  Rng rng(11);
+  InsufficiencyWitness witness =
+      FindEquivalenceViolation(battery, n, rng, 5000);
+  EXPECT_FALSE(witness.found);
+}
+
+TEST(FindEquivalenceViolationTest, AnySmallerBatteryFails) {
+  // Corollary-style sweep: for N = 2..6, every (N-1)-coordinate battery
+  // (dropping the last coordinate) admits a violation.
+  for (size_t n = 2; n <= 6; ++n) {
+    std::vector<UnaryIndex> battery;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      battery.push_back(
+          {"coord-" + std::to_string(i),
+           [i](const PropertyVector& d) { return d[i]; }});
+    }
+    Rng rng(n * 31);
+    InsufficiencyWitness witness =
+        FindEquivalenceViolation(battery, n, rng, 20000);
+    EXPECT_TRUE(witness.found) << "N = " << n;
+  }
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,153 @@
+// Tests for hierarchy/scheme.h and hierarchy/lattice.h.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hierarchy/lattice.h"
+#include "hierarchy/scheme.h"
+#include "paper/paper_data.h"
+
+namespace mdc {
+namespace {
+
+HierarchySet PaperSetA() {
+  auto set = paper::HierarchySetA();
+  MDC_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+TEST(HierarchySetTest, BindAndLookup) {
+  HierarchySet set = PaperSetA();
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.columns(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_NE(set.ForColumn(0), nullptr);
+  EXPECT_EQ(set.ForColumn(9), nullptr);
+  EXPECT_EQ(set.MaxLevels(), (std::vector<int>{5, 3, 2}));
+}
+
+TEST(HierarchySetTest, RejectsDoubleBind) {
+  HierarchySet set = PaperSetA();
+  EXPECT_FALSE(set.Bind(0, paper::ZipHierarchy()).ok());
+  EXPECT_FALSE(set.Bind(7, nullptr).ok());
+}
+
+TEST(HierarchySetTest, KeepsColumnsSorted) {
+  HierarchySet set;
+  ASSERT_TRUE(set.Bind(5, paper::ZipHierarchy()).ok());
+  ASSERT_TRUE(set.Bind(1, paper::MaritalTaxonomy()).ok());
+  EXPECT_EQ(set.columns(), (std::vector<size_t>{1, 5}));
+  EXPECT_EQ(set.At(0).height(), 2);  // Marital at position 0.
+}
+
+TEST(HierarchySetTest, CoversQuasiIdentifiers) {
+  auto schema = paper::Table1Schema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(PaperSetA().CoversQuasiIdentifiers(*schema).ok());
+  HierarchySet partial;
+  ASSERT_TRUE(partial.Bind(0, paper::ZipHierarchy()).ok());
+  EXPECT_FALSE(partial.CoversQuasiIdentifiers(*schema).ok());
+}
+
+TEST(SchemeTest, CreateValidatesLevels) {
+  HierarchySet set = PaperSetA();
+  EXPECT_TRUE(GeneralizationScheme::Create(set, {1, 1, 1}).ok());
+  EXPECT_FALSE(GeneralizationScheme::Create(set, {1, 1}).ok());
+  EXPECT_FALSE(GeneralizationScheme::Create(set, {6, 1, 1}).ok());
+  EXPECT_FALSE(GeneralizationScheme::Create(set, {-1, 1, 1}).ok());
+}
+
+TEST(SchemeTest, Accessors) {
+  HierarchySet set = PaperSetA();
+  auto scheme = GeneralizationScheme::Create(set, {2, 1, 0});
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ(scheme->TotalLevel(), 3);
+  EXPECT_EQ(scheme->LevelForColumn(0), 2);
+  EXPECT_EQ(scheme->LevelForColumn(2), 0);
+  auto schema = paper::Table1Schema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(scheme->Describe(*schema), "Zip Code:2, Age:1, Marital Status:0");
+}
+
+TEST(LatticeTest, Counts) {
+  auto lattice = Lattice::Create({5, 3, 2});
+  ASSERT_TRUE(lattice.ok());
+  EXPECT_EQ(lattice->dimension(), 3u);
+  EXPECT_EQ(lattice->NodeCount(), 6u * 4u * 3u);
+  EXPECT_EQ(lattice->MaxHeight(), 10);
+  EXPECT_EQ(lattice->Bottom(), (LatticeNode{0, 0, 0}));
+  EXPECT_EQ(lattice->Top(), (LatticeNode{5, 3, 2}));
+}
+
+TEST(LatticeTest, CreateValidation) {
+  EXPECT_FALSE(Lattice::Create({}).ok());
+  EXPECT_FALSE(Lattice::Create({2, -1}).ok());
+}
+
+TEST(LatticeTest, SuccessorsAndPredecessors) {
+  auto lattice = Lattice::Create({2, 2});
+  ASSERT_TRUE(lattice.ok());
+  auto succ = lattice->Successors({1, 2});
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(succ[0], (LatticeNode{2, 2}));
+  auto pred = lattice->Predecessors({1, 2});
+  ASSERT_EQ(pred.size(), 2u);
+  EXPECT_TRUE(lattice->Predecessors({0, 0}).empty());
+  EXPECT_TRUE(lattice->Successors({2, 2}).empty());
+}
+
+TEST(LatticeTest, GeneralizesOrEquals) {
+  EXPECT_TRUE(Lattice::GeneralizesOrEquals({2, 1}, {1, 1}));
+  EXPECT_TRUE(Lattice::GeneralizesOrEquals({1, 1}, {1, 1}));
+  EXPECT_FALSE(Lattice::GeneralizesOrEquals({2, 0}, {1, 1}));
+  EXPECT_FALSE(Lattice::GeneralizesOrEquals({1}, {1, 1}));
+}
+
+TEST(LatticeTest, NodesAtHeightPartitionsLattice) {
+  auto lattice = Lattice::Create({2, 3, 1});
+  ASSERT_TRUE(lattice.ok());
+  size_t total = 0;
+  std::set<LatticeNode> seen;
+  for (int h = 0; h <= lattice->MaxHeight(); ++h) {
+    for (const LatticeNode& node : lattice->NodesAtHeight(h)) {
+      EXPECT_EQ(lattice->Height(node), h);
+      EXPECT_TRUE(lattice->Contains(node));
+      seen.insert(node);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, lattice->NodeCount());
+  EXPECT_EQ(seen.size(), lattice->NodeCount());
+  EXPECT_TRUE(lattice->NodesAtHeight(-1).empty());
+  EXPECT_TRUE(lattice->NodesAtHeight(99).empty());
+}
+
+TEST(LatticeTest, AllNodesByHeightOrdered) {
+  auto lattice = Lattice::Create({1, 1});
+  ASSERT_TRUE(lattice.ok());
+  auto all = lattice->AllNodesByHeight();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0], (LatticeNode{0, 0}));
+  EXPECT_EQ(lattice->Height(all[1]), 1);
+  EXPECT_EQ(lattice->Height(all[2]), 1);
+  EXPECT_EQ(all[3], (LatticeNode{1, 1}));
+}
+
+TEST(LatticeTest, IndexOfIsDenseAndUnique) {
+  auto lattice = Lattice::Create({2, 1, 3});
+  ASSERT_TRUE(lattice.ok());
+  std::set<size_t> indices;
+  for (const LatticeNode& node : lattice->AllNodesByHeight()) {
+    size_t index = lattice->IndexOf(node);
+    EXPECT_LT(index, lattice->NodeCount());
+    indices.insert(index);
+  }
+  EXPECT_EQ(indices.size(), lattice->NodeCount());
+}
+
+TEST(LatticeTest, ToString) {
+  EXPECT_EQ(Lattice::ToString({1, 0, 2}), "<1,0,2>");
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,172 @@
+// Tests for core/multi_property.h — §5.5–5.7 comparators.
+
+#include "core/multi_property.h"
+
+#include <gtest/gtest.h>
+
+namespace mdc {
+namespace {
+
+PropertyVector V(std::vector<double> values) {
+  return PropertyVector("v", std::move(values));
+}
+
+// The paper's §5.5 2-property example: equivalence-class-size vectors and
+// utility vectors of T3a / T3b. (Utility values here are our LM-based
+// measurements; only the coverage pattern matters for the index, and it
+// matches the paper: cov(p_a,p_b)=0.3, cov(p_b,p_a)=1, cov(u_a,u_b)=1,
+// cov(u_b,u_a)=0.3.)
+PropertySet PaperT3aSet() {
+  return {V({3, 3, 3, 3, 4, 4, 4, 3, 3, 4}),          // Privacy (sizes).
+          V({5, 4, 4, 5, 3, 3, 3, 5, 4, 3})};         // Utility-shaped.
+}
+
+PropertySet PaperT3bSet() {
+  return {V({3, 7, 7, 3, 7, 7, 7, 3, 7, 7}),
+          V({5, 2, 2, 5, 2, 2, 2, 5, 2, 2})};
+}
+
+TEST(WtdIndexTest, EqualWeightsMakeT3aAndT3bTie) {
+  // §5.5: with equal weights and the coverage index, the generalizations
+  // are equally good: P_WTD(Υa,Υb) = 0.5*0.3 + 0.5*1.0 = 0.65 both ways.
+  BinaryIndexList cov = {MakeCoverageIndex()};
+  auto forward = WtdIndex(PaperT3aSet(), PaperT3bSet(), {0.5, 0.5}, cov);
+  auto backward = WtdIndex(PaperT3bSet(), PaperT3aSet(), {0.5, 0.5}, cov);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_DOUBLE_EQ(*forward, 0.65);
+  EXPECT_DOUBLE_EQ(*backward, 0.65);
+  auto better = WtdBetter(PaperT3aSet(), PaperT3bSet(), {0.5, 0.5}, cov);
+  ASSERT_TRUE(better.ok());
+  EXPECT_FALSE(*better);
+}
+
+TEST(WtdIndexTest, SkewedWeightsBreakTheTie) {
+  BinaryIndexList cov = {MakeCoverageIndex()};
+  // Weight privacy 0.9: T3b wins.
+  auto better = WtdBetter(PaperT3bSet(), PaperT3aSet(), {0.9, 0.1}, cov);
+  ASSERT_TRUE(better.ok());
+  EXPECT_TRUE(*better);
+  // Weight utility 0.9: T3a wins.
+  auto reversed = WtdBetter(PaperT3aSet(), PaperT3bSet(), {0.1, 0.9}, cov);
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_TRUE(*reversed);
+}
+
+TEST(WtdIndexTest, ValidatesWeights) {
+  BinaryIndexList cov = {MakeCoverageIndex()};
+  EXPECT_FALSE(WtdIndex(PaperT3aSet(), PaperT3bSet(), {0.5}, cov).ok());
+  EXPECT_FALSE(
+      WtdIndex(PaperT3aSet(), PaperT3bSet(), {0.4, 0.4}, cov).ok());
+  EXPECT_FALSE(
+      WtdIndex(PaperT3aSet(), PaperT3bSet(), {1.2, -0.2}, cov).ok());
+  // Degenerate single property with weight 1 is fine.
+  PropertySet one_a = {V({1, 2})};
+  PropertySet one_b = {V({2, 1})};
+  EXPECT_TRUE(WtdIndex(one_a, one_b, {1.0}, cov).ok());
+}
+
+TEST(WtdIndexTest, PerPropertyIndices) {
+  // Coverage for privacy, spread for utility.
+  BinaryIndexList mixed = {MakeCoverageIndex(), MakeSpreadIndex()};
+  auto value = WtdIndex(PaperT3aSet(), PaperT3bSet(), {0.5, 0.5}, mixed);
+  ASSERT_TRUE(value.ok());
+  // spr(u_a,u_b) = (4-2)*3 + (3-2)*4 = 10 over the seven winning rows;
+  // 0.5*cov(p_a,p_b) + 0.5*spr(u_a,u_b) = 0.5*0.3 + 0.5*10 = 5.15.
+  EXPECT_DOUBLE_EQ(*value, 5.15);
+}
+
+TEST(LexIndexTest, OrderingDecides) {
+  BinaryIndexList cov = {MakeCoverageIndex()};
+  // Privacy first: T3b is better on property 1, so P_LEX(Υb,Υa) = 1 and
+  // P_LEX(Υa,Υb) = 2 (T3a's first win is utility at position 2).
+  auto lex_ba = LexIndex(PaperT3bSet(), PaperT3aSet(), {0.0}, cov);
+  auto lex_ab = LexIndex(PaperT3aSet(), PaperT3bSet(), {0.0}, cov);
+  ASSERT_TRUE(lex_ba.ok());
+  ASSERT_TRUE(lex_ab.ok());
+  EXPECT_EQ(*lex_ba, 1u);
+  EXPECT_EQ(*lex_ab, 2u);
+  auto better = LexBetter(PaperT3bSet(), PaperT3aSet(), {0.0}, cov);
+  ASSERT_TRUE(better.ok());
+  EXPECT_TRUE(*better);
+}
+
+TEST(LexIndexTest, EpsilonMutesInsignificantWins) {
+  BinaryIndexList cov = {MakeCoverageIndex()};
+  // With a huge tolerance on property 1, the privacy difference
+  // (1.0 - 0.3 = 0.7) becomes insignificant and the first significant win
+  // moves to the utility property.
+  auto lex = LexIndex(PaperT3bSet(), PaperT3aSet(), {0.8, 0.0}, cov);
+  ASSERT_TRUE(lex.ok());
+  EXPECT_EQ(*lex, 3u);  // T3b never significantly better: r+1 = 3.
+  auto other = LexIndex(PaperT3aSet(), PaperT3bSet(), {0.8, 0.0}, cov);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(*other, 2u);  // T3a still wins utility at position 2.
+}
+
+TEST(LexIndexTest, NoWinsReturnsRPlusOne) {
+  PropertySet s = {V({1, 1})};
+  auto lex = LexIndex(s, s, {0.0}, {MakeCoverageIndex()});
+  ASSERT_TRUE(lex.ok());
+  EXPECT_EQ(*lex, 2u);
+}
+
+TEST(LexIndexTest, ValidatesEpsilons) {
+  BinaryIndexList cov = {MakeCoverageIndex()};
+  EXPECT_FALSE(
+      LexIndex(PaperT3aSet(), PaperT3bSet(), {-0.1}, cov).ok());
+  EXPECT_FALSE(
+      LexIndex(PaperT3aSet(), PaperT3bSet(), {0.1, 0.1, 0.1}, cov).ok());
+}
+
+TEST(GoalIndexTest, CloserToGoalWins) {
+  BinaryIndexList cov = {MakeCoverageIndex()};
+  // Goal: coverage 1.0 on both properties.
+  auto goal_ab = GoalIndex(PaperT3aSet(), PaperT3bSet(), {1.0, 1.0}, cov);
+  auto goal_ba = GoalIndex(PaperT3bSet(), PaperT3aSet(), {1.0, 1.0}, cov);
+  ASSERT_TRUE(goal_ab.ok());
+  ASSERT_TRUE(goal_ba.ok());
+  // Both deviate by (0.3-1)^2 on one property and (1-1)^2 on the other:
+  // a symmetric tie.
+  EXPECT_DOUBLE_EQ(*goal_ab, *goal_ba);
+  // An asymmetric goal (privacy coverage only) separates them.
+  auto privacy_goal_ab =
+      GoalIndex(PaperT3aSet(), PaperT3bSet(), {1.0, 0.0}, cov);
+  auto privacy_goal_ba =
+      GoalIndex(PaperT3bSet(), PaperT3aSet(), {1.0, 0.0}, cov);
+  ASSERT_TRUE(privacy_goal_ab.ok());
+  ASSERT_TRUE(privacy_goal_ba.ok());
+  EXPECT_LT(*privacy_goal_ba, *privacy_goal_ab);
+  auto better = GoalBetter(PaperT3bSet(), PaperT3aSet(), {1.0, 0.0}, cov);
+  ASSERT_TRUE(better.ok());
+  EXPECT_TRUE(*better);
+}
+
+TEST(GoalIndexTest, UnaryVariant) {
+  PropertySet s = {V({3, 3, 4}), V({1, 2, 3})};
+  std::vector<UnaryIndex> indices = {
+      {"min", [](const PropertyVector& d) { return d.Min(); }},
+      {"mean", [](const PropertyVector& d) { return d.Mean(); }},
+  };
+  auto deviation = GoalIndexUnary(s, {3.0, 2.0}, indices);
+  ASSERT_TRUE(deviation.ok());
+  EXPECT_DOUBLE_EQ(*deviation, 0.0);  // min=3, mean=2 hit the goals.
+  auto off = GoalIndexUnary(s, {4.0, 2.0}, indices);
+  ASSERT_TRUE(off.ok());
+  EXPECT_DOUBLE_EQ(*off, 1.0);
+  EXPECT_FALSE(GoalIndexUnary(s, {1.0}, indices).ok());
+}
+
+TEST(MultiPropertyTest, ArityValidation) {
+  BinaryIndexList cov = {MakeCoverageIndex()};
+  PropertySet s1 = {V({1, 2})};
+  PropertySet s2 = {V({1, 2}), V({3, 4})};
+  EXPECT_FALSE(WtdIndex(s1, s2, {1.0}, cov).ok());
+  PropertySet misaligned = {V({1, 2, 3})};
+  EXPECT_FALSE(LexIndex(s1, misaligned, {0.0}, cov).ok());
+  PropertySet empty;
+  EXPECT_FALSE(GoalIndex(empty, empty, {}, cov).ok());
+}
+
+}  // namespace
+}  // namespace mdc

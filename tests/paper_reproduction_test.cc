@@ -1,0 +1,228 @@
+// End-to-end reproduction of every number the paper prints for its
+// running example (Tables 1–3, Figure 1, the §3 worked indices, and the
+// §5 comparator examples). These tests ARE the paper-vs-measured record;
+// EXPERIMENTS.md summarizes them.
+
+#include <gtest/gtest.h>
+
+#include "anonymize/equivalence.h"
+#include "core/bias.h"
+#include "core/dominance.h"
+#include "core/multi_property.h"
+#include "core/properties.h"
+#include "core/quality_index.h"
+#include "paper/paper_data.h"
+#include "privacy/k_anonymity.h"
+#include "utility/loss_metric.h"
+
+namespace mdc {
+namespace {
+
+struct Fixture {
+  Anonymization anonymization;
+  EquivalencePartition partition;
+};
+
+Fixture Make(StatusOr<Anonymization> (*factory)()) {
+  auto anon = factory();
+  MDC_CHECK(anon.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*anon);
+  return Fixture{std::move(anon).value(), std::move(partition)};
+}
+
+TEST(PaperTable1, DataMatches) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ((*data)->row_count(), 10u);
+  EXPECT_EQ((*data)->cell(0, 0).AsString(), "13053");
+  EXPECT_EQ((*data)->cell(0, 1).AsInt(), 28);
+  EXPECT_EQ((*data)->cell(0, 2).AsString(), "CF-Spouse");
+  EXPECT_EQ((*data)->cell(9, 0).AsString(), "13250");
+  EXPECT_EQ((*data)->cell(9, 1).AsInt(), 47);
+  EXPECT_EQ((*data)->cell(9, 2).AsString(), "Separated");
+}
+
+TEST(PaperTable2, T3aFullRelease) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  const struct {
+    size_t row;
+    const char* zip;
+    const char* age;
+    const char* marital;
+  } expected[] = {
+      {0, "1305*", "(25,35]", "Married"},
+      {1, "1326*", "(35,45]", "Not Married"},
+      {2, "1326*", "(35,45]", "Not Married"},
+      {3, "1305*", "(25,35]", "Married"},
+      {4, "1325*", "(45,55]", "Not Married"},
+      {5, "1325*", "(45,55]", "Not Married"},
+      {6, "1325*", "(45,55]", "Not Married"},
+      {7, "1305*", "(25,35]", "Married"},
+      {8, "1326*", "(35,45]", "Not Married"},
+      {9, "1325*", "(45,55]", "Not Married"},
+  };
+  for (const auto& e : expected) {
+    EXPECT_EQ(t3a.anonymization.release.cell(e.row, 0).AsString(), e.zip);
+    EXPECT_EQ(t3a.anonymization.release.cell(e.row, 1).AsString(), e.age);
+    EXPECT_EQ(t3a.anonymization.release.cell(e.row, 2).AsString(),
+              e.marital);
+  }
+}
+
+TEST(PaperTable2, T3bFullRelease) {
+  Fixture t3b = Make(&paper::MakeT3b);
+  for (size_t r : {0u, 3u, 7u}) {
+    EXPECT_EQ(t3b.anonymization.release.cell(r, 0).AsString(), "130**");
+    EXPECT_EQ(t3b.anonymization.release.cell(r, 1).AsString(), "(15,35]");
+    EXPECT_EQ(t3b.anonymization.release.cell(r, 2).AsString(), "Married");
+  }
+  for (size_t r : {1u, 2u, 4u, 5u, 6u, 8u, 9u}) {
+    EXPECT_EQ(t3b.anonymization.release.cell(r, 0).AsString(), "132**");
+    EXPECT_EQ(t3b.anonymization.release.cell(r, 1).AsString(), "(35,55]");
+    EXPECT_EQ(t3b.anonymization.release.cell(r, 2).AsString(),
+              "Not Married");
+  }
+}
+
+TEST(PaperTable3, T4FullRelease) {
+  Fixture t4 = Make(&paper::MakeT4);
+  for (size_t r : {0u, 2u, 3u, 7u}) {  // Tuples 1, 3, 4, 8.
+    EXPECT_EQ(t4.anonymization.release.cell(r, 1).AsString(), "(20,40]");
+  }
+  for (size_t r : {1u, 4u, 5u, 6u, 8u, 9u}) {
+    EXPECT_EQ(t4.anonymization.release.cell(r, 1).AsString(), "(40,60]");
+  }
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(t4.anonymization.release.cell(r, 0).AsString(), "13***");
+    EXPECT_EQ(t4.anonymization.release.cell(r, 2).AsString(), "*");
+  }
+}
+
+TEST(PaperFigure1, ClassSizeVectors) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  Fixture t3b = Make(&paper::MakeT3b);
+  Fixture t4 = Make(&paper::MakeT4);
+  EXPECT_EQ(EquivalenceClassSizeVector(t3a.partition),
+            paper::ExpectedClassSizesT3a());
+  EXPECT_EQ(EquivalenceClassSizeVector(t3b.partition),
+            paper::ExpectedClassSizesT3b());
+  EXPECT_EQ(EquivalenceClassSizeVector(t4.partition),
+            paper::ExpectedClassSizesT4());
+}
+
+TEST(PaperFigure1, UserPerspective) {
+  // §2: user 8 prefers T4 over T3b (4 > 3), user 3 prefers T3b over T4
+  // (7 > 4) — "different anonymizations are better for different
+  // individuals".
+  PropertyVector t3b = paper::ExpectedClassSizesT3b();
+  PropertyVector t4 = paper::ExpectedClassSizesT4();
+  EXPECT_GT(t4[7], t3b[7]);  // User 8 (index 7).
+  EXPECT_GT(t3b[2], t4[2]);  // User 3 (index 2).
+}
+
+TEST(PaperSection1, BreachProbabilities) {
+  // §1: tuples {2,3,5,6,7,9,10} in T3b have breach probability 1/7.
+  Fixture t3b = Make(&paper::MakeT3b);
+  PropertyVector breach = BreachProbabilityVector(t3b.partition);
+  for (size_t i : {1u, 2u, 4u, 5u, 6u, 8u, 9u}) {
+    EXPECT_NEAR(breach[i], 1.0 / 7.0, 1e-12);
+  }
+  for (size_t i : {0u, 3u, 7u}) {
+    EXPECT_NEAR(breach[i], 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(PaperSection3, UnaryIndices) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  PropertyVector s = EquivalenceClassSizeVector(t3a.partition);
+  EXPECT_DOUBLE_EQ(MinIndex(s), 3.0);   // P_k-anon = 3.
+  EXPECT_DOUBLE_EQ(MeanIndex(s), 3.4);  // P_s-avg = 3.4.
+}
+
+TEST(PaperSection3, LDiversityPropertyVector) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  auto counts = SensitiveCountVector(t3a.anonymization, t3a.partition,
+                                     paper::kMaritalColumn);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(*counts, paper::ExpectedSensitiveCountsT3a());
+  // The paper's P_l-div = min of this vector = 1.
+  EXPECT_DOUBLE_EQ(MinIndex(*counts), 1.0);
+}
+
+TEST(PaperSection3, BinaryIndexExample) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  Fixture t3b = Make(&paper::MakeT3b);
+  PropertyVector s = EquivalenceClassSizeVector(t3a.partition);
+  PropertyVector t = EquivalenceClassSizeVector(t3b.partition);
+  EXPECT_EQ(StrictlyBetterCount(s, t), 0u);  // P_binary(s,t) = 0.
+  EXPECT_EQ(StrictlyBetterCount(t, s), 7u);  // P_binary(t,s) = 7.
+}
+
+TEST(PaperSection5, CoverageOrdersTheThreeAnonymizations) {
+  // §5.2: T4 is cov-better than T3a, and T3b is cov-better than T4.
+  Fixture t3a = Make(&paper::MakeT3a);
+  Fixture t3b = Make(&paper::MakeT3b);
+  Fixture t4 = Make(&paper::MakeT4);
+  PropertyVector sa = EquivalenceClassSizeVector(t3a.partition);
+  PropertyVector sb = EquivalenceClassSizeVector(t3b.partition);
+  PropertyVector s4 = EquivalenceClassSizeVector(t4.partition);
+  EXPECT_TRUE(CoverageBetter(s4, sa));
+  EXPECT_TRUE(CoverageBetter(sb, s4));
+  EXPECT_TRUE(CoverageBetter(sb, sa));
+}
+
+TEST(PaperSection5_5, UtilityCoveragePattern) {
+  // cov(p_a,p_b) = 0.3 < 1 = cov(p_b,p_a);
+  // cov(u_a,u_b) = 1 > 0.3 = cov(u_b,u_a); equal weights tie.
+  Fixture t3a = Make(&paper::MakeT3a);
+  Fixture t3b = Make(&paper::MakeT3b);
+  PropertyVector p_a = EquivalenceClassSizeVector(t3a.partition);
+  PropertyVector p_b = EquivalenceClassSizeVector(t3b.partition);
+  auto u_a = LossMetric::PerTupleUtility(t3a.anonymization);
+  auto u_b = LossMetric::PerTupleUtility(t3b.anonymization);
+  ASSERT_TRUE(u_a.ok());
+  ASSERT_TRUE(u_b.ok());
+
+  EXPECT_DOUBLE_EQ(CoverageIndex(p_a, p_b), 0.3);
+  EXPECT_DOUBLE_EQ(CoverageIndex(p_b, p_a), 1.0);
+  EXPECT_DOUBLE_EQ(CoverageIndex(*u_a, *u_b), 1.0);
+  EXPECT_DOUBLE_EQ(CoverageIndex(*u_b, *u_a), 0.3);
+
+  PropertySet set_a = {p_a, *u_a};
+  PropertySet set_b = {p_b, *u_b};
+  auto forward =
+      WtdIndex(set_a, set_b, {0.5, 0.5}, {MakeCoverageIndex()});
+  auto backward =
+      WtdIndex(set_b, set_a, {0.5, 0.5}, {MakeCoverageIndex()});
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_DOUBLE_EQ(*forward, *backward);  // "Equally good" (paper §5.5).
+  EXPECT_DOUBLE_EQ(*forward, 0.65);
+}
+
+TEST(PaperSection2, BiasIsMeasurable) {
+  // The paper's central claim: same scalar k, different per-tuple
+  // distributions. Our bias report separates T3a and T3b.
+  Fixture t3a = Make(&paper::MakeT3a);
+  Fixture t3b = Make(&paper::MakeT3b);
+  PropertyVector sa = EquivalenceClassSizeVector(t3a.partition);
+  PropertyVector sb = EquivalenceClassSizeVector(t3b.partition);
+  EXPECT_DOUBLE_EQ(MinIndex(sa), MinIndex(sb));  // Same k = 3...
+  BiasReport bias_a = ComputeBias(sa);
+  BiasReport bias_b = ComputeBias(sb);
+  EXPECT_NE(bias_a.mean, bias_b.mean);           // ...different bias.
+  EXPECT_GT(bias_b.gini, bias_a.gini);
+}
+
+TEST(PaperSection4, DominanceRelationsAmongTheThree) {
+  PropertyVector sa = paper::ExpectedClassSizesT3a();
+  PropertyVector sb = paper::ExpectedClassSizesT3b();
+  PropertyVector s4 = paper::ExpectedClassSizesT4();
+  EXPECT_TRUE(StronglyDominates(sb, sa));
+  EXPECT_TRUE(StronglyDominates(s4, sa));
+  EXPECT_TRUE(NonDominated(sb, s4));
+}
+
+}  // namespace
+}  // namespace mdc

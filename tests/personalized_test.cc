@@ -1,0 +1,133 @@
+// Tests for privacy/personalized.h (guarding-node model and its per-tuple
+// breach vector — the §2 observation that bias persists even under
+// personalized privacy).
+
+#include "privacy/personalized.h"
+
+#include <gtest/gtest.h>
+
+#include "anonymize/equivalence.h"
+#include "paper/paper_data.h"
+
+namespace mdc {
+namespace {
+
+struct Fixture {
+  Anonymization anonymization;
+  EquivalencePartition partition;
+};
+
+Fixture MakeT3a() {
+  auto anon = paper::MakeT3a();
+  MDC_CHECK(anon.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*anon);
+  return Fixture{std::move(anon).value(), std::move(partition)};
+}
+
+PersonalizedPrivacy MakeModel(std::vector<std::string> guards,
+                              std::vector<double> thresholds) {
+  return PersonalizedPrivacy(paper::MaritalTaxonomy(), std::move(guards),
+                             std::move(thresholds), paper::kMaritalColumn);
+}
+
+TEST(PersonalizedTest, BreachProbabilitiesT3a) {
+  Fixture t3a = MakeT3a();
+  // Everyone guards their exact marital status.
+  std::vector<std::string> guards;
+  for (size_t r = 0; r < 10; ++r) {
+    guards.push_back(t3a.anonymization.original->cell(r, 2).AsString());
+  }
+  PersonalizedPrivacy model = MakeModel(guards, std::vector<double>(10, 1.0));
+  auto breach = model.BreachProbabilities(t3a.anonymization, t3a.partition);
+  ASSERT_TRUE(breach.ok());
+  // Row 1 (CF-Spouse, class {1,4,8}): 2 of 3 share the value -> 2/3.
+  EXPECT_NEAR((*breach)[0], 2.0 / 3.0, 1e-12);
+  // Row 8 (Spouse Present, same class): 1/3.
+  EXPECT_NEAR((*breach)[7], 1.0 / 3.0, 1e-12);
+  // Row 5 (Divorced, class {5,6,7,10}): 2/4.
+  EXPECT_NEAR((*breach)[4], 0.5, 1e-12);
+}
+
+TEST(PersonalizedTest, CoarseGuardRaisesBreach) {
+  Fixture t3a = MakeT3a();
+  // Row 1 guards the whole "Married" subtree: everyone in class {1,4,8}
+  // is married, so the breach probability is 1.
+  std::vector<std::string> guards(10, "Not Married");
+  guards[0] = "Married";
+  PersonalizedPrivacy model = MakeModel(guards, std::vector<double>(10, 1.0));
+  auto breach = model.BreachProbabilities(t3a.anonymization, t3a.partition);
+  ASSERT_TRUE(breach.ok());
+  EXPECT_DOUBLE_EQ((*breach)[0], 1.0);
+  // Row 2 guards "Not Married"; its class {2,3,9} is all Not Married.
+  EXPECT_DOUBLE_EQ((*breach)[1], 1.0);
+}
+
+TEST(PersonalizedTest, SatisfiesRespectsPerRowThresholds) {
+  Fixture t3a = MakeT3a();
+  std::vector<std::string> guards;
+  for (size_t r = 0; r < 10; ++r) {
+    guards.push_back(t3a.anonymization.original->cell(r, 2).AsString());
+  }
+  // Thresholds exactly at the breach levels pass; tightening row 1 fails.
+  PersonalizedPrivacy loose = MakeModel(guards, std::vector<double>(10, 0.7));
+  EXPECT_TRUE(loose.Satisfies(t3a.anonymization, t3a.partition));
+  std::vector<double> tight(10, 0.7);
+  tight[0] = 0.5;  // Row 1 has breach 2/3 > 0.5.
+  PersonalizedPrivacy strict = MakeModel(guards, tight);
+  EXPECT_FALSE(strict.Satisfies(t3a.anonymization, t3a.partition));
+}
+
+TEST(PersonalizedTest, MeasureIsMaxBreach) {
+  Fixture t3a = MakeT3a();
+  std::vector<std::string> guards;
+  for (size_t r = 0; r < 10; ++r) {
+    guards.push_back(t3a.anonymization.original->cell(r, 2).AsString());
+  }
+  PersonalizedPrivacy model = MakeModel(guards, std::vector<double>(10, 1.0));
+  EXPECT_NEAR(model.Measure(t3a.anonymization, t3a.partition), 2.0 / 3.0,
+              1e-12);
+  EXPECT_FALSE(model.HigherIsStronger());
+}
+
+TEST(PersonalizedTest, SuppressedRowsHaveZeroBreach) {
+  Fixture t3a = MakeT3a();
+  ASSERT_TRUE(Generalizer::SuppressRows(t3a.anonymization, {0}).ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(t3a.anonymization);
+  std::vector<std::string> guards(10, "Married");
+  PersonalizedPrivacy model = MakeModel(guards, std::vector<double>(10, 1.0));
+  auto breach = model.BreachProbabilities(t3a.anonymization, partition);
+  ASSERT_TRUE(breach.ok());
+  EXPECT_DOUBLE_EQ((*breach)[0], 0.0);
+}
+
+TEST(PersonalizedTest, ArityMismatchRejected) {
+  Fixture t3a = MakeT3a();
+  PersonalizedPrivacy model = MakeModel({"Married"}, {1.0});
+  auto breach = model.BreachProbabilities(t3a.anonymization, t3a.partition);
+  EXPECT_FALSE(breach.ok());
+}
+
+TEST(PersonalizedTest, BiasVisibleAcrossTuples) {
+  // The paper's §2 point: personalized privacy still yields unequal
+  // per-tuple breach probabilities.
+  Fixture t3a = MakeT3a();
+  std::vector<std::string> guards;
+  for (size_t r = 0; r < 10; ++r) {
+    guards.push_back(t3a.anonymization.original->cell(r, 2).AsString());
+  }
+  PersonalizedPrivacy model = MakeModel(guards, std::vector<double>(10, 1.0));
+  auto breach = model.BreachProbabilities(t3a.anonymization, t3a.partition);
+  ASSERT_TRUE(breach.ok());
+  double min = 1.0;
+  double max = 0.0;
+  for (double b : *breach) {
+    min = std::min(min, b);
+    max = std::max(max, b);
+  }
+  EXPECT_LT(min, max);  // Unequal: the bias the paper highlights.
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,163 @@
+// Tests for k-anonymity, l-diversity (three variants), and p-sensitive
+// k-anonymity on the paper's anonymizations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anonymize/equivalence.h"
+#include "paper/paper_data.h"
+#include "privacy/k_anonymity.h"
+#include "privacy/l_diversity.h"
+#include "privacy/p_sensitive.h"
+
+namespace mdc {
+namespace {
+
+struct Fixture {
+  Anonymization anonymization;
+  EquivalencePartition partition;
+};
+
+Fixture Make(StatusOr<Anonymization> (*factory)()) {
+  auto anon = factory();
+  MDC_CHECK(anon.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*anon);
+  return Fixture{std::move(anon).value(), std::move(partition)};
+}
+
+TEST(KAnonymityTest, PaperValues) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  Fixture t3b = Make(&paper::MakeT3b);
+  Fixture t4 = Make(&paper::MakeT4);
+  // P_k-anon = min class size: 3, 3, 4.
+  EXPECT_EQ(KAnonymity(1).Measure(t3a.anonymization, t3a.partition), 3.0);
+  EXPECT_EQ(KAnonymity(1).Measure(t3b.anonymization, t3b.partition), 3.0);
+  EXPECT_EQ(KAnonymity(1).Measure(t4.anonymization, t4.partition), 4.0);
+
+  EXPECT_TRUE(KAnonymity(3).Satisfies(t3a.anonymization, t3a.partition));
+  EXPECT_FALSE(KAnonymity(4).Satisfies(t3a.anonymization, t3a.partition));
+  EXPECT_TRUE(KAnonymity(4).Satisfies(t4.anonymization, t4.partition));
+  EXPECT_FALSE(KAnonymity(5).Satisfies(t4.anonymization, t4.partition));
+}
+
+TEST(KAnonymityTest, SuppressedRowsExempt) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  // Suppress the {1,4,8} class entirely: remaining classes have sizes 3,4.
+  ASSERT_TRUE(
+      Generalizer::SuppressRows(t3a.anonymization, {0, 3, 7}).ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(t3a.anonymization);
+  EXPECT_EQ(KAnonymity(1).Measure(t3a.anonymization, partition), 3.0);
+}
+
+TEST(KAnonymityTest, NameAndDirection) {
+  KAnonymity model(3);
+  EXPECT_EQ(model.Name(), "k-anonymity(3)");
+  EXPECT_TRUE(model.HigherIsStronger());
+  EXPECT_EQ(model.k(), 3);
+}
+
+TEST(DistinctLDiversityTest, PaperT3a) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  DistinctLDiversity model(2, paper::kMaritalColumn);
+  // Classes {1,4,8}: {CF-Spouse x2, Spouse Present} -> 2 distinct;
+  // {2,3,9}: {Separated x2, Never Married} -> 2;
+  // {5,6,7,10}: {Divorced x2, Spouse Absent, Separated} -> 3.
+  EXPECT_EQ(model.Measure(t3a.anonymization, t3a.partition), 2.0);
+  EXPECT_TRUE(model.Satisfies(t3a.anonymization, t3a.partition));
+  EXPECT_FALSE(DistinctLDiversity(3, paper::kMaritalColumn)
+                   .Satisfies(t3a.anonymization, t3a.partition));
+}
+
+TEST(DistinctLDiversityTest, T4IsMoreDiverse) {
+  Fixture t4 = Make(&paper::MakeT4);
+  DistinctLDiversity model(3, paper::kMaritalColumn);
+  // {1,3,4,8}: CF-Spouse x2, Never Married, Spouse Present -> 3 distinct.
+  // {2,5,6,7,9,10}: Separated x3, Divorced x2, Spouse Absent -> 3 distinct.
+  EXPECT_EQ(model.Measure(t4.anonymization, t4.partition), 3.0);
+  EXPECT_TRUE(model.Satisfies(t4.anonymization, t4.partition));
+}
+
+TEST(EntropyLDiversityTest, BoundsAndMonotonicity) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  EntropyLDiversity model(1.0, paper::kMaritalColumn);
+  double effective = model.Measure(t3a.anonymization, t3a.partition);
+  // Effective l lies between 1 and the max distinct count (3 here).
+  EXPECT_GT(effective, 1.0);
+  EXPECT_LT(effective, 3.0 + 1e-9);
+  EXPECT_TRUE(EntropyLDiversity(1.5, paper::kMaritalColumn)
+                  .Satisfies(t3a.anonymization, t3a.partition));
+  EXPECT_FALSE(EntropyLDiversity(2.9, paper::kMaritalColumn)
+                   .Satisfies(t3a.anonymization, t3a.partition));
+}
+
+TEST(EntropyLDiversityTest, UniformClassHitsDistinctCount) {
+  // For the {1,4,8}-class pattern (2,1) entropy < log 2; check exact value
+  // on T3b's {1,4,8} class: counts CF-Spouse 2, Spouse Present 1.
+  Fixture t3b = Make(&paper::MakeT3b);
+  auto entropies = SensitiveEntropyPerClass(
+      t3b.anonymization, t3b.partition, paper::kMaritalColumn);
+  ASSERT_TRUE(entropies.ok());
+  ASSERT_EQ(entropies->size(), 2u);
+  // H(2/3, 1/3) = ln3 - (2/3)ln2 ≈ 0.6365.
+  double expected = std::log(3.0) - (2.0 / 3.0) * std::log(2.0);
+  bool found = false;
+  for (double h : *entropies) {
+    if (std::abs(h - expected) < 1e-9) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RecursiveCLDiversityTest, PaperT3a) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  // Class {1,4,8}: counts (2,1). (c,2)-diversity needs r1 < c*r2, i.e.
+  // 2 < c*1: holds for c=3, fails for c=2.
+  EXPECT_TRUE(RecursiveCLDiversity(3.0, 2, paper::kMaritalColumn)
+                  .Satisfies(t3a.anonymization, t3a.partition));
+  EXPECT_FALSE(RecursiveCLDiversity(2.0, 2, paper::kMaritalColumn)
+                   .Satisfies(t3a.anonymization, t3a.partition));
+  // (c,1) always holds for c > 1 (r1 < c * all).
+  EXPECT_TRUE(RecursiveCLDiversity(1.5, 1, paper::kMaritalColumn)
+                  .Satisfies(t3a.anonymization, t3a.partition));
+}
+
+TEST(RecursiveCLDiversityTest, MeasureIsMaxL) {
+  Fixture t4 = Make(&paper::MakeT4);
+  // Class {2,5,6,7,9,10}: counts (3,2,1); class {1,3,4,8}: (2,1,1).
+  // With c = 2: first class: l=3 -> 3 < 2*1? no; l=2 -> 3 < 2*3=6 yes -> 2.
+  // Second class: l=3 -> 2 < 2*1 = 2? no; l=2 -> 2 < 2*2 yes -> 2. Min 2.
+  RecursiveCLDiversity model(2.0, 2, paper::kMaritalColumn);
+  EXPECT_EQ(model.Measure(t4.anonymization, t4.partition), 2.0);
+}
+
+TEST(PSensitiveTest, RequiresBothConditions) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  EXPECT_TRUE(PSensitiveKAnonymity(2, 3, paper::kMaritalColumn)
+                  .Satisfies(t3a.anonymization, t3a.partition));
+  // Fails on p.
+  EXPECT_FALSE(PSensitiveKAnonymity(3, 3, paper::kMaritalColumn)
+                   .Satisfies(t3a.anonymization, t3a.partition));
+  // Fails on k.
+  EXPECT_FALSE(PSensitiveKAnonymity(2, 4, paper::kMaritalColumn)
+                   .Satisfies(t3a.anonymization, t3a.partition));
+  EXPECT_EQ(PSensitiveKAnonymity(2, 3, paper::kMaritalColumn)
+                .Measure(t3a.anonymization, t3a.partition),
+            2.0);
+}
+
+TEST(ResolveSensitiveColumnTest, ExplicitAndDefault) {
+  auto schema = paper::Table1Schema();
+  ASSERT_TRUE(schema.ok());
+  // The paper schema has no kSensitive role (marital is dual-role QI), so
+  // the default resolution fails and explicit selection works.
+  EXPECT_FALSE(ResolveSensitiveColumn(*schema, std::nullopt).ok());
+  auto column = ResolveSensitiveColumn(*schema, paper::kMaritalColumn);
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(*column, paper::kMaritalColumn);
+  EXPECT_FALSE(ResolveSensitiveColumn(*schema, size_t{12}).ok());
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,67 @@
+// Tests for core/property_vector.h.
+
+#include "core/property_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdc {
+namespace {
+
+TEST(PropertyVectorTest, BasicAccessors) {
+  PropertyVector d("s", {3, 3, 4});
+  EXPECT_EQ(d.name(), "s");
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+  EXPECT_TRUE(PropertyVector().empty());
+}
+
+TEST(PropertyVectorTest, Aggregates) {
+  PropertyVector d("s", {3, 3, 3, 3, 4, 4, 4, 3, 3, 4});
+  EXPECT_DOUBLE_EQ(d.Min(), 3.0);   // P_k-anon of T3a.
+  EXPECT_DOUBLE_EQ(d.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 3.4);  // P_s-avg of T3a.
+  EXPECT_DOUBLE_EQ(d.Sum(), 34.0);
+}
+
+TEST(PropertyVectorTest, StdDev) {
+  PropertyVector constant("c", {2, 2, 2});
+  EXPECT_DOUBLE_EQ(constant.StdDev(), 0.0);
+  PropertyVector spread("x", {1, 3});
+  EXPECT_DOUBLE_EQ(spread.StdDev(), 1.0);
+}
+
+TEST(PropertyVectorTest, Distances) {
+  PropertyVector a("a", {0, 0});
+  PropertyVector b("b", {3, 4});
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 5.0);         // L2.
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b, 1.0), 7.0);    // L1.
+  EXPECT_DOUBLE_EQ(a.LInfDistance(b), 4.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+}
+
+TEST(PropertyVectorTest, Negated) {
+  PropertyVector d("loss", {1, -2, 0});
+  PropertyVector n = d.Negated("utility");
+  EXPECT_EQ(n.name(), "utility");
+  EXPECT_DOUBLE_EQ(n[0], -1.0);
+  EXPECT_DOUBLE_EQ(n[1], 2.0);
+  EXPECT_DOUBLE_EQ(n[2], 0.0);
+}
+
+TEST(PropertyVectorTest, ToStringMatchesPaperStyle) {
+  PropertyVector d("s", {3, 3, 4});
+  EXPECT_EQ(d.ToString(), "(3, 3, 4)");
+  PropertyVector frac("u", {2.03, 1.7});
+  EXPECT_EQ(frac.ToString(), "(2.03, 1.7)");
+}
+
+TEST(PropertyVectorTest, EqualityIgnoresName) {
+  EXPECT_EQ(PropertyVector("a", {1, 2}), PropertyVector("b", {1, 2}));
+  EXPECT_FALSE(PropertyVector("a", {1, 2}) == PropertyVector("a", {2, 1}));
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,167 @@
+// Tests for core/quality_index.h — the worked numbers of §3 and §5.
+
+#include "core/quality_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dominance.h"
+
+namespace mdc {
+namespace {
+
+PropertyVector V(std::vector<double> values) {
+  return PropertyVector("v", std::move(values));
+}
+
+// Paper §3: s for T3a, t for T3b.
+PropertyVector S() { return V({3, 3, 3, 3, 4, 4, 4, 3, 3, 4}); }
+PropertyVector T() { return V({3, 7, 7, 3, 7, 7, 7, 3, 7, 7}); }
+
+TEST(UnaryIndexTest, PaperSection3Values) {
+  EXPECT_DOUBLE_EQ(MinIndex(S()), 3.0);   // P_k-anon(s) = 3.
+  EXPECT_DOUBLE_EQ(MeanIndex(S()), 3.4);  // P_s-avg(s) = 3.4.
+  EXPECT_DOUBLE_EQ(SumIndex(S()), 34.0);
+  EXPECT_DOUBLE_EQ(MaxIndex(T()), 7.0);
+}
+
+TEST(BinaryCountTest, PaperSection3Values) {
+  // P_binary(s,t) = 0 and P_binary(t,s) = 7.
+  EXPECT_EQ(StrictlyBetterCount(S(), T()), 0u);
+  EXPECT_EQ(StrictlyBetterCount(T(), S()), 7u);
+}
+
+TEST(RankIndexTest, DistanceToIdeal) {
+  PropertyVector d_max = V({10, 10});
+  EXPECT_DOUBLE_EQ(RankIndex(V({10, 10}), d_max), 0.0);
+  EXPECT_DOUBLE_EQ(RankIndex(V({7, 6}), d_max), 5.0);
+  EXPECT_DOUBLE_EQ(RankIndex(V({7, 6}), d_max, 1.0), 7.0);
+  EXPECT_TRUE(RankBetter(V({9, 9}), V({7, 6}), d_max));
+  EXPECT_FALSE(RankBetter(V({7, 6}), V({9, 9}), d_max));
+}
+
+TEST(RankIndexTest, EpsilonToleranceBlursCloseRanks) {
+  PropertyVector d_max = V({10, 10});
+  PropertyVector a = V({9, 9});
+  PropertyVector b = V({9, 8.9});
+  EXPECT_TRUE(RankBetter(a, b, d_max, 0.0));
+  EXPECT_FALSE(RankBetter(a, b, d_max, 0.5));  // Considered equally good.
+}
+
+TEST(RankIndexTest, EquiRankedVectorsIncomparable) {
+  // Points on the same arc around D_max (Figure 2).
+  PropertyVector d_max = V({0, 0});
+  PropertyVector a = V({3, 4});
+  PropertyVector b = V({4, 3});
+  EXPECT_DOUBLE_EQ(RankIndex(a, d_max), RankIndex(b, d_max));
+  EXPECT_FALSE(RankBetter(a, b, d_max));
+  EXPECT_FALSE(RankBetter(b, a, d_max));
+}
+
+TEST(CoverageIndexTest, PaperValues) {
+  // P_cov(s, t): s >= t on rows 1, 4, 8 -> 0.3; P_cov(t, s) = 1.
+  EXPECT_DOUBLE_EQ(CoverageIndex(S(), T()), 0.3);
+  EXPECT_DOUBLE_EQ(CoverageIndex(T(), S()), 1.0);
+  EXPECT_TRUE(CoverageBetter(T(), S()));
+  EXPECT_FALSE(CoverageBetter(S(), T()));
+}
+
+TEST(CoverageIndexTest, Figure3Example) {
+  // The §5.3 counter-example where coverage ties: D1=(2,2,3,4,5),
+  // D2=(3,2,4,2,3): both cover 3/5.
+  PropertyVector d1 = V({2, 2, 3, 4, 5});
+  PropertyVector d2 = V({3, 2, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(CoverageIndex(d1, d2), 0.6);
+  EXPECT_DOUBLE_EQ(CoverageIndex(d2, d1), 0.6);
+  EXPECT_FALSE(CoverageBetter(d1, d2));
+  EXPECT_FALSE(CoverageBetter(d2, d1));
+  // Spread breaks the tie in favor of D1 (differences 2+2 vs 1+1).
+  EXPECT_DOUBLE_EQ(SpreadIndex(d1, d2), 4.0);
+  EXPECT_DOUBLE_EQ(SpreadIndex(d2, d1), 2.0);
+  EXPECT_TRUE(SpreadBetter(d1, d2));
+}
+
+TEST(CoverageIndexTest, FullCoverageImpliesDominanceLink) {
+  // Paper: P_cov(D1,D2)=1 and P_cov(D2,D1)=0 => D1 strongly dominates.
+  PropertyVector d1 = V({5, 6});
+  PropertyVector d2 = V({4, 5});
+  EXPECT_DOUBLE_EQ(CoverageIndex(d1, d2), 1.0);
+  EXPECT_DOUBLE_EQ(CoverageIndex(d2, d1), 0.0);
+  EXPECT_TRUE(StronglyDominates(d1, d2));
+}
+
+TEST(SpreadIndexTest, Section53WorkedExample) {
+  // 3-anonymous (3,3,3,5,5,5,5,5,3,3,3,4,4,4,4) vs 2-anonymous
+  // (2,2,6,6,6,6,6,6,3,3,3,4,4,4,4): P_spr values 2 and 8.
+  PropertyVector three_anon =
+      V({3, 3, 3, 5, 5, 5, 5, 5, 3, 3, 3, 4, 4, 4, 4});
+  PropertyVector two_anon = V({2, 2, 6, 6, 6, 6, 6, 6, 3, 3, 3, 4, 4, 4, 4});
+  EXPECT_DOUBLE_EQ(SpreadIndex(three_anon, two_anon), 2.0);
+  EXPECT_DOUBLE_EQ(SpreadIndex(two_anon, three_anon), 8.0);
+  EXPECT_TRUE(SpreadBetter(two_anon, three_anon));
+  // Coverage points the same way (the paper notes this).
+  EXPECT_TRUE(CoverageBetter(two_anon, three_anon));
+}
+
+TEST(SpreadIndexTest, ZeroIffWeaklyDominated) {
+  // P_spr(D1,D2) = 0 <=> D2 ⪰ D1.
+  PropertyVector d1 = V({1, 2, 3});
+  PropertyVector d2 = V({2, 2, 3});
+  EXPECT_DOUBLE_EQ(SpreadIndex(d1, d2), 0.0);
+  EXPECT_TRUE(WeaklyDominates(d2, d1));
+  EXPECT_GT(SpreadIndex(d2, d1), 0.0);
+}
+
+TEST(HypervolumeIndexTest, Section54WorkedExample) {
+  // s = (3,3,3,5,5,5,5,5), t = (4,...,4): P_hv(s,t) > P_hv(t,s).
+  PropertyVector s = V({3, 3, 3, 5, 5, 5, 5, 5});
+  PropertyVector t = V({4, 4, 4, 4, 4, 4, 4, 4});
+  double hv_st = HypervolumeIndex(s, t);
+  double hv_ts = HypervolumeIndex(t, s);
+  // Π s = 27 * 3125 = 84375; Π min = 27 * 1024 = 27648;
+  // Π t = 65536; Π min identical.
+  EXPECT_DOUBLE_EQ(hv_st, 84375.0 - 27648.0);
+  EXPECT_DOUBLE_EQ(hv_ts, 65536.0 - 27648.0);
+  EXPECT_GT(hv_st, hv_ts);
+  EXPECT_TRUE(HypervolumeBetter(s, t));
+}
+
+TEST(HypervolumeIndexTest, Figure4TwoDimensional) {
+  // Region A = hv(D1, D2), region B = hv(D2, D1); D2 wins when B > A.
+  PropertyVector d1 = V({2, 5});
+  PropertyVector d2 = V({4, 3});
+  double region_a = HypervolumeIndex(d1, d2);  // 10 - 6 = 4.
+  double region_b = HypervolumeIndex(d2, d1);  // 12 - 6 = 6.
+  EXPECT_DOUBLE_EQ(region_a, 4.0);
+  EXPECT_DOUBLE_EQ(region_b, 6.0);
+  EXPECT_TRUE(HypervolumeBetter(d2, d1));
+}
+
+TEST(HypervolumeIndexTest, ZeroImpliesDominated) {
+  // P_hv(D1,D2) = 0 => D2 ⪰ D1.
+  PropertyVector d1 = V({2, 3});
+  PropertyVector d2 = V({3, 3});
+  EXPECT_DOUBLE_EQ(HypervolumeIndex(d1, d2), 0.0);
+  EXPECT_TRUE(WeaklyDominates(d2, d1));
+  EXPECT_DOUBLE_EQ(DominatedHypervolume(d1), 6.0);
+}
+
+TEST(StandardUnaryIndicesTest, BatteryShape) {
+  std::vector<UnaryIndex> plain = StandardUnaryIndices();
+  EXPECT_EQ(plain.size(), 5u);
+  std::vector<UnaryIndex> with_rank = StandardUnaryIndices(V({9, 9}));
+  EXPECT_EQ(with_rank.size(), 6u);
+  EXPECT_EQ(with_rank.back().name, "neg-rank");
+  // neg-rank is higher for vectors closer to d_max.
+  EXPECT_GT(with_rank.back().fn(V({9, 8})), with_rank.back().fn(V({1, 1})));
+}
+
+TEST(NamedBinaryIndicesTest, MatchFreeFunctions) {
+  PropertyVector a = V({2, 3});
+  PropertyVector b = V({3, 2});
+  EXPECT_DOUBLE_EQ(MakeCoverageIndex().fn(a, b), CoverageIndex(a, b));
+  EXPECT_DOUBLE_EQ(MakeSpreadIndex().fn(a, b), SpreadIndex(a, b));
+  EXPECT_DOUBLE_EQ(MakeHypervolumeIndex().fn(a, b), HypervolumeIndex(a, b));
+}
+
+}  // namespace
+}  // namespace mdc

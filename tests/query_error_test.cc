@@ -1,0 +1,174 @@
+// Tests for utility/query_error.h.
+
+#include "utility/query_error.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anonymize/mondrian.h"
+#include "datagen/census_generator.h"
+#include "paper/paper_data.h"
+
+namespace mdc {
+namespace {
+
+TEST(TrueCountTest, ExactOnPaperData) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  RangeQuery query;
+  query.numeric_column = paper::kAgeColumn;
+  query.lo = 25;
+  query.hi = 45;
+  // Ages in [25,45]: 28, 41, 39, 26, 31, 42 -> 6.
+  EXPECT_DOUBLE_EQ(TrueCount(**data, query), 6.0);
+  query.categorical_column = paper::kMaritalColumn;
+  query.categorical_value = "Separated";
+  // Separated with age in [25,45]: rows 2 (41) and 9 (42).
+  EXPECT_DOUBLE_EQ(TrueCount(**data, query), 2.0);
+}
+
+TEST(EstimatedCountTest, IdentityReleaseIsExact) {
+  // Classes of size 1 (no generalization) answer exactly.
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  auto scheme = GeneralizationScheme::Create(*hierarchies, {0, 0, 0});
+  ASSERT_TRUE(scheme.ok());
+  auto anon = Generalizer::Apply(*data, *scheme);
+  ASSERT_TRUE(anon.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*anon);
+  RangeQuery query;
+  query.numeric_column = paper::kAgeColumn;
+  query.lo = 25;
+  query.hi = 45;
+  auto estimate = EstimatedCount(*anon, partition, query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 6.0);
+}
+
+TEST(EstimatedCountTest, FullRangeQueryCountsEverything) {
+  auto t3b = paper::MakeT3b();
+  ASSERT_TRUE(t3b.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*t3b);
+  RangeQuery query;
+  query.numeric_column = paper::kAgeColumn;
+  query.lo = 0;
+  query.hi = 100;
+  auto estimate = EstimatedCount(*t3b, partition, query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 10.0);
+}
+
+TEST(EstimatedCountTest, CoarserReleaseLessAccurate) {
+  // Compare a fine release (T3a) and a coarse one (T4) on a narrow query.
+  auto t3a = paper::MakeT3a();
+  auto t4 = paper::MakeT4();
+  ASSERT_TRUE(t3a.ok());
+  ASSERT_TRUE(t4.ok());
+  EquivalencePartition part_a =
+      EquivalencePartition::FromAnonymization(*t3a);
+  EquivalencePartition part_4 =
+      EquivalencePartition::FromAnonymization(*t4);
+  RangeQuery query;
+  query.numeric_column = paper::kAgeColumn;
+  query.lo = 39;
+  query.hi = 42;  // True count 3 (39, 41, 42).
+  double truth = TrueCount(*t3a->original, query);
+  EXPECT_DOUBLE_EQ(truth, 3.0);
+  auto est_a = EstimatedCount(*t3a, part_a, query);
+  auto est_4 = EstimatedCount(*t4, part_4, query);
+  ASSERT_TRUE(est_a.ok());
+  ASSERT_TRUE(est_4.ok());
+  EXPECT_LE(std::abs(*est_a - truth), std::abs(*est_4 - truth) + 1e-9);
+}
+
+TEST(QueryWorkloadTest, RandomWorkloadShapes) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  Rng rng(5);
+  auto workload = QueryWorkload::Random(**data, paper::kAgeColumn,
+                                        paper::kMaritalColumn, 50, 0.3, rng);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->queries().size(), 50u);
+  auto range = (*data)->NumericRange(paper::kAgeColumn);
+  ASSERT_TRUE(range.ok());
+  for (const RangeQuery& query : workload->queries()) {
+    EXPECT_GE(query.lo, range->first - 1e-9);
+    EXPECT_LE(query.hi, range->second + 1e-9);
+    EXPECT_NEAR(query.hi - query.lo, 0.3 * (range->second - range->first),
+                1e-9);
+    ASSERT_TRUE(query.categorical_column.has_value());
+    EXPECT_FALSE(query.categorical_value.empty());
+  }
+}
+
+TEST(QueryWorkloadTest, Validation) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  Rng rng(5);
+  EXPECT_FALSE(QueryWorkload::Random(**data, paper::kAgeColumn,
+                                     std::nullopt, 0, 0.3, rng)
+                   .ok());
+  EXPECT_FALSE(QueryWorkload::Random(**data, paper::kAgeColumn,
+                                     std::nullopt, 10, 0.0, rng)
+                   .ok());
+  EXPECT_FALSE(QueryWorkload::Random(**data, paper::kAgeColumn,
+                                     paper::kAgeColumn, 10, 0.3, rng)
+                   .ok());  // Numeric column as categorical predicate.
+}
+
+TEST(EvaluateWorkloadTest, FinerReleaseHasLowerError) {
+  CensusConfig census_config;
+  census_config.rows = 400;
+  census_config.seed = 17;
+  census_config.with_occupation = false;
+  auto census = GenerateCensus(census_config);
+  ASSERT_TRUE(census.ok());
+  Rng rng(11);
+  auto workload = QueryWorkload::Random(*census->data, 0, std::nullopt, 100,
+                                        0.2, rng);
+  ASSERT_TRUE(workload.ok());
+
+  MondrianConfig fine_config;
+  fine_config.k = 3;
+  MondrianConfig coarse_config;
+  coarse_config.k = 40;
+  auto fine = MondrianAnonymize(census->data, fine_config);
+  auto coarse = MondrianAnonymize(census->data, coarse_config);
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  auto fine_report =
+      EvaluateWorkload(fine->anonymization, fine->partition, *workload);
+  auto coarse_report = EvaluateWorkload(coarse->anonymization,
+                                        coarse->partition, *workload);
+  ASSERT_TRUE(fine_report.ok());
+  ASSERT_TRUE(coarse_report.ok());
+  EXPECT_GT(fine_report->evaluated_queries, 0u);
+  EXPECT_LE(fine_report->mean_relative_error,
+            coarse_report->mean_relative_error + 1e-9);
+}
+
+TEST(EvaluateWorkloadTest, ZeroTruthQueriesSkipped) {
+  auto t3a = paper::MakeT3a();
+  ASSERT_TRUE(t3a.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*t3a);
+  // A workload guaranteed to miss: manually built query outside the data.
+  QueryWorkload workload;
+  (void)workload;  // Random() is the only constructor; evaluate directly.
+  RangeQuery query;
+  query.numeric_column = paper::kAgeColumn;
+  query.lo = 90;
+  query.hi = 99;
+  EXPECT_DOUBLE_EQ(TrueCount(*t3a->original, query), 0.0);
+  auto estimate = EstimatedCount(*t3a, partition, query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,98 @@
+// Tests for core/r_property.h (Definition 2 as API).
+
+#include "core/r_property.h"
+
+#include <gtest/gtest.h>
+
+#include "core/multi_property.h"
+#include "core/quality_index.h"
+#include "paper/paper_data.h"
+
+namespace mdc {
+namespace {
+
+struct Fixture {
+  Anonymization anonymization;
+  EquivalencePartition partition;
+};
+
+Fixture Make(StatusOr<Anonymization> (*factory)()) {
+  auto anon = factory();
+  MDC_CHECK(anon.ok());
+  EquivalencePartition partition =
+      EquivalencePartition::FromAnonymization(*anon);
+  return Fixture{std::move(anon).value(), std::move(partition)};
+}
+
+TEST(RPropertyTest, StandardExtractorsInduceThreeProperties) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  auto properties =
+      InduceProperties(t3a.anonymization, t3a.partition,
+                       StandardExtractors(paper::kMaritalColumn));
+  ASSERT_TRUE(properties.ok()) << properties.status().ToString();
+  ASSERT_EQ(properties->size(), 3u);  // A 3-property anonymization.
+  EXPECT_EQ((*properties)[0], paper::ExpectedClassSizesT3a());
+  // Sensitive rarity is the negated §3 count vector.
+  EXPECT_EQ((*properties)[1],
+            paper::ExpectedSensitiveCountsT3a().Negated("x"));
+  for (const PropertyVector& property : *properties) {
+    EXPECT_EQ(property.size(), 10u);
+  }
+}
+
+TEST(RPropertyTest, InducedSetsFeedMultiPropertyComparators) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  Fixture t3b = Make(&paper::MakeT3b);
+  std::vector<PropertyExtractor> extractors = {ClassSizeExtractor(),
+                                               UtilityExtractor()};
+  auto set_a =
+      InduceProperties(t3a.anonymization, t3a.partition, extractors);
+  auto set_b =
+      InduceProperties(t3b.anonymization, t3b.partition, extractors);
+  ASSERT_TRUE(set_a.ok());
+  ASSERT_TRUE(set_b.ok());
+  auto wtd = WtdIndex(*set_a, *set_b, {0.5, 0.5}, {MakeCoverageIndex()});
+  ASSERT_TRUE(wtd.ok());
+  EXPECT_DOUBLE_EQ(*wtd, 0.65);  // The §5.5 tie, via the Def-2 API.
+}
+
+TEST(RPropertyTest, LinkagePrivacyExtractor) {
+  Fixture t3b = Make(&paper::MakeT3b);
+  auto properties = InduceProperties(t3b.anonymization, t3b.partition,
+                                     {LinkagePrivacyExtractor()});
+  ASSERT_TRUE(properties.ok());
+  // 1 - 1/3 for the small class, 1 - 1/7 for the big one.
+  EXPECT_NEAR((*properties)[0][0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR((*properties)[0][1], 6.0 / 7.0, 1e-12);
+}
+
+TEST(RPropertyTest, SensitiveColumnErrorsPropagate) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  // The paper schema has no kSensitive role; the default-resolving
+  // extractor must fail loudly, not silently skip.
+  auto properties = InduceProperties(t3a.anonymization, t3a.partition,
+                                     {SensitiveRarityExtractor()});
+  EXPECT_FALSE(properties.ok());
+}
+
+TEST(RPropertyTest, EmptyExtractorListRejected) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  EXPECT_FALSE(InduceProperties(t3a.anonymization, t3a.partition, {}).ok());
+}
+
+TEST(RPropertyTest, WrongSizedExtractorCaught) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  PropertyExtractor broken{
+      "broken",
+      [](const Anonymization&, const EquivalencePartition&)
+          -> StatusOr<PropertyVector> {
+        return PropertyVector("broken", {1.0});
+      }};
+  auto properties =
+      InduceProperties(t3a.anonymization, t3a.partition, {broken});
+  ASSERT_FALSE(properties.ok());
+  EXPECT_EQ(properties.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,118 @@
+// Robustness / fuzz-style tests: seeded random and adversarial inputs must
+// produce clean Status errors, never crashes or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "hierarchy/interval_hierarchy.h"
+#include "hierarchy/spec_parser.h"
+#include "table/dataset.h"
+
+namespace mdc {
+namespace {
+
+Schema SimpleSchema() {
+  auto schema = Schema::Create({
+      {"zip", AttributeType::kString, AttributeRole::kQuasiIdentifier},
+      {"age", AttributeType::kInt, AttributeRole::kQuasiIdentifier},
+  });
+  MDC_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+std::string RandomText(Rng& rng, size_t length) {
+  static constexpr char kAlphabet[] =
+      "abcxyz0189,\"\n\r |@.-#<>()[]{}*end column edge";
+  std::string text;
+  text.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    text += kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+  }
+  return text;
+}
+
+TEST(RobustnessTest, CsvParserNeverCrashesOnGarbage) {
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage = RandomText(rng, 1 + rng.NextBelow(200));
+    auto parsed = ParseCsv(garbage);  // ok() or clean error; no crash.
+    if (parsed.ok()) {
+      // Whatever parsed must re-serialize and re-parse to itself.
+      auto round = ParseCsv(WriteCsv(*parsed));
+      ASSERT_TRUE(round.ok());
+      EXPECT_EQ(*round, *parsed);
+    }
+  }
+}
+
+TEST(RobustnessTest, CsvRoundTripOnRandomFields) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::vector<std::string>> rows;
+    size_t row_count = 1 + rng.NextBelow(5);
+    size_t column_count = 1 + rng.NextBelow(4);
+    for (size_t r = 0; r < row_count; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < column_count; ++c) {
+        row.push_back(RandomText(rng, rng.NextBelow(12)));
+      }
+      rows.push_back(std::move(row));
+    }
+    auto parsed = ParseCsv(WriteCsv(rows));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, rows);
+  }
+}
+
+TEST(RobustnessTest, SpecParserNeverCrashesOnGarbage) {
+  Schema schema = SimpleSchema();
+  Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage = RandomText(rng, 1 + rng.NextBelow(300));
+    auto parsed = ParseHierarchySpec(schema, garbage);
+    (void)parsed;  // ok() or error — either is fine; crashing is not.
+  }
+}
+
+TEST(RobustnessTest, DatasetFromCsvRejectsRaggedRows) {
+  Schema schema = SimpleSchema();
+  EXPECT_FALSE(Dataset::FromCsv(schema, "zip,age\nx\n").ok());
+  EXPECT_FALSE(Dataset::FromCsv(schema, "zip,age\nx,1,extra\n").ok());
+  EXPECT_FALSE(Dataset::FromCsv(schema, "zip\nx\n").ok());
+}
+
+TEST(RobustnessTest, IntervalLabelParserOnGarbage) {
+  Rng rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage = RandomText(rng, rng.NextBelow(20));
+    auto interval = Interval::FromLabel(garbage);
+    if (interval.has_value()) {
+      EXPECT_LT(interval->lo, interval->hi);  // Any accept must be sane.
+    }
+  }
+}
+
+TEST(RobustnessTest, ValueParseExtremes) {
+  EXPECT_FALSE(Value::Parse("9223372036854775808", AttributeType::kInt)
+                   .ok());  // INT64_MAX + 1.
+  auto min = Value::Parse("-9223372036854775808", AttributeType::kInt);
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min->AsInt(), INT64_MIN);
+  EXPECT_FALSE(Value::Parse("1e999", AttributeType::kReal).ok());
+  auto tiny = Value::Parse("1e-300", AttributeType::kReal);
+  EXPECT_TRUE(tiny.ok());
+}
+
+TEST(RobustnessTest, EmptyDatasetOperations) {
+  Dataset empty(SimpleSchema());
+  EXPECT_EQ(empty.row_count(), 0u);
+  EXPECT_TRUE(empty.DistinctValues(0).empty());
+  EXPECT_FALSE(empty.NumericRange(1).ok());
+  EXPECT_NE(empty.ToCsv().find("zip,age"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdc

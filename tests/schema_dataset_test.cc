@@ -1,0 +1,160 @@
+// Tests for table/schema.h and table/dataset.h.
+
+#include <gtest/gtest.h>
+
+#include "table/dataset.h"
+#include "table/schema.h"
+
+namespace mdc {
+namespace {
+
+Schema TestSchema() {
+  auto schema = Schema::Create({
+      {"zip", AttributeType::kString, AttributeRole::kQuasiIdentifier},
+      {"age", AttributeType::kInt, AttributeRole::kQuasiIdentifier},
+      {"disease", AttributeType::kString, AttributeRole::kSensitive},
+      {"note", AttributeType::kString, AttributeRole::kInsensitive},
+  });
+  MDC_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto schema = Schema::Create({{"a", AttributeType::kInt},
+                                {"a", AttributeType::kInt}});
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto schema = Schema::Create({{"", AttributeType::kInt}});
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema = TestSchema();
+  auto idx = schema.IndexOf("age");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(schema.IndexOf("nope").ok());
+}
+
+TEST(SchemaTest, RoleQueries) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.QuasiIdentifierIndices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(schema.SensitiveIndices(), (std::vector<size_t>{2}));
+  EXPECT_EQ(schema.IndicesWithRole(AttributeRole::kInsensitive),
+            (std::vector<size_t>{3}));
+  EXPECT_TRUE(schema.IndicesWithRole(AttributeRole::kIdentifier).empty());
+}
+
+TEST(SchemaTest, RoleNames) {
+  EXPECT_STREQ(AttributeRoleName(AttributeRole::kQuasiIdentifier),
+               "quasi-identifier");
+  EXPECT_STREQ(AttributeRoleName(AttributeRole::kSensitive), "sensitive");
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset data(TestSchema());
+  ASSERT_TRUE(data.AppendRow({Value("13053"), Value(int64_t{28}),
+                              Value("Flu"), Value("n1")})
+                  .ok());
+  EXPECT_EQ(data.row_count(), 1u);
+  EXPECT_EQ(data.cell(0, 0).AsString(), "13053");
+  EXPECT_EQ(data.cell(0, 1).AsInt(), 28);
+}
+
+TEST(DatasetTest, RejectsWrongArity) {
+  Dataset data(TestSchema());
+  EXPECT_FALSE(data.AppendRow({Value("13053")}).ok());
+}
+
+TEST(DatasetTest, RejectsWrongType) {
+  Dataset data(TestSchema());
+  EXPECT_FALSE(data.AppendRow({Value("13053"), Value("not-an-int"),
+                               Value("Flu"), Value("n")})
+                   .ok());
+}
+
+TEST(DatasetTest, SetCell) {
+  Dataset data(TestSchema());
+  ASSERT_TRUE(data.AppendRow({Value("13053"), Value(int64_t{28}),
+                              Value("Flu"), Value("n")})
+                  .ok());
+  data.set_cell(0, 1, Value(int64_t{30}));
+  EXPECT_EQ(data.cell(0, 1).AsInt(), 30);
+}
+
+TEST(DatasetTest, ColumnAndDistinct) {
+  Dataset data(TestSchema());
+  for (int64_t age : {30, 20, 30, 40}) {
+    ASSERT_TRUE(data.AppendRow({Value("1"), Value(age), Value("d"),
+                                Value("n")})
+                    .ok());
+  }
+  EXPECT_EQ(data.Column(1).size(), 4u);
+  std::vector<Value> distinct = data.DistinctValues(1);
+  ASSERT_EQ(distinct.size(), 3u);
+  EXPECT_EQ(distinct[0].AsInt(), 20);
+  EXPECT_EQ(distinct[2].AsInt(), 40);
+}
+
+TEST(DatasetTest, NumericRange) {
+  Dataset data(TestSchema());
+  for (int64_t age : {30, 20, 45}) {
+    ASSERT_TRUE(data.AppendRow({Value("1"), Value(age), Value("d"),
+                                Value("n")})
+                    .ok());
+  }
+  auto range = data.NumericRange(1);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->first, 20.0);
+  EXPECT_DOUBLE_EQ(range->second, 45.0);
+}
+
+TEST(DatasetTest, NumericRangeErrors) {
+  Dataset data(TestSchema());
+  EXPECT_EQ(data.NumericRange(1).status().code(),
+            StatusCode::kFailedPrecondition);  // Empty.
+  ASSERT_TRUE(data.AppendRow({Value("1"), Value(int64_t{5}), Value("d"),
+                              Value("n")})
+                  .ok());
+  EXPECT_EQ(data.NumericRange(0).status().code(),
+            StatusCode::kInvalidArgument);  // String column.
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset data(TestSchema());
+  ASSERT_TRUE(data.AppendRow({Value("13053"), Value(int64_t{28}),
+                              Value("Flu"), Value("has, comma")})
+                  .ok());
+  std::string csv = data.ToCsv();
+  auto parsed = Dataset::FromCsv(TestSchema(), csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->row_count(), 1u);
+  EXPECT_EQ(parsed->cell(0, 3).AsString(), "has, comma");
+  EXPECT_EQ(parsed->cell(0, 1).AsInt(), 28);
+}
+
+TEST(DatasetTest, FromCsvValidatesHeader) {
+  EXPECT_FALSE(Dataset::FromCsv(TestSchema(), "a,b,c,d\n").ok());
+  EXPECT_FALSE(Dataset::FromCsv(TestSchema(), "").ok());
+}
+
+TEST(DatasetTest, FromCsvValidatesCells) {
+  std::string bad = "zip,age,disease,note\nx,notanumber,d,n\n";
+  EXPECT_FALSE(Dataset::FromCsv(TestSchema(), bad).ok());
+}
+
+TEST(DatasetTest, ToTextContainsHeaderAndRows) {
+  Dataset data(TestSchema());
+  ASSERT_TRUE(data.AppendRow({Value("13053"), Value(int64_t{28}),
+                              Value("Flu"), Value("n")})
+                  .ok());
+  std::string text = data.ToText();
+  EXPECT_NE(text.find("zip"), std::string::npos);
+  EXPECT_NE(text.find("13053"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdc

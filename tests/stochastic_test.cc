@@ -1,0 +1,116 @@
+// Tests for anonymize/stochastic.h.
+
+#include "anonymize/stochastic.h"
+
+#include <gtest/gtest.h>
+
+#include "anonymize/optimal_lattice.h"
+#include "paper/paper_data.h"
+#include "privacy/k_anonymity.h"
+#include "utility/loss_metric.h"
+
+namespace mdc {
+namespace {
+
+LossFn LmLoss() {
+  return [](const Anonymization& anon, const EquivalencePartition&) {
+    auto loss = LossMetric::TotalLoss(anon);
+    MDC_CHECK(loss.ok());
+    return *loss;
+  };
+}
+
+TEST(StochasticTest, FindsFeasibleNode) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  StochasticConfig config;
+  config.k = 3;
+  config.seed = 99;
+  auto result = StochasticAnonymize(*data, *hierarchies, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->best.feasible);
+  EXPECT_TRUE(KAnonymity(3).Satisfies(result->best.anonymization,
+                                      result->best.partition));
+}
+
+TEST(StochasticTest, DeterministicBySeed) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  StochasticConfig config;
+  config.k = 2;
+  config.seed = 1234;
+  auto a = StochasticAnonymize(*data, *hierarchies, config);
+  auto b = StochasticAnonymize(*data, *hierarchies, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->best_node, b->best_node);
+  EXPECT_DOUBLE_EQ(a->best_loss, b->best_loss);
+}
+
+TEST(StochasticTest, EnoughRestartsReachOptimum) {
+  // The paper-data lattice is tiny (6*4*3 = 72 nodes); with generous
+  // restarts the stochastic search should match the exact optimum.
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+
+  OptimalSearchConfig optimal_config;
+  optimal_config.k = 3;
+  auto optimal =
+      OptimalLatticeSearch(*data, *hierarchies, optimal_config, LmLoss());
+  ASSERT_TRUE(optimal.ok());
+
+  StochasticConfig config;
+  config.k = 3;
+  config.seed = 7;
+  config.restarts = 24;
+  auto result = StochasticAnonymize(*data, *hierarchies, config, LmLoss());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->best_loss, optimal->best_loss, 1e-9);
+}
+
+TEST(StochasticTest, CacheBoundsEvaluations) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  StochasticConfig config;
+  config.k = 2;
+  config.restarts = 50;  // Way more restarts than lattice nodes.
+  auto result = StochasticAnonymize(*data, *hierarchies, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->nodes_evaluated, 72u);  // Memoized: at most the lattice.
+}
+
+TEST(StochasticTest, InvalidConfigRejected) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  StochasticConfig config;
+  config.k = 0;
+  EXPECT_FALSE(StochasticAnonymize(*data, *hierarchies, config).ok());
+  config.k = 2;
+  config.restarts = 0;
+  EXPECT_FALSE(StochasticAnonymize(*data, *hierarchies, config).ok());
+}
+
+TEST(StochasticTest, InfeasibleDetected) {
+  auto data = paper::Table1();
+  ASSERT_TRUE(data.ok());
+  auto hierarchies = paper::HierarchySetA();
+  ASSERT_TRUE(hierarchies.ok());
+  StochasticConfig config;
+  config.k = 11;
+  auto result = StochasticAnonymize(*data, *hierarchies, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace mdc

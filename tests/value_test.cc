@@ -1,0 +1,88 @@
+// Tests for table/value.h.
+
+#include "table/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace mdc {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(2.5).is_real());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_FALSE(Value("x").is_int());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value("zip").AsString(), "zip");
+}
+
+TEST(ValueTest, AsNumberBridgesIntAndReal) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).AsNumber(), 1.5);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(int64_t{28}).ToString(), "28");
+  EXPECT_EQ(Value(3.4).ToString(), "3.4");
+  EXPECT_EQ(Value(3.0).ToString(), "3");
+  EXPECT_EQ(Value("CF-Spouse").ToString(), "CF-Spouse");
+}
+
+TEST(ValueTest, EqualityIsTypeSensitive) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_EQ(Value("a"), Value("a"));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(1.0), Value(2.0));
+}
+
+TEST(ValueTest, ParseInt) {
+  auto v = Value::Parse("28", AttributeType::kInt);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 28);
+  EXPECT_FALSE(Value::Parse("28x", AttributeType::kInt).ok());
+}
+
+TEST(ValueTest, ParseReal) {
+  auto v = Value::Parse("3.25", AttributeType::kReal);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsReal(), 3.25);
+  EXPECT_FALSE(Value::Parse("", AttributeType::kReal).ok());
+}
+
+TEST(ValueTest, ParseStringAlwaysSucceeds) {
+  auto v = Value::Parse("anything at all", AttributeType::kString);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "anything at all");
+}
+
+TEST(ValueTest, HashDistinguishesTypes) {
+  // Hash(1) as int and "1" as string should (almost surely) differ; at
+  // minimum the hash must be usable in unordered containers.
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(int64_t{1}));
+  set.insert(Value("1"));
+  set.insert(Value(1.0));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(Value(int64_t{1})));
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace mdc
