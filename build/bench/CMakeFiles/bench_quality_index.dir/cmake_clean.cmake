@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quality_index.dir/bench_quality_index.cc.o"
+  "CMakeFiles/bench_quality_index.dir/bench_quality_index.cc.o.d"
+  "bench_quality_index"
+  "bench_quality_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quality_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_algorithm_comparison.dir/repro_algorithm_comparison.cc.o"
+  "CMakeFiles/repro_algorithm_comparison.dir/repro_algorithm_comparison.cc.o.d"
+  "repro_algorithm_comparison"
+  "repro_algorithm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_algorithm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

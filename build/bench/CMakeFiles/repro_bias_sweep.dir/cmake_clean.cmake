@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_bias_sweep.dir/repro_bias_sweep.cc.o"
+  "CMakeFiles/repro_bias_sweep.dir/repro_bias_sweep.cc.o.d"
+  "repro_bias_sweep"
+  "repro_bias_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_bias_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

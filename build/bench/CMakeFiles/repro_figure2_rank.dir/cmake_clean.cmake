@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_figure2_rank.dir/repro_figure2_rank.cc.o"
+  "CMakeFiles/repro_figure2_rank.dir/repro_figure2_rank.cc.o.d"
+  "repro_figure2_rank"
+  "repro_figure2_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_figure2_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_figure3_cov_spr.dir/repro_figure3_cov_spr.cc.o"
+  "CMakeFiles/repro_figure3_cov_spr.dir/repro_figure3_cov_spr.cc.o.d"
+  "repro_figure3_cov_spr"
+  "repro_figure3_cov_spr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_figure3_cov_spr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

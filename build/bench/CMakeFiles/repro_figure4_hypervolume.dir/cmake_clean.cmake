@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_figure4_hypervolume.dir/repro_figure4_hypervolume.cc.o"
+  "CMakeFiles/repro_figure4_hypervolume.dir/repro_figure4_hypervolume.cc.o.d"
+  "repro_figure4_hypervolume"
+  "repro_figure4_hypervolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_figure4_hypervolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

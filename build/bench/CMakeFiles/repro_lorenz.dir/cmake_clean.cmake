@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_lorenz.dir/repro_lorenz.cc.o"
+  "CMakeFiles/repro_lorenz.dir/repro_lorenz.cc.o.d"
+  "repro_lorenz"
+  "repro_lorenz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_lorenz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pareto_front.dir/repro_pareto_front.cc.o"
+  "CMakeFiles/repro_pareto_front.dir/repro_pareto_front.cc.o.d"
+  "repro_pareto_front"
+  "repro_pareto_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pareto_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

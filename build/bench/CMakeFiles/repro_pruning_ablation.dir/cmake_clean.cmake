@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pruning_ablation.dir/repro_pruning_ablation.cc.o"
+  "CMakeFiles/repro_pruning_ablation.dir/repro_pruning_ablation.cc.o.d"
+  "repro_pruning_ablation"
+  "repro_pruning_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pruning_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_query_error.dir/repro_query_error.cc.o"
+  "CMakeFiles/repro_query_error.dir/repro_query_error.cc.o.d"
+  "repro_query_error"
+  "repro_query_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_query_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

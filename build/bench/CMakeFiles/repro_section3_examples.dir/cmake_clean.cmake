@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_section3_examples.dir/repro_section3_examples.cc.o"
+  "CMakeFiles/repro_section3_examples.dir/repro_section3_examples.cc.o.d"
+  "repro_section3_examples"
+  "repro_section3_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_section3_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

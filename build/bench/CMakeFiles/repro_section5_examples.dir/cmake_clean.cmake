@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_section5_examples.dir/repro_section5_examples.cc.o"
+  "CMakeFiles/repro_section5_examples.dir/repro_section5_examples.cc.o.d"
+  "repro_section5_examples"
+  "repro_section5_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_section5_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table4_dominance.dir/repro_table4_dominance.cc.o"
+  "CMakeFiles/repro_table4_dominance.dir/repro_table4_dominance.cc.o.d"
+  "repro_table4_dominance"
+  "repro_table4_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table4_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_theorem1.dir/repro_theorem1.cc.o"
+  "CMakeFiles/repro_theorem1.dir/repro_theorem1.cc.o.d"
+  "repro_theorem1"
+  "repro_theorem1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_theorem1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bias_audit.dir/bias_audit.cpp.o"
+  "CMakeFiles/example_bias_audit.dir/bias_audit.cpp.o.d"
+  "example_bias_audit"
+  "example_bias_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bias_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_census_comparison.dir/census_comparison.cpp.o"
+  "CMakeFiles/example_census_comparison.dir/census_comparison.cpp.o.d"
+  "example_census_comparison"
+  "example_census_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_census_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mdc_cli.dir/mdc_cli.cpp.o"
+  "CMakeFiles/example_mdc_cli.dir/mdc_cli.cpp.o.d"
+  "example_mdc_cli"
+  "example_mdc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mdc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_property_tradeoff.dir/multi_property_tradeoff.cpp.o"
+  "CMakeFiles/example_multi_property_tradeoff.dir/multi_property_tradeoff.cpp.o.d"
+  "example_multi_property_tradeoff"
+  "example_multi_property_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_property_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

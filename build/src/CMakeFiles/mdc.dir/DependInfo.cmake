@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anonymize/clustering.cc" "src/CMakeFiles/mdc.dir/anonymize/clustering.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/clustering.cc.o.d"
+  "/root/repo/src/anonymize/datafly.cc" "src/CMakeFiles/mdc.dir/anonymize/datafly.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/datafly.cc.o.d"
+  "/root/repo/src/anonymize/equivalence.cc" "src/CMakeFiles/mdc.dir/anonymize/equivalence.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/equivalence.cc.o.d"
+  "/root/repo/src/anonymize/full_domain.cc" "src/CMakeFiles/mdc.dir/anonymize/full_domain.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/full_domain.cc.o.d"
+  "/root/repo/src/anonymize/generalizer.cc" "src/CMakeFiles/mdc.dir/anonymize/generalizer.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/generalizer.cc.o.d"
+  "/root/repo/src/anonymize/incognito.cc" "src/CMakeFiles/mdc.dir/anonymize/incognito.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/incognito.cc.o.d"
+  "/root/repo/src/anonymize/mondrian.cc" "src/CMakeFiles/mdc.dir/anonymize/mondrian.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/mondrian.cc.o.d"
+  "/root/repo/src/anonymize/optimal_lattice.cc" "src/CMakeFiles/mdc.dir/anonymize/optimal_lattice.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/optimal_lattice.cc.o.d"
+  "/root/repo/src/anonymize/pareto_lattice.cc" "src/CMakeFiles/mdc.dir/anonymize/pareto_lattice.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/pareto_lattice.cc.o.d"
+  "/root/repo/src/anonymize/samarati.cc" "src/CMakeFiles/mdc.dir/anonymize/samarati.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/samarati.cc.o.d"
+  "/root/repo/src/anonymize/stochastic.cc" "src/CMakeFiles/mdc.dir/anonymize/stochastic.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/stochastic.cc.o.d"
+  "/root/repo/src/anonymize/top_down.cc" "src/CMakeFiles/mdc.dir/anonymize/top_down.cc.o" "gcc" "src/CMakeFiles/mdc.dir/anonymize/top_down.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/mdc.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/mdc.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mdc.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mdc.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mdc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mdc.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/mdc.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/mdc.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/text_table.cc" "src/CMakeFiles/mdc.dir/common/text_table.cc.o" "gcc" "src/CMakeFiles/mdc.dir/common/text_table.cc.o.d"
+  "/root/repo/src/core/bias.cc" "src/CMakeFiles/mdc.dir/core/bias.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/bias.cc.o.d"
+  "/root/repo/src/core/comparator.cc" "src/CMakeFiles/mdc.dir/core/comparator.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/comparator.cc.o.d"
+  "/root/repo/src/core/dominance.cc" "src/CMakeFiles/mdc.dir/core/dominance.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/dominance.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/CMakeFiles/mdc.dir/core/export.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/export.cc.o.d"
+  "/root/repo/src/core/insufficiency.cc" "src/CMakeFiles/mdc.dir/core/insufficiency.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/insufficiency.cc.o.d"
+  "/root/repo/src/core/multi_property.cc" "src/CMakeFiles/mdc.dir/core/multi_property.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/multi_property.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "src/CMakeFiles/mdc.dir/core/pareto.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/pareto.cc.o.d"
+  "/root/repo/src/core/properties.cc" "src/CMakeFiles/mdc.dir/core/properties.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/properties.cc.o.d"
+  "/root/repo/src/core/property_vector.cc" "src/CMakeFiles/mdc.dir/core/property_vector.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/property_vector.cc.o.d"
+  "/root/repo/src/core/quality_index.cc" "src/CMakeFiles/mdc.dir/core/quality_index.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/quality_index.cc.o.d"
+  "/root/repo/src/core/r_property.cc" "src/CMakeFiles/mdc.dir/core/r_property.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/r_property.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/mdc.dir/core/report.cc.o" "gcc" "src/CMakeFiles/mdc.dir/core/report.cc.o.d"
+  "/root/repo/src/datagen/census_generator.cc" "src/CMakeFiles/mdc.dir/datagen/census_generator.cc.o" "gcc" "src/CMakeFiles/mdc.dir/datagen/census_generator.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy.cc" "src/CMakeFiles/mdc.dir/hierarchy/hierarchy.cc.o" "gcc" "src/CMakeFiles/mdc.dir/hierarchy/hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/interval_hierarchy.cc" "src/CMakeFiles/mdc.dir/hierarchy/interval_hierarchy.cc.o" "gcc" "src/CMakeFiles/mdc.dir/hierarchy/interval_hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/lattice.cc" "src/CMakeFiles/mdc.dir/hierarchy/lattice.cc.o" "gcc" "src/CMakeFiles/mdc.dir/hierarchy/lattice.cc.o.d"
+  "/root/repo/src/hierarchy/scheme.cc" "src/CMakeFiles/mdc.dir/hierarchy/scheme.cc.o" "gcc" "src/CMakeFiles/mdc.dir/hierarchy/scheme.cc.o.d"
+  "/root/repo/src/hierarchy/spec_parser.cc" "src/CMakeFiles/mdc.dir/hierarchy/spec_parser.cc.o" "gcc" "src/CMakeFiles/mdc.dir/hierarchy/spec_parser.cc.o.d"
+  "/root/repo/src/hierarchy/suffix_hierarchy.cc" "src/CMakeFiles/mdc.dir/hierarchy/suffix_hierarchy.cc.o" "gcc" "src/CMakeFiles/mdc.dir/hierarchy/suffix_hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/taxonomy_hierarchy.cc" "src/CMakeFiles/mdc.dir/hierarchy/taxonomy_hierarchy.cc.o" "gcc" "src/CMakeFiles/mdc.dir/hierarchy/taxonomy_hierarchy.cc.o.d"
+  "/root/repo/src/paper/paper_data.cc" "src/CMakeFiles/mdc.dir/paper/paper_data.cc.o" "gcc" "src/CMakeFiles/mdc.dir/paper/paper_data.cc.o.d"
+  "/root/repo/src/privacy/k_anonymity.cc" "src/CMakeFiles/mdc.dir/privacy/k_anonymity.cc.o" "gcc" "src/CMakeFiles/mdc.dir/privacy/k_anonymity.cc.o.d"
+  "/root/repo/src/privacy/l_diversity.cc" "src/CMakeFiles/mdc.dir/privacy/l_diversity.cc.o" "gcc" "src/CMakeFiles/mdc.dir/privacy/l_diversity.cc.o.d"
+  "/root/repo/src/privacy/p_sensitive.cc" "src/CMakeFiles/mdc.dir/privacy/p_sensitive.cc.o" "gcc" "src/CMakeFiles/mdc.dir/privacy/p_sensitive.cc.o.d"
+  "/root/repo/src/privacy/personalized.cc" "src/CMakeFiles/mdc.dir/privacy/personalized.cc.o" "gcc" "src/CMakeFiles/mdc.dir/privacy/personalized.cc.o.d"
+  "/root/repo/src/privacy/privacy_model.cc" "src/CMakeFiles/mdc.dir/privacy/privacy_model.cc.o" "gcc" "src/CMakeFiles/mdc.dir/privacy/privacy_model.cc.o.d"
+  "/root/repo/src/privacy/t_closeness.cc" "src/CMakeFiles/mdc.dir/privacy/t_closeness.cc.o" "gcc" "src/CMakeFiles/mdc.dir/privacy/t_closeness.cc.o.d"
+  "/root/repo/src/table/dataset.cc" "src/CMakeFiles/mdc.dir/table/dataset.cc.o" "gcc" "src/CMakeFiles/mdc.dir/table/dataset.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/CMakeFiles/mdc.dir/table/schema.cc.o" "gcc" "src/CMakeFiles/mdc.dir/table/schema.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/CMakeFiles/mdc.dir/table/value.cc.o" "gcc" "src/CMakeFiles/mdc.dir/table/value.cc.o.d"
+  "/root/repo/src/utility/avg_class_size.cc" "src/CMakeFiles/mdc.dir/utility/avg_class_size.cc.o" "gcc" "src/CMakeFiles/mdc.dir/utility/avg_class_size.cc.o.d"
+  "/root/repo/src/utility/discernibility.cc" "src/CMakeFiles/mdc.dir/utility/discernibility.cc.o" "gcc" "src/CMakeFiles/mdc.dir/utility/discernibility.cc.o.d"
+  "/root/repo/src/utility/entropy_loss.cc" "src/CMakeFiles/mdc.dir/utility/entropy_loss.cc.o" "gcc" "src/CMakeFiles/mdc.dir/utility/entropy_loss.cc.o.d"
+  "/root/repo/src/utility/loss_metric.cc" "src/CMakeFiles/mdc.dir/utility/loss_metric.cc.o" "gcc" "src/CMakeFiles/mdc.dir/utility/loss_metric.cc.o.d"
+  "/root/repo/src/utility/precision.cc" "src/CMakeFiles/mdc.dir/utility/precision.cc.o" "gcc" "src/CMakeFiles/mdc.dir/utility/precision.cc.o.d"
+  "/root/repo/src/utility/query_error.cc" "src/CMakeFiles/mdc.dir/utility/query_error.cc.o" "gcc" "src/CMakeFiles/mdc.dir/utility/query_error.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_generator_test.dir/census_generator_test.cc.o"
+  "CMakeFiles/census_generator_test.dir/census_generator_test.cc.o.d"
+  "census_generator_test"
+  "census_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

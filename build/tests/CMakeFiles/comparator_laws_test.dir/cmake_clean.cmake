@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparator_laws_test.dir/comparator_laws_test.cc.o"
+  "CMakeFiles/comparator_laws_test.dir/comparator_laws_test.cc.o.d"
+  "comparator_laws_test"
+  "comparator_laws_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparator_laws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

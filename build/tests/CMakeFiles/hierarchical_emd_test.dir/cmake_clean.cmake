@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_emd_test.dir/hierarchical_emd_test.cc.o"
+  "CMakeFiles/hierarchical_emd_test.dir/hierarchical_emd_test.cc.o.d"
+  "hierarchical_emd_test"
+  "hierarchical_emd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_emd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incognito_test.dir/incognito_test.cc.o"
+  "CMakeFiles/incognito_test.dir/incognito_test.cc.o.d"
+  "incognito_test"
+  "incognito_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incognito_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

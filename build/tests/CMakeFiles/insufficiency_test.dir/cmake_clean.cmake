@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insufficiency_test.dir/insufficiency_test.cc.o"
+  "CMakeFiles/insufficiency_test.dir/insufficiency_test.cc.o.d"
+  "insufficiency_test"
+  "insufficiency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insufficiency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_scheme_test.dir/lattice_scheme_test.cc.o"
+  "CMakeFiles/lattice_scheme_test.dir/lattice_scheme_test.cc.o.d"
+  "lattice_scheme_test"
+  "lattice_scheme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

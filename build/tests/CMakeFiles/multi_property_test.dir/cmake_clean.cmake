@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_property_test.dir/multi_property_test.cc.o"
+  "CMakeFiles/multi_property_test.dir/multi_property_test.cc.o.d"
+  "multi_property_test"
+  "multi_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

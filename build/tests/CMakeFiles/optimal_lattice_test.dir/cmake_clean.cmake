@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_lattice_test.dir/optimal_lattice_test.cc.o"
+  "CMakeFiles/optimal_lattice_test.dir/optimal_lattice_test.cc.o.d"
+  "optimal_lattice_test"
+  "optimal_lattice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

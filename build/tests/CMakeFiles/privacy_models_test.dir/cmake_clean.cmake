@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_models_test.dir/privacy_models_test.cc.o"
+  "CMakeFiles/privacy_models_test.dir/privacy_models_test.cc.o.d"
+  "privacy_models_test"
+  "privacy_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_based_test.dir/property_based_test.cc.o"
+  "CMakeFiles/property_based_test.dir/property_based_test.cc.o.d"
+  "property_based_test"
+  "property_based_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

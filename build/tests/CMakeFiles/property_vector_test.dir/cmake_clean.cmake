@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_vector_test.dir/property_vector_test.cc.o"
+  "CMakeFiles/property_vector_test.dir/property_vector_test.cc.o.d"
+  "property_vector_test"
+  "property_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

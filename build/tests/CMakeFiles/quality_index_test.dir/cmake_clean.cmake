@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_index_test.dir/quality_index_test.cc.o"
+  "CMakeFiles/quality_index_test.dir/quality_index_test.cc.o.d"
+  "quality_index_test"
+  "quality_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r_property_test.dir/r_property_test.cc.o"
+  "CMakeFiles/r_property_test.dir/r_property_test.cc.o.d"
+  "r_property_test"
+  "r_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

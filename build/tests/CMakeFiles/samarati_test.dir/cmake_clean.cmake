@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samarati_test.dir/samarati_test.cc.o"
+  "CMakeFiles/samarati_test.dir/samarati_test.cc.o.d"
+  "samarati_test"
+  "samarati_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samarati_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

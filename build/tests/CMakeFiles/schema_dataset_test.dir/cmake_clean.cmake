@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_dataset_test.dir/schema_dataset_test.cc.o"
+  "CMakeFiles/schema_dataset_test.dir/schema_dataset_test.cc.o.d"
+  "schema_dataset_test"
+  "schema_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

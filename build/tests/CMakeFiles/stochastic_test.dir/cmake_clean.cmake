@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stochastic_test.dir/stochastic_test.cc.o"
+  "CMakeFiles/stochastic_test.dir/stochastic_test.cc.o.d"
+  "stochastic_test"
+  "stochastic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stochastic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_closeness_test.dir/t_closeness_test.cc.o"
+  "CMakeFiles/t_closeness_test.dir/t_closeness_test.cc.o.d"
+  "t_closeness_test"
+  "t_closeness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_closeness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/top_down_test.dir/top_down_test.cc.o"
+  "CMakeFiles/top_down_test.dir/top_down_test.cc.o.d"
+  "top_down_test"
+  "top_down_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/top_down_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

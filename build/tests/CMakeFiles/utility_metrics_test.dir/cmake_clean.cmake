@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_metrics_test.dir/utility_metrics_test.cc.o"
+  "CMakeFiles/utility_metrics_test.dir/utility_metrics_test.cc.o.d"
+  "utility_metrics_test"
+  "utility_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
