@@ -35,23 +35,27 @@ struct NamedRelease {
   EquivalencePartition partition;
 };
 
-std::vector<NamedRelease> RunAll(const CensusData& census, int k) {
+std::vector<NamedRelease> RunAll(const CensusData& census, int k,
+                                 RunContext* run) {
   SuppressionBudget budget{0.02};
   std::vector<NamedRelease> releases;
 
   DataflyConfig datafly_config{k, budget};
   auto datafly =
-      DataflyAnonymize(census.data, census.hierarchies, datafly_config);
-  MDC_CHECK(datafly.ok());
-  releases.push_back({"datafly", std::move(datafly->evaluation.anonymization),
-                      std::move(datafly->evaluation.partition)});
+      DataflyAnonymize(census.data, census.hierarchies, datafly_config, run);
+  if (!repro::BudgetSkipped("datafly", datafly)) {
+    releases.push_back({"datafly",
+                        std::move(datafly->evaluation.anonymization),
+                        std::move(datafly->evaluation.partition)});
+  }
 
   SamaratiConfig samarati_config{k, budget};
-  auto samarati =
-      SamaratiAnonymize(census.data, census.hierarchies, samarati_config);
-  MDC_CHECK(samarati.ok());
-  releases.push_back({"samarati", std::move(samarati->best.anonymization),
-                      std::move(samarati->best.partition)});
+  auto samarati = SamaratiAnonymize(census.data, census.hierarchies,
+                                    samarati_config, ProxyLoss, run);
+  if (!repro::BudgetSkipped("samarati", samarati)) {
+    releases.push_back({"samarati", std::move(samarati->best.anonymization),
+                        std::move(samarati->best.partition)});
+  }
 
   OptimalSearchConfig optimal_config;
   optimal_config.k = k;
@@ -63,39 +67,45 @@ std::vector<NamedRelease> RunAll(const CensusData& census, int k) {
     return *loss;
   };
   auto optimal = OptimalLatticeSearch(census.data, census.hierarchies,
-                                      optimal_config, lm_loss);
-  MDC_CHECK(optimal.ok());
-  releases.push_back({"optimal", std::move(optimal->best.anonymization),
-                      std::move(optimal->best.partition)});
+                                      optimal_config, lm_loss, run);
+  if (!repro::BudgetSkipped("optimal", optimal)) {
+    releases.push_back({"optimal", std::move(optimal->best.anonymization),
+                        std::move(optimal->best.partition)});
+  }
 
   StochasticConfig stochastic_config;
   stochastic_config.k = k;
   stochastic_config.suppression = budget;
   stochastic_config.seed = 17;
   auto stochastic = StochasticAnonymize(census.data, census.hierarchies,
-                                        stochastic_config, lm_loss);
-  MDC_CHECK(stochastic.ok());
-  releases.push_back({"stochastic",
-                      std::move(stochastic->best.anonymization),
-                      std::move(stochastic->best.partition)});
+                                        stochastic_config, lm_loss, run);
+  if (!repro::BudgetSkipped("stochastic", stochastic)) {
+    releases.push_back({"stochastic",
+                        std::move(stochastic->best.anonymization),
+                        std::move(stochastic->best.partition)});
+  }
 
   GreedyWalkConfig walk_config{k, budget};
   auto tds = TopDownSpecialize(census.data, census.hierarchies, walk_config,
-                               lm_loss);
-  MDC_CHECK(tds.ok());
-  releases.push_back({"top-down", std::move(tds->evaluation.anonymization),
-                      std::move(tds->evaluation.partition)});
+                               lm_loss, run);
+  if (!repro::BudgetSkipped("top-down", tds)) {
+    releases.push_back({"top-down", std::move(tds->evaluation.anonymization),
+                        std::move(tds->evaluation.partition)});
+  }
   auto bug = BottomUpGeneralize(census.data, census.hierarchies, walk_config,
-                                lm_loss);
-  MDC_CHECK(bug.ok());
-  releases.push_back({"bottom-up", std::move(bug->evaluation.anonymization),
-                      std::move(bug->evaluation.partition)});
+                                lm_loss, run);
+  if (!repro::BudgetSkipped("bottom-up", bug)) {
+    releases.push_back({"bottom-up",
+                        std::move(bug->evaluation.anonymization),
+                        std::move(bug->evaluation.partition)});
+  }
 
   MondrianConfig mondrian_config{k};
-  auto mondrian = MondrianAnonymize(census.data, mondrian_config);
-  MDC_CHECK(mondrian.ok());
-  releases.push_back({"mondrian", std::move(mondrian->anonymization),
-                      std::move(mondrian->partition)});
+  auto mondrian = MondrianAnonymize(census.data, mondrian_config, run);
+  if (!repro::BudgetSkipped("mondrian", mondrian)) {
+    releases.push_back({"mondrian", std::move(mondrian->anonymization),
+                        std::move(mondrian->partition)});
+  }
   return releases;
 }
 
@@ -167,7 +177,10 @@ void VectorTables(const std::vector<NamedRelease>& releases) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  RunContext budget_storage;
+  RunContext* run = repro::ParseBudgetFlags(argc, argv, budget_storage);
+
   CensusConfig config;
   config.rows = 600;
   config.seed = 20260705;
@@ -176,7 +189,7 @@ int main() {
   MDC_CHECK(census.ok());
 
   for (int k : {2, 5, 10}) {
-    std::vector<NamedRelease> releases = RunAll(*census, k);
+    std::vector<NamedRelease> releases = RunAll(*census, k, run);
     ScalarTable(releases, k, census->sensitive_column);
     if (k == 5) VectorTables(releases);
     // Contract: every algorithm satisfies its k.
@@ -190,5 +203,6 @@ int main() {
   repro::Note("\nReading: scalar min |EC| is identical across algorithms at "
               "each k, yet the coverage matrix and bias reports separate "
               "them — the paper's anonymization bias made visible.");
+  repro::ReportRunStats(run);
   return repro::Finish();
 }

@@ -25,15 +25,28 @@ bool Contains(const std::vector<size_t>& indices, size_t value) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdc;
+  RunContext budget_storage;
+  RunContext* run = repro::ParseBudgetFlags(argc, argv, budget_storage);
+
   auto data = paper::Table1();
   MDC_CHECK(data.ok());
   auto hierarchies = paper::HierarchySetA();
   MDC_CHECK(hierarchies.ok());
 
-  auto result = ParetoLatticeSearch(*data, *hierarchies);
-  MDC_CHECK(result.ok());
+  auto result = ParetoLatticeSearch(*data, *hierarchies, {}, run);
+  if (repro::BudgetSkipped("pareto lattice search", result)) {
+    repro::ReportRunStats(run);
+    return repro::Finish();
+  }
+  if (result->run_stats.truncated) {
+    repro::Note("pareto front truncated by budget (" +
+                std::to_string(result->candidates.size()) +
+                " nodes evaluated); skipping paper checks");
+    repro::ReportRunStats(run);
+    return repro::Finish();
+  }
 
   repro::Banner("Scalar Pareto front over the T3a/T3b lattice (72 nodes): "
                 "(min |EC|, total LM utility)");
@@ -102,5 +115,6 @@ int main() {
               FormatCompact(result->candidates[knee_index].total_utility,
                             2) +
               ")");
+  repro::ReportRunStats(run);
   return repro::Finish();
 }

@@ -13,8 +13,11 @@
 #include "datagen/census_generator.h"
 #include "repro_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdc;
+  RunContext budget_storage;
+  RunContext* run = repro::ParseBudgetFlags(argc, argv, budget_storage);
+
   CensusConfig config;
   config.rows = 300;
   config.seed = 13;
@@ -38,15 +41,25 @@ int main() {
     optimal_config.k = k;
     optimal_config.suppression = budget;
     auto optimal = OptimalLatticeSearch(census->data, census->hierarchies,
-                                        optimal_config);
-    MDC_CHECK(optimal.ok());
+                                        optimal_config, ProxyLoss, run);
+    if (repro::BudgetSkipped("optimal k=" + std::to_string(k), optimal)) {
+      break;
+    }
 
     IncognitoConfig incognito_config;
     incognito_config.k = k;
     incognito_config.suppression = budget;
     auto incognito = IncognitoAnonymize(census->data, census->hierarchies,
-                                        incognito_config);
-    MDC_CHECK(incognito.ok());
+                                        incognito_config, ProxyLoss, run);
+    if (repro::BudgetSkipped("incognito k=" + std::to_string(k),
+                             incognito)) {
+      break;
+    }
+    if (optimal->run_stats.truncated || incognito->run_stats.truncated) {
+      repro::Note("k=" + std::to_string(k) +
+                  ": truncated by budget; skipping agreement checks");
+      break;
+    }
 
     std::set<LatticeNode> a(optimal->minimal_nodes.begin(),
                             optimal->minimal_nodes.end());
@@ -67,5 +80,6 @@ int main() {
   std::printf("%s", table.Render().c_str());
   repro::Note("Incognito's counts include its sub-lattice frequency sets "
               "(cheaper per evaluation: projections, not full releases).");
+  repro::ReportRunStats(run);
   return repro::Finish();
 }

@@ -8,9 +8,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "anonymize/generalizer.h"
+#include "common/run_context.h"
 #include "common/strings.h"
 #include "common/text_table.h"
 #include "core/property_vector.h"
@@ -71,6 +74,54 @@ inline std::string RenderRelease(const Anonymization& anonymization,
     table.AddRow(std::move(row));
   }
   return table.Render();
+}
+
+// Budget flags shared by the repro drivers: "--deadline-ms <ms>" and
+// "--max-steps <n>" bound the algorithm runs (see docs/error_handling.md).
+// Returns &storage when a budget was requested, nullptr otherwise;
+// malformed or unknown arguments terminate with exit code 2.
+inline RunContext* ParseBudgetFlags(int argc, char** argv,
+                                    RunContext& storage) {
+  bool budgeted = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    std::optional<int64_t> value;
+    if (i + 1 < argc) value = ParseInt64(argv[i + 1]);
+    if (flag == "--deadline-ms" && value.has_value() && *value > 0) {
+      storage.set_deadline_ms(*value);
+    } else if (flag == "--max-steps" && value.has_value() && *value > 0) {
+      storage.set_max_steps(static_cast<uint64_t>(*value));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--deadline-ms <ms>] [--max-steps <n>]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+    budgeted = true;
+    ++i;  // Consume the value.
+  }
+  return budgeted ? &storage : nullptr;
+}
+
+// Prints the accumulated RunStats when a budget was in force (no-op for
+// unbudgeted runs, so unconditional at the end of main is fine).
+inline void ReportRunStats(const RunContext* run) {
+  if (run == nullptr) return;
+  std::printf("\nrun stats: %s\n",
+              RunContext::Stats(run, !run->exhausted().ok())
+                  .ToString()
+                  .c_str());
+}
+
+// True (with a console note) when `result` carries a budget error — the
+// repro sections for it should be skipped, not counted as mismatches.
+// Any other error still aborts via MDC_CHECK.
+template <typename ResultOr>
+bool BudgetSkipped(const std::string& what, const ResultOr& result) {
+  if (result.ok()) return false;
+  MDC_CHECK(result.status().IsBudgetError());
+  Note(what + ": skipped — " + result.status().ToString());
+  return true;
 }
 
 // Exit code for main(): 0 iff every CheckEq/CheckVec passed.

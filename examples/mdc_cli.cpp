@@ -2,14 +2,17 @@
 //
 //   example_mdc_cli anonymize --input data.csv --schema <spec> \
 //       --hierarchies spec.txt --algorithm datafly --k 3 \
-//       [--max-suppression 0.02] [--output out.csv]
+//       [--max-suppression 0.02] [--output out.csv] \
+//       [--deadline-ms 500] [--max-steps 100000]
 //   example_mdc_cli compare --input data.csv --schema <spec> \
 //       --hierarchies spec.txt --k 3 --algorithms datafly,mondrian
 //
 // `--schema` is an inline column list "name:type:role,..." with type in
 // {int,real,string} and role in {qi,sensitive,insensitive,id}.
 // `--hierarchies` is a hierarchy spec file (see hierarchy/spec_parser.h);
-// Mondrian and clustering work without one.
+// Mondrian and clustering work without one. `--deadline-ms` and
+// `--max-steps` bound each algorithm run (see docs/error_handling.md);
+// truncated results are flagged on stderr.
 //
 // Run without arguments for a self-contained demo on the paper's Table 1.
 
@@ -25,6 +28,7 @@
 #include "anonymize/optimal_lattice.h"
 #include "anonymize/samarati.h"
 #include "common/csv.h"
+#include "common/run_context.h"
 #include "common/strings.h"
 #include "core/report.h"
 #include "hierarchy/spec_parser.h"
@@ -35,18 +39,47 @@ using namespace mdc;
 
 namespace {
 
+constexpr const char* kUsageHint =
+    "usage: mdc_cli <anonymize|compare> --input <csv> --schema <spec> "
+    "[--hierarchies <file>] [--algorithm <name>] [--algorithms <a,b>] "
+    "[--k <n>] [--max-suppression <frac>] [--output <csv>] "
+    "[--deadline-ms <ms>] [--max-steps <n>]";
+
+constexpr const char* kKnownFlags[] = {
+    "input",          "schema", "hierarchies", "algorithm",   "algorithms",
+    "k",              "output", "max-steps",   "deadline-ms", "max-suppression"};
+
 struct CliArgs {
   std::string command;
   std::map<std::string, std::string> flags;
 };
 
-CliArgs ParseArgs(int argc, char** argv) {
+StatusOr<CliArgs> ParseArgs(int argc, char** argv) {
   CliArgs args;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (StartsWith(key, "--")) key = key.substr(2);
-    args.flags[key] = argv[i + 1];
+    if (!StartsWith(key, "--")) {
+      return Status::InvalidArgument("unexpected argument '" + key + "'; " +
+                                     kUsageHint);
+    }
+    key = key.substr(2);
+    bool known = false;
+    for (const char* flag : kKnownFlags) {
+      if (key == flag) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown flag '--" + key + "'; " +
+                                     kUsageHint);
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag '--" + key +
+                                     "' is missing a value; " + kUsageHint);
+    }
+    args.flags[key] = argv[++i];
   }
   return args;
 }
@@ -88,48 +121,53 @@ StatusOr<Schema> ParseSchemaFlag(const std::string& spec) {
 struct NamedRelease {
   Anonymization anonymization;
   EquivalencePartition partition;
+  RunStats run_stats;
 };
 
 StatusOr<NamedRelease> RunAlgorithm(const std::string& algorithm,
                                     std::shared_ptr<const Dataset> data,
                                     const HierarchySet& hierarchies, int k,
-                                    double max_suppression) {
+                                    double max_suppression,
+                                    RunContext* run = nullptr) {
   SuppressionBudget budget{max_suppression};
   if (algorithm == "datafly") {
     DataflyConfig config{k, budget};
     MDC_ASSIGN_OR_RETURN(auto result,
-                         DataflyAnonymize(data, hierarchies, config));
+                         DataflyAnonymize(data, hierarchies, config, run));
     return NamedRelease{std::move(result.evaluation.anonymization),
-                        std::move(result.evaluation.partition)};
+                        std::move(result.evaluation.partition),
+                        result.run_stats};
   }
   if (algorithm == "samarati") {
     SamaratiConfig config{k, budget};
-    MDC_ASSIGN_OR_RETURN(auto result,
-                         SamaratiAnonymize(data, hierarchies, config));
+    MDC_ASSIGN_OR_RETURN(
+        auto result,
+        SamaratiAnonymize(data, hierarchies, config, ProxyLoss, run));
     return NamedRelease{std::move(result.best.anonymization),
-                        std::move(result.best.partition)};
+                        std::move(result.best.partition), result.run_stats};
   }
   if (algorithm == "optimal") {
     OptimalSearchConfig config;
     config.k = k;
     config.suppression = budget;
-    MDC_ASSIGN_OR_RETURN(auto result,
-                         OptimalLatticeSearch(data, hierarchies, config));
+    MDC_ASSIGN_OR_RETURN(
+        auto result,
+        OptimalLatticeSearch(data, hierarchies, config, ProxyLoss, run));
     return NamedRelease{std::move(result.best.anonymization),
-                        std::move(result.best.partition)};
+                        std::move(result.best.partition), result.run_stats};
   }
   if (algorithm == "mondrian") {
     MondrianConfig config{k};
-    MDC_ASSIGN_OR_RETURN(auto result, MondrianAnonymize(data, config));
+    MDC_ASSIGN_OR_RETURN(auto result, MondrianAnonymize(data, config, run));
     return NamedRelease{std::move(result.anonymization),
-                        std::move(result.partition)};
+                        std::move(result.partition), result.run_stats};
   }
   if (algorithm == "cluster") {
     ClusteringConfig config{k};
     MDC_ASSIGN_OR_RETURN(auto result,
-                         KMemberClusterAnonymize(data, config));
+                         KMemberClusterAnonymize(data, config, run));
     return NamedRelease{std::move(result.anonymization),
-                        std::move(result.partition)};
+                        std::move(result.partition), result.run_stats};
   }
   return Status::InvalidArgument("unknown algorithm '" + algorithm +
                                  "' (datafly|samarati|optimal|mondrian|"
@@ -189,7 +227,9 @@ int Fail(const Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliArgs args = ParseArgs(argc, argv);
+  auto args_or = ParseArgs(argc, argv);
+  if (!args_or.ok()) return Fail(args_or.status());
+  CliArgs args = std::move(args_or).value();
   if (args.command.empty()) return Demo();
 
   int k = 2;
@@ -209,6 +249,25 @@ int main(int argc, char** argv) {
     }
     max_suppression = *parsed;
   }
+  RunContext run_context;
+  bool budgeted = false;
+  if (auto it = args.flags.find("deadline-ms"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value() || *parsed <= 0) {
+      return Fail(Status::InvalidArgument("bad --deadline-ms"));
+    }
+    run_context.set_deadline_ms(*parsed);
+    budgeted = true;
+  }
+  if (auto it = args.flags.find("max-steps"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value() || *parsed <= 0) {
+      return Fail(Status::InvalidArgument("bad --max-steps"));
+    }
+    run_context.set_max_steps(static_cast<uint64_t>(*parsed));
+    budgeted = true;
+  }
+  RunContext* run = budgeted ? &run_context : nullptr;
 
   std::shared_ptr<const Dataset> data;
   HierarchySet hierarchies;
@@ -222,13 +281,17 @@ int main(int argc, char** argv) {
       algorithm = it->second;
     }
     auto release =
-        RunAlgorithm(algorithm, data, hierarchies, k, max_suppression);
+        RunAlgorithm(algorithm, data, hierarchies, k, max_suppression, run);
     if (!release.ok()) return Fail(release.status());
     double achieved = KAnonymity(1).Measure(release->anonymization,
                                             release->partition);
     std::fprintf(stderr, "%s: %zu rows, achieved k=%.0f, %zu suppressed\n",
                  algorithm.c_str(), release->anonymization.row_count(),
                  achieved, release->anonymization.SuppressedCount());
+    if (budgeted) {
+      std::fprintf(stderr, "run stats: %s\n",
+                   release->run_stats.ToString().c_str());
+    }
     std::string csv = release->anonymization.release.ToCsv();
     if (auto it = args.flags.find("output"); it != args.flags.end()) {
       if (Status status = WriteStringToFile(it->second, csv); !status.ok()) {
@@ -251,17 +314,21 @@ int main(int argc, char** argv) {
           "--algorithms needs exactly two comma-separated names"));
     }
     auto first = RunAlgorithm(names[0], data, hierarchies, k,
-                              max_suppression);
+                              max_suppression, run);
     if (!first.ok()) return Fail(first.status());
     auto second = RunAlgorithm(names[1], data, hierarchies, k,
-                               max_suppression);
+                               max_suppression, run);
     if (!second.ok()) return Fail(second.status());
     auto report = CompareAnonymizations(first->anonymization,
                                         first->partition,
                                         second->anonymization,
-                                        second->partition);
+                                        second->partition, {}, run);
     if (!report.ok()) return Fail(report.status());
     std::printf("%s", report->ToText().c_str());
+    if (budgeted) {
+      std::fprintf(stderr, "run stats: %s\n",
+                   RunContext::Stats(run).ToString().c_str());
+    }
     return 0;
   }
 

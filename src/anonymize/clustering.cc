@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace mdc {
@@ -105,7 +106,8 @@ std::string ClusterLabel(const Dataset& data,
 }  // namespace
 
 StatusOr<ClusteringResult> KMemberClusterAnonymize(
-    std::shared_ptr<const Dataset> original, const ClusteringConfig& config) {
+    std::shared_ptr<const Dataset> original, const ClusteringConfig& config,
+    RunContext* run) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -128,7 +130,14 @@ StatusOr<ClusteringResult> KMemberClusterAnonymize(
   size_t remaining = n;
   size_t previous_seed = 0;  // Deterministic: first row seeds round one.
 
+  bool truncated = false;
   while (remaining >= static_cast<size_t>(config.k)) {
+    if (Status status = RunContext::Check(run); !status.ok()) {
+      if (clusters.empty()) return status;
+      truncated = true;  // Leftover pass below absorbs unassigned rows.
+      break;
+    }
+    MDC_FAILPOINT("clustering.cluster");
     // Seed: the unassigned row farthest from the previous seed.
     size_t seed = n;
     double best_distance = -1.0;
@@ -148,7 +157,17 @@ StatusOr<ClusteringResult> KMemberClusterAnonymize(
     assigned[seed] = true;
     std::vector<double> lo = embedding.coords[seed];
     std::vector<double> hi = embedding.coords[seed];
+    bool aborted = false;
     while (members.size() < static_cast<size_t>(config.k)) {
+      if (Status status = RunContext::Check(run); !status.ok()) {
+        // A partial cluster would break k-anonymity; un-assign its rows
+        // so the leftover pass folds them into completed clusters.
+        for (size_t member : members) assigned[member] = false;
+        if (clusters.empty()) return status;
+        truncated = true;
+        aborted = true;
+        break;
+      }
       size_t best_row = n;
       double best_spread = std::numeric_limits<double>::infinity();
       for (size_t row = 0; row < n; ++row) {
@@ -167,6 +186,7 @@ StatusOr<ClusteringResult> KMemberClusterAnonymize(
         hi[d] = std::max(hi[d], embedding.coords[best_row][d]);
       }
     }
+    if (aborted) break;
     remaining -= members.size();
     previous_seed = seed;
     clusters.push_back(std::move(members));
@@ -210,6 +230,7 @@ StatusOr<ClusteringResult> KMemberClusterAnonymize(
 
   ClusteringResult result;
   result.cluster_count = clusters.size();
+  result.run_stats = RunContext::Stats(run, truncated);
   result.anonymization =
       Anonymization{std::move(original),
                     std::move(release),

@@ -20,6 +20,7 @@
 
 #include "anonymize/equivalence.h"
 #include "anonymize/generalizer.h"
+#include "common/run_context.h"
 
 namespace mdc {
 
@@ -31,10 +32,18 @@ struct ClusteringResult {
   Anonymization anonymization;
   EquivalencePartition partition;
   size_t cluster_count = 0;
+  RunStats run_stats;
 };
 
+// Budget expiry degrades gracefully: once at least one full cluster
+// exists, the remaining rows are folded into their nearest clusters (the
+// same path leftovers always take), so every cluster keeps >= k members
+// and the release stays k-anonymous — just with larger, lower-utility
+// clusters — with run_stats.truncated set. Before the first cluster
+// completes, the budget Status is returned.
 StatusOr<ClusteringResult> KMemberClusterAnonymize(
-    std::shared_ptr<const Dataset> original, const ClusteringConfig& config);
+    std::shared_ptr<const Dataset> original, const ClusteringConfig& config,
+    RunContext* run = nullptr);
 
 }  // namespace mdc
 

@@ -3,11 +3,13 @@
 #include <set>
 #include <string>
 
+#include "common/failpoint.h"
+
 namespace mdc {
 
 StatusOr<DataflyResult> DataflyAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const DataflyConfig& config) {
+    const DataflyConfig& config, RunContext* run) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -21,11 +23,13 @@ StatusOr<DataflyResult> DataflyAnonymize(
   int steps = 0;
 
   while (true) {
+    MDC_FAILPOINT("datafly.step");
     MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
                          EvaluateNode(original, hierarchies, node, config.k,
-                                      config.suppression, "datafly"));
+                                      config.suppression, "datafly", run));
     if (evaluation.feasible) {
-      return DataflyResult{std::move(evaluation), node, steps};
+      return DataflyResult{std::move(evaluation), node, steps,
+                           RunContext::Stats(run)};
     }
 
     // Generalize the attribute whose labels are currently most diverse,

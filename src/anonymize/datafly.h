@@ -25,15 +25,18 @@ struct DataflyResult {
   NodeEvaluation evaluation;
   LatticeNode node;        // The full-domain node Datafly stopped at.
   int generalization_steps = 0;
+  RunStats run_stats;
 };
 
 // Runs Datafly over the quasi-identifiers of `original` (all of which must
 // be bound in `hierarchies`). Fails with kInfeasible if even the fully
 // generalized table cannot satisfy k (i.e. the table has fewer than k
-// non-suppressible rows).
+// non-suppressible rows). Budget expiry mid-climb returns the budget
+// Status (the greedy walk has no feasible best-so-far before it ends).
 StatusOr<DataflyResult> DataflyAnonymize(std::shared_ptr<const Dataset> original,
                                          const HierarchySet& hierarchies,
-                                         const DataflyConfig& config);
+                                         const DataflyConfig& config,
+                                         RunContext* run = nullptr);
 
 }  // namespace mdc
 

@@ -2,14 +2,19 @@
 
 #include <numeric>
 
+#include "common/failpoint.h"
+
 namespace mdc {
 
 StatusOr<NodeEvaluation> EvaluateNode(std::shared_ptr<const Dataset> original,
                                       const HierarchySet& hierarchies,
                                       const LatticeNode& node, int k,
                                       const SuppressionBudget& budget,
-                                      std::string algorithm) {
+                                      std::string algorithm,
+                                      RunContext* run) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  MDC_RETURN_IF_ERROR(RunContext::Check(run));
+  MDC_FAILPOINT("full_domain.evaluate");
   MDC_ASSIGN_OR_RETURN(GeneralizationScheme scheme,
                        GeneralizationScheme::Create(hierarchies, node));
   MDC_ASSIGN_OR_RETURN(

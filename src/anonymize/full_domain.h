@@ -16,6 +16,7 @@
 
 #include "anonymize/equivalence.h"
 #include "anonymize/generalizer.h"
+#include "common/run_context.h"
 #include "hierarchy/lattice.h"
 #include "hierarchy/scheme.h"
 
@@ -39,12 +40,16 @@ struct NodeEvaluation {
 
 // Applies `node` over `hierarchies`, suppresses undersized classes within
 // budget, and reports whether the result is k-anonymous (suppressed rows
-// exempt). `k` must be >= 1.
+// exempt). `k` must be >= 1. A non-null `run` is charged one work-step per
+// call; an exhausted budget returns the budget Status before any work, so
+// every algorithm that evaluates nodes in a loop is budget-checked at node
+// granularity for free.
 StatusOr<NodeEvaluation> EvaluateNode(std::shared_ptr<const Dataset> original,
                                       const HierarchySet& hierarchies,
                                       const LatticeNode& node, int k,
                                       const SuppressionBudget& budget,
-                                      std::string algorithm);
+                                      std::string algorithm,
+                                      RunContext* run = nullptr);
 
 // Scores an evaluated node; lower is better. Algorithms take a LossFn so
 // callers can plug in any utility metric (e.g. Iyengar's LM from

@@ -7,6 +7,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/failpoint.h"
+
 namespace mdc {
 namespace {
 
@@ -106,7 +108,7 @@ void EnumerateSubLattice(const std::vector<int>& max_levels,
 
 StatusOr<IncognitoResult> IncognitoAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const IncognitoConfig& config, const LossFn& loss) {
+    const IncognitoConfig& config, const LossFn& loss, RunContext* run) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -115,6 +117,13 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
   MDC_ASSIGN_OR_RETURN(LabelTable labels,
                        LabelTable::Build(*original, hierarchies));
+  // Best-effort accounting of the dominant allocation: one interned id per
+  // (position, level, row).
+  for (const auto& levels : labels.label_ids) {
+    for (const auto& ids : levels) {
+      RunContext::ChargeMemory(run, ids.size() * sizeof(int));
+    }
+  }
 
   IncognitoResult result;
   result.lattice_size = lattice.NodeCount();
@@ -141,7 +150,14 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
                      return a.size() < b.size();
                    });
 
+  // Full-QI subset = the last one (all positions).
+  std::vector<size_t> full(m);
+  for (size_t i = 0; i < m; ++i) full[i] = i;
+
+  bool truncated = false;
+  Status budget_status = Status::Ok();
   for (const std::vector<size_t>& subset : subsets) {
+    if (!budget_status.ok()) break;
     std::vector<int> max_levels;
     for (size_t pos : subset) max_levels.push_back(all_max[pos]);
     std::vector<std::vector<int>> nodes;
@@ -149,6 +165,16 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
 
     std::set<std::vector<int>>& sat = satisfying[subset];
     for (const std::vector<int>& node : nodes) {
+      if (Status status = RunContext::Check(run); !status.ok()) {
+        // Whatever the full-QI subset has accumulated so far is sound
+        // (every node passed the frequency check); degrade to it if
+        // non-empty, otherwise report the budget error.
+        if (satisfying[full].empty()) return status;
+        budget_status = status;
+        truncated = true;
+        break;
+      }
+      MDC_FAILPOINT("incognito.node");
       // Subset pruning: every (|S|-1)-projection must satisfy.
       bool candidate = true;
       if (subset.size() > 1) {
@@ -186,9 +212,6 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
     }
   }
 
-  // Full-QI subset = the last one (all positions).
-  std::vector<size_t> full(m);
-  for (size_t i = 0; i < m; ++i) full[i] = i;
   const std::set<std::vector<int>>& full_sat = satisfying[full];
   if (full_sat.empty()) {
     return Status::Infeasible(
@@ -225,6 +248,7 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
       have_best = true;
     }
   }
+  result.run_stats = RunContext::Stats(run, truncated);
   return result;
 }
 

@@ -36,11 +36,18 @@ struct IncognitoResult {
   double best_loss = 0.0;
   size_t frequency_evaluations = 0;  // Subset partition computations.
   uint64_t lattice_size = 0;         // Full-QI lattice size.
+  RunStats run_stats;
 };
 
+// Budget expiry degrades gracefully: if the full-QI subset already has
+// satisfying nodes when the budget runs out, the result is built from
+// those with run_stats.truncated set (sound — every reported node IS
+// k-anonymous — but possibly missing nodes); otherwise the budget Status
+// is returned.
 StatusOr<IncognitoResult> IncognitoAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const IncognitoConfig& config, const LossFn& loss = ProxyLoss);
+    const IncognitoConfig& config, const LossFn& loss = ProxyLoss,
+    RunContext* run = nullptr);
 
 }  // namespace mdc
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace mdc {
@@ -103,10 +104,27 @@ struct MondrianState {
   int k = 2;
   std::vector<std::vector<size_t>> finished;
   int max_depth = 0;
+  RunContext* run = nullptr;
+  bool truncated = false;     // Budget expired; stop splitting, keep rows.
+  Status injected;            // Failpoint fault; abort the whole run.
 };
 
 void Recurse(MondrianState& state, std::vector<size_t> rows, int depth) {
   state.max_depth = std::max(state.max_depth, depth);
+  // On budget expiry the current rows are released unsplit: still >= k
+  // rows per partition, so k-anonymity is preserved at coarser utility.
+  if (!state.truncated && !RunContext::Check(state.run).ok()) {
+    state.truncated = true;
+  }
+  if (state.injected.ok()) {
+    if (Status status = failpoint::Trigger("mondrian.split"); !status.ok()) {
+      state.injected = std::move(status);
+    }
+  }
+  if (state.truncated || !state.injected.ok()) {
+    state.finished.push_back(std::move(rows));
+    return;
+  }
   // Rank QI columns by normalized spread, widest first, and take the first
   // allowable cut.
   std::vector<std::pair<double, size_t>> ranked;
@@ -130,7 +148,8 @@ void Recurse(MondrianState& state, std::vector<size_t> rows, int depth) {
 }  // namespace
 
 StatusOr<MondrianResult> MondrianAnonymize(
-    std::shared_ptr<const Dataset> original, const MondrianConfig& config) {
+    std::shared_ptr<const Dataset> original, const MondrianConfig& config,
+    RunContext* run) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -149,6 +168,7 @@ StatusOr<MondrianResult> MondrianAnonymize(
   state.data = original.get();
   state.qi_columns = qi_columns;
   state.k = config.k;
+  state.run = run;
   for (size_t column : qi_columns) {
     std::vector<size_t> all(original->row_count());
     for (size_t r = 0; r < all.size(); ++r) all[r] = r;
@@ -160,6 +180,7 @@ StatusOr<MondrianResult> MondrianAnonymize(
     for (size_t r = 0; r < all.size(); ++r) all[r] = r;
     Recurse(state, std::move(all), 0);
   }
+  if (!state.injected.ok()) return state.injected;
 
   MDC_ASSIGN_OR_RETURN(Schema release_schema,
                        Generalizer::ReleaseSchema(schema, qi_columns));
@@ -185,6 +206,7 @@ StatusOr<MondrianResult> MondrianAnonymize(
   MondrianResult result;
   result.partition_count = state.finished.size();
   result.max_depth = state.max_depth;
+  result.run_stats = RunContext::Stats(run, state.truncated);
   result.anonymization =
       Anonymization{std::move(original),
                     std::move(release),

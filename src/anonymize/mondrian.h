@@ -20,6 +20,7 @@
 
 #include "anonymize/equivalence.h"
 #include "anonymize/generalizer.h"
+#include "common/run_context.h"
 
 namespace mdc {
 
@@ -34,10 +35,16 @@ struct MondrianResult {
   EquivalencePartition partition;
   size_t partition_count = 0;
   int max_depth = 0;  // Depth of the deepest split.
+  RunStats run_stats;
 };
 
+// Budget expiry degrades gracefully: splitting stops and the partitions
+// reached so far are released as-is (every partition still has >= k rows,
+// so the release stays k-anonymous — just coarser) with
+// run_stats.truncated set.
 StatusOr<MondrianResult> MondrianAnonymize(
-    std::shared_ptr<const Dataset> original, const MondrianConfig& config);
+    std::shared_ptr<const Dataset> original, const MondrianConfig& config,
+    RunContext* run = nullptr);
 
 }  // namespace mdc
 

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/failpoint.h"
+
 namespace mdc {
 namespace {
 
@@ -20,7 +22,7 @@ bool SatisfiesAll(const OptimalSearchConfig& config,
 
 StatusOr<OptimalSearchResult> OptimalLatticeSearch(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const OptimalSearchConfig& config, const LossFn& loss) {
+    const OptimalSearchConfig& config, const LossFn& loss, RunContext* run) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -34,7 +36,9 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
   // satisfying[index] records nodes known to satisfy (directly evaluated or
   // implied by monotonicity from a predecessor).
   std::vector<char> satisfying(result.lattice_size, 0);
+  RunContext::ChargeMemory(run, satisfying.size() * sizeof(char));
 
+  bool truncated = false;
   for (const LatticeNode& node : lattice.AllNodesByHeight()) {
     size_t index = lattice.IndexOf(node);
     bool implied = false;
@@ -48,9 +52,20 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
       satisfying[index] = 1;
       continue;  // Not minimal; skip evaluation entirely.
     }
-    MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
-                         EvaluateNode(original, hierarchies, node, config.k,
-                                      config.suppression, "optimal"));
+    MDC_FAILPOINT("optimal.node");
+    auto evaluation_or = EvaluateNode(original, hierarchies, node, config.k,
+                                      config.suppression, "optimal", run);
+    if (!evaluation_or.ok()) {
+      // Degrade to the minimal nodes already found; each is sound. With
+      // nothing found yet, the budget error (or real error) propagates.
+      if (evaluation_or.status().IsBudgetError() &&
+          !result.minimal_nodes.empty()) {
+        truncated = true;
+        break;
+      }
+      return evaluation_or.status();
+    }
+    NodeEvaluation evaluation = std::move(evaluation_or).value();
     ++result.nodes_evaluated;
     if (!SatisfiesAll(config, evaluation)) continue;
 
@@ -69,7 +84,9 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
         "optimal lattice search: no node satisfies the privacy constraints");
   }
 
-  if (config.verify_monotonicity) {
+  result.run_stats = RunContext::Stats(run, truncated);
+
+  if (config.verify_monotonicity && !truncated) {
     for (const LatticeNode& node : result.minimal_nodes) {
       for (const LatticeNode& succ : lattice.Successors(node)) {
         MDC_ASSIGN_OR_RETURN(

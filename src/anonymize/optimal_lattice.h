@@ -46,11 +46,17 @@ struct OptimalSearchResult {
   double best_loss = 0.0;
   size_t nodes_evaluated = 0;  // Predicate evaluations (pruning metric).
   uint64_t lattice_size = 0;
+  RunStats run_stats;
 };
 
+// Budget expiry degrades gracefully: minimal nodes found before expiry are
+// returned with run_stats.truncated set (each is genuinely minimal and
+// satisfying; the sweep just did not reach the rest of the lattice). With
+// no satisfying node found yet, the budget Status is returned.
 StatusOr<OptimalSearchResult> OptimalLatticeSearch(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const OptimalSearchConfig& config, const LossFn& loss = ProxyLoss);
+    const OptimalSearchConfig& config, const LossFn& loss = ProxyLoss,
+    RunContext* run = nullptr);
 
 }  // namespace mdc
 

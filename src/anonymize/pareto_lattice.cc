@@ -1,5 +1,6 @@
 #include "anonymize/pareto_lattice.h"
 
+#include "common/failpoint.h"
 #include "core/pareto.h"
 #include "core/properties.h"
 #include "utility/loss_metric.h"
@@ -8,7 +9,7 @@ namespace mdc {
 
 StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const ParetoLatticeConfig& config) {
+    const ParetoLatticeConfig& config, RunContext* run) {
   (void)config;
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -19,7 +20,15 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
   ParetoLatticeResult result;
   result.lattice_size = lattice.NodeCount();
 
+  bool truncated = false;
   for (const LatticeNode& node : lattice.AllNodesByHeight()) {
+    if (Status status = RunContext::Check(run); !status.ok()) {
+      // Degrade: compute the fronts over the candidates evaluated so far.
+      if (result.candidates.empty()) return status;
+      truncated = true;
+      break;
+    }
+    MDC_FAILPOINT("pareto.node");
     MDC_ASSIGN_OR_RETURN(
         GeneralizationScheme scheme,
         GeneralizationScheme::Create(hierarchies, node));
@@ -36,6 +45,9 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
     candidate.min_class_size = sizes.Min();
     candidate.total_utility = utility.Sum();
     candidate.properties = {std::move(sizes), std::move(utility)};
+    // Candidates retain two n-entry property vectors each; account for
+    // them so a memory budget can stop an oversized sweep.
+    RunContext::ChargeMemory(run, 2 * original->row_count() * sizeof(double));
     result.candidates.push_back(std::move(candidate));
   }
 
@@ -50,6 +62,7 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
   }
   result.vector_front = ParetoFront(property_sets);
   result.scalar_front = ParetoFrontScalar(scalar_points);
+  result.run_stats = RunContext::Stats(run, truncated);
   return result;
 }
 

@@ -35,15 +35,20 @@ struct ParetoCandidate {
 };
 
 struct ParetoLatticeResult {
-  std::vector<ParetoCandidate> candidates;  // All lattice nodes.
+  std::vector<ParetoCandidate> candidates;  // All evaluated lattice nodes.
   std::vector<size_t> vector_front;   // Indices: set-dominance front.
   std::vector<size_t> scalar_front;   // Indices: (k, utility) front.
   uint64_t lattice_size = 0;
+  RunStats run_stats;
 };
 
+// Budget expiry degrades gracefully: the fronts are computed over the
+// candidates evaluated so far and run_stats.truncated is set (the fronts
+// are exact for the evaluated prefix but may miss unevaluated nodes). With
+// no candidate evaluated yet, the budget Status is returned.
 StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const ParetoLatticeConfig& config = {});
+    const ParetoLatticeConfig& config = {}, RunContext* run = nullptr);
 
 }  // namespace mdc
 

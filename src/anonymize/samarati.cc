@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "common/failpoint.h"
+
 namespace mdc {
 namespace {
 
@@ -11,11 +13,13 @@ Status CollectFeasibleAtHeight(const std::shared_ptr<const Dataset>& original,
                                const Lattice& lattice, int height,
                                const SamaratiConfig& config,
                                size_t& nodes_evaluated,
-                               std::vector<LatticeNode>& feasible) {
+                               std::vector<LatticeNode>& feasible,
+                               RunContext* run) {
   for (const LatticeNode& node : lattice.NodesAtHeight(height)) {
+    MDC_FAILPOINT("samarati.evaluate");
     MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
                          EvaluateNode(original, hierarchies, node, config.k,
-                                      config.suppression, "samarati"));
+                                      config.suppression, "samarati", run));
     ++nodes_evaluated;
     if (evaluation.feasible) feasible.push_back(node);
   }
@@ -26,7 +30,7 @@ Status CollectFeasibleAtHeight(const std::shared_ptr<const Dataset>& original,
 
 StatusOr<SamaratiResult> SamaratiAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const SamaratiConfig& config, const LossFn& loss) {
+    const SamaratiConfig& config, const LossFn& loss, RunContext* run) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -36,17 +40,45 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
 
   SamaratiResult result;
 
+  // Picks the loss-minimizing node among `nodes` (the k-minimal
+  // generalizations, or the best feasible height seen before the budget
+  // expired). The final evaluations run unbudgeted — the work is bounded
+  // by |nodes| and produces the result we already committed to return.
+  auto finish = [&](std::vector<LatticeNode> nodes, int height,
+                    bool truncated) -> StatusOr<SamaratiResult> {
+    MDC_CHECK(!nodes.empty());
+    result.minimal_height = height;
+    result.minimal_nodes = std::move(nodes);
+    double best_loss = 0.0;
+    bool have_best = false;
+    for (const LatticeNode& node : result.minimal_nodes) {
+      MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
+                           EvaluateNode(original, hierarchies, node, config.k,
+                                        config.suppression, "samarati"));
+      double node_loss = loss(evaluation.anonymization, evaluation.partition);
+      if (!have_best || node_loss < best_loss) {
+        best_loss = node_loss;
+        result.best_node = node;
+        result.best = std::move(evaluation);
+        have_best = true;
+      }
+    }
+    result.run_stats = RunContext::Stats(run, truncated);
+    return result;
+  };
+
   // Feasibility by height is monotone, so binary search for the lowest
   // height with at least one feasible node.
   int lo = 0;
   int hi = lattice.MaxHeight();
   {
-    // The top must be feasible for the search to make sense.
+    // The top must be feasible for the search to make sense. A budget
+    // error here has no best-so-far to fall back to.
     std::vector<LatticeNode> feasible;
     MDC_RETURN_IF_ERROR(CollectFeasibleAtHeight(original, hierarchies,
                                                 lattice, hi, config,
                                                 result.nodes_evaluated,
-                                                feasible));
+                                                feasible, run));
     if (feasible.empty()) {
       return Status::Infeasible(
           "Samarati: no " + std::to_string(config.k) +
@@ -58,10 +90,19 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
   while (lo < hi) {
     int mid = lo + (hi - lo) / 2;
     std::vector<LatticeNode> feasible;
-    MDC_RETURN_IF_ERROR(CollectFeasibleAtHeight(original, hierarchies,
-                                                lattice, mid, config,
-                                                result.nodes_evaluated,
-                                                feasible));
+    Status status = CollectFeasibleAtHeight(original, hierarchies, lattice,
+                                            mid, config,
+                                            result.nodes_evaluated, feasible,
+                                            run);
+    if (!status.ok()) {
+      // Degrade to the lowest feasible height already mapped; the top is
+      // known feasible, so fall back to it if no mid succeeded yet.
+      if (!status.IsBudgetError()) return status;
+      if (feasible_height >= 0) {
+        return finish(std::move(lowest_feasible), feasible_height, true);
+      }
+      return finish({lattice.Top()}, lattice.MaxHeight(), true);
+    }
     if (!feasible.empty()) {
       hi = mid;
       lowest_feasible = std::move(feasible);
@@ -73,30 +114,21 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
   result.minimal_height = lo;
   if (feasible_height != lo) {
     lowest_feasible.clear();
-    MDC_RETURN_IF_ERROR(CollectFeasibleAtHeight(original, hierarchies,
-                                                lattice, lo, config,
-                                                result.nodes_evaluated,
-                                                lowest_feasible));
-  }
-  result.minimal_nodes = lowest_feasible;
-  MDC_CHECK(!result.minimal_nodes.empty());
-
-  // Pick the loss-minimizing node among the k-minimal generalizations.
-  double best_loss = 0.0;
-  bool have_best = false;
-  for (const LatticeNode& node : result.minimal_nodes) {
-    MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
-                         EvaluateNode(original, hierarchies, node, config.k,
-                                      config.suppression, "samarati"));
-    double node_loss = loss(evaluation.anonymization, evaluation.partition);
-    if (!have_best || node_loss < best_loss) {
-      best_loss = node_loss;
-      result.best_node = node;
-      result.best = std::move(evaluation);
-      have_best = true;
+    Status status = CollectFeasibleAtHeight(original, hierarchies, lattice,
+                                            lo, config,
+                                            result.nodes_evaluated,
+                                            lowest_feasible, run);
+    if (!status.ok()) {
+      if (!status.IsBudgetError()) return status;
+      if (!lowest_feasible.empty()) {
+        // Partial sweep of the minimal height: what it found is feasible.
+        return finish(std::move(lowest_feasible), lo, true);
+      }
+      return finish({lattice.Top()}, lattice.MaxHeight(), true);
     }
+    feasible_height = lo;
   }
-  return result;
+  return finish(std::move(lowest_feasible), lo, false);
 }
 
 }  // namespace mdc

@@ -28,11 +28,17 @@ struct SamaratiResult {
   LatticeNode best_node;
   NodeEvaluation best;            // Evaluation of best_node.
   size_t nodes_evaluated = 0;     // Predicate evaluations (for benches).
+  RunStats run_stats;
 };
 
+// Budget expiry degrades gracefully: if the binary search has already found
+// a feasible height, its nodes are returned with run_stats.truncated set
+// (feasible, but possibly not height-minimal); before any feasible height
+// is known the budget Status is returned.
 StatusOr<SamaratiResult> SamaratiAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const SamaratiConfig& config, const LossFn& loss = ProxyLoss);
+    const SamaratiConfig& config, const LossFn& loss = ProxyLoss,
+    RunContext* run = nullptr);
 
 }  // namespace mdc
 

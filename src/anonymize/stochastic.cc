@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/failpoint.h"
+
 namespace mdc {
 namespace {
 
@@ -10,21 +12,23 @@ class NodeCache {
  public:
   NodeCache(std::shared_ptr<const Dataset> original,
             const HierarchySet& hierarchies, const Lattice& lattice, int k,
-            const SuppressionBudget& budget)
+            const SuppressionBudget& budget, RunContext* run)
       : original_(std::move(original)),
         hierarchies_(hierarchies),
         lattice_(lattice),
         k_(k),
-        budget_(budget) {}
+        budget_(budget),
+        run_(run) {}
 
   StatusOr<const NodeEvaluation*> Get(const LatticeNode& node,
                                       size_t& evaluations) {
     size_t index = lattice_.IndexOf(node);
     auto it = cache_.find(index);
     if (it != cache_.end()) return &it->second;
+    MDC_FAILPOINT("stochastic.evaluate");
     MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
                          EvaluateNode(original_, hierarchies_, node, k_,
-                                      budget_, "stochastic"));
+                                      budget_, "stochastic", run_));
     ++evaluations;
     auto [inserted, _] = cache_.emplace(index, std::move(evaluation));
     return &inserted->second;
@@ -36,14 +40,63 @@ class NodeCache {
   const Lattice& lattice_;
   int k_;
   SuppressionBudget budget_;
+  RunContext* run_;
   std::unordered_map<size_t, NodeEvaluation> cache_;
 };
+
+// One restart of the hill-climb; leaves the local optimum in `node` /
+// `node_loss`. Budget errors surface through the returned Status.
+Status RunRestart(const Lattice& lattice, NodeCache& cache, Rng& rng,
+                  const StochasticConfig& config, const LossFn& loss,
+                  size_t& evaluations, LatticeNode& node, double& node_loss) {
+  // Random start: sample a node, then raise it until feasible.
+  node.assign(lattice.dimension(), 0);
+  for (size_t i = 0; i < node.size(); ++i) {
+    node[i] = static_cast<int>(
+        rng.NextBelow(static_cast<uint64_t>(lattice.max_levels()[i]) + 1));
+  }
+  while (true) {
+    MDC_ASSIGN_OR_RETURN(const NodeEvaluation* eval,
+                         cache.Get(node, evaluations));
+    if (eval->feasible) break;
+    std::vector<LatticeNode> ups = lattice.Successors(node);
+    MDC_CHECK(!ups.empty());  // Top is feasible, so we stop before it.
+    node = ups[rng.NextBelow(ups.size())];
+  }
+
+  // Greedy descent: move to any feasible neighbor (prefer predecessors,
+  // which reduce generalization) with strictly lower loss.
+  MDC_ASSIGN_OR_RETURN(const NodeEvaluation* current,
+                       cache.Get(node, evaluations));
+  node_loss = loss(current->anonymization, current->partition);
+  for (int step = 0; step < config.max_steps_per_restart; ++step) {
+    std::vector<LatticeNode> neighbors = lattice.Predecessors(node);
+    std::vector<LatticeNode> ups = lattice.Successors(node);
+    neighbors.insert(neighbors.end(), ups.begin(), ups.end());
+    rng.Shuffle(neighbors);
+    bool moved = false;
+    for (const LatticeNode& candidate : neighbors) {
+      MDC_ASSIGN_OR_RETURN(const NodeEvaluation* eval,
+                           cache.Get(candidate, evaluations));
+      if (!eval->feasible) continue;
+      double candidate_loss = loss(eval->anonymization, eval->partition);
+      if (candidate_loss < node_loss) {
+        node = candidate;
+        node_loss = candidate_loss;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) break;  // Local optimum.
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
 StatusOr<StochasticResult> StochasticAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const StochasticConfig& config, const LossFn& loss) {
+    const StochasticConfig& config, const LossFn& loss, RunContext* run) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (config.restarts < 1) {
     return Status::InvalidArgument("restarts must be >= 1");
@@ -56,10 +109,11 @@ StatusOr<StochasticResult> StochasticAnonymize(
 
   StochasticResult result;
   NodeCache cache(original, hierarchies, lattice, config.k,
-                  config.suppression);
+                  config.suppression, run);
   Rng rng(config.seed);
 
-  // The top node is feasible iff anything is.
+  // The top node is feasible iff anything is. A budget error this early
+  // has nothing to degrade to, so it propagates.
   {
     MDC_ASSIGN_OR_RETURN(const NodeEvaluation* top,
                          cache.Get(lattice.Top(), result.nodes_evaluated));
@@ -70,59 +124,39 @@ StatusOr<StochasticResult> StochasticAnonymize(
   }
 
   bool have_best = false;
+  bool truncated = false;
   for (int restart = 0; restart < config.restarts; ++restart) {
-    // Random start: sample a node, then raise it until feasible.
-    LatticeNode node(lattice.dimension());
-    for (size_t i = 0; i < node.size(); ++i) {
-      node[i] = static_cast<int>(
-          rng.NextBelow(static_cast<uint64_t>(lattice.max_levels()[i]) + 1));
-    }
-    while (true) {
-      MDC_ASSIGN_OR_RETURN(const NodeEvaluation* eval,
-                           cache.Get(node, result.nodes_evaluated));
-      if (eval->feasible) break;
-      std::vector<LatticeNode> ups = lattice.Successors(node);
-      MDC_CHECK(!ups.empty());  // Top is feasible, so we stop before it.
-      node = ups[rng.NextBelow(ups.size())];
-    }
-
-    // Greedy descent: move to any feasible neighbor (prefer predecessors,
-    // which reduce generalization) with strictly lower loss.
-    MDC_ASSIGN_OR_RETURN(const NodeEvaluation* current,
-                         cache.Get(node, result.nodes_evaluated));
-    double current_loss = loss(current->anonymization, current->partition);
-    for (int step = 0; step < config.max_steps_per_restart; ++step) {
-      std::vector<LatticeNode> neighbors = lattice.Predecessors(node);
-      std::vector<LatticeNode> ups = lattice.Successors(node);
-      neighbors.insert(neighbors.end(), ups.begin(), ups.end());
-      rng.Shuffle(neighbors);
-      bool moved = false;
-      for (const LatticeNode& candidate : neighbors) {
-        MDC_ASSIGN_OR_RETURN(const NodeEvaluation* eval,
-                             cache.Get(candidate, result.nodes_evaluated));
-        if (!eval->feasible) continue;
-        double candidate_loss = loss(eval->anonymization, eval->partition);
-        if (candidate_loss < current_loss) {
-          node = candidate;
-          current_loss = candidate_loss;
-          moved = true;
-          break;
-        }
+    LatticeNode node;
+    double node_loss = 0.0;
+    Status status = RunRestart(lattice, cache, rng, config, loss,
+                               result.nodes_evaluated, node, node_loss);
+    if (!status.ok()) {
+      if (!status.IsBudgetError()) return status;
+      // Degrade: best completed restart, or the feasible top if none.
+      if (!have_best) {
+        result.best_node = lattice.Top();
       }
-      if (!moved) break;  // Local optimum.
+      truncated = true;
+      break;
     }
-    if (!have_best || current_loss < result.best_loss) {
-      result.best_loss = current_loss;
+    if (!have_best || node_loss < result.best_loss) {
+      result.best_loss = node_loss;
       result.best_node = node;
       have_best = true;
     }
   }
 
+  // Final evaluation runs unbudgeted: it re-derives the release we already
+  // committed to return.
   MDC_ASSIGN_OR_RETURN(NodeEvaluation best,
                        EvaluateNode(original, hierarchies, result.best_node,
                                     config.k, config.suppression,
                                     "stochastic"));
+  if (!have_best) {
+    result.best_loss = loss(best.anonymization, best.partition);
+  }
   result.best = std::move(best);
+  result.run_stats = RunContext::Stats(run, truncated);
   return result;
 }
 

@@ -29,11 +29,18 @@ struct StochasticResult {
   NodeEvaluation best;
   double best_loss = 0.0;
   size_t nodes_evaluated = 0;
+  RunStats run_stats;
 };
 
+// Budget expiry degrades gracefully: the best node of the completed
+// restarts is returned with run_stats.truncated set; if not even the first
+// restart finished, the fully generalized top node (verified feasible up
+// front) is returned instead. Only a budget error before that initial
+// verification returns the budget Status.
 StatusOr<StochasticResult> StochasticAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const StochasticConfig& config, const LossFn& loss = ProxyLoss);
+    const StochasticConfig& config, const LossFn& loss = ProxyLoss,
+    RunContext* run = nullptr);
 
 }  // namespace mdc
 

@@ -2,11 +2,13 @@
 
 #include <limits>
 
+#include "common/failpoint.h"
+
 namespace mdc {
 
 StatusOr<GreedyWalkResult> TopDownSpecialize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const GreedyWalkConfig& config, const LossFn& loss) {
+    const GreedyWalkConfig& config, const LossFn& loss, RunContext* run) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -17,7 +19,7 @@ StatusOr<GreedyWalkResult> TopDownSpecialize(
   LatticeNode node = lattice.Top();
   MDC_ASSIGN_OR_RETURN(NodeEvaluation current,
                        EvaluateNode(original, hierarchies, node, config.k,
-                                    config.suppression, "top-down"));
+                                    config.suppression, "top-down", run));
   if (!current.feasible) {
     return Status::Infeasible(
         "top-down specialization: table infeasible even at full "
@@ -34,10 +36,19 @@ StatusOr<GreedyWalkResult> TopDownSpecialize(
     NodeEvaluation best_evaluation;
     double best_loss = current_loss;
     for (const LatticeNode& candidate : lattice.Predecessors(node)) {
-      MDC_ASSIGN_OR_RETURN(
-          NodeEvaluation evaluation,
-          EvaluateNode(original, hierarchies, candidate, config.k,
-                       config.suppression, "top-down"));
+      MDC_FAILPOINT("top_down.step");
+      auto evaluation_or = EvaluateNode(original, hierarchies, candidate,
+                                        config.k, config.suppression,
+                                        "top-down", run);
+      if (!evaluation_or.ok()) {
+        // The current node is feasible: stop specializing and release it.
+        if (evaluation_or.status().IsBudgetError()) {
+          return GreedyWalkResult{std::move(current), node, steps,
+                                  RunContext::Stats(run, true)};
+        }
+        return evaluation_or.status();
+      }
+      NodeEvaluation evaluation = std::move(evaluation_or).value();
       if (!evaluation.feasible) continue;
       double candidate_loss =
           loss(evaluation.anonymization, evaluation.partition);
@@ -55,12 +66,13 @@ StatusOr<GreedyWalkResult> TopDownSpecialize(
     current_loss = best_loss;
     ++steps;
   }
-  return GreedyWalkResult{std::move(current), node, steps};
+  return GreedyWalkResult{std::move(current), node, steps,
+                          RunContext::Stats(run)};
 }
 
 StatusOr<GreedyWalkResult> BottomUpGeneralize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const GreedyWalkConfig& config, const LossFn& loss) {
+    const GreedyWalkConfig& config, const LossFn& loss, RunContext* run) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -71,7 +83,7 @@ StatusOr<GreedyWalkResult> BottomUpGeneralize(
   LatticeNode node = lattice.Bottom();
   MDC_ASSIGN_OR_RETURN(NodeEvaluation current,
                        EvaluateNode(original, hierarchies, node, config.k,
-                                    config.suppression, "bottom-up"));
+                                    config.suppression, "bottom-up", run));
   int steps = 0;
 
   while (!current.feasible) {
@@ -90,10 +102,11 @@ StatusOr<GreedyWalkResult> BottomUpGeneralize(
     NodeEvaluation best_evaluation;
     double best_ratio = -std::numeric_limits<double>::infinity();
     for (const LatticeNode& candidate : lattice.Successors(node)) {
+      MDC_FAILPOINT("bottom_up.step");
       MDC_ASSIGN_OR_RETURN(
           NodeEvaluation evaluation,
           EvaluateNode(original, hierarchies, candidate, config.k,
-                       config.suppression, "bottom-up"));
+                       config.suppression, "bottom-up", run));
       size_t undersized = 0;
       for (const std::vector<size_t>& members :
            evaluation.partition.classes()) {
@@ -134,7 +147,8 @@ StatusOr<GreedyWalkResult> BottomUpGeneralize(
     current = std::move(best_evaluation);
     ++steps;
   }
-  return GreedyWalkResult{std::move(current), node, steps};
+  return GreedyWalkResult{std::move(current), node, steps,
+                          RunContext::Stats(run)};
 }
 
 }  // namespace mdc

@@ -38,15 +38,24 @@ struct GreedyWalkResult {
   NodeEvaluation evaluation;
   LatticeNode node;
   int steps = 0;  // Lattice moves taken.
+  RunStats run_stats;
 };
 
+// Budget expiry degrades gracefully: the walk starts from the fully
+// generalized (feasible) table, so the node reached when the budget runs
+// out is returned with run_stats.truncated set — k-anonymous, just less
+// specialized than the unbudgeted result.
 StatusOr<GreedyWalkResult> TopDownSpecialize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const GreedyWalkConfig& config, const LossFn& loss = ProxyLoss);
+    const GreedyWalkConfig& config, const LossFn& loss = ProxyLoss,
+    RunContext* run = nullptr);
 
+// The bottom-up walk is infeasible until it terminates, so budget expiry
+// returns the budget Status (no best-so-far exists to degrade to).
 StatusOr<GreedyWalkResult> BottomUpGeneralize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const GreedyWalkConfig& config, const LossFn& loss = ProxyLoss);
+    const GreedyWalkConfig& config, const LossFn& loss = ProxyLoss,
+    RunContext* run = nullptr);
 
 }  // namespace mdc
 

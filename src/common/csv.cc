@@ -2,10 +2,13 @@
 
 #include <cstdio>
 
+#include "common/failpoint.h"
+
 namespace mdc {
 
 StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
     std::string_view text) {
+  MDC_FAILPOINT("csv.parse");
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> row;
   std::string field;
@@ -113,6 +116,7 @@ std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
 }
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {
+  MDC_FAILPOINT("csv.read_file");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::NotFound("cannot open file: " + path);
@@ -132,6 +136,7 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  MDC_FAILPOINT("csv.write_file");
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Status::Internal("cannot open file for writing: " + path);

@@ -1,0 +1,124 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace mdc::failpoint {
+namespace {
+
+// Every failpoint site in the library. MDC_FAILPOINT calls at undeclared
+// sites still compile, but tests cannot arm them, which keeps this list
+// the authoritative inventory that failpoint_test.cc covers one by one.
+constexpr const char* kSites[] = {
+    "csv.parse",
+    "csv.read_file",
+    "csv.write_file",
+    "spec.parse",
+    "dataset.from_csv",
+    "dataset.append_row",
+    "full_domain.evaluate",
+    "datafly.step",
+    "samarati.evaluate",
+    "incognito.node",
+    "optimal.node",
+    "pareto.node",
+    "mondrian.split",
+    "stochastic.evaluate",
+    "clustering.cluster",
+    "top_down.step",
+    "bottom_up.step",
+    "report.compare",
+};
+
+struct ArmedSite {
+  Status status = Status::Internal("failpoint");
+  int skip = 0;       // Remaining passes that succeed.
+  int count = -1;     // Remaining passes that fail; -1 = unlimited.
+  int hits = 0;       // Times this site fired since arming.
+};
+
+// Fast path: nothing armed -> one relaxed load, no lock.
+std::atomic<int> g_armed_count{0};
+
+std::mutex& Mutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+std::unordered_map<std::string, ArmedSite>& Armed() {
+  static auto* armed = new std::unordered_map<std::string, ArmedSite>;
+  return *armed;
+}
+
+bool IsDeclared(const std::string& site) {
+  for (const char* declared : kSites) {
+    if (site == declared) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Enabled() {
+#if defined(MDC_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::vector<std::string> AllSites() {
+  return std::vector<std::string>(std::begin(kSites), std::end(kSites));
+}
+
+bool Arm(const std::string& site, Status status, int skip, int count) {
+  if (!IsDeclared(site) || status.ok()) return false;
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] =
+      Armed().insert_or_assign(site, ArmedSite{std::move(status), skip,
+                                               count, 0});
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (Armed().erase(site) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  g_armed_count.fetch_sub(static_cast<int>(Armed().size()),
+                          std::memory_order_relaxed);
+  Armed().clear();
+}
+
+int HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Armed().find(site);
+  return it == Armed().end() ? 0 : it->second.hits;
+}
+
+Status Trigger(const char* site) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Armed().find(site);
+  if (it == Armed().end()) return Status::Ok();
+  ArmedSite& armed = it->second;
+  if (armed.skip > 0) {
+    --armed.skip;
+    return Status::Ok();
+  }
+  if (armed.count == 0) return Status::Ok();
+  if (armed.count > 0) --armed.count;
+  ++armed.hits;
+  return armed.status;
+}
+
+}  // namespace mdc::failpoint

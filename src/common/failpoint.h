@@ -1,0 +1,88 @@
+// Deterministic fault injection for error-path testing.
+//
+// A failpoint is a named site in library code where a test can force a
+// failure: `MDC_FAILPOINT("csv.parse")` returns an armed Status to the
+// enclosing function (which must return Status or StatusOr<T>), exercising
+// the exact error branch a real I/O or data fault would take. Sites are
+// declared centrally in failpoint.cc (kSites) so tests can enumerate them
+// and prove every registered site both triggers and propagates cleanly.
+//
+// Tests arm a site with failpoint::ScopedFailpoint:
+//
+//   failpoint::ScopedFailpoint fp("csv.parse",
+//                                 Status::Internal("injected"));
+//   EXPECT_FALSE(ParseCsv("a,b").ok());
+//
+// Arming supports skip/count so inner-loop sites can fail on the Nth pass.
+// The hooks compile to nothing when MDC_FAILPOINTS is OFF (release
+// builds); the registry functions remain linkable and report Enabled() ==
+// false so tests can skip themselves.
+
+#ifndef MDC_COMMON_FAILPOINT_H_
+#define MDC_COMMON_FAILPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mdc::failpoint {
+
+// True when the library was compiled with MDC_FAILPOINTS=ON.
+bool Enabled();
+
+// All declared sites, in declaration order. Unknown names cannot be armed.
+std::vector<std::string> AllSites();
+
+// Arms `site` to return `status` from its MDC_FAILPOINT. The first `skip`
+// passes succeed; the next `count` passes fail (-1 = until disarmed).
+// Returns false (and arms nothing) if `site` is not a declared site.
+bool Arm(const std::string& site, Status status, int skip = 0,
+         int count = -1);
+
+void Disarm(const std::string& site);
+void DisarmAll();
+
+// Number of times `site` fired since it was last armed.
+int HitCount(const std::string& site);
+
+// Called by the MDC_FAILPOINT macro; OK unless the site is armed and due.
+Status Trigger(const char* site);
+
+// RAII arm/disarm for tests.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string site, Status status, int skip = 0,
+                  int count = -1)
+      : site_(std::move(site)) {
+    armed_ = Arm(site_, std::move(status), skip, count);
+  }
+  ~ScopedFailpoint() { Disarm(site_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  bool armed() const { return armed_; }
+
+ private:
+  std::string site_;
+  bool armed_ = false;
+};
+
+}  // namespace mdc::failpoint
+
+#if defined(MDC_FAILPOINTS_ENABLED)
+// Returns the armed Status out of the enclosing function (Status or
+// StatusOr<T>). Near-zero cost while no site is armed (one relaxed atomic
+// load).
+#define MDC_FAILPOINT(site)                                          \
+  do {                                                               \
+    ::mdc::Status _mdc_fp = ::mdc::failpoint::Trigger(site);         \
+    if (!_mdc_fp.ok()) return _mdc_fp;                               \
+  } while (false)
+#else
+#define MDC_FAILPOINT(site) \
+  do {                      \
+  } while (false)
+#endif
+
+#endif  // MDC_COMMON_FAILPOINT_H_

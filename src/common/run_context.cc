@@ -1,0 +1,84 @@
+#include "common/run_context.h"
+
+#include "common/strings.h"
+
+namespace mdc {
+
+std::string RunStats::ToString() const {
+  std::string text = "steps=" + std::to_string(steps);
+  text += " elapsed_ms=" + FormatCompact(elapsed_ms, 3);
+  if (memory_bytes > 0) {
+    text += " memory_bytes=" + std::to_string(memory_bytes);
+  }
+  text += truncated ? " truncated=true" : " truncated=false";
+  return text;
+}
+
+RunContext::RunContext() : start_(std::chrono::steady_clock::now()) {}
+
+RunContext& RunContext::set_deadline_ms(int64_t ms) {
+  deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  return *this;
+}
+
+RunContext& RunContext::set_max_steps(uint64_t steps) {
+  max_steps_ = steps;
+  return *this;
+}
+
+RunContext& RunContext::set_max_memory_bytes(uint64_t bytes) {
+  max_memory_bytes_ = bytes;
+  return *this;
+}
+
+RunContext& RunContext::set_cancellation(CancellationToken token) {
+  cancel_ = std::move(token);
+  return *this;
+}
+
+Status RunContext::Check(uint64_t steps) {
+  steps_ += steps;
+  if (!exhausted_.ok()) return exhausted_;
+  if (cancel_.cancelled()) {
+    exhausted_ = Status::Cancelled("run cancelled after " +
+                                   std::to_string(steps_) + " steps");
+    return exhausted_;
+  }
+  if (deadline_.has_value() &&
+      std::chrono::steady_clock::now() >= *deadline_) {
+    exhausted_ = Status::DeadlineExceeded(
+        "deadline exceeded after " + std::to_string(steps_) + " steps (" +
+        FormatCompact(elapsed_ms(), 3) + " ms)");
+    return exhausted_;
+  }
+  if (max_steps_.has_value() && steps_ > *max_steps_) {
+    exhausted_ = Status::ResourceExhausted(
+        "step budget of " + std::to_string(*max_steps_) + " exhausted");
+    return exhausted_;
+  }
+  if (max_memory_bytes_.has_value() && memory_bytes_ > *max_memory_bytes_) {
+    exhausted_ = Status::ResourceExhausted(
+        "memory budget of " + std::to_string(*max_memory_bytes_) +
+        " bytes exhausted (charged " + std::to_string(memory_bytes_) + ")");
+    return exhausted_;
+  }
+  return Status::Ok();
+}
+
+void RunContext::ChargeMemory(uint64_t bytes) { memory_bytes_ += bytes; }
+
+void RunContext::ReleaseMemory(uint64_t bytes) {
+  memory_bytes_ = bytes > memory_bytes_ ? 0 : memory_bytes_ - bytes;
+}
+
+double RunContext::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+RunStats RunContext::Stats(bool truncated) const {
+  return RunStats{steps_, elapsed_ms(), memory_bytes_, truncated};
+}
+
+}  // namespace mdc

@@ -20,8 +20,20 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kInfeasible:
       return "infeasible";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
+}
+
+bool IsBudgetCode(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kCancelled;
 }
 
 std::string Status::ToString() const {

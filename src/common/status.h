@@ -25,7 +25,20 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kInfeasible,  // No anonymization satisfying the constraints exists.
+  // Execution-budget codes (see docs/error_handling.md): the run was cut
+  // short by a wall-clock deadline, a step/memory budget, or cooperative
+  // cancellation. Algorithms return these only when no usable best-so-far
+  // result exists; otherwise they return the result with
+  // RunStats::truncated set.
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
+
+// True for the three execution-budget codes above. Algorithms use this to
+// distinguish "budget ran out" (degrade gracefully) from genuine errors
+// (propagate).
+bool IsBudgetCode(StatusCode code);
 
 // Returns a stable lower-case name for `code` ("ok", "invalid_argument", ...).
 const char* StatusCodeName(StatusCode code);
@@ -62,6 +75,18 @@ class Status {
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  // True iff this status carries one of the execution-budget codes.
+  bool IsBudgetError() const { return IsBudgetCode(code_); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

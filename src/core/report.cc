@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include "common/failpoint.h"
 #include "common/text_table.h"
 #include "core/properties.h"
 #include "privacy/privacy_model.h"
@@ -29,7 +30,9 @@ StatusOr<ComparisonReport> CompareAnonymizations(
     const Anonymization& first, const EquivalencePartition& first_partition,
     const Anonymization& second,
     const EquivalencePartition& second_partition,
-    const ComparisonOptions& options) {
+    const ComparisonOptions& options, RunContext* run) {
+  MDC_RETURN_IF_ERROR(RunContext::Check(run));
+  MDC_FAILPOINT("report.compare");
   if (first.row_count() != second.row_count()) {
     return Status::InvalidArgument(
         "anonymizations cover data sets of different sizes");
@@ -92,6 +95,7 @@ StatusOr<ComparisonReport> CompareAnonymizations(
   }
 
   for (const NamedProperty& property : properties) {
+    MDC_RETURN_IF_ERROR(RunContext::Check(run));
     report.properties.push_back(property.name);
     // The rank ideal only makes sense for the class-size property.
     PropertyVector ideal =

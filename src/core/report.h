@@ -15,6 +15,7 @@
 
 #include "anonymize/equivalence.h"
 #include "anonymize/generalizer.h"
+#include "common/run_context.h"
 #include "core/bias.h"
 #include "core/comparator.h"
 
@@ -53,11 +54,14 @@ struct ComparisonReport {
 };
 
 // Compares two releases OF THE SAME ORIGINAL DATA SET (sizes must match).
+// A report is all-or-nothing: when `run`'s budget expires mid-battery the
+// budget Status is returned (a partially scored report would be
+// misleading).
 StatusOr<ComparisonReport> CompareAnonymizations(
     const Anonymization& first, const EquivalencePartition& first_partition,
     const Anonymization& second,
     const EquivalencePartition& second_partition,
-    const ComparisonOptions& options = {});
+    const ComparisonOptions& options = {}, RunContext* run = nullptr);
 
 }  // namespace mdc
 

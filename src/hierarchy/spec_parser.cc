@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "hierarchy/interval_hierarchy.h"
 #include "hierarchy/suffix_hierarchy.h"
@@ -39,6 +40,7 @@ StatusOr<IntervalLevel> ParseIntervalLevel(std::string_view token,
 
 StatusOr<HierarchySet> ParseHierarchySpec(const Schema& schema,
                                           std::string_view text) {
+  MDC_FAILPOINT("spec.parse");
   HierarchySet hierarchies;
   std::vector<std::string> lines = StrSplit(text, '\n');
 

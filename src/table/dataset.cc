@@ -4,11 +4,13 @@
 #include <limits>
 
 #include "common/csv.h"
+#include "common/failpoint.h"
 #include "common/text_table.h"
 
 namespace mdc {
 
 Status Dataset::AppendRow(Row row) {
+  MDC_FAILPOINT("dataset.append_row");
   if (row.size() != schema_.attribute_count()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +
@@ -82,6 +84,7 @@ StatusOr<std::pair<double, double>> Dataset::NumericRange(
 
 StatusOr<Dataset> Dataset::FromCsv(const Schema& schema,
                                    std::string_view text) {
+  MDC_FAILPOINT("dataset.from_csv");
   MDC_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
   if (rows.empty()) {
     return Status::InvalidArgument("CSV has no header row");

@@ -3,12 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 
 #include "common/csv.h"
 #include "common/rng.h"
 #include "hierarchy/interval_hierarchy.h"
 #include "hierarchy/spec_parser.h"
+#include "hierarchy/suffix_hierarchy.h"
+#include "hierarchy/taxonomy_hierarchy.h"
 #include "table/dataset.h"
 
 namespace mdc {
@@ -104,6 +107,118 @@ TEST(RobustnessTest, ValueParseExtremes) {
   EXPECT_FALSE(Value::Parse("1e999", AttributeType::kReal).ok());
   auto tiny = Value::Parse("1e-300", AttributeType::kReal);
   EXPECT_TRUE(tiny.ok());
+}
+
+TEST(RobustnessTest, TaxonomyBuilderNeverCrashesOnRandomEdges) {
+  // Random edge soups: duplicate labels, unknown parents, self-loops,
+  // re-rooting attempts. Build() must return ok or a clean error, and any
+  // accepted tree must generalize its leaves sanely at every level.
+  static constexpr const char* kLabels[] = {"*",  "a",  "b",  "c", "d",
+                                            "aa", "ab", "ba", "",  "a|b"};
+  constexpr size_t kLabelCount = sizeof(kLabels) / sizeof(kLabels[0]);
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    TaxonomyHierarchy::Builder builder;
+    size_t edges = rng.NextBelow(12);
+    for (size_t e = 0; e < edges; ++e) {
+      builder.Add(kLabels[rng.NextBelow(kLabelCount)],
+                  kLabels[rng.NextBelow(kLabelCount)]);
+    }
+    auto tree = builder.Build();
+    if (!tree.ok()) continue;
+    EXPECT_GE(tree->height(), 1);
+    EXPECT_GE(tree->leaf_count(), 1u);
+    for (const std::string& leaf : tree->Leaves()) {
+      // Shallow leaves clamp at the root within [0, height]; levels beyond
+      // height are a clean OutOfRange, never a crash.
+      for (int level = 0; level <= tree->height(); ++level) {
+        auto label = tree->Generalize(Value(leaf), level);
+        ASSERT_TRUE(label.ok()) << leaf << " @ " << level;
+        EXPECT_TRUE(tree->Covers(*label, Value(leaf)));
+      }
+      EXPECT_FALSE(tree->Generalize(Value(leaf), tree->height() + 1).ok());
+    }
+  }
+}
+
+TEST(RobustnessTest, SpecParserTaxonomyBlockFuzz) {
+  // Structured-ish fuzz for the multi-line taxonomy grammar: random edge
+  // lines, sometimes missing 'end', sometimes malformed separators. The
+  // parser must return ok or a clean error — never crash or hang.
+  Schema schema = SimpleSchema();
+  static constexpr const char* kLines[] = {
+      "edge a|*",      "edge b|a",      "edge b|b",   "edge |",
+      "edge aphone",   "edge x|ghost",  "edge  c | a", "edge *|a",
+      "garbage",       "# comment",     "",           "end"};
+  constexpr size_t kLineCount = sizeof(kLines) / sizeof(kLines[0]);
+  Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string spec = "column zip taxonomy\n";
+    size_t line_count = rng.NextBelow(10);
+    for (size_t l = 0; l < line_count; ++l) {
+      spec += kLines[rng.NextBelow(kLineCount)];
+      spec += '\n';
+    }
+    if (rng.NextBool(0.5)) spec += "end\n";
+    auto parsed = ParseHierarchySpec(schema, spec);
+    (void)parsed;  // ok() or error — either is fine; crashing is not.
+  }
+}
+
+TEST(RobustnessTest, SuffixHierarchyFuzz) {
+  EXPECT_FALSE(SuffixHierarchy::Create(0).ok());
+  EXPECT_FALSE(SuffixHierarchy::Create(-3).ok());
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    int code_length = 1 + static_cast<int>(rng.NextBelow(8));
+    auto hierarchy = SuffixHierarchy::Create(code_length);
+    ASSERT_TRUE(hierarchy.ok());
+    Value value = rng.NextBool(0.5)
+                      ? Value(RandomText(rng, rng.NextBelow(10)))
+                      : Value(rng.NextInt(-1000, 10'000'000));
+    int level = static_cast<int>(rng.NextBelow(code_length + 3));
+    auto label = hierarchy->Generalize(value, level);
+    if (!label.ok()) continue;  // Value does not fit the code: clean error.
+    EXPECT_FALSE(label->empty());
+    EXPECT_TRUE(hierarchy->Covers(*label, value))
+        << *label << " should cover " << value.ToString();
+  }
+}
+
+TEST(RobustnessTest, ValueIntAndStringRoundTrip) {
+  Rng rng(8);
+  for (int trial = 0; trial < 500; ++trial) {
+    int64_t raw = static_cast<int64_t>(rng.NextUint64());
+    auto parsed = Value::Parse(std::to_string(raw), AttributeType::kInt);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->AsInt(), raw);
+    // parse -> format -> parse is the identity for ints.
+    auto again = Value::Parse(parsed->ToString(), AttributeType::kInt);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->AsInt(), raw);
+
+    std::string text = RandomText(rng, rng.NextBelow(16));
+    auto str = Value::Parse(text, AttributeType::kString);
+    ASSERT_TRUE(str.ok());
+    EXPECT_EQ(str->ToString(), text);
+  }
+}
+
+TEST(RobustnessTest, ValueRealFormatIsAFixedPoint) {
+  // Real formatting is compact (lossy), so one parse -> format hop may
+  // round; after that, format -> parse -> format must be a fixed point or
+  // CSV round-trips would drift on every pass.
+  Rng rng(9);
+  for (int trial = 0; trial < 500; ++trial) {
+    double magnitude = std::pow(10.0, rng.NextInt(-6, 6));
+    double raw = (rng.NextDouble() * 2.0 - 1.0) * magnitude;
+    auto parsed = Value::Parse(std::to_string(raw), AttributeType::kReal);
+    ASSERT_TRUE(parsed.ok());
+    std::string first = parsed->ToString();
+    auto reparsed = Value::Parse(first, AttributeType::kReal);
+    ASSERT_TRUE(reparsed.ok()) << first;
+    EXPECT_EQ(reparsed->ToString(), first) << "drift from " << raw;
+  }
 }
 
 TEST(RobustnessTest, EmptyDatasetOperations) {

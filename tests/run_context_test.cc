@@ -1,0 +1,157 @@
+// RunContext unit semantics: step budgets, wall-clock deadlines,
+// cross-thread cancellation, best-effort memory accounting, sticky budget
+// errors, and the null-tolerant static helpers every algorithm relies on.
+
+#include "common/run_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace mdc {
+namespace {
+
+TEST(RunContextTest, UnboundedOnlyCountsSteps) {
+  RunContext run;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(run.Check().ok());
+  EXPECT_EQ(run.steps(), 100u);
+  EXPECT_FALSE(run.Stats().truncated);
+  EXPECT_TRUE(run.Stats(true).truncated);
+  EXPECT_GE(run.elapsed_ms(), 0.0);
+}
+
+TEST(RunContextTest, NullContextIsFree) {
+  EXPECT_TRUE(RunContext::Check(nullptr).ok());
+  RunContext::ChargeMemory(nullptr, 1 << 20);  // Must not crash.
+  RunStats stats = RunContext::Stats(nullptr, true);
+  EXPECT_EQ(stats.steps, 0u);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(RunContextTest, StepBudgetExhaustsWithResourceExhausted) {
+  RunContext run;
+  run.set_max_steps(10);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(run.Check().ok());
+  Status status = run.Check();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(status.IsBudgetError());
+}
+
+TEST(RunContextTest, BulkStepChargesCountAgainstBudget) {
+  RunContext run;
+  run.set_max_steps(10);
+  EXPECT_TRUE(run.Check(8).ok());
+  EXPECT_FALSE(run.Check(8).ok());  // 16 > 10.
+  EXPECT_EQ(run.steps(), 16u);
+}
+
+TEST(RunContextTest, BudgetErrorsAreSticky) {
+  RunContext run;
+  run.set_max_steps(1);
+  ASSERT_TRUE(run.Check().ok());
+  Status first = run.Check();
+  ASSERT_FALSE(first.ok());
+  // Later checks keep failing with the same code even though nothing else
+  // changed — an algorithm cannot accidentally resume after expiry.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(run.Check().code(), first.code());
+  }
+}
+
+TEST(RunContextTest, PastDeadlineFailsWithDeadlineExceeded) {
+  RunContext run;
+  run.set_deadline_ms(0);  // Deadline is "now": already expired.
+  Status status = run.Check();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(status.IsBudgetError());
+}
+
+TEST(RunContextTest, FutureDeadlinePassesUntilItExpires) {
+  RunContext run;
+  run.set_deadline_ms(20);
+  EXPECT_TRUE(run.Check().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(run.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, MemoryBudgetTripsNextCheck) {
+  RunContext run;
+  run.set_max_memory_bytes(1000);
+  run.ChargeMemory(600);
+  EXPECT_TRUE(run.Check().ok());
+  run.ChargeMemory(600);
+  EXPECT_EQ(run.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(run.memory_bytes(), 1200u);
+}
+
+TEST(RunContextTest, ReleaseMemoryRestoresHeadroom) {
+  RunContext run;
+  run.set_max_memory_bytes(1000);
+  run.ChargeMemory(900);
+  run.ReleaseMemory(500);
+  EXPECT_TRUE(run.Check().ok());
+  EXPECT_EQ(run.memory_bytes(), 400u);
+  run.ReleaseMemory(10000);  // Over-release clamps to zero.
+  EXPECT_EQ(run.memory_bytes(), 0u);
+}
+
+TEST(RunContextTest, CancellationFromAnotherThreadStopsNextCheck) {
+  RunContext run;
+  CancellationToken token;
+  run.set_cancellation(token);
+  ASSERT_TRUE(run.Check().ok());
+
+  // The "worker" spins on Check() while the "requester" cancels from a
+  // second thread; the worker must observe kCancelled on its next budget
+  // check, not run to completion.
+  std::atomic<bool> worker_started{false};
+  Status observed;
+  std::thread worker([&] {
+    worker_started.store(true);
+    for (int i = 0; i < 1'000'000'000; ++i) {
+      Status status = run.Check();
+      if (!status.ok()) {
+        observed = status;
+        return;
+      }
+    }
+  });
+  while (!worker_started.load()) std::this_thread::yield();
+  token.Cancel();
+  worker.join();
+  EXPECT_EQ(observed.code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, CopiedTokensShareState) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  copy.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(RunContextTest, StatsSnapshotAndToString) {
+  RunContext run;
+  ASSERT_TRUE(run.Check(3).ok());
+  run.ChargeMemory(64);
+  RunStats stats = run.Stats(true);
+  EXPECT_EQ(stats.steps, 3u);
+  EXPECT_EQ(stats.memory_bytes, 64u);
+  EXPECT_TRUE(stats.truncated);
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("steps=3"), std::string::npos);
+  EXPECT_NE(text.find("truncated=true"), std::string::npos);
+}
+
+TEST(StatusTest, BudgetCodeClassification) {
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsBudgetError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsBudgetError());
+  EXPECT_TRUE(Status::Cancelled("x").IsBudgetError());
+  EXPECT_FALSE(Status::Internal("x").IsBudgetError());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsBudgetError());
+  EXPECT_FALSE(Status::Ok().IsBudgetError());
+}
+
+}  // namespace
+}  // namespace mdc
