@@ -12,7 +12,9 @@
 #include "anonymize/samarati.h"
 #include "anonymize/stochastic.h"
 #include "anonymize/top_down.h"
+#include "common/durable_io.h"
 #include "common/text_table.h"
+#include "core/batch_runner.h"
 #include "core/bias.h"
 #include "core/properties.h"
 #include "core/quality_index.h"
@@ -35,78 +37,145 @@ struct NamedRelease {
   EquivalencePartition partition;
 };
 
-std::vector<NamedRelease> RunAll(const CensusData& census, int k,
-                                 RunContext* run) {
+constexpr const char* kAlgorithms[] = {
+    "datafly", "samarati",  "optimal",  "stochastic",
+    "top-down", "bottom-up", "mondrian"};
+
+// Runs one named algorithm at one k. Shared by the in-process comparison
+// sweep and the supervised batch export, so both produce the exact same
+// releases.
+StatusOr<NamedRelease> RunOne(const std::string& name,
+                              const CensusData& census, int k,
+                              RunContext* run) {
   SuppressionBudget budget{0.02};
-  std::vector<NamedRelease> releases;
-
-  DataflyConfig datafly_config{k, budget};
-  auto datafly =
-      DataflyAnonymize(census.data, census.hierarchies, datafly_config, run);
-  if (!repro::BudgetSkipped("datafly", datafly)) {
-    releases.push_back({"datafly",
-                        std::move(datafly->evaluation.anonymization),
-                        std::move(datafly->evaluation.partition)});
-  }
-
-  SamaratiConfig samarati_config{k, budget};
-  auto samarati = SamaratiAnonymize(census.data, census.hierarchies,
-                                    samarati_config, ProxyLoss, run);
-  if (!repro::BudgetSkipped("samarati", samarati)) {
-    releases.push_back({"samarati", std::move(samarati->best.anonymization),
-                        std::move(samarati->best.partition)});
-  }
-
-  OptimalSearchConfig optimal_config;
-  optimal_config.k = k;
-  optimal_config.suppression = budget;
   LossFn lm_loss = [](const Anonymization& anon,
                       const EquivalencePartition&) {
     auto loss = LossMetric::TotalLoss(anon);
     MDC_CHECK(loss.ok());
     return *loss;
   };
-  auto optimal = OptimalLatticeSearch(census.data, census.hierarchies,
-                                      optimal_config, lm_loss, run);
-  if (!repro::BudgetSkipped("optimal", optimal)) {
-    releases.push_back({"optimal", std::move(optimal->best.anonymization),
-                        std::move(optimal->best.partition)});
+  if (name == "datafly") {
+    DataflyConfig config{k, budget};
+    MDC_ASSIGN_OR_RETURN(
+        auto result,
+        DataflyAnonymize(census.data, census.hierarchies, config, run));
+    return NamedRelease{name, std::move(result.evaluation.anonymization),
+                        std::move(result.evaluation.partition)};
   }
+  if (name == "samarati") {
+    SamaratiConfig config{k, budget};
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         SamaratiAnonymize(census.data, census.hierarchies,
+                                           config, ProxyLoss, run));
+    return NamedRelease{name, std::move(result.best.anonymization),
+                        std::move(result.best.partition)};
+  }
+  if (name == "optimal") {
+    OptimalSearchConfig config;
+    config.k = k;
+    config.suppression = budget;
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         OptimalLatticeSearch(census.data, census.hierarchies,
+                                              config, lm_loss, run));
+    return NamedRelease{name, std::move(result.best.anonymization),
+                        std::move(result.best.partition)};
+  }
+  if (name == "stochastic") {
+    StochasticConfig config;
+    config.k = k;
+    config.suppression = budget;
+    config.seed = 17;
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         StochasticAnonymize(census.data, census.hierarchies,
+                                             config, lm_loss, run));
+    return NamedRelease{name, std::move(result.best.anonymization),
+                        std::move(result.best.partition)};
+  }
+  if (name == "top-down") {
+    GreedyWalkConfig config{k, budget};
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         TopDownSpecialize(census.data, census.hierarchies,
+                                           config, lm_loss, run));
+    return NamedRelease{name, std::move(result.evaluation.anonymization),
+                        std::move(result.evaluation.partition)};
+  }
+  if (name == "bottom-up") {
+    GreedyWalkConfig config{k, budget};
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         BottomUpGeneralize(census.data, census.hierarchies,
+                                            config, lm_loss, run));
+    return NamedRelease{name, std::move(result.evaluation.anonymization),
+                        std::move(result.evaluation.partition)};
+  }
+  if (name == "mondrian") {
+    MondrianConfig config{k};
+    MDC_ASSIGN_OR_RETURN(auto result,
+                         MondrianAnonymize(census.data, config, run));
+    return NamedRelease{name, std::move(result.anonymization),
+                        std::move(result.partition)};
+  }
+  return Status::InvalidArgument("unknown algorithm " + name);
+}
 
-  StochasticConfig stochastic_config;
-  stochastic_config.k = k;
-  stochastic_config.suppression = budget;
-  stochastic_config.seed = 17;
-  auto stochastic = StochasticAnonymize(census.data, census.hierarchies,
-                                        stochastic_config, lm_loss, run);
-  if (!repro::BudgetSkipped("stochastic", stochastic)) {
-    releases.push_back({"stochastic",
-                        std::move(stochastic->best.anonymization),
-                        std::move(stochastic->best.partition)});
-  }
-
-  GreedyWalkConfig walk_config{k, budget};
-  auto tds = TopDownSpecialize(census.data, census.hierarchies, walk_config,
-                               lm_loss, run);
-  if (!repro::BudgetSkipped("top-down", tds)) {
-    releases.push_back({"top-down", std::move(tds->evaluation.anonymization),
-                        std::move(tds->evaluation.partition)});
-  }
-  auto bug = BottomUpGeneralize(census.data, census.hierarchies, walk_config,
-                                lm_loss, run);
-  if (!repro::BudgetSkipped("bottom-up", bug)) {
-    releases.push_back({"bottom-up",
-                        std::move(bug->evaluation.anonymization),
-                        std::move(bug->evaluation.partition)});
-  }
-
-  MondrianConfig mondrian_config{k};
-  auto mondrian = MondrianAnonymize(census.data, mondrian_config, run);
-  if (!repro::BudgetSkipped("mondrian", mondrian)) {
-    releases.push_back({"mondrian", std::move(mondrian->anonymization),
-                        std::move(mondrian->partition)});
+std::vector<NamedRelease> RunAll(const CensusData& census, int k,
+                                 RunContext* run) {
+  std::vector<NamedRelease> releases;
+  for (const char* name : kAlgorithms) {
+    auto release = RunOne(name, census, k, run);
+    if (!repro::BudgetSkipped(name, release)) {
+      releases.push_back(std::move(*release));
+    }
   }
   return releases;
+}
+
+// Supervised artifact export: one batch job per (k, algorithm) re-runs the
+// algorithm and durably writes its release CSV into `dir`. The batch
+// checkpoint in the same directory makes the sweep resumable — a killed
+// export picks up at the first job without an artifact.
+int ExportReleases(const CensusData& census, const std::string& dir) {
+  if (Status status = EnsureWritableDir(dir); !status.ok()) {
+    std::fprintf(stderr, "error: --checkpoint-dir %s: %s\n", dir.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::vector<BatchJob> jobs;
+  for (int k : {2, 5, 10}) {
+    for (const char* name : kAlgorithms) {
+      BatchJob job;
+      job.id = "k" + std::to_string(k) + "_" + name;
+      job.params["algorithm"] = name;
+      job.params["k"] = std::to_string(k);
+      jobs.push_back(std::move(job));
+    }
+  }
+  BatchRunnerConfig config;
+  config.checkpoint_path = dir + "/batch_checkpoint.bin";
+  auto result = RunBatch(
+      jobs,
+      [&census, &dir](const BatchJob& job, RunContext* run) -> Status {
+        auto k = ParseInt64(job.params.at("k"));
+        MDC_CHECK(k.has_value());
+        MDC_ASSIGN_OR_RETURN(
+            NamedRelease release,
+            RunOne(job.params.at("algorithm"), census,
+                   static_cast<int>(*k), run));
+        return DurableWriteFile(
+            dir + "/" + job.id + ".csv",
+            release.anonymization.release.ToCsv());
+      },
+      config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  repro::Banner("Supervised release export to " + dir);
+  std::printf("%s", result->Summary().c_str());
+  return result->CountState(JobState::kOk) +
+                     result->CountState(JobState::kTruncated) ==
+                 result->outcomes.size()
+             ? 0
+             : 1;
 }
 
 void ScalarTable(const std::vector<NamedRelease>& releases, int k,
@@ -178,8 +247,20 @@ void VectorTables(const std::vector<NamedRelease>& releases) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // "--checkpoint-dir <dir>" is ours; everything else goes to the shared
+  // budget-flag parser.
+  std::string checkpoint_dir;
+  std::vector<char*> filtered = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--checkpoint-dir" && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
   RunContext budget_storage;
-  RunContext* run = repro::ParseBudgetFlags(argc, argv, budget_storage);
+  RunContext* run = repro::ParseBudgetFlags(
+      static_cast<int>(filtered.size()), filtered.data(), budget_storage);
 
   CensusConfig config;
   config.rows = 600;
@@ -204,5 +285,10 @@ int main(int argc, char** argv) {
               "each k, yet the coverage matrix and bias reports separate "
               "them — the paper's anonymization bias made visible.");
   repro::ReportRunStats(run);
-  return repro::Finish();
+  int export_rc = 0;
+  if (!checkpoint_dir.empty()) {
+    export_rc = ExportReleases(*census, checkpoint_dir);
+  }
+  int repro_rc = repro::Finish();
+  return repro_rc != 0 ? repro_rc : export_rc;
 }

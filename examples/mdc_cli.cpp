@@ -6,6 +6,8 @@
 //       [--deadline-ms 500] [--max-steps 100000]
 //   example_mdc_cli compare --input data.csv --schema <spec> \
 //       --hierarchies spec.txt --k 3 --algorithms datafly,mondrian
+//   example_mdc_cli batch --jobs jobs.csv --checkpoint-dir out \
+//       [--max-retries 2] [--backoff-ms 10]
 //
 // `--schema` is an inline column list "name:type:role,..." with type in
 // {int,real,string} and role in {qi,sensitive,insensitive,id}.
@@ -13,6 +15,14 @@
 // Mondrian and clustering work without one. `--deadline-ms` and
 // `--max-steps` bound each algorithm run (see docs/error_handling.md);
 // truncated results are flagged on stderr.
+//
+// `batch` runs a CSV of jobs (columns: id, algorithm, and optionally
+// dataset|input+schema+hierarchies, k, max_suppression, deadline_ms,
+// max_steps) under the supervised batch runner: transient failures are
+// retried with backoff, deterministic failures are quarantined, and the
+// batch checkpoints into --checkpoint-dir so a killed run resumes at the
+// first incomplete job. Job releases are written durably to
+// <checkpoint-dir>/<id>.csv.
 //
 // Run without arguments for a self-contained demo on the paper's Table 1.
 
@@ -28,8 +38,10 @@
 #include "anonymize/optimal_lattice.h"
 #include "anonymize/samarati.h"
 #include "common/csv.h"
+#include "common/durable_io.h"
 #include "common/run_context.h"
 #include "common/strings.h"
+#include "core/batch_runner.h"
 #include "core/report.h"
 #include "hierarchy/spec_parser.h"
 #include "paper/paper_data.h"
@@ -40,14 +52,17 @@ using namespace mdc;
 namespace {
 
 constexpr const char* kUsageHint =
-    "usage: mdc_cli <anonymize|compare> --input <csv> --schema <spec> "
+    "usage: mdc_cli <anonymize|compare|batch> --input <csv> --schema <spec> "
     "[--hierarchies <file>] [--algorithm <name>] [--algorithms <a,b>] "
     "[--k <n>] [--max-suppression <frac>] [--output <csv>] "
-    "[--deadline-ms <ms>] [--max-steps <n>]";
+    "[--deadline-ms <ms>] [--max-steps <n>] | batch --jobs <spec.csv> "
+    "--checkpoint-dir <dir> [--max-retries <n>] [--backoff-ms <ms>]";
 
 constexpr const char* kKnownFlags[] = {
-    "input",          "schema", "hierarchies", "algorithm",   "algorithms",
-    "k",              "output", "max-steps",   "deadline-ms", "max-suppression"};
+    "input",       "schema",      "hierarchies",    "algorithm",
+    "algorithms",  "k",           "output",         "max-steps",
+    "deadline-ms", "max-suppression", "jobs",       "checkpoint-dir",
+    "max-retries", "backoff-ms"};
 
 struct CliArgs {
   std::string command;
@@ -195,6 +210,121 @@ Status LoadInputs(const CliArgs& args,
   return Status::Ok();
 }
 
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Executes one batch job: resolves its dataset/hierarchies/algorithm from
+// params, runs it under the job's RunContext, and durably writes the
+// release next to the batch checkpoint.
+Status ExecuteBatchJob(const BatchJob& job, const std::string& artifact_dir,
+                       RunContext* run) {
+  auto param = [&](const std::string& key) -> std::string {
+    auto it = job.params.find(key);
+    return it == job.params.end() ? std::string() : it->second;
+  };
+  std::string algorithm = param("algorithm");
+  if (algorithm.empty()) {
+    return Status::InvalidArgument("job " + job.id +
+                                   ": missing `algorithm` column");
+  }
+  std::shared_ptr<const Dataset> data;
+  HierarchySet hierarchies;
+  std::string dataset = param("dataset");
+  if (dataset == "table1" || (dataset.empty() && param("input").empty())) {
+    MDC_ASSIGN_OR_RETURN(data, paper::Table1());
+    MDC_ASSIGN_OR_RETURN(hierarchies, paper::HierarchySetA());
+  } else if (dataset.empty()) {
+    MDC_ASSIGN_OR_RETURN(Schema schema, ParseSchemaFlag(param("schema")));
+    MDC_ASSIGN_OR_RETURN(std::string csv, ReadFileToString(param("input")));
+    MDC_ASSIGN_OR_RETURN(Dataset parsed, Dataset::FromCsv(schema, csv));
+    data = std::make_shared<const Dataset>(std::move(parsed));
+    if (!param("hierarchies").empty()) {
+      MDC_ASSIGN_OR_RETURN(std::string spec,
+                           ReadFileToString(param("hierarchies")));
+      MDC_ASSIGN_OR_RETURN(hierarchies,
+                           ParseHierarchySpec(data->schema(), spec));
+    }
+  } else {
+    return Status::InvalidArgument("job " + job.id + ": unknown dataset '" +
+                                   dataset + "' (table1 or input+schema)");
+  }
+  int k = 2;
+  if (!param("k").empty()) {
+    auto parsed = ParseInt64(param("k"));
+    if (!parsed.has_value()) {
+      return Status::InvalidArgument("job " + job.id + ": bad k");
+    }
+    k = static_cast<int>(*parsed);
+  }
+  double max_suppression = 0.0;
+  if (!param("max_suppression").empty()) {
+    auto parsed = ParseDouble(param("max_suppression"));
+    if (!parsed.has_value()) {
+      return Status::InvalidArgument("job " + job.id + ": bad max_suppression");
+    }
+    max_suppression = *parsed;
+  }
+  MDC_ASSIGN_OR_RETURN(
+      NamedRelease release,
+      RunAlgorithm(algorithm, data, hierarchies, k, max_suppression, run));
+  return DurableWriteFile(artifact_dir + "/" + job.id + ".csv",
+                          release.anonymization.release.ToCsv());
+}
+
+int RunBatchCommand(const CliArgs& args) {
+  auto jobs_flag = args.flags.find("jobs");
+  auto dir_flag = args.flags.find("checkpoint-dir");
+  if (jobs_flag == args.flags.end() || dir_flag == args.flags.end()) {
+    return Fail(Status::InvalidArgument(
+        "batch needs --jobs and --checkpoint-dir; " + std::string(kUsageHint)));
+  }
+  // Validate the checkpoint directory up front: a batch that runs for an
+  // hour and then cannot persist its first checkpoint helps nobody.
+  const std::string& dir = dir_flag->second;
+  if (Status status = EnsureWritableDir(dir); !status.ok()) {
+    return Fail(Status(status.code(),
+                       "--checkpoint-dir " + dir + " is not a writable "
+                       "directory: " + status.message()));
+  }
+
+  BatchRunnerConfig config;
+  config.checkpoint_path = dir + "/batch_checkpoint.bin";
+  if (auto it = args.flags.find("max-retries"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value() || *parsed < 0) {
+      return Fail(Status::InvalidArgument("bad --max-retries"));
+    }
+    config.max_retries = static_cast<int>(*parsed);
+  }
+  if (auto it = args.flags.find("backoff-ms"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value() || *parsed < 0) {
+      return Fail(Status::InvalidArgument("bad --backoff-ms"));
+    }
+    config.backoff_base_ms = *parsed;
+  }
+
+  auto spec_or = ReadFileToString(jobs_flag->second);
+  if (!spec_or.ok()) return Fail(spec_or.status());
+  auto jobs_or = ParseJobSpecCsv(*spec_or);
+  if (!jobs_or.ok()) return Fail(jobs_or.status());
+
+  auto result = RunBatch(
+      *jobs_or,
+      [&dir](const BatchJob& job, RunContext* run) {
+        return ExecuteBatchJob(job, dir, run);
+      },
+      config);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s", result->Summary().c_str());
+  bool clean = !result->aborted &&
+               result->CountState(JobState::kQuarantined) == 0 &&
+               result->CountState(JobState::kExhausted) == 0;
+  return clean ? 0 : 1;
+}
+
 int Demo() {
   std::printf("no arguments: demo on the paper's Table 1\n\n");
   auto data = paper::Table1();
@@ -219,11 +349,6 @@ int Demo() {
   return 0;
 }
 
-int Fail(const Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +356,7 @@ int main(int argc, char** argv) {
   if (!args_or.ok()) return Fail(args_or.status());
   CliArgs args = std::move(args_or).value();
   if (args.command.empty()) return Demo();
+  if (args.command == "batch") return RunBatchCommand(args);
 
   int k = 2;
   if (auto it = args.flags.find("k"); it != args.flags.end()) {
@@ -294,7 +420,9 @@ int main(int argc, char** argv) {
     }
     std::string csv = release->anonymization.release.ToCsv();
     if (auto it = args.flags.find("output"); it != args.flags.end()) {
-      if (Status status = WriteStringToFile(it->second, csv); !status.ok()) {
+      // Durable: a crash mid-write leaves either the old file or the new
+      // one, never a torn release.
+      if (Status status = DurableWriteFile(it->second, csv); !status.ok()) {
         return Fail(status);
       }
     } else {
@@ -333,5 +461,5 @@ int main(int argc, char** argv) {
   }
 
   return Fail(Status::InvalidArgument("unknown command '" + args.command +
-                                      "' (anonymize|compare)"));
+                                      "' (anonymize|compare|batch)"));
 }

@@ -17,10 +17,61 @@
 #include "anonymize/equivalence.h"
 #include "anonymize/generalizer.h"
 #include "common/run_context.h"
+#include "common/snapshot.h"
 #include "hierarchy/lattice.h"
 #include "hierarchy/scheme.h"
 
 namespace mdc {
+
+// Checkpoint/resume contract for the long-running lattice searches.
+//
+// Each search takes an optional checkpoint object (a concrete subclass
+// declared next to its algorithm). When a RunContext budget expires
+// mid-search, the algorithm captures its in-progress state — frontier,
+// visited/satisfying sets, counters, RNG state — into the object before
+// degrading or returning, so the caller can persist it:
+//
+//   RunContext run;
+//   run.set_max_steps(1000);
+//   OptimalLatticeCheckpoint ckpt;
+//   auto r = OptimalLatticeSearch(data, hier, cfg, loss, &run, &ckpt);
+//   if (ckpt.has_state()) {
+//     MDC_ASSIGN_OR_RETURN(std::string bytes, ckpt.SaveCheckpoint());
+//     MDC_RETURN_IF_ERROR(DurableWriteFile(path, bytes));
+//   }
+//
+// A later process loads the bytes with ResumeFrom() and passes the object
+// back into the search, which skips the completed work and continues at
+// the exact interruption point. Because every search iterates its lattice
+// in a deterministic order (and the stochastic search restores its RNG
+// stream), a resumed run produces a result identical to an uninterrupted
+// one.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  // True when the object holds resumable state — captured from an
+  // interrupted run or loaded by ResumeFrom().
+  virtual bool has_state() const = 0;
+
+  // Serializes the captured state as a framed snapshot (common/snapshot.h).
+  // kFailedPrecondition if no state has been captured.
+  virtual StatusOr<std::string> SaveCheckpoint() const = 0;
+
+  // Restores state from SaveCheckpoint() bytes. Strict: truncated, corrupt,
+  // wrong-kind, or version-mismatched input is rejected with a clean
+  // Status and leaves the object unchanged.
+  virtual Status ResumeFrom(std::string_view bytes) = 0;
+};
+
+// Snapshot helpers shared by the checkpoint implementations: a lattice
+// node is a small int vector, and every search state serializes lists or
+// sets of them.
+void WriteLatticeNode(SnapshotWriter& writer, const LatticeNode& node);
+StatusOr<LatticeNode> ReadLatticeNode(SnapshotReader& reader);
+void WriteLatticeNodeVec(SnapshotWriter& writer,
+                         const std::vector<LatticeNode>& nodes);
+StatusOr<std::vector<LatticeNode>> ReadLatticeNodeVec(SnapshotReader& reader);
 
 struct SuppressionBudget {
   // Maximum fraction of rows that may be suppressed (0 = none).

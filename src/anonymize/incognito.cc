@@ -104,11 +104,65 @@ void EnumerateSubLattice(const std::vector<int>& max_levels,
                    });
 }
 
+constexpr uint32_t kIncognitoPayloadVersion = 1;
+
 }  // namespace
+
+StatusOr<std::string> IncognitoCheckpoint::SaveCheckpoint() const {
+  if (!captured) {
+    return Status::FailedPrecondition("incognito checkpoint: no state");
+  }
+  SnapshotWriter writer(SnapshotKind::kIncognito, kIncognitoPayloadVersion);
+  writer.WriteU64(next_subset);
+  writer.WriteU64(next_node);
+  writer.WriteU64(frequency_evaluations);
+  writer.WriteU64(satisfying.size());
+  for (const auto& [subset, nodes] : satisfying) {
+    writer.WriteU64Vec(std::vector<uint64_t>(subset.begin(), subset.end()));
+    writer.WriteU64(nodes.size());
+    for (const std::vector<int>& node : nodes) writer.WriteI32Vec(node);
+  }
+  return writer.Finish();
+}
+
+Status IncognitoCheckpoint::ResumeFrom(std::string_view bytes) {
+  MDC_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::Open(bytes, SnapshotKind::kIncognito,
+                           kIncognitoPayloadVersion));
+  IncognitoCheckpoint loaded;
+  MDC_ASSIGN_OR_RETURN(loaded.next_subset, reader.ReadU64());
+  MDC_ASSIGN_OR_RETURN(loaded.next_node, reader.ReadU64());
+  MDC_ASSIGN_OR_RETURN(loaded.frequency_evaluations, reader.ReadU64());
+  MDC_ASSIGN_OR_RETURN(uint64_t map_size, reader.ReadU64());
+  if (map_size > reader.remaining() / sizeof(uint64_t)) {
+    return Status::InvalidArgument("incognito checkpoint: map size exceeds data");
+  }
+  for (uint64_t i = 0; i < map_size; ++i) {
+    MDC_ASSIGN_OR_RETURN(std::vector<uint64_t> subset_u64,
+                         reader.ReadU64Vec());
+    std::vector<size_t> subset(subset_u64.begin(), subset_u64.end());
+    MDC_ASSIGN_OR_RETURN(uint64_t set_size, reader.ReadU64());
+    if (set_size > reader.remaining() / sizeof(uint64_t)) {
+      return Status::InvalidArgument(
+          "incognito checkpoint: set size exceeds data");
+    }
+    std::set<std::vector<int>>& nodes = loaded.satisfying[std::move(subset)];
+    for (uint64_t j = 0; j < set_size; ++j) {
+      MDC_ASSIGN_OR_RETURN(std::vector<int> node, reader.ReadI32Vec());
+      nodes.insert(std::move(node));
+    }
+  }
+  MDC_RETURN_IF_ERROR(reader.ExpectEnd());
+  loaded.captured = true;
+  *this = std::move(loaded);
+  return Status::Ok();
+}
 
 StatusOr<IncognitoResult> IncognitoAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const IncognitoConfig& config, const LossFn& loss, RunContext* run) {
+    const IncognitoConfig& config, const LossFn& loss, RunContext* run,
+    IncognitoCheckpoint* checkpoint) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -135,6 +189,16 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
   // satisfying[subset] = set of satisfying level vectors over that subset.
   std::map<std::vector<size_t>, std::set<std::vector<int>>> satisfying;
 
+  // Resume: restore accumulated verdicts and the iteration position.
+  size_t start_subset = 0;
+  size_t start_node = 0;
+  if (checkpoint != nullptr && checkpoint->captured) {
+    satisfying = checkpoint->satisfying;
+    result.frequency_evaluations = checkpoint->frequency_evaluations;
+    start_subset = static_cast<size_t>(checkpoint->next_subset);
+    start_node = static_cast<size_t>(checkpoint->next_node);
+  }
+
   // Subsets of {0..m-1} in order of increasing size.
   std::vector<std::vector<size_t>> subsets;
   for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
@@ -154,18 +218,36 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
   std::vector<size_t> full(m);
   for (size_t i = 0; i < m; ++i) full[i] = i;
 
+  if (start_subset > subsets.size()) {
+    return Status::InvalidArgument("incognito checkpoint: subset index out of range");
+  }
+
   bool truncated = false;
   Status budget_status = Status::Ok();
-  for (const std::vector<size_t>& subset : subsets) {
+  for (size_t subset_idx = start_subset; subset_idx < subsets.size();
+       ++subset_idx) {
     if (!budget_status.ok()) break;
+    const std::vector<size_t>& subset = subsets[subset_idx];
     std::vector<int> max_levels;
     for (size_t pos : subset) max_levels.push_back(all_max[pos]);
     std::vector<std::vector<int>> nodes;
     EnumerateSubLattice(max_levels, nodes);
 
+    size_t first_node = subset_idx == start_subset ? start_node : 0;
+    if (first_node > nodes.size()) {
+      return Status::InvalidArgument("incognito checkpoint: node index out of range");
+    }
     std::set<std::vector<int>>& sat = satisfying[subset];
-    for (const std::vector<int>& node : nodes) {
+    for (size_t node_idx = first_node; node_idx < nodes.size(); ++node_idx) {
+      const std::vector<int>& node = nodes[node_idx];
       if (Status status = RunContext::Check(run); !status.ok()) {
+        if (checkpoint != nullptr) {
+          checkpoint->next_subset = subset_idx;
+          checkpoint->next_node = node_idx;
+          checkpoint->frequency_evaluations = result.frequency_evaluations;
+          checkpoint->satisfying = satisfying;
+          checkpoint->captured = true;
+        }
         // Whatever the full-QI subset has accumulated so far is sound
         // (every node passed the frequency check); degrade to it if
         // non-empty, otherwise report the budget error.

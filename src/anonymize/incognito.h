@@ -16,7 +16,9 @@
 #ifndef MDC_ANONYMIZE_INCOGNITO_H_
 #define MDC_ANONYMIZE_INCOGNITO_H_
 
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "anonymize/full_domain.h"
@@ -26,6 +28,24 @@ namespace mdc {
 struct IncognitoConfig {
   int k = 2;
   SuppressionBudget suppression;
+};
+
+// Resumable search position: the subset/node indices refer to the
+// deterministic iteration order (subsets by increasing size, nodes by
+// height within each sub-lattice), so they are stable across processes.
+// `satisfying` carries every frequency-check verdict accumulated so far —
+// complete sets for finished subsets, a partial set for the interrupted
+// one.
+struct IncognitoCheckpoint final : Checkpointable {
+  uint64_t next_subset = 0;
+  uint64_t next_node = 0;
+  uint64_t frequency_evaluations = 0;
+  std::map<std::vector<size_t>, std::set<std::vector<int>>> satisfying;
+  bool captured = false;
+
+  bool has_state() const override { return captured; }
+  StatusOr<std::string> SaveCheckpoint() const override;
+  Status ResumeFrom(std::string_view bytes) override;
 };
 
 struct IncognitoResult {
@@ -43,11 +63,13 @@ struct IncognitoResult {
 // satisfying nodes when the budget runs out, the result is built from
 // those with run_stats.truncated set (sound — every reported node IS
 // k-anonymous — but possibly missing nodes); otherwise the budget Status
-// is returned.
+// is returned. When `checkpoint` is non-null, budget expiry additionally
+// captures the search position into it, and a checkpoint with state (from
+// a prior capture or ResumeFrom) restarts the search at that position.
 StatusOr<IncognitoResult> IncognitoAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
     const IncognitoConfig& config, const LossFn& loss = ProxyLoss,
-    RunContext* run = nullptr);
+    RunContext* run = nullptr, IncognitoCheckpoint* checkpoint = nullptr);
 
 }  // namespace mdc
 

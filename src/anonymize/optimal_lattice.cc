@@ -1,5 +1,6 @@
 #include "anonymize/optimal_lattice.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/failpoint.h"
@@ -18,11 +19,46 @@ bool SatisfiesAll(const OptimalSearchConfig& config,
   return true;
 }
 
+constexpr uint32_t kOptimalPayloadVersion = 1;
+
 }  // namespace
+
+StatusOr<std::string> OptimalLatticeCheckpoint::SaveCheckpoint() const {
+  if (!captured) {
+    return Status::FailedPrecondition("optimal checkpoint: no state");
+  }
+  SnapshotWriter writer(SnapshotKind::kOptimalLattice, kOptimalPayloadVersion);
+  writer.WriteU64(next_index);
+  writer.WriteString(satisfying);
+  WriteLatticeNodeVec(writer, minimal_nodes);
+  WriteLatticeNode(writer, best_node);
+  writer.WriteDouble(best_loss);
+  writer.WriteU64(nodes_evaluated);
+  return writer.Finish();
+}
+
+Status OptimalLatticeCheckpoint::ResumeFrom(std::string_view bytes) {
+  MDC_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::Open(bytes, SnapshotKind::kOptimalLattice,
+                           kOptimalPayloadVersion));
+  OptimalLatticeCheckpoint loaded;
+  MDC_ASSIGN_OR_RETURN(loaded.next_index, reader.ReadU64());
+  MDC_ASSIGN_OR_RETURN(loaded.satisfying, reader.ReadString());
+  MDC_ASSIGN_OR_RETURN(loaded.minimal_nodes, ReadLatticeNodeVec(reader));
+  MDC_ASSIGN_OR_RETURN(loaded.best_node, ReadLatticeNode(reader));
+  MDC_ASSIGN_OR_RETURN(loaded.best_loss, reader.ReadDouble());
+  MDC_ASSIGN_OR_RETURN(loaded.nodes_evaluated, reader.ReadU64());
+  MDC_RETURN_IF_ERROR(reader.ExpectEnd());
+  loaded.captured = true;
+  *this = std::move(loaded);
+  return Status::Ok();
+}
 
 StatusOr<OptimalSearchResult> OptimalLatticeSearch(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const OptimalSearchConfig& config, const LossFn& loss, RunContext* run) {
+    const OptimalSearchConfig& config, const LossFn& loss, RunContext* run,
+    OptimalLatticeCheckpoint* checkpoint) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -38,8 +74,35 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
   std::vector<char> satisfying(result.lattice_size, 0);
   RunContext::ChargeMemory(run, satisfying.size() * sizeof(char));
 
+  const std::vector<LatticeNode> all_nodes = lattice.AllNodesByHeight();
+  size_t start_index = 0;
+  if (checkpoint != nullptr && checkpoint->captured) {
+    if (checkpoint->satisfying.size() != satisfying.size() ||
+        checkpoint->next_index > all_nodes.size()) {
+      return Status::InvalidArgument(
+          "optimal checkpoint: does not match this lattice");
+    }
+    std::copy(checkpoint->satisfying.begin(), checkpoint->satisfying.end(),
+              satisfying.begin());
+    start_index = static_cast<size_t>(checkpoint->next_index);
+    result.minimal_nodes = checkpoint->minimal_nodes;
+    result.nodes_evaluated = static_cast<size_t>(checkpoint->nodes_evaluated);
+    if (!result.minimal_nodes.empty()) {
+      // Re-derive the best evaluation: EvaluateNode is deterministic, so
+      // this reproduces exactly what the interrupted run held in memory.
+      result.best_node = checkpoint->best_node;
+      result.best_loss = checkpoint->best_loss;
+      MDC_ASSIGN_OR_RETURN(
+          result.best,
+          EvaluateNode(original, hierarchies, result.best_node, config.k,
+                       config.suppression, "optimal"));
+    }
+  }
+
   bool truncated = false;
-  for (const LatticeNode& node : lattice.AllNodesByHeight()) {
+  for (size_t node_index = start_index; node_index < all_nodes.size();
+       ++node_index) {
+    const LatticeNode& node = all_nodes[node_index];
     size_t index = lattice.IndexOf(node);
     bool implied = false;
     for (const LatticeNode& pred : lattice.Predecessors(node)) {
@@ -56,6 +119,15 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
     auto evaluation_or = EvaluateNode(original, hierarchies, node, config.k,
                                       config.suppression, "optimal", run);
     if (!evaluation_or.ok()) {
+      if (evaluation_or.status().IsBudgetError() && checkpoint != nullptr) {
+        checkpoint->next_index = node_index;
+        checkpoint->satisfying.assign(satisfying.begin(), satisfying.end());
+        checkpoint->minimal_nodes = result.minimal_nodes;
+        checkpoint->best_node = result.best_node;
+        checkpoint->best_loss = result.best_loss;
+        checkpoint->nodes_evaluated = result.nodes_evaluated;
+        checkpoint->captured = true;
+      }
       // Degrade to the minimal nodes already found; each is sound. With
       // nothing found yet, the budget error (or real error) propagates.
       if (evaluation_or.status().IsBudgetError() &&

@@ -39,6 +39,25 @@ struct OptimalSearchConfig {
   bool verify_monotonicity = false;
 };
 
+// Resumable sweep position: `next_index` points into the deterministic
+// AllNodesByHeight order; `satisfying` is the monotonicity bitmap over
+// lattice indices accumulated so far. The best evaluation itself is not
+// serialized — `best_node` is re-evaluated on resume (EvaluateNode is
+// deterministic), which keeps checkpoints small.
+struct OptimalLatticeCheckpoint final : Checkpointable {
+  uint64_t next_index = 0;
+  std::string satisfying;  // One byte per lattice node, 0 or 1.
+  std::vector<LatticeNode> minimal_nodes;
+  LatticeNode best_node;
+  double best_loss = 0.0;
+  uint64_t nodes_evaluated = 0;
+  bool captured = false;
+
+  bool has_state() const override { return captured; }
+  StatusOr<std::string> SaveCheckpoint() const override;
+  Status ResumeFrom(std::string_view bytes) override;
+};
+
 struct OptimalSearchResult {
   std::vector<LatticeNode> minimal_nodes;
   LatticeNode best_node;
@@ -52,11 +71,13 @@ struct OptimalSearchResult {
 // Budget expiry degrades gracefully: minimal nodes found before expiry are
 // returned with run_stats.truncated set (each is genuinely minimal and
 // satisfying; the sweep just did not reach the rest of the lattice). With
-// no satisfying node found yet, the budget Status is returned.
+// no satisfying node found yet, the budget Status is returned. When
+// `checkpoint` is non-null, budget expiry additionally captures the sweep
+// position into it, and a checkpoint with state restarts the sweep there.
 StatusOr<OptimalSearchResult> OptimalLatticeSearch(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
     const OptimalSearchConfig& config, const LossFn& loss = ProxyLoss,
-    RunContext* run = nullptr);
+    RunContext* run = nullptr, OptimalLatticeCheckpoint* checkpoint = nullptr);
 
 }  // namespace mdc
 

@@ -6,10 +6,92 @@
 #include "utility/loss_metric.h"
 
 namespace mdc {
+namespace {
+
+constexpr uint32_t kParetoPayloadVersion = 1;
+
+void WritePropertyVector(SnapshotWriter& writer, const PropertyVector& vec) {
+  writer.WriteString(vec.name());
+  writer.WriteU64(vec.values().size());
+  for (double value : vec.values()) writer.WriteDouble(value);
+}
+
+StatusOr<PropertyVector> ReadPropertyVector(SnapshotReader& reader) {
+  MDC_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+  MDC_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count > reader.remaining() / sizeof(double)) {
+    return Status::InvalidArgument(
+        "pareto checkpoint: property vector size exceeds data");
+  }
+  std::vector<double> values;
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MDC_ASSIGN_OR_RETURN(double value, reader.ReadDouble());
+    values.push_back(value);
+  }
+  return PropertyVector(std::move(name), std::move(values));
+}
+
+}  // namespace
+
+StatusOr<std::string> ParetoLatticeCheckpoint::SaveCheckpoint() const {
+  if (!captured) {
+    return Status::FailedPrecondition("pareto checkpoint: no state");
+  }
+  SnapshotWriter writer(SnapshotKind::kParetoLattice, kParetoPayloadVersion);
+  writer.WriteU64(next_index);
+  writer.WriteU64(candidates.size());
+  for (const ParetoCandidate& candidate : candidates) {
+    WriteLatticeNode(writer, candidate.node);
+    writer.WriteDouble(candidate.min_class_size);
+    writer.WriteDouble(candidate.total_utility);
+    writer.WriteU64(candidate.properties.size());
+    for (const PropertyVector& vec : candidate.properties) {
+      WritePropertyVector(writer, vec);
+    }
+  }
+  return writer.Finish();
+}
+
+Status ParetoLatticeCheckpoint::ResumeFrom(std::string_view bytes) {
+  MDC_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::Open(bytes, SnapshotKind::kParetoLattice,
+                           kParetoPayloadVersion));
+  ParetoLatticeCheckpoint loaded;
+  MDC_ASSIGN_OR_RETURN(loaded.next_index, reader.ReadU64());
+  MDC_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count > reader.remaining() / sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        "pareto checkpoint: candidate count exceeds data");
+  }
+  loaded.candidates.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ParetoCandidate candidate;
+    MDC_ASSIGN_OR_RETURN(candidate.node, ReadLatticeNode(reader));
+    MDC_ASSIGN_OR_RETURN(candidate.min_class_size, reader.ReadDouble());
+    MDC_ASSIGN_OR_RETURN(candidate.total_utility, reader.ReadDouble());
+    MDC_ASSIGN_OR_RETURN(uint64_t vec_count, reader.ReadU64());
+    if (vec_count > reader.remaining() / sizeof(uint64_t)) {
+      return Status::InvalidArgument(
+          "pareto checkpoint: property set size exceeds data");
+    }
+    for (uint64_t j = 0; j < vec_count; ++j) {
+      MDC_ASSIGN_OR_RETURN(PropertyVector vec, ReadPropertyVector(reader));
+      candidate.properties.push_back(std::move(vec));
+    }
+    loaded.candidates.push_back(std::move(candidate));
+  }
+  MDC_RETURN_IF_ERROR(reader.ExpectEnd());
+  loaded.captured = true;
+  *this = std::move(loaded);
+  return Status::Ok();
+}
 
 StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const ParetoLatticeConfig& config, RunContext* run) {
+    const ParetoLatticeConfig& config, RunContext* run,
+    ParetoLatticeCheckpoint* checkpoint) {
   (void)config;
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -20,9 +102,28 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
   ParetoLatticeResult result;
   result.lattice_size = lattice.NodeCount();
 
+  const std::vector<LatticeNode> all_nodes = lattice.AllNodesByHeight();
+  size_t start_index = 0;
+  if (checkpoint != nullptr && checkpoint->captured) {
+    if (checkpoint->next_index > all_nodes.size() ||
+        checkpoint->candidates.size() > checkpoint->next_index) {
+      return Status::InvalidArgument(
+          "pareto checkpoint: does not match this lattice");
+    }
+    start_index = static_cast<size_t>(checkpoint->next_index);
+    result.candidates = checkpoint->candidates;
+  }
+
   bool truncated = false;
-  for (const LatticeNode& node : lattice.AllNodesByHeight()) {
+  for (size_t node_index = start_index; node_index < all_nodes.size();
+       ++node_index) {
+    const LatticeNode& node = all_nodes[node_index];
     if (Status status = RunContext::Check(run); !status.ok()) {
+      if (checkpoint != nullptr) {
+        checkpoint->next_index = node_index;
+        checkpoint->candidates = result.candidates;
+        checkpoint->captured = true;
+      }
       // Degrade: compute the fronts over the candidates evaluated so far.
       if (result.candidates.empty()) return status;
       truncated = true;

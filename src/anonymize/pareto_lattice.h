@@ -34,6 +34,21 @@ struct ParetoCandidate {
   PropertySet properties;       // {class sizes, per-tuple LM utility}.
 };
 
+// Resumable sweep position: `next_index` points into the deterministic
+// AllNodesByHeight order, and `candidates` holds every candidate already
+// evaluated (node, scalars, and both property vectors), so a resumed sweep
+// continues appending and the final fronts are identical to an
+// uninterrupted run's.
+struct ParetoLatticeCheckpoint final : Checkpointable {
+  uint64_t next_index = 0;
+  std::vector<ParetoCandidate> candidates;
+  bool captured = false;
+
+  bool has_state() const override { return captured; }
+  StatusOr<std::string> SaveCheckpoint() const override;
+  Status ResumeFrom(std::string_view bytes) override;
+};
+
 struct ParetoLatticeResult {
   std::vector<ParetoCandidate> candidates;  // All evaluated lattice nodes.
   std::vector<size_t> vector_front;   // Indices: set-dominance front.
@@ -45,10 +60,13 @@ struct ParetoLatticeResult {
 // Budget expiry degrades gracefully: the fronts are computed over the
 // candidates evaluated so far and run_stats.truncated is set (the fronts
 // are exact for the evaluated prefix but may miss unevaluated nodes). With
-// no candidate evaluated yet, the budget Status is returned.
+// no candidate evaluated yet, the budget Status is returned. When
+// `checkpoint` is non-null, budget expiry additionally captures the sweep
+// position into it, and a checkpoint with state restarts the sweep there.
 StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const ParetoLatticeConfig& config = {}, RunContext* run = nullptr);
+    const ParetoLatticeConfig& config = {}, RunContext* run = nullptr,
+    ParetoLatticeCheckpoint* checkpoint = nullptr);
 
 }  // namespace mdc
 

@@ -7,30 +7,90 @@
 namespace mdc {
 namespace {
 
-// Evaluates all nodes at `height`, appending feasible ones to `feasible`.
+constexpr uint32_t kSamaratiPayloadVersion = 1;
+
+// One height sweep in progress: the next node to evaluate (in the
+// deterministic NodesAtHeight order) and the feasible nodes found so far.
+// Kept outside CollectFeasibleAtHeight so an interrupted sweep can be
+// checkpointed and resumed mid-height.
+struct SweepState {
+  size_t next_node = 0;
+  std::vector<LatticeNode> feasible;
+};
+
+// Evaluates nodes at `height` starting from sweep.next_node, appending
+// feasible ones to sweep.feasible. On error (budget or injected), leaves
+// `sweep` positioned at the node that was not evaluated.
 Status CollectFeasibleAtHeight(const std::shared_ptr<const Dataset>& original,
                                const HierarchySet& hierarchies,
                                const Lattice& lattice, int height,
                                const SamaratiConfig& config,
-                               size_t& nodes_evaluated,
-                               std::vector<LatticeNode>& feasible,
+                               size_t& nodes_evaluated, SweepState& sweep,
                                RunContext* run) {
-  for (const LatticeNode& node : lattice.NodesAtHeight(height)) {
+  std::vector<LatticeNode> nodes = lattice.NodesAtHeight(height);
+  if (sweep.next_node > nodes.size()) {
+    return Status::InvalidArgument(
+        "samarati checkpoint: sweep index out of range");
+  }
+  for (size_t i = sweep.next_node; i < nodes.size(); ++i) {
+    sweep.next_node = i;
     MDC_FAILPOINT("samarati.evaluate");
     MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
-                         EvaluateNode(original, hierarchies, node, config.k,
-                                      config.suppression, "samarati", run));
+                         EvaluateNode(original, hierarchies, nodes[i],
+                                      config.k, config.suppression, "samarati",
+                                      run));
     ++nodes_evaluated;
-    if (evaluation.feasible) feasible.push_back(node);
+    if (evaluation.feasible) sweep.feasible.push_back(nodes[i]);
   }
+  sweep.next_node = nodes.size();
   return Status::Ok();
 }
 
 }  // namespace
 
+StatusOr<std::string> SamaratiCheckpoint::SaveCheckpoint() const {
+  if (!captured) {
+    return Status::FailedPrecondition("samarati checkpoint: no state");
+  }
+  SnapshotWriter writer(SnapshotKind::kSamarati, kSamaratiPayloadVersion);
+  writer.WriteU32(phase);
+  writer.WriteI64(lo);
+  writer.WriteI64(hi);
+  writer.WriteI64(feasible_height);
+  WriteLatticeNodeVec(writer, lowest_feasible);
+  writer.WriteU64(next_node);
+  WriteLatticeNodeVec(writer, sweep_feasible);
+  writer.WriteU64(nodes_evaluated);
+  return writer.Finish();
+}
+
+Status SamaratiCheckpoint::ResumeFrom(std::string_view bytes) {
+  MDC_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::Open(bytes, SnapshotKind::kSamarati,
+                           kSamaratiPayloadVersion));
+  SamaratiCheckpoint loaded;
+  MDC_ASSIGN_OR_RETURN(loaded.phase, reader.ReadU32());
+  MDC_ASSIGN_OR_RETURN(loaded.lo, reader.ReadI64());
+  MDC_ASSIGN_OR_RETURN(loaded.hi, reader.ReadI64());
+  MDC_ASSIGN_OR_RETURN(loaded.feasible_height, reader.ReadI64());
+  MDC_ASSIGN_OR_RETURN(loaded.lowest_feasible, ReadLatticeNodeVec(reader));
+  MDC_ASSIGN_OR_RETURN(loaded.next_node, reader.ReadU64());
+  MDC_ASSIGN_OR_RETURN(loaded.sweep_feasible, ReadLatticeNodeVec(reader));
+  MDC_ASSIGN_OR_RETURN(loaded.nodes_evaluated, reader.ReadU64());
+  MDC_RETURN_IF_ERROR(reader.ExpectEnd());
+  if (loaded.phase > 2) {
+    return Status::InvalidArgument("samarati checkpoint: unknown phase");
+  }
+  loaded.captured = true;
+  *this = std::move(loaded);
+  return Status::Ok();
+}
+
 StatusOr<SamaratiResult> SamaratiAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const SamaratiConfig& config, const LossFn& loss, RunContext* run) {
+    const SamaratiConfig& config, const LossFn& loss, RunContext* run,
+    SamaratiCheckpoint* checkpoint) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
@@ -39,6 +99,46 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
 
   SamaratiResult result;
+
+  // Search state (restored from the checkpoint on resume).
+  uint32_t phase = 0;
+  int lo = 0;
+  int hi = lattice.MaxHeight();
+  int feasible_height = -1;  // Height at which lowest_feasible was found.
+  std::vector<LatticeNode> lowest_feasible;
+  SweepState sweep;
+
+  if (checkpoint != nullptr && checkpoint->captured) {
+    phase = checkpoint->phase;
+    lo = static_cast<int>(checkpoint->lo);
+    hi = static_cast<int>(checkpoint->hi);
+    feasible_height = static_cast<int>(checkpoint->feasible_height);
+    lowest_feasible = checkpoint->lowest_feasible;
+    sweep.next_node = static_cast<size_t>(checkpoint->next_node);
+    sweep.feasible = checkpoint->sweep_feasible;
+    result.nodes_evaluated = static_cast<size_t>(checkpoint->nodes_evaluated);
+    if (lo < 0 || hi > lattice.MaxHeight() || lo > hi ||
+        feasible_height > lattice.MaxHeight()) {
+      return Status::InvalidArgument(
+          "samarati checkpoint: height out of range for this lattice");
+    }
+  }
+
+  // Captures the interruption point. Only budget errors are captured —
+  // they are the transient, resumable interruptions; real failures leave
+  // the checkpoint as it was.
+  auto capture = [&](uint32_t at_phase) {
+    if (checkpoint == nullptr) return;
+    checkpoint->phase = at_phase;
+    checkpoint->lo = lo;
+    checkpoint->hi = hi;
+    checkpoint->feasible_height = feasible_height;
+    checkpoint->lowest_feasible = lowest_feasible;
+    checkpoint->next_node = sweep.next_node;
+    checkpoint->sweep_feasible = sweep.feasible;
+    checkpoint->nodes_evaluated = result.nodes_evaluated;
+    checkpoint->captured = true;
+  };
 
   // Picks the loss-minimizing node among `nodes` (the k-minimal
   // generalizations, or the best feasible height seen before the budget
@@ -67,68 +167,76 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
     return result;
   };
 
-  // Feasibility by height is monotone, so binary search for the lowest
-  // height with at least one feasible node.
-  int lo = 0;
-  int hi = lattice.MaxHeight();
-  {
-    // The top must be feasible for the search to make sense. A budget
-    // error here has no best-so-far to fall back to.
-    std::vector<LatticeNode> feasible;
-    MDC_RETURN_IF_ERROR(CollectFeasibleAtHeight(original, hierarchies,
-                                                lattice, hi, config,
-                                                result.nodes_evaluated,
-                                                feasible, run));
-    if (feasible.empty()) {
+  // Phase 0: the top must be feasible for the search to make sense. A
+  // budget error here has no best-so-far to fall back to, so the Status
+  // is returned (after capturing the position for resume).
+  if (phase == 0) {
+    Status status = CollectFeasibleAtHeight(original, hierarchies, lattice,
+                                            lattice.MaxHeight(), config,
+                                            result.nodes_evaluated, sweep,
+                                            run);
+    if (!status.ok()) {
+      if (status.IsBudgetError()) capture(0);
+      return status;
+    }
+    if (sweep.feasible.empty()) {
       return Status::Infeasible(
           "Samarati: no " + std::to_string(config.k) +
           "-anonymous generalization exists within the suppression budget");
     }
+    sweep = SweepState{};
+    phase = 1;
   }
-  std::vector<LatticeNode> lowest_feasible;
-  int feasible_height = -1;  // Height at which lowest_feasible was found.
-  while (lo < hi) {
-    int mid = lo + (hi - lo) / 2;
-    std::vector<LatticeNode> feasible;
-    Status status = CollectFeasibleAtHeight(original, hierarchies, lattice,
-                                            mid, config,
-                                            result.nodes_evaluated, feasible,
-                                            run);
-    if (!status.ok()) {
-      // Degrade to the lowest feasible height already mapped; the top is
-      // known feasible, so fall back to it if no mid succeeded yet.
-      if (!status.IsBudgetError()) return status;
-      if (feasible_height >= 0) {
-        return finish(std::move(lowest_feasible), feasible_height, true);
+
+  // Phase 1: feasibility by height is monotone, so binary search for the
+  // lowest height with at least one feasible node.
+  if (phase == 1) {
+    while (lo < hi) {
+      int mid = lo + (hi - lo) / 2;
+      Status status = CollectFeasibleAtHeight(original, hierarchies, lattice,
+                                              mid, config,
+                                              result.nodes_evaluated, sweep,
+                                              run);
+      if (!status.ok()) {
+        // Degrade to the lowest feasible height already mapped; the top is
+        // known feasible, so fall back to it if no mid succeeded yet.
+        if (!status.IsBudgetError()) return status;
+        capture(1);
+        if (feasible_height >= 0) {
+          return finish(std::move(lowest_feasible), feasible_height, true);
+        }
+        return finish({lattice.Top()}, lattice.MaxHeight(), true);
       }
-      return finish({lattice.Top()}, lattice.MaxHeight(), true);
-    }
-    if (!feasible.empty()) {
-      hi = mid;
-      lowest_feasible = std::move(feasible);
-      feasible_height = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  result.minimal_height = lo;
-  if (feasible_height != lo) {
-    lowest_feasible.clear();
-    Status status = CollectFeasibleAtHeight(original, hierarchies, lattice,
-                                            lo, config,
-                                            result.nodes_evaluated,
-                                            lowest_feasible, run);
-    if (!status.ok()) {
-      if (!status.IsBudgetError()) return status;
-      if (!lowest_feasible.empty()) {
-        // Partial sweep of the minimal height: what it found is feasible.
-        return finish(std::move(lowest_feasible), lo, true);
+      if (!sweep.feasible.empty()) {
+        hi = mid;
+        lowest_feasible = std::move(sweep.feasible);
+        feasible_height = mid;
+      } else {
+        lo = mid + 1;
       }
-      return finish({lattice.Top()}, lattice.MaxHeight(), true);
+      sweep = SweepState{};
     }
-    feasible_height = lo;
+    if (feasible_height == lo) {
+      return finish(std::move(lowest_feasible), lo, false);
+    }
+    phase = 2;
   }
-  return finish(std::move(lowest_feasible), lo, false);
+
+  // Phase 2: the binary search converged on `lo` without sweeping it (the
+  // last probe was below); sweep it now to collect all minimal nodes.
+  Status status = CollectFeasibleAtHeight(original, hierarchies, lattice, lo,
+                                          config, result.nodes_evaluated,
+                                          sweep, run);
+  if (!status.ok()) {
+    if (!status.IsBudgetError()) return status;
+    capture(2);
+    if (!sweep.feasible.empty()) {
+      // Partial sweep of the minimal height: what it found is feasible.
+      return finish(std::move(sweep.feasible), lo, true);
+    }
+    return finish({lattice.Top()}, lattice.MaxHeight(), true);
+  }
+  return finish(std::move(sweep.feasible), lo, false);
 }
 
 }  // namespace mdc

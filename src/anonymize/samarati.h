@@ -22,6 +22,27 @@ struct SamaratiConfig {
   SuppressionBudget suppression;
 };
 
+// Resumable position in the three-phase search: phase 0 verifies the
+// lattice top, phase 1 binary-searches heights, phase 2 re-sweeps the
+// minimal height. Within whichever sweep was interrupted, `next_node`
+// indexes the deterministic NodesAtHeight order and `sweep_feasible` holds
+// the feasible nodes already found in that sweep.
+struct SamaratiCheckpoint final : Checkpointable {
+  uint32_t phase = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  int64_t feasible_height = -1;
+  std::vector<LatticeNode> lowest_feasible;
+  uint64_t next_node = 0;
+  std::vector<LatticeNode> sweep_feasible;
+  uint64_t nodes_evaluated = 0;
+  bool captured = false;
+
+  bool has_state() const override { return captured; }
+  StatusOr<std::string> SaveCheckpoint() const override;
+  Status ResumeFrom(std::string_view bytes) override;
+};
+
 struct SamaratiResult {
   int minimal_height = 0;
   std::vector<LatticeNode> minimal_nodes;  // All feasible at minimal height.
@@ -34,11 +55,13 @@ struct SamaratiResult {
 // Budget expiry degrades gracefully: if the binary search has already found
 // a feasible height, its nodes are returned with run_stats.truncated set
 // (feasible, but possibly not height-minimal); before any feasible height
-// is known the budget Status is returned.
+// is known the budget Status is returned. When `checkpoint` is non-null,
+// budget expiry additionally captures the search position into it, and a
+// checkpoint with state restarts the search at that position.
 StatusOr<SamaratiResult> SamaratiAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
     const SamaratiConfig& config, const LossFn& loss = ProxyLoss,
-    RunContext* run = nullptr);
+    RunContext* run = nullptr, SamaratiCheckpoint* checkpoint = nullptr);
 
 }  // namespace mdc
 

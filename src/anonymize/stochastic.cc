@@ -92,11 +92,46 @@ Status RunRestart(const Lattice& lattice, NodeCache& cache, Rng& rng,
   return Status::Ok();
 }
 
+constexpr uint32_t kStochasticPayloadVersion = 1;
+
 }  // namespace
+
+StatusOr<std::string> StochasticCheckpoint::SaveCheckpoint() const {
+  if (!captured) {
+    return Status::FailedPrecondition("stochastic checkpoint: no state");
+  }
+  SnapshotWriter writer(SnapshotKind::kStochastic, kStochasticPayloadVersion);
+  writer.WriteU64(next_restart);
+  for (uint64_t word : rng_state) writer.WriteU64(word);
+  WriteLatticeNode(writer, best_node);
+  writer.WriteDouble(best_loss);
+  writer.WriteBool(have_best);
+  return writer.Finish();
+}
+
+Status StochasticCheckpoint::ResumeFrom(std::string_view bytes) {
+  MDC_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::Open(bytes, SnapshotKind::kStochastic,
+                           kStochasticPayloadVersion));
+  StochasticCheckpoint loaded;
+  MDC_ASSIGN_OR_RETURN(loaded.next_restart, reader.ReadU64());
+  for (uint64_t& word : loaded.rng_state) {
+    MDC_ASSIGN_OR_RETURN(word, reader.ReadU64());
+  }
+  MDC_ASSIGN_OR_RETURN(loaded.best_node, ReadLatticeNode(reader));
+  MDC_ASSIGN_OR_RETURN(loaded.best_loss, reader.ReadDouble());
+  MDC_ASSIGN_OR_RETURN(loaded.have_best, reader.ReadBool());
+  MDC_RETURN_IF_ERROR(reader.ExpectEnd());
+  loaded.captured = true;
+  *this = std::move(loaded);
+  return Status::Ok();
+}
 
 StatusOr<StochasticResult> StochasticAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    const StochasticConfig& config, const LossFn& loss, RunContext* run) {
+    const StochasticConfig& config, const LossFn& loss, RunContext* run,
+    StochasticCheckpoint* checkpoint) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (config.restarts < 1) {
     return Status::InvalidArgument("restarts must be >= 1");
@@ -112,9 +147,25 @@ StatusOr<StochasticResult> StochasticAnonymize(
                   config.suppression, run);
   Rng rng(config.seed);
 
-  // The top node is feasible iff anything is. A budget error this early
-  // has nothing to degrade to, so it propagates.
-  {
+  bool have_best = false;
+  int start_restart = 0;
+  const bool resuming = checkpoint != nullptr && checkpoint->captured;
+  if (resuming) {
+    if (checkpoint->next_restart > static_cast<uint64_t>(config.restarts)) {
+      return Status::InvalidArgument(
+          "stochastic checkpoint: restart index out of range");
+    }
+    start_restart = static_cast<int>(checkpoint->next_restart);
+    rng.RestoreState(checkpoint->rng_state);
+    have_best = checkpoint->have_best;
+    if (have_best) {
+      result.best_node = checkpoint->best_node;
+      result.best_loss = checkpoint->best_loss;
+    }
+  } else {
+    // The top node is feasible iff anything is. A budget error this early
+    // has nothing to degrade to, so it propagates. A resumed run already
+    // passed this check before its checkpoint was taken.
     MDC_ASSIGN_OR_RETURN(const NodeEvaluation* top,
                          cache.Get(lattice.Top(), result.nodes_evaluated));
     if (!top->feasible) {
@@ -123,15 +174,25 @@ StatusOr<StochasticResult> StochasticAnonymize(
     }
   }
 
-  bool have_best = false;
   bool truncated = false;
-  for (int restart = 0; restart < config.restarts; ++restart) {
+  for (int restart = start_restart; restart < config.restarts; ++restart) {
+    // Snapshot the stream BEFORE the restart draws from it, so a resumed
+    // run replays the interrupted restart with the same draws.
+    const std::array<uint64_t, 6> restart_rng_state = rng.SaveState();
     LatticeNode node;
     double node_loss = 0.0;
     Status status = RunRestart(lattice, cache, rng, config, loss,
                                result.nodes_evaluated, node, node_loss);
     if (!status.ok()) {
       if (!status.IsBudgetError()) return status;
+      if (checkpoint != nullptr) {
+        checkpoint->next_restart = static_cast<uint64_t>(restart);
+        checkpoint->rng_state = restart_rng_state;
+        checkpoint->best_node = result.best_node;
+        checkpoint->best_loss = result.best_loss;
+        checkpoint->have_best = have_best;
+        checkpoint->captured = true;
+      }
       // Degrade: best completed restart, or the feasible top if none.
       if (!have_best) {
         result.best_node = lattice.Top();

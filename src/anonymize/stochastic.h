@@ -24,6 +24,27 @@ struct StochasticConfig {
   int max_steps_per_restart = 256;
 };
 
+// Resumable position: the index of the first restart that did not
+// complete, the RNG state as it was when that restart began, and the best
+// node found by the completed restarts. On resume the interrupted restart
+// replays from its start with the identical RNG stream, so the final best
+// node equals an uninterrupted run's. The node-evaluation memo cache is
+// NOT serialized — a resumed run recomputes evaluations it needs (each is
+// deterministic), so `nodes_evaluated` may differ from an uninterrupted
+// run even though the search result is identical.
+struct StochasticCheckpoint final : Checkpointable {
+  uint64_t next_restart = 0;
+  std::array<uint64_t, 6> rng_state = {};
+  LatticeNode best_node;
+  double best_loss = 0.0;
+  bool have_best = false;
+  bool captured = false;
+
+  bool has_state() const override { return captured; }
+  StatusOr<std::string> SaveCheckpoint() const override;
+  Status ResumeFrom(std::string_view bytes) override;
+};
+
 struct StochasticResult {
   LatticeNode best_node;
   NodeEvaluation best;
@@ -36,11 +57,14 @@ struct StochasticResult {
 // restarts is returned with run_stats.truncated set; if not even the first
 // restart finished, the fully generalized top node (verified feasible up
 // front) is returned instead. Only a budget error before that initial
-// verification returns the budget Status.
+// verification returns the budget Status. When `checkpoint` is non-null,
+// budget expiry additionally captures the restart position + RNG state,
+// and a checkpoint with state resumes there (skipping the top
+// verification, which the checkpointed run already passed).
 StatusOr<StochasticResult> StochasticAnonymize(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
     const StochasticConfig& config, const LossFn& loss = ProxyLoss,
-    RunContext* run = nullptr);
+    RunContext* run = nullptr, StochasticCheckpoint* checkpoint = nullptr);
 
 }  // namespace mdc
 

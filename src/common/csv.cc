@@ -1,7 +1,9 @@
 #include "common/csv.h"
 
+#include <cerrno>
 #include <cstdio>
 
+#include "common/durable_io.h"
 #include "common/failpoint.h"
 
 namespace mdc {
@@ -119,7 +121,9 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   MDC_FAILPOINT("csv.read_file");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
-    return Status::NotFound("cannot open file: " + path);
+    // ENOENT (missing) and EACCES (permission) map to distinct codes so
+    // callers can tell "wrong path" from "wrong credentials".
+    return ErrnoToStatus(errno, "cannot open file " + path);
   }
   std::string contents;
   char buffer[1 << 14];
@@ -128,10 +132,12 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
     contents.append(buffer, n);
   }
   bool read_error = std::ferror(file) != 0;
+  int read_errno = errno;
   std::fclose(file);
   if (read_error) {
-    return Status::Internal("read error on file: " + path);
+    return ErrnoToStatus(read_errno, "short read on file " + path);
   }
+  MDC_FAILPOINT("csv.read_short");
   return contents;
 }
 
@@ -139,7 +145,7 @@ Status WriteStringToFile(const std::string& path, std::string_view contents) {
   MDC_FAILPOINT("csv.write_file");
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
-    return Status::Internal("cannot open file for writing: " + path);
+    return ErrnoToStatus(errno, "cannot open file for writing " + path);
   }
   size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
   bool write_error = written != contents.size();

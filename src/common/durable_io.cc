@@ -1,0 +1,121 @@
+#include "common/durable_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/failpoint.h"
+
+namespace mdc {
+namespace {
+
+// Directory portion of `path` ("." when there is none), for fsyncing the
+// directory entry after a rename.
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// Best-effort fsync of a directory so a completed rename survives a power
+// cut. Failures are ignored: some filesystems reject O_RDONLY directory
+// fsync, and the rename has already happened atomically.
+void SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status ErrnoToStatus(int error_number, const std::string& context) {
+  std::string message = context + ": " + std::strerror(error_number);
+  switch (error_number) {
+    case ENOENT:
+      return Status::NotFound(std::move(message));
+    case EACCES:
+    case EPERM:
+    case EROFS:
+      return Status::FailedPrecondition(std::move(message));
+    default:
+      return Status::Internal(std::move(message));
+  }
+}
+
+Status DurableWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return ErrnoToStatus(errno, "cannot create temp file " + tmp_path);
+  }
+
+  // Stages run under one Status so the temp file is removed on every
+  // failure path; MDC_FAILPOINT would return before the cleanup.
+  Status status = MDC_FAILPOINT_STATUS("io.tmp_write");
+  if (status.ok() &&
+      std::fwrite(contents.data(), 1, contents.size(), file) !=
+          contents.size()) {
+    status = Status::Internal("short write to temp file " + tmp_path);
+  }
+  if (status.ok()) status = MDC_FAILPOINT_STATUS("io.fsync");
+  if (status.ok() && std::fflush(file) != 0) {
+    status = ErrnoToStatus(errno, "flush of temp file " + tmp_path);
+  }
+  if (status.ok() && ::fsync(fileno(file)) != 0) {
+    status = ErrnoToStatus(errno, "fsync of temp file " + tmp_path);
+  }
+  if (std::fclose(file) != 0 && status.ok()) {
+    status = ErrnoToStatus(errno, "close of temp file " + tmp_path);
+  }
+  if (status.ok()) status = MDC_FAILPOINT_STATUS("io.rename");
+  if (status.ok() &&
+      std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    status = ErrnoToStatus(errno,
+                           "rename " + tmp_path + " over " + path);
+  }
+  if (!status.ok()) {
+    std::remove(tmp_path.c_str());  // `path` itself was never touched.
+    return status;
+  }
+  SyncDir(DirName(path));
+  return Status::Ok();
+}
+
+Status EnsureWritableDir(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty directory path");
+  }
+  struct stat info;
+  if (::stat(path.c_str(), &info) != 0) {
+    if (errno != ENOENT) {
+      return ErrnoToStatus(errno, "cannot stat " + path);
+    }
+    if (::mkdir(path.c_str(), 0755) != 0) {
+      return ErrnoToStatus(errno, "cannot create directory " + path);
+    }
+  } else if (!S_ISDIR(info.st_mode)) {
+    return Status::FailedPrecondition(path +
+                                      " exists but is not a directory");
+  }
+  MDC_FAILPOINT("io.probe_dir");
+  const std::string probe =
+      path + "/.mdc_probe_" + std::to_string(::getpid());
+  std::FILE* file = std::fopen(probe.c_str(), "wb");
+  if (file == nullptr) {
+    Status status = ErrnoToStatus(errno, "directory " + path +
+                                             " is not writable");
+    if (status.code() == StatusCode::kNotFound) return status;
+    return Status::FailedPrecondition(status.message());
+  }
+  std::fclose(file);
+  std::remove(probe.c_str());
+  return Status::Ok();
+}
+
+}  // namespace mdc

@@ -13,7 +13,12 @@ namespace {
 constexpr const char* kSites[] = {
     "csv.parse",
     "csv.read_file",
+    "csv.read_short",
     "csv.write_file",
+    "io.tmp_write",
+    "io.fsync",
+    "io.rename",
+    "io.probe_dir",
     "spec.parse",
     "dataset.from_csv",
     "dataset.append_row",

@@ -79,10 +79,15 @@ class ScopedFailpoint {
     ::mdc::Status _mdc_fp = ::mdc::failpoint::Trigger(site);         \
     if (!_mdc_fp.ok()) return _mdc_fp;                               \
   } while (false)
+// Evaluates to the armed Status (OK when disarmed) without returning, for
+// sites that must run cleanup (remove a temp file, close a handle) before
+// propagating the injected fault.
+#define MDC_FAILPOINT_STATUS(site) ::mdc::failpoint::Trigger(site)
 #else
 #define MDC_FAILPOINT(site) \
   do {                      \
   } while (false)
+#define MDC_FAILPOINT_STATUS(site) ::mdc::Status::Ok()
 #endif
 
 #endif  // MDC_COMMON_FAILPOINT_H_

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace mdc {
 namespace {
@@ -78,6 +79,19 @@ size_t Rng::NextWeighted(const std::vector<double>& weights) {
     if (weights[i - 1] > 0.0) return i - 1;
   }
   return weights.size() - 1;
+}
+
+std::array<uint64_t, 6> Rng::SaveState() const {
+  std::array<uint64_t, 6> state = {state_[0], state_[1], state_[2],
+                                   state_[3], have_gaussian_ ? 1u : 0u, 0};
+  std::memcpy(&state[5], &spare_gaussian_, sizeof(state[5]));
+  return state;
+}
+
+void Rng::RestoreState(const std::array<uint64_t, 6>& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state[static_cast<size_t>(i)];
+  have_gaussian_ = state[4] != 0;
+  std::memcpy(&spare_gaussian_, &state[5], sizeof(spare_gaussian_));
 }
 
 double Rng::NextGaussian() {

@@ -10,6 +10,7 @@
 #ifndef MDC_COMMON_RNG_H_
 #define MDC_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -43,6 +44,14 @@ class Rng {
 
   // Standard normal via Box–Muller.
   double NextGaussian();
+
+  // Checkpoint support: the full engine state — the four xoshiro words
+  // plus the Box–Muller spare (flag and bit-cast double) — packed into six
+  // words. RestoreState(SaveState()) continues the stream exactly where it
+  // was, which is what lets a resumed stochastic search replay the same
+  // draws as an uninterrupted run.
+  std::array<uint64_t, 6> SaveState() const;
+  void RestoreState(const std::array<uint64_t, 6>& state);
 
   // Fisher–Yates shuffles `values` in place.
   template <typename T>

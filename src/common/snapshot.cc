@@ -1,0 +1,247 @@
+#include "common/snapshot.h"
+
+#include <cstring>
+
+namespace mdc {
+namespace {
+
+// Header: magic, format version, kind, payload version (u32 each) and the
+// u64 payload length. Trailer: u32 CRC over everything before it.
+constexpr size_t kHeaderSize = 4 * sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kTrailerSize = sizeof(uint32_t);
+
+void AppendU32(std::string& out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void AppendU64(std::string& out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+uint32_t DecodeU32(const char* data) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(data[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+uint64_t DecodeU64(const char* data) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(data[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    auto* entries = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char c : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+SnapshotWriter::SnapshotWriter(SnapshotKind kind, uint32_t payload_version)
+    : kind_(kind), payload_version_(payload_version) {}
+
+void SnapshotWriter::WriteU32(uint32_t value) { AppendU32(payload_, value); }
+void SnapshotWriter::WriteU64(uint64_t value) { AppendU64(payload_, value); }
+void SnapshotWriter::WriteI64(int64_t value) {
+  AppendU64(payload_, static_cast<uint64_t>(value));
+}
+void SnapshotWriter::WriteBool(bool value) {
+  payload_.push_back(value ? 1 : 0);
+}
+void SnapshotWriter::WriteDouble(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(payload_, bits);
+}
+void SnapshotWriter::WriteString(std::string_view value) {
+  AppendU64(payload_, value.size());
+  payload_.append(value.data(), value.size());
+}
+void SnapshotWriter::WriteU64Vec(const std::vector<uint64_t>& values) {
+  AppendU64(payload_, values.size());
+  for (uint64_t v : values) AppendU64(payload_, v);
+}
+void SnapshotWriter::WriteI32Vec(const std::vector<int>& values) {
+  AppendU64(payload_, values.size());
+  for (int v : values) AppendU32(payload_, static_cast<uint32_t>(v));
+}
+
+std::string SnapshotWriter::Finish() const {
+  std::string framed;
+  framed.reserve(kHeaderSize + payload_.size() + kTrailerSize);
+  AppendU32(framed, kSnapshotMagic);
+  AppendU32(framed, kSnapshotFormatVersion);
+  AppendU32(framed, static_cast<uint32_t>(kind_));
+  AppendU32(framed, payload_version_);
+  AppendU64(framed, payload_.size());
+  framed += payload_;
+  AppendU32(framed, Crc32(framed));
+  return framed;
+}
+
+StatusOr<SnapshotReader> SnapshotReader::Open(std::string_view bytes,
+                                              SnapshotKind kind,
+                                              uint32_t payload_version) {
+  if (bytes.size() < kHeaderSize + kTrailerSize) {
+    return Status::InvalidArgument("snapshot truncated: " +
+                                   std::to_string(bytes.size()) +
+                                   " bytes is smaller than the frame");
+  }
+  if (DecodeU32(bytes.data()) != kSnapshotMagic) {
+    return Status::InvalidArgument("snapshot magic mismatch");
+  }
+  uint32_t format = DecodeU32(bytes.data() + 4);
+  if (format != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "snapshot container format version " + std::to_string(format) +
+        " is not the supported " + std::to_string(kSnapshotFormatVersion));
+  }
+  uint32_t actual_kind = DecodeU32(bytes.data() + 8);
+  if (actual_kind != static_cast<uint32_t>(kind)) {
+    return Status::InvalidArgument(
+        "snapshot kind " + std::to_string(actual_kind) + " where kind " +
+        std::to_string(static_cast<uint32_t>(kind)) + " was expected");
+  }
+  uint32_t version = DecodeU32(bytes.data() + 12);
+  if (version != payload_version) {
+    return Status::InvalidArgument(
+        "snapshot payload version " + std::to_string(version) +
+        " is not the supported " + std::to_string(payload_version));
+  }
+  uint64_t payload_size = DecodeU64(bytes.data() + 16);
+  // The declared length must match the bytes actually present; comparing
+  // before allocating means a forged huge prefix cannot OOM.
+  if (payload_size != bytes.size() - kHeaderSize - kTrailerSize) {
+    return Status::InvalidArgument(
+        "snapshot length prefix disagrees with the actual size");
+  }
+  uint32_t stored_crc = DecodeU32(bytes.data() + bytes.size() - kTrailerSize);
+  uint32_t computed_crc =
+      Crc32(bytes.substr(0, bytes.size() - kTrailerSize));
+  if (stored_crc != computed_crc) {
+    return Status::InvalidArgument("snapshot CRC mismatch: corrupt bytes");
+  }
+  return SnapshotReader(
+      std::string(bytes.substr(kHeaderSize, payload_size)));
+}
+
+Status SnapshotReader::Need(size_t bytes) const {
+  if (remaining() < bytes) {
+    return Status::InvalidArgument(
+        "snapshot payload exhausted: need " + std::to_string(bytes) +
+        " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint32_t> SnapshotReader::ReadU32() {
+  MDC_RETURN_IF_ERROR(Need(4));
+  uint32_t value = DecodeU32(payload_.data() + pos_);
+  pos_ += 4;
+  return value;
+}
+
+StatusOr<uint64_t> SnapshotReader::ReadU64() {
+  MDC_RETURN_IF_ERROR(Need(8));
+  uint64_t value = DecodeU64(payload_.data() + pos_);
+  pos_ += 8;
+  return value;
+}
+
+StatusOr<int64_t> SnapshotReader::ReadI64() {
+  MDC_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  return static_cast<int64_t>(bits);
+}
+
+StatusOr<bool> SnapshotReader::ReadBool() {
+  MDC_RETURN_IF_ERROR(Need(1));
+  unsigned char byte = static_cast<unsigned char>(payload_[pos_]);
+  if (byte > 1) {
+    return Status::InvalidArgument("snapshot bool byte is neither 0 nor 1");
+  }
+  ++pos_;
+  return byte == 1;
+}
+
+StatusOr<double> SnapshotReader::ReadDouble() {
+  MDC_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+StatusOr<std::string> SnapshotReader::ReadString() {
+  MDC_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  // Checking against remaining() bounds the allocation by the input size.
+  MDC_RETURN_IF_ERROR(Need(size));
+  std::string value = payload_.substr(pos_, size);
+  pos_ += size;
+  return value;
+}
+
+StatusOr<std::vector<uint64_t>> SnapshotReader::ReadU64Vec() {
+  MDC_ASSIGN_OR_RETURN(uint64_t count, ReadU64());
+  MDC_RETURN_IF_ERROR(Need(count * 8 < count ? payload_.size() + 1
+                                             : count * 8));
+  std::vector<uint64_t> values;
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MDC_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+    values.push_back(v);
+  }
+  return values;
+}
+
+StatusOr<std::vector<int>> SnapshotReader::ReadI32Vec() {
+  MDC_ASSIGN_OR_RETURN(uint64_t count, ReadU64());
+  MDC_RETURN_IF_ERROR(Need(count * 4 < count ? payload_.size() + 1
+                                             : count * 4));
+  std::vector<int> values;
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MDC_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+    values.push_back(static_cast<int>(v));
+  }
+  return values;
+}
+
+Status SnapshotReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::InvalidArgument(
+        "snapshot payload has " + std::to_string(remaining()) +
+        " unread trailing bytes");
+  }
+  return Status::Ok();
+}
+
+}  // namespace mdc

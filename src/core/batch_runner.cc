@@ -1,0 +1,317 @@
+#include "core/batch_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include "common/csv.h"
+#include "common/durable_io.h"
+#include "common/snapshot.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+
+namespace mdc {
+namespace {
+
+constexpr uint32_t kBatchPayloadVersion = 1;
+
+// The batch checkpoint is the list of terminal outcomes so far, in
+// completion order.
+std::string SerializeOutcomes(const std::vector<JobOutcome>& outcomes) {
+  SnapshotWriter writer(SnapshotKind::kBatch, kBatchPayloadVersion);
+  writer.WriteU64(outcomes.size());
+  for (const JobOutcome& outcome : outcomes) {
+    writer.WriteString(outcome.id);
+    writer.WriteU32(static_cast<uint32_t>(outcome.state));
+    writer.WriteU32(outcome.attempts);
+    writer.WriteString(outcome.message);
+  }
+  return writer.Finish();
+}
+
+StatusOr<std::vector<JobOutcome>> DeserializeOutcomes(
+    std::string_view bytes) {
+  MDC_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::Open(bytes, SnapshotKind::kBatch, kBatchPayloadVersion));
+  MDC_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count > reader.remaining() / sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        "batch checkpoint: outcome count exceeds data");
+  }
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    JobOutcome outcome;
+    MDC_ASSIGN_OR_RETURN(outcome.id, reader.ReadString());
+    MDC_ASSIGN_OR_RETURN(uint32_t state, reader.ReadU32());
+    if (state > static_cast<uint32_t>(JobState::kExhausted)) {
+      return Status::InvalidArgument("batch checkpoint: unknown job state");
+    }
+    outcome.state = static_cast<JobState>(state);
+    MDC_ASSIGN_OR_RETURN(outcome.attempts, reader.ReadU32());
+    MDC_ASSIGN_OR_RETURN(outcome.message, reader.ReadString());
+    outcomes.push_back(std::move(outcome));
+  }
+  MDC_RETURN_IF_ERROR(reader.ExpectEnd());
+  return outcomes;
+}
+
+int64_t BackoffMs(const BatchRunnerConfig& config, int retry_number) {
+  int64_t delay = config.backoff_base_ms;
+  for (int i = 1; i < retry_number && delay < config.backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  return std::min(delay, config.backoff_max_ms);
+}
+
+}  // namespace
+
+std::string JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kOk:
+      return "ok";
+    case JobState::kTruncated:
+      return "truncated";
+    case JobState::kQuarantined:
+      return "quarantined";
+    case JobState::kExhausted:
+      return "exhausted";
+  }
+  return "unknown";
+}
+
+bool IsTransientStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+size_t BatchResult::CountState(JobState state) const {
+  size_t count = 0;
+  for (const JobOutcome& outcome : outcomes) {
+    if (outcome.state == state) ++count;
+  }
+  return count;
+}
+
+std::string BatchResult::Summary() const {
+  TextTable table;
+  table.SetHeader({"job", "state", "attempts", "note"});
+  for (const JobOutcome& outcome : outcomes) {
+    std::string state = JobStateName(outcome.state);
+    if (outcome.state != JobState::kPending && outcome.attempts > 1) {
+      state += " (retried x" + std::to_string(outcome.attempts - 1) + ")";
+    }
+    table.AddRow({outcome.id, state, std::to_string(outcome.attempts),
+                  outcome.message});
+  }
+  std::string summary = table.Render();
+  summary += "\ntotals: ok=" + std::to_string(CountState(JobState::kOk)) +
+             " truncated=" + std::to_string(CountState(JobState::kTruncated)) +
+             " quarantined=" +
+             std::to_string(CountState(JobState::kQuarantined)) +
+             " exhausted=" + std::to_string(CountState(JobState::kExhausted)) +
+             " pending=" + std::to_string(CountState(JobState::kPending)) +
+             (aborted ? " (aborted)" : "") + "\n";
+  return summary;
+}
+
+StatusOr<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
+                               const JobExecutor& executor,
+                               const BatchRunnerConfig& config) {
+  if (executor == nullptr) {
+    return Status::InvalidArgument("batch runner: null executor");
+  }
+  if (config.max_retries < 0) {
+    return Status::InvalidArgument("batch runner: max_retries must be >= 0");
+  }
+  std::set<std::string> ids;
+  for (const BatchJob& job : jobs) {
+    if (job.id.empty()) {
+      return Status::InvalidArgument("batch runner: job with empty id");
+    }
+    if (!ids.insert(job.id).second) {
+      return Status::InvalidArgument("batch runner: duplicate job id " +
+                                     job.id);
+    }
+  }
+
+  // Resume: terminal outcomes recorded by a previous (killed) run of this
+  // batch. A missing checkpoint file is a fresh start; anything else
+  // unreadable or corrupt is a hard error — silently re-running completed
+  // jobs is worse than stopping.
+  std::map<std::string, JobOutcome> completed;
+  if (!config.checkpoint_path.empty()) {
+    StatusOr<std::string> bytes = ReadFileToString(config.checkpoint_path);
+    if (bytes.ok()) {
+      MDC_ASSIGN_OR_RETURN(std::vector<JobOutcome> prior,
+                           DeserializeOutcomes(*bytes));
+      for (JobOutcome& outcome : prior) {
+        if (ids.count(outcome.id) == 0) {
+          return Status::InvalidArgument(
+              "batch checkpoint: unknown job id " + outcome.id +
+              " (spec changed since the checkpoint was written?)");
+        }
+        completed[outcome.id] = std::move(outcome);
+      }
+    } else if (bytes.status().code() != StatusCode::kNotFound) {
+      return bytes.status();
+    }
+  }
+
+  BatchResult result;
+  result.outcomes.reserve(jobs.size());
+  std::vector<JobOutcome> terminal;  // Completion order, for the checkpoint.
+  for (const auto& [id, outcome] : completed) {
+    (void)id;
+    terminal.push_back(outcome);
+  }
+
+  auto save_checkpoint = [&]() -> Status {
+    if (config.checkpoint_path.empty()) return Status::Ok();
+    return DurableWriteFile(config.checkpoint_path,
+                            SerializeOutcomes(terminal));
+  };
+
+  for (const BatchJob& job : jobs) {
+    auto it = completed.find(job.id);
+    if (it != completed.end()) {
+      result.outcomes.push_back(it->second);
+      continue;
+    }
+    if (result.aborted || config.cancellation.cancelled()) {
+      result.aborted = true;
+      result.outcomes.push_back(JobOutcome{job.id, JobState::kPending, 0, ""});
+      continue;
+    }
+
+    JobOutcome outcome;
+    outcome.id = job.id;
+    while (true) {
+      ++outcome.attempts;
+      RunContext run;
+      if (job.deadline_ms > 0) run.set_deadline_ms(job.deadline_ms);
+      if (job.max_steps > 0) run.set_max_steps(job.max_steps);
+      run.set_cancellation(config.cancellation);
+
+      Status status = executor(job, &run);
+      if (status.ok()) {
+        outcome.state = run.exhausted().ok() ? JobState::kOk
+                                             : JobState::kTruncated;
+        outcome.message.clear();
+        break;
+      }
+      if (status.code() == StatusCode::kCancelled ||
+          config.cancellation.cancelled()) {
+        // Abort the whole batch: this job stays pending (it will re-run on
+        // resume), everything terminal so far is checkpointed.
+        outcome.state = JobState::kPending;
+        outcome.message = status.message();
+        break;
+      }
+      outcome.message = status.message();
+      if (!IsTransientStatus(status)) {
+        outcome.state = JobState::kQuarantined;
+        break;
+      }
+      if (outcome.attempts > static_cast<uint32_t>(config.max_retries)) {
+        outcome.state = JobState::kExhausted;
+        break;
+      }
+      int64_t delay =
+          BackoffMs(config, static_cast<int>(outcome.attempts));
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+
+    if (outcome.state == JobState::kPending) {
+      result.aborted = true;
+      result.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+    terminal.push_back(outcome);
+    result.outcomes.push_back(std::move(outcome));
+    MDC_RETURN_IF_ERROR(save_checkpoint());
+  }
+
+  // Persist once more so a fully-finished batch's checkpoint names every
+  // job (also covers the aborted case where the last save was mid-batch).
+  MDC_RETURN_IF_ERROR(save_checkpoint());
+  return result;
+}
+
+StatusOr<std::vector<BatchJob>> ParseJobSpecCsv(std::string_view text) {
+  MDC_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                       ParseCsv(text));
+  if (rows.empty()) {
+    return Status::InvalidArgument("job spec: empty CSV");
+  }
+  const std::vector<std::string>& header = rows[0];
+  size_t id_col = header.size();
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "id") id_col = i;
+  }
+  if (id_col == header.size()) {
+    return Status::InvalidArgument("job spec: header has no `id` column");
+  }
+
+  std::set<std::string> seen;
+  std::vector<BatchJob> jobs;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument(
+          "job spec: row " + std::to_string(r + 1) + " has " +
+          std::to_string(row.size()) + " fields, header has " +
+          std::to_string(header.size()));
+    }
+    BatchJob job;
+    job.id = row[id_col];
+    if (job.id.empty()) {
+      return Status::InvalidArgument("job spec: row " +
+                                     std::to_string(r + 1) + " has empty id");
+    }
+    if (!seen.insert(job.id).second) {
+      return Status::InvalidArgument("job spec: duplicate id " + job.id);
+    }
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (c == id_col) continue;
+      const std::string& key = header[c];
+      const std::string& value = row[c];
+      if (key == "deadline_ms") {
+        if (value.empty()) continue;
+        std::optional<int64_t> parsed = ParseInt64(value);
+        if (!parsed.has_value() || *parsed < 0) {
+          return Status::InvalidArgument("job spec: bad deadline_ms for " +
+                                         job.id + ": " + value);
+        }
+        job.deadline_ms = *parsed;
+      } else if (key == "max_steps") {
+        if (value.empty()) continue;
+        std::optional<int64_t> parsed = ParseInt64(value);
+        if (!parsed.has_value() || *parsed < 0) {
+          return Status::InvalidArgument("job spec: bad max_steps for " +
+                                         job.id + ": " + value);
+        }
+        job.max_steps = static_cast<uint64_t>(*parsed);
+      } else {
+        job.params[key] = value;
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace mdc

@@ -1,0 +1,109 @@
+// Supervised batch execution of anonymization jobs.
+//
+// A batch is a list of (id, params, budgets) jobs executed one by one
+// through a caller-supplied executor under a fresh RunContext each
+// attempt. The runner supervises each job:
+//
+//  - transient failures (deadline, resource exhaustion, internal errors)
+//    are retried with bounded exponential backoff up to max_retries, then
+//    marked exhausted;
+//  - deterministic failures (bad arguments, infeasible instances, ...)
+//    are quarantined immediately — retrying them cannot help;
+//  - cancellation aborts the batch cleanly after checkpointing;
+//  - after every terminal job the batch checkpoint is rewritten durably,
+//    so a killed batch resumes at the first incomplete job.
+//
+// The executor is opaque to this layer (the CLI wires it to the anonymize/
+// algorithms; tests wire it to fakes), which keeps core/ decoupled from
+// the algorithm headers.
+
+#ifndef MDC_CORE_BATCH_RUNNER_H_
+#define MDC_CORE_BATCH_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+
+namespace mdc {
+
+struct BatchJob {
+  std::string id;  // Unique within the batch; the resume key.
+  // Opaque key=value parameters interpreted by the executor (dataset,
+  // algorithm, k, ...).
+  std::map<std::string, std::string> params;
+  // Per-attempt budgets; 0 means unbounded.
+  int64_t deadline_ms = 0;
+  uint64_t max_steps = 0;
+};
+
+enum class JobState : uint32_t {
+  kPending = 0,      // Not yet run (or aborted mid-batch).
+  kOk = 1,           // Executor returned OK with no budget expiry.
+  kTruncated = 2,    // Executor returned OK but degraded to best-so-far.
+  kQuarantined = 3,  // Deterministic failure; retrying cannot help.
+  kExhausted = 4,    // Transient failure persisted through every retry.
+};
+
+// Stable name for reports and checkpoints ("ok", "quarantined", ...).
+std::string JobStateName(JobState state);
+
+struct JobOutcome {
+  std::string id;
+  JobState state = JobState::kPending;
+  uint32_t attempts = 0;   // Executor invocations (1 = no retry needed).
+  std::string message;     // Last failure message; empty on success.
+};
+
+struct BatchRunnerConfig {
+  int max_retries = 2;           // Retries after the first attempt.
+  int64_t backoff_base_ms = 10;  // First retry delay; doubles per retry.
+  int64_t backoff_max_ms = 1000;
+  // Batch checkpoint file; empty disables checkpointing. Written durably
+  // after every terminal job and loaded (strictly — a corrupt file is an
+  // error, not a silent fresh start) before the first.
+  std::string checkpoint_path;
+  CancellationToken cancellation;
+};
+
+struct BatchResult {
+  std::vector<JobOutcome> outcomes;  // One per job, in job order.
+  bool aborted = false;  // True when cancellation stopped the batch early.
+
+  size_t CountState(JobState state) const;
+
+  // Per-job outcome table plus a totals line.
+  std::string Summary() const;
+};
+
+// A status the runner treats as worth retrying: budget expiry from an
+// over-tight deadline or step budget, and internal errors (I/O flakes).
+// Everything else is deterministic and quarantines the job. kCancelled is
+// neither — it aborts the whole batch.
+bool IsTransientStatus(const Status& status);
+
+// Runs a job once under a fresh RunContext built from its budgets. The
+// Status the executor returns classifies the attempt; a returned OK with
+// run->exhausted() non-OK means the job degraded to a truncated result.
+using JobExecutor = std::function<Status(const BatchJob& job,
+                                         RunContext* run)>;
+
+// Executes `jobs` in order under supervision. Job ids must be unique and
+// non-empty. Returns the per-job outcomes; only infrastructure problems
+// (unreadable/corrupt checkpoint, unwritable checkpoint path) are errors.
+StatusOr<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
+                               const JobExecutor& executor,
+                               const BatchRunnerConfig& config);
+
+// Parses a job-spec CSV into jobs. The first row is a header and must
+// contain an `id` column; `deadline_ms` and `max_steps` columns (optional)
+// become the per-attempt budgets; every other column becomes a params
+// entry. Blank ids and duplicate ids are rejected.
+StatusOr<std::vector<BatchJob>> ParseJobSpecCsv(std::string_view text);
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_BATCH_RUNNER_H_

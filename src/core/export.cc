@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/csv.h"
+#include "common/durable_io.h"
 #include "common/strings.h"
 
 namespace mdc {
@@ -37,7 +38,8 @@ StatusOr<std::string> SeriesToCsv(
 Status WriteSeriesCsv(const std::string& path,
                       const std::vector<PropertyVector>& series) {
   MDC_ASSIGN_OR_RETURN(std::string csv, SeriesToCsv(series));
-  return WriteStringToFile(path, csv);
+  // Durable: a crash mid-write must never leave a torn CSV at `path`.
+  return DurableWriteFile(path, csv);
 }
 
 StatusOr<std::vector<std::pair<double, double>>> LorenzCurve(

@@ -1,0 +1,293 @@
+// core/batch_runner.h: retry/quarantine semantics, budget truncation,
+// durable batch checkpoints, and resume-after-kill — a batch stopped
+// mid-flight must pick up at the first incomplete job and never re-run a
+// completed one.
+
+#include "core/batch_runner.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/durable_io.h"
+
+namespace mdc {
+namespace {
+
+std::string ScratchDir(const std::string& name) {
+  std::string dir = "/tmp/mdc_batch_test_" + std::to_string(::getpid()) +
+                    "_" + name;
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0) {
+    MDC_CHECK(::mkdir(dir.c_str(), 0755) == 0);
+  }
+  return dir;
+}
+
+std::vector<BatchJob> MakeJobs(size_t count) {
+  std::vector<BatchJob> jobs;
+  for (size_t i = 0; i < count; ++i) {
+    BatchJob job;
+    job.id = "job" + std::to_string(i);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+const JobOutcome& OutcomeOf(const BatchResult& result,
+                            const std::string& id) {
+  for (const JobOutcome& outcome : result.outcomes) {
+    if (outcome.id == id) return outcome;
+  }
+  MDC_CHECK(false);
+  static JobOutcome unreachable;
+  return unreachable;
+}
+
+TEST(BatchRunnerTest, PoisonedAndTransientJobsAmongHealthyOnes) {
+  // Twelve jobs: job3 deterministically poisoned (quarantined after ONE
+  // attempt, no retries wasted), job7 transient (fails twice, then
+  // succeeds), the rest healthy.
+  std::vector<BatchJob> jobs = MakeJobs(12);
+  std::map<std::string, int> calls;
+  BatchRunnerConfig config;
+  config.max_retries = 3;
+  config.backoff_base_ms = 0;
+  auto result = RunBatch(
+      jobs,
+      [&calls](const BatchJob& job, RunContext*) -> Status {
+        int attempt = ++calls[job.id];
+        if (job.id == "job3") {
+          return Status::InvalidArgument("bad spec row");
+        }
+        if (job.id == "job7" && attempt <= 2) {
+          return Status::Internal("flaky dependency");
+        }
+        return Status::Ok();
+      },
+      config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_FALSE(result->aborted);
+  EXPECT_EQ(result->CountState(JobState::kOk), 11u);
+  EXPECT_EQ(result->CountState(JobState::kQuarantined), 1u);
+
+  const JobOutcome& poisoned = OutcomeOf(*result, "job3");
+  EXPECT_EQ(poisoned.state, JobState::kQuarantined);
+  EXPECT_EQ(poisoned.attempts, 1u);  // Deterministic failures never retry.
+  EXPECT_EQ(calls["job3"], 1);
+  EXPECT_NE(poisoned.message.find("bad spec row"), std::string::npos);
+
+  const JobOutcome& flaky = OutcomeOf(*result, "job7");
+  EXPECT_EQ(flaky.state, JobState::kOk);
+  EXPECT_EQ(flaky.attempts, 3u);
+  EXPECT_EQ(calls["job7"], 3);
+
+  std::string summary = result->Summary();
+  EXPECT_NE(summary.find("quarantined"), std::string::npos);
+  EXPECT_NE(summary.find("retried x2"), std::string::npos);
+  EXPECT_NE(summary.find("ok=11"), std::string::npos);
+}
+
+TEST(BatchRunnerTest, TransientFailuresExhaustAfterMaxRetries) {
+  std::vector<BatchJob> jobs = MakeJobs(1);
+  int calls = 0;
+  BatchRunnerConfig config;
+  config.max_retries = 2;
+  config.backoff_base_ms = 0;
+  auto result = RunBatch(
+      jobs,
+      [&calls](const BatchJob&, RunContext*) -> Status {
+        ++calls;
+        return Status::DeadlineExceeded("always slow");
+      },
+      config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcomes[0].state, JobState::kExhausted);
+  EXPECT_EQ(result->outcomes[0].attempts, 3u);  // Initial + 2 retries.
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(BatchRunnerTest, BudgetTruncationIsReportedNotRetried) {
+  std::vector<BatchJob> jobs = MakeJobs(1);
+  jobs[0].max_steps = 1;
+  int calls = 0;
+  BatchRunnerConfig config;
+  config.backoff_base_ms = 0;
+  auto result = RunBatch(
+      jobs,
+      [&calls](const BatchJob&, RunContext* run) -> Status {
+        ++calls;
+        // Exhaust the step budget, then degrade to a best-so-far answer
+        // the way the lattice searches do: the job itself succeeds.
+        while (run->Check().ok()) {
+        }
+        return Status::Ok();
+      },
+      config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcomes[0].state, JobState::kTruncated);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(BatchRunnerTest, KilledBatchResumesAtFirstIncompleteJob) {
+  // "Kill" the batch by cancelling its token from inside job5's executor;
+  // a second RunBatch against the same checkpoint must replay jobs 0-4
+  // from the checkpoint (zero executor calls) and run 5-11 for real.
+  std::string checkpoint = ScratchDir("resume") + "/batch_checkpoint.bin";
+  std::vector<BatchJob> jobs = MakeJobs(12);
+  std::map<std::string, int> calls;
+
+  BatchRunnerConfig config;
+  config.backoff_base_ms = 0;
+  config.checkpoint_path = checkpoint;
+  auto first = RunBatch(
+      jobs,
+      [&calls, &config](const BatchJob& job, RunContext*) -> Status {
+        ++calls[job.id];
+        if (job.id == "job5") {
+          config.cancellation.Cancel();
+          return Status::Cancelled("killed mid-batch");
+        }
+        return Status::Ok();
+      },
+      config);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->aborted);
+  EXPECT_EQ(first->CountState(JobState::kOk), 5u);
+  // The killed job and everything after it stay pending for the resume.
+  EXPECT_EQ(first->CountState(JobState::kPending), 7u);
+  EXPECT_EQ(OutcomeOf(*first, "job5").state, JobState::kPending);
+  EXPECT_EQ(calls.size(), 6u);  // Jobs 6-11 were never attempted.
+
+  BatchRunnerConfig resume_config;
+  resume_config.backoff_base_ms = 0;
+  resume_config.checkpoint_path = checkpoint;
+  auto second = RunBatch(
+      jobs,
+      [&calls](const BatchJob& job, RunContext*) -> Status {
+        ++calls[job.id];
+        return Status::Ok();
+      },
+      resume_config);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_FALSE(second->aborted);
+  EXPECT_EQ(second->CountState(JobState::kOk), 12u);
+  for (int i = 0; i < 12; ++i) {
+    // Completed jobs ran exactly once across both passes; the killed job
+    // ran once in each pass.
+    EXPECT_EQ(calls["job" + std::to_string(i)], i == 5 ? 2 : 1) << i;
+  }
+}
+
+TEST(BatchRunnerTest, ResumeReplaysTerminalFailuresWithoutRerunningThem) {
+  // Quarantined is terminal: resuming a finished batch re-runs nothing,
+  // including the quarantined job.
+  std::string checkpoint = ScratchDir("terminal") + "/batch_checkpoint.bin";
+  std::vector<BatchJob> jobs = MakeJobs(3);
+  int calls = 0;
+  BatchRunnerConfig config;
+  config.backoff_base_ms = 0;
+  config.checkpoint_path = checkpoint;
+  auto executor = [&calls](const BatchJob& job, RunContext*) -> Status {
+    ++calls;
+    if (job.id == "job1") return Status::InvalidArgument("poisoned");
+    return Status::Ok();
+  };
+  auto first = RunBatch(jobs, executor, config);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(calls, 3);
+
+  auto second = RunBatch(jobs, executor, config);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(calls, 3);  // Nothing re-ran.
+  EXPECT_EQ(second->CountState(JobState::kOk), 2u);
+  EXPECT_EQ(OutcomeOf(*second, "job1").state, JobState::kQuarantined);
+  EXPECT_NE(OutcomeOf(*second, "job1").message.find("poisoned"),
+            std::string::npos);
+}
+
+TEST(BatchRunnerTest, CorruptCheckpointIsAHardErrorNotASilentRerun) {
+  std::string checkpoint = ScratchDir("corrupt") + "/batch_checkpoint.bin";
+  ASSERT_TRUE(DurableWriteFile(checkpoint, "garbage bytes").ok());
+  BatchRunnerConfig config;
+  config.checkpoint_path = checkpoint;
+  auto result = RunBatch(
+      MakeJobs(2), [](const BatchJob&, RunContext*) { return Status::Ok(); },
+      config);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BatchRunnerTest, CheckpointNamingAnUnknownJobIsRejected) {
+  // A checkpoint written for one spec must not silently apply to another.
+  std::string checkpoint = ScratchDir("unknown") + "/batch_checkpoint.bin";
+  BatchRunnerConfig config;
+  config.checkpoint_path = checkpoint;
+  auto executor = [](const BatchJob&, RunContext*) { return Status::Ok(); };
+  ASSERT_TRUE(RunBatch(MakeJobs(3), executor, config).ok());
+
+  auto renamed = RunBatch(
+      std::vector<BatchJob>{BatchJob{"different", {}, 0, 0}}, executor,
+      config);
+  ASSERT_FALSE(renamed.ok());
+  EXPECT_NE(renamed.status().message().find("unknown job id"),
+            std::string::npos);
+}
+
+TEST(BatchRunnerTest, RejectsBadBatches) {
+  auto executor = [](const BatchJob&, RunContext*) { return Status::Ok(); };
+  EXPECT_FALSE(RunBatch(MakeJobs(1), nullptr, {}).ok());
+  std::vector<BatchJob> duplicate = MakeJobs(2);
+  duplicate[1].id = duplicate[0].id;
+  EXPECT_FALSE(RunBatch(duplicate, executor, {}).ok());
+  std::vector<BatchJob> nameless(1);
+  EXPECT_FALSE(RunBatch(nameless, executor, {}).ok());
+  BatchRunnerConfig negative;
+  negative.max_retries = -1;
+  EXPECT_FALSE(RunBatch(MakeJobs(1), executor, negative).ok());
+}
+
+TEST(BatchRunnerTest, ParsesJobSpecsWithBudgetsAndParams) {
+  auto jobs = ParseJobSpecCsv(
+      "id,algorithm,k,deadline_ms,max_steps\n"
+      "a,datafly,2,,\n"
+      "b,samarati,5,2500,\n"
+      "c,optimal,10,,100000\n");
+  ASSERT_TRUE(jobs.ok()) << jobs.status().ToString();
+  ASSERT_EQ(jobs->size(), 3u);
+  EXPECT_EQ((*jobs)[0].id, "a");
+  EXPECT_EQ((*jobs)[0].params.at("algorithm"), "datafly");
+  EXPECT_EQ((*jobs)[0].params.at("k"), "2");
+  EXPECT_EQ((*jobs)[0].deadline_ms, 0);
+  EXPECT_EQ((*jobs)[1].deadline_ms, 2500);
+  EXPECT_EQ((*jobs)[2].max_steps, 100000u);
+  // Budget columns become budgets, not params.
+  EXPECT_EQ((*jobs)[1].params.count("deadline_ms"), 0u);
+}
+
+TEST(BatchRunnerTest, RejectsMalformedJobSpecs) {
+  EXPECT_FALSE(ParseJobSpecCsv("").ok());
+  EXPECT_FALSE(ParseJobSpecCsv("algorithm,k\ndatafly,2\n").ok());   // No id.
+  EXPECT_FALSE(ParseJobSpecCsv("id,k\na,2\na,3\n").ok());    // Duplicate id.
+  EXPECT_FALSE(ParseJobSpecCsv("id,k\n,2\n").ok());              // Empty id.
+  EXPECT_FALSE(ParseJobSpecCsv("id,k\na\n").ok());              // Ragged row.
+  EXPECT_FALSE(ParseJobSpecCsv("id,deadline_ms\na,soon\n").ok());
+  EXPECT_FALSE(ParseJobSpecCsv("id,max_steps\na,-5\n").ok());
+}
+
+TEST(BatchRunnerTest, TransientStatusClassification) {
+  EXPECT_TRUE(IsTransientStatus(Status::DeadlineExceeded("x")));
+  EXPECT_TRUE(IsTransientStatus(Status::ResourceExhausted("x")));
+  EXPECT_TRUE(IsTransientStatus(Status::Internal("x")));
+  EXPECT_FALSE(IsTransientStatus(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsTransientStatus(Status::NotFound("x")));
+  EXPECT_FALSE(IsTransientStatus(Status::Cancelled("x")));
+  EXPECT_FALSE(IsTransientStatus(Status::Ok()));
+}
+
+}  // namespace
+}  // namespace mdc

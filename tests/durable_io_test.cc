@@ -1,0 +1,144 @@
+// common/durable_io.h: the no-torn-artifact property. A fault injected at
+// any stage of DurableWriteFile (temp write, fsync, rename) must leave
+// either the complete previous artifact or no artifact — never a partial
+// file, and never a stray temp.
+
+#include "common/durable_io.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+#include "common/csv.h"
+#include "common/failpoint.h"
+
+namespace mdc {
+namespace {
+
+constexpr const char* kWriteSites[] = {"io.tmp_write", "io.fsync",
+                                       "io.rename"};
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// A fresh scratch directory per test, so artifacts from one scenario can
+// never satisfy another's assertions.
+std::string ScratchDir(const std::string& name) {
+  std::string dir = "/tmp/mdc_durable_test_" + std::to_string(::getpid()) +
+                    "_" + name;
+  if (!PathExists(dir)) {
+    MDC_CHECK(::mkdir(dir.c_str(), 0755) == 0);
+  }
+  return dir;
+}
+
+std::string MustRead(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  MDC_CHECK(contents.ok());
+  return *contents;
+}
+
+TEST(DurableIoTest, WritesAndAtomicallyOverwrites) {
+  std::string path = ScratchDir("write") + "/artifact.txt";
+  ASSERT_TRUE(DurableWriteFile(path, "one\n").ok());
+  EXPECT_EQ(MustRead(path), "one\n");
+  ASSERT_TRUE(DurableWriteFile(path, "two\n").ok());
+  EXPECT_EQ(MustRead(path), "two\n");
+  EXPECT_FALSE(PathExists(path + ".tmp"));
+}
+
+TEST(DurableIoTest, FaultAtAnyStageLeavesThePreviousArtifactComplete) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "library built with MDC_FAILPOINTS=OFF";
+  }
+  for (const char* site : kWriteSites) {
+    std::string path = ScratchDir(std::string("torn_") +
+                                  (site + 3)) +  // Strip the "io." prefix.
+                       "/artifact.txt";
+    ASSERT_TRUE(DurableWriteFile(path, "the complete old artifact\n").ok());
+
+    failpoint::ScopedFailpoint fp(site, Status::Internal("crash"));
+    ASSERT_TRUE(fp.armed()) << site;
+    Status status = DurableWriteFile(path, "NEW CONTENT THAT MUST NOT LAND");
+    ASSERT_FALSE(status.ok()) << site;
+    EXPECT_EQ(status.code(), StatusCode::kInternal) << site;
+
+    EXPECT_EQ(MustRead(path), "the complete old artifact\n") << site;
+    EXPECT_FALSE(PathExists(path + ".tmp")) << site;
+  }
+}
+
+TEST(DurableIoTest, FaultOnAFreshPathLeavesNoArtifactAtAll) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "library built with MDC_FAILPOINTS=OFF";
+  }
+  for (const char* site : kWriteSites) {
+    std::string path =
+        ScratchDir(std::string("fresh_") + (site + 3)) + "/artifact.txt";
+    failpoint::ScopedFailpoint fp(site, Status::Internal("crash"));
+    ASSERT_TRUE(fp.armed()) << site;
+    EXPECT_FALSE(DurableWriteFile(path, "never lands").ok()) << site;
+    EXPECT_FALSE(PathExists(path)) << site;
+    EXPECT_FALSE(PathExists(path + ".tmp")) << site;
+  }
+}
+
+TEST(DurableIoTest, EnsureWritableDirCreatesOneMissingLevel) {
+  std::string dir = ScratchDir("mkdir") + "/fresh";
+  ASSERT_FALSE(PathExists(dir));
+  ASSERT_TRUE(EnsureWritableDir(dir).ok());
+  EXPECT_TRUE(PathExists(dir));
+  EXPECT_TRUE(EnsureWritableDir(dir).ok());  // Idempotent on existing dirs.
+  // The writability probe must not linger.
+  EXPECT_TRUE(DurableWriteFile(dir + "/check.txt", "ok\n").ok());
+}
+
+TEST(DurableIoTest, EnsureWritableDirRejectsAPlainFile) {
+  std::string path = ScratchDir("notdir") + "/file.txt";
+  ASSERT_TRUE(DurableWriteFile(path, "x\n").ok());
+  Status status = EnsureWritableDir(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("not a directory"), std::string::npos);
+}
+
+TEST(DurableIoTest, EnsureWritableDirSurfacesProbeFailures) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "library built with MDC_FAILPOINTS=OFF";
+  }
+  std::string dir = ScratchDir("probe");
+  failpoint::ScopedFailpoint fp("io.probe_dir",
+                                Status::FailedPrecondition("unwritable"));
+  ASSERT_TRUE(fp.armed());
+  Status status = EnsureWritableDir(dir);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DurableIoTest, ErrnoMappingDistinguishesMissingFromForbidden) {
+  EXPECT_EQ(ErrnoToStatus(ENOENT, "open x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ErrnoToStatus(EACCES, "open x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ErrnoToStatus(EPERM, "open x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ErrnoToStatus(EROFS, "open x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ErrnoToStatus(EIO, "open x").code(), StatusCode::kInternal);
+  // The context and the human-readable errno text both reach the message.
+  Status status = ErrnoToStatus(ENOENT, "open /some/file");
+  EXPECT_NE(status.message().find("open /some/file"), std::string::npos);
+}
+
+TEST(DurableIoTest, ReadFileDistinguishesMissingFiles) {
+  auto missing = ReadFileToString("/tmp/mdc_no_such_file_ever");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mdc

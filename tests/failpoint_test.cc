@@ -23,6 +23,7 @@
 #include "anonymize/stochastic.h"
 #include "anonymize/top_down.h"
 #include "common/csv.h"
+#include "common/durable_io.h"
 #include "core/report.h"
 #include "hierarchy/spec_parser.h"
 #include "paper/paper_data.h"
@@ -66,6 +67,23 @@ std::map<std::string, std::function<Status()>> Drivers() {
   };
   drivers["csv.write_file"] = [] {
     return WriteStringToFile("/tmp/mdc_failpoint_test.csv", "a\n");
+  };
+  drivers["csv.read_short"] = [] {
+    // The site is on the successful-read path, so the file must exist.
+    MDC_CHECK(WriteStringToFile("/tmp/mdc_failpoint_read.csv", "a\n").ok());
+    return ReadFileToString("/tmp/mdc_failpoint_read.csv").status();
+  };
+  drivers["io.tmp_write"] = [] {
+    return DurableWriteFile("/tmp/mdc_failpoint_durable.txt", "x\n");
+  };
+  drivers["io.fsync"] = [] {
+    return DurableWriteFile("/tmp/mdc_failpoint_durable.txt", "x\n");
+  };
+  drivers["io.rename"] = [] {
+    return DurableWriteFile("/tmp/mdc_failpoint_durable.txt", "x\n");
+  };
+  drivers["io.probe_dir"] = [] {
+    return EnsureWritableDir("/tmp/mdc_failpoint_dir");
   };
   drivers["spec.parse"] = [] {
     return ParseHierarchySpec(Data()->schema(), "").status();

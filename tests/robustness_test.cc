@@ -6,8 +6,11 @@
 #include <cmath>
 #include <string>
 
+#include "anonymize/incognito.h"
+#include "anonymize/stochastic.h"
 #include "common/csv.h"
 #include "common/rng.h"
+#include "common/snapshot.h"
 #include "hierarchy/interval_hierarchy.h"
 #include "hierarchy/spec_parser.h"
 #include "hierarchy/suffix_hierarchy.h"
@@ -218,6 +221,89 @@ TEST(RobustnessTest, ValueRealFormatIsAFixedPoint) {
     auto reparsed = Value::Parse(first, AttributeType::kReal);
     ASSERT_TRUE(reparsed.ok()) << first;
     EXPECT_EQ(reparsed->ToString(), first) << "drift from " << raw;
+  }
+}
+
+TEST(RobustnessTest, SnapshotReaderNeverCrashesOnMutatedSnapshots) {
+  // Start from a valid framed snapshot, then hammer it: random byte
+  // flips, truncations, extensions, and splices. Open + reads must always
+  // return a clean Status — never crash, hang, or allocate anywhere near
+  // the forged lengths (the test itself would OOM if they did).
+  SnapshotWriter writer(SnapshotKind::kStochastic, 1);
+  writer.WriteU64(3);
+  writer.WriteString("payload");
+  writer.WriteU64Vec({5, 6, 7});
+  writer.WriteDouble(1.5);
+  writer.WriteBool(true);
+  const std::string valid = writer.Finish();
+
+  Rng rng(10);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    size_t edits = 1 + rng.NextBelow(4);
+    for (size_t e = 0; e < edits; ++e) {
+      switch (rng.NextBelow(4)) {
+        case 0:  // Flip a random byte.
+          mutated[rng.NextBelow(mutated.size())] ^=
+              static_cast<char>(1 + rng.NextBelow(255));
+          break;
+        case 1:  // Truncate.
+          mutated.resize(rng.NextBelow(mutated.size() + 1));
+          break;
+        case 2:  // Append garbage.
+          mutated += static_cast<char>(rng.NextBelow(256));
+          break;
+        default:  // Splice a chunk of the valid bytes onto the end.
+          mutated += valid.substr(rng.NextBelow(valid.size()));
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    if (mutated == valid) continue;
+
+    auto reader = SnapshotReader::Open(mutated, SnapshotKind::kStochastic, 1);
+    if (!reader.ok()) continue;  // Clean rejection: the common case.
+    // The frame survived (e.g. only trailing-garbage edits cancelled out);
+    // every typed read must still be total.
+    (void)reader->ReadU64();
+    (void)reader->ReadString();
+    (void)reader->ReadU64Vec();
+    (void)reader->ReadDouble();
+    (void)reader->ReadBool();
+    (void)reader->ExpectEnd();
+  }
+}
+
+TEST(RobustnessTest, CheckpointResumeNeverCrashesOnMutatedSnapshots) {
+  // Same storm aimed at the real checkpoint deserializers, whose payloads
+  // nest counted maps and vectors: ResumeFrom must reject every mutation
+  // cleanly and leave the checkpoint object unchanged.
+  StochasticCheckpoint source;
+  source.next_restart = 2;
+  source.rng_state = {1, 2, 3, 4, 5, 6};
+  source.best_node = {1, 0, 2};
+  source.best_loss = 0.25;
+  source.have_best = true;
+  source.captured = true;
+  auto saved = source.SaveCheckpoint();
+  ASSERT_TRUE(saved.ok());
+
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = *saved;
+    if (rng.NextBool(0.5)) {
+      mutated[rng.NextBelow(mutated.size())] ^=
+          static_cast<char>(1 + rng.NextBelow(255));
+    } else {
+      mutated.resize(rng.NextBelow(mutated.size() + 1));
+    }
+    if (mutated == *saved) continue;
+    StochasticCheckpoint target;
+    Status status = target.ResumeFrom(mutated);
+    EXPECT_FALSE(status.ok());
+    EXPECT_FALSE(target.has_state());
+    IncognitoCheckpoint wrong_kind;
+    EXPECT_FALSE(wrong_kind.ResumeFrom(mutated).ok());
   }
 }
 

@@ -1,0 +1,212 @@
+// common/snapshot.h: bit-exact round trips for every field type, and
+// strict rejection of anything malformed — truncation, corruption at any
+// byte, version skew, kind confusion, forged length prefixes.
+
+#include "common/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mdc {
+namespace {
+
+// Frame layout (see snapshot.cc): magic, format, kind, payload version
+// (u32 each), u64 payload length, payload, u32 CRC trailer.
+constexpr size_t kFormatOffset = 4;
+constexpr size_t kKindOffset = 8;
+constexpr size_t kPayloadVersionOffset = 12;
+constexpr size_t kLengthOffset = 16;
+constexpr size_t kPayloadOffset = 24;
+
+void PatchLittleEndian(std::string& bytes, size_t offset, uint64_t value,
+                       size_t width) {
+  for (size_t i = 0; i < width; ++i) {
+    bytes[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+// Rewrites the trailer CRC so a deliberate header/payload patch is not
+// (also) caught by the corruption check — tests can then prove each
+// validation fires on its own.
+void RecomputeCrc(std::string& bytes) {
+  uint32_t crc = Crc32(std::string_view(bytes).substr(0, bytes.size() - 4));
+  PatchLittleEndian(bytes, bytes.size() - 4, crc, 4);
+}
+
+std::string SmallSnapshot() {
+  SnapshotWriter writer(SnapshotKind::kIncognito, 1);
+  writer.WriteU64(42);
+  writer.WriteString("hello");
+  return writer.Finish();
+}
+
+TEST(SnapshotTest, Crc32MatchesTheIeeeCheckValue) {
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(SnapshotTest, RoundTripsEveryFieldType) {
+  SnapshotWriter writer(SnapshotKind::kBatch, 7);
+  writer.WriteU32(0xDEADBEEFu);
+  writer.WriteU64(std::numeric_limits<uint64_t>::max());
+  writer.WriteI64(-1234567890123456789LL);
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+  writer.WriteDouble(-0.0);
+  writer.WriteDouble(1e-300);
+  writer.WriteString("");
+  writer.WriteString(std::string("nul\0inside", 10));
+  writer.WriteU64Vec({});
+  writer.WriteU64Vec({1, 2, std::numeric_limits<uint64_t>::max()});
+  writer.WriteI32Vec({-1, 0, 3});
+
+  auto reader = SnapshotReader::Open(writer.Finish(), SnapshotKind::kBatch, 7);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader->ReadU64().value(), std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(reader->ReadI64().value(), -1234567890123456789LL);
+  EXPECT_TRUE(reader->ReadBool().value());
+  EXPECT_FALSE(reader->ReadBool().value());
+  double negative_zero = reader->ReadDouble().value();
+  EXPECT_EQ(negative_zero, 0.0);
+  EXPECT_TRUE(std::signbit(negative_zero));  // Bit-exact, not value-equal.
+  EXPECT_EQ(reader->ReadDouble().value(), 1e-300);
+  EXPECT_EQ(reader->ReadString().value(), "");
+  EXPECT_EQ(reader->ReadString().value(), std::string("nul\0inside", 10));
+  EXPECT_TRUE(reader->ReadU64Vec().value().empty());
+  EXPECT_EQ(reader->ReadU64Vec().value(),
+            (std::vector<uint64_t>{1, 2, std::numeric_limits<uint64_t>::max()}));
+  EXPECT_EQ(reader->ReadI32Vec().value(), (std::vector<int>{-1, 0, 3}));
+  EXPECT_TRUE(reader->ExpectEnd().ok());
+}
+
+TEST(SnapshotTest, EmptyPayloadIsAValidSnapshot) {
+  SnapshotWriter writer(SnapshotKind::kSamarati, 1);
+  auto reader = SnapshotReader::Open(writer.Finish(),
+                                     SnapshotKind::kSamarati, 1);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->remaining(), 0u);
+  EXPECT_TRUE(reader->ExpectEnd().ok());
+  EXPECT_FALSE(reader->ReadU32().ok());  // Clean error, not a crash.
+}
+
+TEST(SnapshotTest, EveryTruncationIsRejected) {
+  std::string bytes = SmallSnapshot();
+  for (size_t length = 0; length < bytes.size(); ++length) {
+    auto reader = SnapshotReader::Open(
+        std::string_view(bytes).substr(0, length), SnapshotKind::kIncognito,
+        1);
+    EXPECT_FALSE(reader.ok()) << "accepted a " << length << "-byte prefix";
+  }
+}
+
+TEST(SnapshotTest, EverySingleByteCorruptionIsRejected) {
+  std::string bytes = SmallSnapshot();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    auto reader =
+        SnapshotReader::Open(corrupt, SnapshotKind::kIncognito, 1);
+    EXPECT_FALSE(reader.ok()) << "accepted a flip at byte " << i;
+  }
+}
+
+TEST(SnapshotTest, WrongKindIsRejectedEvenWithAValidCrc) {
+  std::string bytes = SmallSnapshot();
+  auto reader = SnapshotReader::Open(bytes, SnapshotKind::kSamarati, 1);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("kind"), std::string::npos);
+}
+
+TEST(SnapshotTest, BumpedVersionsAreRejectedEvenWithAValidCrc) {
+  // Patch each version field (and only it), fixing the CRC, so the version
+  // checks themselves are what must reject the bytes.
+  std::string container = SmallSnapshot();
+  PatchLittleEndian(container, kFormatOffset, kSnapshotFormatVersion + 1, 4);
+  RecomputeCrc(container);
+  auto as_container =
+      SnapshotReader::Open(container, SnapshotKind::kIncognito, 1);
+  ASSERT_FALSE(as_container.ok());
+  EXPECT_NE(as_container.status().message().find("container format"),
+            std::string::npos);
+
+  std::string payload = SmallSnapshot();
+  PatchLittleEndian(payload, kPayloadVersionOffset, 2, 4);
+  RecomputeCrc(payload);
+  EXPECT_FALSE(SnapshotReader::Open(payload, SnapshotKind::kIncognito, 1)
+                   .ok());
+
+  std::string kind = SmallSnapshot();
+  PatchLittleEndian(kind, kKindOffset,
+                    static_cast<uint32_t>(SnapshotKind::kBatch), 4);
+  RecomputeCrc(kind);
+  EXPECT_FALSE(SnapshotReader::Open(kind, SnapshotKind::kIncognito, 1).ok());
+}
+
+TEST(SnapshotTest, ForgedFrameLengthCannotOverAllocate) {
+  std::string bytes = SmallSnapshot();
+  PatchLittleEndian(bytes, kLengthOffset, 0xFFFFFFFFFFFFFFF0ull, 8);
+  RecomputeCrc(bytes);
+  auto reader = SnapshotReader::Open(bytes, SnapshotKind::kIncognito, 1);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("length prefix"),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, ForgedInnerLengthsCannotOverAllocate) {
+  // The frame is intact; only the payload-internal length prefixes lie.
+  // Reads must fail cleanly without reserving anything near the forged
+  // size. SmallSnapshot's payload is a u64 then a string.
+  std::string forged_string = SmallSnapshot();
+  PatchLittleEndian(forged_string, kPayloadOffset + 8, 1ull << 62, 8);
+  RecomputeCrc(forged_string);
+  auto reader =
+      SnapshotReader::Open(forged_string, SnapshotKind::kIncognito, 1);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->ReadU64().ok());
+  EXPECT_FALSE(reader->ReadString().ok());
+
+  SnapshotWriter writer(SnapshotKind::kBatch, 1);
+  writer.WriteU64Vec({1, 2, 3});
+  std::string forged_vec = writer.Finish();
+  PatchLittleEndian(forged_vec, kPayloadOffset, 1ull << 61, 8);
+  RecomputeCrc(forged_vec);
+  auto vec_reader = SnapshotReader::Open(forged_vec, SnapshotKind::kBatch, 1);
+  ASSERT_TRUE(vec_reader.ok());
+  EXPECT_FALSE(vec_reader->ReadU64Vec().ok());
+  // A count whose byte size overflows u64 must also be caught.
+  PatchLittleEndian(forged_vec, kPayloadOffset, ~0ull, 8);
+  RecomputeCrc(forged_vec);
+  auto wrap_reader = SnapshotReader::Open(forged_vec, SnapshotKind::kBatch, 1);
+  ASSERT_TRUE(wrap_reader.ok());
+  EXPECT_FALSE(wrap_reader->ReadU64Vec().ok());
+}
+
+TEST(SnapshotTest, ExpectEndCatchesUnreadTrailingFields) {
+  SnapshotWriter writer(SnapshotKind::kStochastic, 1);
+  writer.WriteU64(1);
+  writer.WriteU64(2);  // A "newer writer" appended a field.
+  auto reader = SnapshotReader::Open(writer.Finish(),
+                                     SnapshotKind::kStochastic, 1);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->ReadU64().ok());
+  EXPECT_FALSE(reader->ExpectEnd().ok());
+  ASSERT_TRUE(reader->ReadU64().ok());
+  EXPECT_TRUE(reader->ExpectEnd().ok());
+}
+
+TEST(SnapshotTest, BoolByteMustBeZeroOrOne) {
+  SnapshotWriter writer(SnapshotKind::kBatch, 1);
+  writer.WriteU32(0x02020202u);  // Reinterpreted as bool bytes below.
+  auto reader = SnapshotReader::Open(writer.Finish(), SnapshotKind::kBatch, 1);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->ReadBool().ok());
+}
+
+}  // namespace
+}  // namespace mdc
