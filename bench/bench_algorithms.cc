@@ -8,7 +8,9 @@
 #include "anonymize/incognito.h"
 #include "anonymize/mondrian.h"
 #include "anonymize/optimal_lattice.h"
+#include "anonymize/pareto_lattice.h"
 #include "anonymize/samarati.h"
+#include "anonymize/stochastic.h"
 #include "datagen/census_generator.h"
 
 namespace mdc {
@@ -105,6 +107,35 @@ void BM_Incognito(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Incognito)->Args({200, 5})->Args({1000, 5});
+
+void BM_ParetoLattice(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  ParetoLatticeConfig config;
+  for (auto _ : state) {
+    auto result = ParetoLatticeSearch(census.data, census.hierarchies,
+                                      config);
+    MDC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->vector_front.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParetoLattice)->Args({200, 0})->Args({1000, 0});
+
+void BM_Stochastic(benchmark::State& state) {
+  CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));
+  StochasticConfig config;
+  config.k = static_cast<int>(state.range(1));
+  config.suppression.max_fraction = 0.02;
+  config.restarts = 4;
+  for (auto _ : state) {
+    auto result =
+        StochasticAnonymize(census.data, census.hierarchies, config);
+    MDC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->nodes_evaluated);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Stochastic)->Args({200, 5})->Args({1000, 5});
 
 void BM_KMemberClustering(benchmark::State& state) {
   CensusData census = MakeCensus(static_cast<size_t>(state.range(0)));

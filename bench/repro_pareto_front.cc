@@ -28,14 +28,18 @@ bool Contains(const std::vector<size_t>& indices, size_t value) {
 int main(int argc, char** argv) {
   using namespace mdc;
   RunContext budget_storage;
-  RunContext* run = repro::ParseBudgetFlags(argc, argv, budget_storage);
+  int threads = 1;
+  RunContext* run =
+      repro::ParseBudgetFlags(argc, argv, budget_storage, &threads);
 
   auto data = paper::Table1();
   MDC_CHECK(data.ok());
   auto hierarchies = paper::HierarchySetA();
   MDC_CHECK(hierarchies.ok());
 
-  auto result = ParetoLatticeSearch(*data, *hierarchies, {}, run);
+  ParetoLatticeConfig pareto_config;
+  pareto_config.threads = threads;
+  auto result = ParetoLatticeSearch(*data, *hierarchies, pareto_config, run);
   if (repro::BudgetSkipped("pareto lattice search", result)) {
     repro::ReportRunStats(run);
     return repro::Finish();

@@ -16,7 +16,9 @@
 int main(int argc, char** argv) {
   using namespace mdc;
   RunContext budget_storage;
-  RunContext* run = repro::ParseBudgetFlags(argc, argv, budget_storage);
+  int threads = 1;
+  RunContext* run =
+      repro::ParseBudgetFlags(argc, argv, budget_storage, &threads);
 
   CensusConfig config;
   config.rows = 300;
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
     OptimalSearchConfig optimal_config;
     optimal_config.k = k;
     optimal_config.suppression = budget;
+    optimal_config.threads = threads;
     auto optimal = OptimalLatticeSearch(census->data, census->hierarchies,
                                         optimal_config, ProxyLoss, run);
     if (repro::BudgetSkipped("optimal k=" + std::to_string(k), optimal)) {
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
     IncognitoConfig incognito_config;
     incognito_config.k = k;
     incognito_config.suppression = budget;
+    incognito_config.threads = threads;
     auto incognito = IncognitoAnonymize(census->data, census->hierarchies,
                                         incognito_config, ProxyLoss, run);
     if (repro::BudgetSkipped("incognito k=" + std::to_string(k),

@@ -77,11 +77,15 @@ inline std::string RenderRelease(const Anonymization& anonymization,
 }
 
 // Budget flags shared by the repro drivers: "--deadline-ms <ms>" and
-// "--max-steps <n>" bound the algorithm runs (see docs/error_handling.md).
-// Returns &storage when a budget was requested, nullptr otherwise;
-// malformed or unknown arguments terminate with exit code 2.
+// "--max-steps <n>" bound the algorithm runs (see docs/error_handling.md);
+// "--threads <n>" (accepted when `threads` is non-null) sets the lattice
+// searches' worker-thread count (docs/performance.md — results are
+// identical for any value). Returns &storage when a budget was requested,
+// nullptr otherwise; malformed or unknown arguments terminate with exit
+// code 2.
 inline RunContext* ParseBudgetFlags(int argc, char** argv,
-                                    RunContext& storage) {
+                                    RunContext& storage,
+                                    int* threads = nullptr) {
   bool budgeted = false;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -89,15 +93,19 @@ inline RunContext* ParseBudgetFlags(int argc, char** argv,
     if (i + 1 < argc) value = ParseInt64(argv[i + 1]);
     if (flag == "--deadline-ms" && value.has_value() && *value > 0) {
       storage.set_deadline_ms(*value);
+      budgeted = true;
     } else if (flag == "--max-steps" && value.has_value() && *value > 0) {
       storage.set_max_steps(static_cast<uint64_t>(*value));
+      budgeted = true;
+    } else if (flag == "--threads" && threads != nullptr &&
+               value.has_value()) {
+      *threads = static_cast<int>(*value);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--deadline-ms <ms>] [--max-steps <n>]\n",
-                   argv[0]);
+                   "usage: %s [--deadline-ms <ms>] [--max-steps <n>]%s\n",
+                   argv[0], threads != nullptr ? " [--threads <n>]" : "");
       std::exit(2);
     }
-    budgeted = true;
     ++i;  // Consume the value.
   }
   return budgeted ? &storage : nullptr;

@@ -3,7 +3,7 @@
 //   example_mdc_cli anonymize --input data.csv --schema <spec> \
 //       --hierarchies spec.txt --algorithm datafly --k 3 \
 //       [--max-suppression 0.02] [--output out.csv] \
-//       [--deadline-ms 500] [--max-steps 100000]
+//       [--deadline-ms 500] [--max-steps 100000] [--threads 4]
 //   example_mdc_cli compare --input data.csv --schema <spec> \
 //       --hierarchies spec.txt --k 3 --algorithms datafly,mondrian
 //   example_mdc_cli batch --jobs jobs.csv --checkpoint-dir out \
@@ -55,14 +55,15 @@ constexpr const char* kUsageHint =
     "usage: mdc_cli <anonymize|compare|batch> --input <csv> --schema <spec> "
     "[--hierarchies <file>] [--algorithm <name>] [--algorithms <a,b>] "
     "[--k <n>] [--max-suppression <frac>] [--output <csv>] "
-    "[--deadline-ms <ms>] [--max-steps <n>] | batch --jobs <spec.csv> "
-    "--checkpoint-dir <dir> [--max-retries <n>] [--backoff-ms <ms>]";
+    "[--deadline-ms <ms>] [--max-steps <n>] [--threads <n>] | batch "
+    "--jobs <spec.csv> --checkpoint-dir <dir> [--max-retries <n>] "
+    "[--backoff-ms <ms>]";
 
 constexpr const char* kKnownFlags[] = {
     "input",       "schema",      "hierarchies",    "algorithm",
     "algorithms",  "k",           "output",         "max-steps",
     "deadline-ms", "max-suppression", "jobs",       "checkpoint-dir",
-    "max-retries", "backoff-ms"};
+    "max-retries", "backoff-ms",  "threads"};
 
 struct CliArgs {
   std::string command;
@@ -143,7 +144,8 @@ StatusOr<NamedRelease> RunAlgorithm(const std::string& algorithm,
                                     std::shared_ptr<const Dataset> data,
                                     const HierarchySet& hierarchies, int k,
                                     double max_suppression,
-                                    RunContext* run = nullptr) {
+                                    RunContext* run = nullptr,
+                                    int threads = 1) {
   SuppressionBudget budget{max_suppression};
   if (algorithm == "datafly") {
     DataflyConfig config{k, budget};
@@ -155,6 +157,7 @@ StatusOr<NamedRelease> RunAlgorithm(const std::string& algorithm,
   }
   if (algorithm == "samarati") {
     SamaratiConfig config{k, budget};
+    config.threads = threads;
     MDC_ASSIGN_OR_RETURN(
         auto result,
         SamaratiAnonymize(data, hierarchies, config, ProxyLoss, run));
@@ -165,6 +168,7 @@ StatusOr<NamedRelease> RunAlgorithm(const std::string& algorithm,
     OptimalSearchConfig config;
     config.k = k;
     config.suppression = budget;
+    config.threads = threads;
     MDC_ASSIGN_OR_RETURN(
         auto result,
         OptimalLatticeSearch(data, hierarchies, config, ProxyLoss, run));
@@ -394,6 +398,16 @@ int main(int argc, char** argv) {
     budgeted = true;
   }
   RunContext* run = budgeted ? &run_context : nullptr;
+  int threads = 1;
+  if (auto it = args.flags.find("threads"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value()) {
+      return Fail(Status::InvalidArgument("bad --threads"));
+    }
+    // <= 0 means one worker per hardware thread; results are identical
+    // for any value (docs/performance.md).
+    threads = static_cast<int>(*parsed);
+  }
 
   std::shared_ptr<const Dataset> data;
   HierarchySet hierarchies;
@@ -406,8 +420,8 @@ int main(int argc, char** argv) {
     if (auto it = args.flags.find("algorithm"); it != args.flags.end()) {
       algorithm = it->second;
     }
-    auto release =
-        RunAlgorithm(algorithm, data, hierarchies, k, max_suppression, run);
+    auto release = RunAlgorithm(algorithm, data, hierarchies, k,
+                                max_suppression, run, threads);
     if (!release.ok()) return Fail(release.status());
     double achieved = KAnonymity(1).Measure(release->anonymization,
                                             release->partition);
@@ -442,10 +456,10 @@ int main(int argc, char** argv) {
           "--algorithms needs exactly two comma-separated names"));
     }
     auto first = RunAlgorithm(names[0], data, hierarchies, k,
-                              max_suppression, run);
+                              max_suppression, run, threads);
     if (!first.ok()) return Fail(first.status());
     auto second = RunAlgorithm(names[1], data, hierarchies, k,
-                               max_suppression, run);
+                               max_suppression, run, threads);
     if (!second.ok()) return Fail(second.status());
     auto report = CompareAnonymizations(first->anonymization,
                                         first->partition,

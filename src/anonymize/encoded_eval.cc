@@ -1,0 +1,184 @@
+#include "anonymize/encoded_eval.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace mdc {
+
+StatusOr<EncodedNodeEvaluator> EncodedNodeEvaluator::Build(
+    std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
+    RunContext* run) {
+  if (original == nullptr) {
+    return Status::InvalidArgument("null original dataset");
+  }
+  EncodedNodeEvaluator evaluator;
+  MDC_ASSIGN_OR_RETURN(evaluator.view_,
+                       EncodedView::Build(*original, hierarchies.columns()));
+  MDC_ASSIGN_OR_RETURN(evaluator.codec_,
+                       LevelCodec::Build(evaluator.view_, hierarchies));
+  MDC_ASSIGN_OR_RETURN(
+      evaluator.release_schema_,
+      Generalizer::ReleaseSchema(original->schema(), hierarchies.columns()));
+  evaluator.original_ = std::move(original);
+  evaluator.hierarchies_ = hierarchies;
+  RunContext::ChargeMemory(run, evaluator.view_.CodeBytes() +
+                                    evaluator.codec_.TableBytes());
+  return evaluator;
+}
+
+Status EncodedNodeEvaluator::ValidateNode(const LatticeNode& node) const {
+  // Same rejections, verbatim, as GeneralizationScheme::Create.
+  if (node.size() != hierarchies_.size()) {
+    return Status::InvalidArgument(
+        "level vector arity " + std::to_string(node.size()) +
+        " != bound column count " + std::to_string(hierarchies_.size()));
+  }
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (node[i] < 0 || node[i] > hierarchies_.At(i).height()) {
+      return Status::OutOfRange("level " + std::to_string(node[i]) +
+                                " out of range for " +
+                                hierarchies_.At(i).Describe());
+    }
+  }
+  return Status::Ok();
+}
+
+void EncodedNodeEvaluator::GatherLabelCodes(
+    const LatticeNode& node, std::vector<std::vector<uint32_t>>& out,
+    std::vector<uint32_t>& cards) const {
+  const size_t m = codec_.position_count();
+  const size_t rows = view_.row_count();
+  out.resize(m);
+  cards.resize(m);
+  for (size_t pos = 0; pos < m; ++pos) {
+    const LevelCodeTable& table = codec_.table(pos, node[pos]);
+    cards[pos] = static_cast<uint32_t>(table.labels.size());
+    const std::vector<uint32_t>& codes = view_.codes(pos);
+    std::vector<uint32_t>& labels = out[pos];
+    labels.resize(rows);
+    for (size_t row = 0; row < rows; ++row) {
+      labels[row] = table.value_to_label[codes[row]];
+    }
+  }
+}
+
+StatusOr<EncodedNodeEvaluator::Evaluation> EncodedNodeEvaluator::Evaluate(
+    const LatticeNode& node, int k, const SuppressionBudget& budget,
+    RunContext* run) const {
+  // Mirror EvaluateNode()'s observable sequence exactly.
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  MDC_RETURN_IF_ERROR(RunContext::Check(run));
+  MDC_FAILPOINT("full_domain.evaluate");
+  MDC_RETURN_IF_ERROR(ValidateNode(node));
+
+  const size_t rows = view_.row_count();
+  std::vector<std::vector<uint32_t>> label_cols;
+  std::vector<uint32_t> cards;
+  GatherLabelCodes(node, label_cols, cards);
+
+  Evaluation evaluation;
+  evaluation.partition =
+      EquivalencePartition::FromCodeColumns(rows, label_cols, cards);
+
+  // Rows of classes smaller than k are suppression candidates; class order
+  // is canonical, so this list matches the legacy path's.
+  std::vector<size_t> to_suppress;
+  for (const std::vector<size_t>& members : evaluation.partition.classes()) {
+    if (members.size() < static_cast<size_t>(k)) {
+      to_suppress.insert(to_suppress.end(), members.begin(), members.end());
+    }
+  }
+  const size_t max_rows = budget.MaxRows(rows);
+  if (to_suppress.size() > max_rows) {
+    // Infeasible at this node; keep the raw partition, like the legacy
+    // path, so callers can still inspect it.
+    return evaluation;
+  }
+  if (!to_suppress.empty()) {
+    const size_t m = label_cols.size();
+    for (size_t pos = 0; pos < m; ++pos) {
+      uint32_t star = codec_.table(pos, node[pos]).star_code;
+      for (size_t row : to_suppress) label_cols[pos][row] = star;
+    }
+    evaluation.partition =
+        EquivalencePartition::FromCodeColumns(rows, label_cols, cards);
+    evaluation.suppressed_rows = std::move(to_suppress);
+    evaluation.suppressed_count = evaluation.suppressed_rows.size();
+  }
+  std::vector<bool> exempt(rows, false);
+  for (size_t row : evaluation.suppressed_rows) exempt[row] = true;
+  size_t min_size = evaluation.partition.MinClassSizeExempting(exempt);
+  evaluation.feasible = min_size >= static_cast<size_t>(k) ||
+                        evaluation.suppressed_count == rows;
+  return evaluation;
+}
+
+StatusOr<NodeEvaluation> EncodedNodeEvaluator::Materialize(
+    const LatticeNode& node, const Evaluation& evaluation,
+    std::string algorithm) const {
+  MDC_ASSIGN_OR_RETURN(GeneralizationScheme scheme,
+                       GeneralizationScheme::Create(hierarchies_, node));
+  const size_t rows = view_.row_count();
+  const size_t m = codec_.position_count();
+  const std::vector<size_t>& qi_columns = hierarchies_.columns();
+
+  std::vector<bool> suppressed(rows, false);
+  for (size_t row : evaluation.suppressed_rows) suppressed[row] = true;
+
+  std::vector<const LevelCodeTable*> tables(m);
+  for (size_t pos = 0; pos < m; ++pos) {
+    tables[pos] = &codec_.table(pos, node[pos]);
+  }
+  Dataset release(release_schema_);
+  release.ReserveRows(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    Dataset::Row row = original_->row(r);
+    for (size_t pos = 0; pos < m; ++pos) {
+      uint32_t code = suppressed[r] ? tables[pos]->star_code
+                                    : tables[pos]->value_to_label[
+                                          view_.codes(pos)[r]];
+      row[qi_columns[pos]] = Value(tables[pos]->labels[code]);
+    }
+    MDC_RETURN_IF_ERROR(release.AppendRow(std::move(row)));
+  }
+
+  NodeEvaluation out{
+      Anonymization{original_, std::move(release), qi_columns,
+                    std::move(suppressed), std::move(scheme),
+                    std::move(algorithm)},
+      evaluation.partition, evaluation.suppressed_count, evaluation.feasible};
+  return out;
+}
+
+StatusOr<EncodedNodeEvaluator::Candidate>
+EncodedNodeEvaluator::MaterializeUnsuppressed(const LatticeNode& node,
+                                              std::string algorithm) const {
+  MDC_RETURN_IF_ERROR(ValidateNode(node));
+  const size_t rows = view_.row_count();
+  std::vector<std::vector<uint32_t>> label_cols;
+  std::vector<uint32_t> cards;
+  GatherLabelCodes(node, label_cols, cards);
+  Evaluation raw;
+  raw.partition = EquivalencePartition::FromCodeColumns(rows, label_cols,
+                                                        cards);
+  MDC_ASSIGN_OR_RETURN(NodeEvaluation materialized,
+                       Materialize(node, raw, std::move(algorithm)));
+  return Candidate{std::move(materialized.anonymization),
+                   std::move(materialized.partition)};
+}
+
+std::vector<std::optional<StatusOr<EncodedNodeEvaluator::Evaluation>>>
+EvaluateBatch(const EncodedNodeEvaluator& evaluator,
+              const std::vector<LatticeNode>& nodes, int k,
+              const SuppressionBudget& budget, ThreadPool& pool) {
+  std::vector<std::optional<StatusOr<EncodedNodeEvaluator::Evaluation>>>
+      results(nodes.size());
+  pool.ParallelFor(nodes.size(), [&](size_t i) {
+    results[i].emplace(evaluator.Evaluate(nodes[i], k, budget, nullptr));
+  });
+  return results;
+}
+
+}  // namespace mdc

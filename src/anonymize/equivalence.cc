@@ -1,9 +1,73 @@
 #include "anonymize/equivalence.h"
 
+#include <algorithm>
+#include <bit>
 #include <map>
 #include <string>
+#include <unordered_map>
 
 namespace mdc {
+namespace {
+
+// Hash-grouped classes before canonical ordering: `slots` holds the row
+// indices of each class in first-seen order; `order[i]` is the slot of the
+// class that sorts i-th in canonical (ascending key) order.
+struct GroupedClasses {
+  std::vector<std::vector<size_t>> slots;
+  std::vector<size_t> order;
+};
+
+// Grouping over keys packed into one integer (uint64_t or
+// unsigned __int128); ascending packed keys == lexicographic code tuples
+// because columns occupy disjoint, order-preserving bit ranges.
+template <typename Key>
+GroupedClasses GroupPacked(
+    size_t row_count, const std::vector<std::vector<uint32_t>>& code_columns,
+    const std::vector<int>& shifts) {
+  std::unordered_map<uint64_t, size_t> slot_of_key;
+  slot_of_key.reserve(row_count);
+  std::vector<Key> keys;            // Key of each slot, in first-seen order.
+  std::vector<std::vector<size_t>> slots;
+  const size_t m = code_columns.size();
+  for (size_t row = 0; row < row_count; ++row) {
+    Key key = 0;
+    for (size_t pos = 0; pos < m; ++pos) {
+      key |= static_cast<Key>(code_columns[pos][row]) << shifts[pos];
+    }
+    // uint64_t hash of the key: the low word collides only when the high
+    // word differs, which the equality probe below disambiguates.
+    uint64_t hashed = static_cast<uint64_t>(key);
+    auto [it, inserted] = slot_of_key.try_emplace(hashed, slots.size());
+    size_t slot = it->second;
+    if (!inserted && keys[slot] != key) {
+      // Low-word collision between distinct wide keys: fall back to a
+      // linear probe over slots with the same low word (vanishingly rare).
+      slot = slots.size();
+      for (size_t s = 0; s < keys.size(); ++s) {
+        if (keys[s] == key) {
+          slot = s;
+          break;
+        }
+      }
+      if (slot == slots.size()) inserted = true;
+    }
+    if (inserted) {
+      if (slot == slots.size()) {
+        keys.push_back(key);
+        slots.emplace_back();
+      }
+    }
+    slots[slot].push_back(row);
+  }
+  (void)row_count;
+  std::vector<size_t> order(slots.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
+  return GroupedClasses{std::move(slots), std::move(order)};
+}
+
+}  // namespace
 
 EquivalencePartition EquivalencePartition::FromAnonymization(
     const Anonymization& anonymization) {
@@ -12,21 +76,95 @@ EquivalencePartition EquivalencePartition::FromAnonymization(
 
 EquivalencePartition EquivalencePartition::FromColumns(
     const Dataset& dataset, const std::vector<size_t>& columns) {
-  // std::map keys give deterministic (sorted) class order.
+  // std::map keys give deterministic (sorted) class order. The scratch key
+  // is reused across rows: groups that already exist cost no allocation.
   std::map<std::vector<std::string>, std::vector<size_t>> groups;
+  std::vector<std::string> key;
+  key.reserve(columns.size());
   for (size_t r = 0; r < dataset.row_count(); ++r) {
-    std::vector<std::string> key;
-    key.reserve(columns.size());
+    key.clear();
     for (size_t c : columns) key.push_back(dataset.cell(r, c).ToString());
-    groups[std::move(key)].push_back(r);
+    auto it = groups.find(key);
+    if (it == groups.end()) it = groups.emplace(key, std::vector<size_t>{}).first;
+    it->second.push_back(r);
   }
   EquivalencePartition partition;
   partition.class_of_row_.assign(dataset.row_count(), 0);
   partition.classes_.reserve(groups.size());
-  for (auto& [key, members] : groups) {
+  for (auto& [group_key, members] : groups) {
     size_t class_id = partition.classes_.size();
     for (size_t row : members) partition.class_of_row_[row] = class_id;
     partition.classes_.push_back(std::move(members));
+  }
+  return partition;
+}
+
+EquivalencePartition EquivalencePartition::FromCodeColumns(
+    size_t row_count, const std::vector<std::vector<uint32_t>>& code_columns,
+    const std::vector<uint32_t>& cardinalities) {
+  MDC_CHECK_EQ(code_columns.size(), cardinalities.size());
+  const size_t m = code_columns.size();
+  if (m == 0) {
+    // Empty key: every row shares one class (matches FromColumns).
+    EquivalencePartition partition;
+    partition.class_of_row_.assign(row_count, 0);
+    if (row_count > 0) {
+      std::vector<size_t> all(row_count);
+      for (size_t r = 0; r < row_count; ++r) all[r] = r;
+      partition.classes_.push_back(std::move(all));
+    }
+    return partition;
+  }
+  for (const std::vector<uint32_t>& codes : code_columns) {
+    MDC_CHECK_EQ(codes.size(), row_count);
+  }
+
+  // Bits per column; shifts place column 0 most significant so numeric key
+  // order equals lexicographic tuple order.
+  int total_bits = 0;
+  std::vector<int> bits(m);
+  for (size_t pos = 0; pos < m; ++pos) {
+    bits[pos] = cardinalities[pos] > 1
+                    ? std::bit_width(cardinalities[pos] - 1u)
+                    : 0;
+    total_bits += bits[pos];
+  }
+  std::vector<int> shifts(m, 0);
+  int shift = total_bits;
+  for (size_t pos = 0; pos < m; ++pos) {
+    shift -= bits[pos];
+    shifts[pos] = shift;
+  }
+  GroupedClasses grouped;
+  if (total_bits <= 64) {
+    grouped = GroupPacked<uint64_t>(row_count, code_columns, shifts);
+  } else if (total_bits <= 128) {
+    grouped = GroupPacked<unsigned __int128>(row_count, code_columns, shifts);
+  } else {
+    // Very wide tuples: group on the code vectors themselves. std::map
+    // keeps the canonical order directly; this path is cold.
+    std::map<std::vector<uint32_t>, std::vector<size_t>> groups;
+    std::vector<uint32_t> key(m);
+    for (size_t row = 0; row < row_count; ++row) {
+      for (size_t pos = 0; pos < m; ++pos) key[pos] = code_columns[pos][row];
+      groups[key].push_back(row);
+    }
+    grouped.slots.reserve(groups.size());
+    for (auto& [group_key, members] : groups) {
+      grouped.order.push_back(grouped.slots.size());
+      grouped.slots.push_back(std::move(members));
+    }
+  }
+
+  EquivalencePartition partition;
+  partition.class_of_row_.assign(row_count, 0);
+  partition.classes_.reserve(grouped.slots.size());
+  for (size_t slot : grouped.order) {
+    size_t class_id = partition.classes_.size();
+    for (size_t row : grouped.slots[slot]) {
+      partition.class_of_row_[row] = class_id;
+    }
+    partition.classes_.push_back(std::move(grouped.slots[slot]));
   }
   return partition;
 }

@@ -9,6 +9,7 @@
 #define MDC_ANONYMIZE_EQUIVALENCE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "anonymize/generalizer.h"
@@ -26,6 +27,16 @@ class EquivalencePartition {
   // by Datafly's frequency loop before a release exists).
   static EquivalencePartition FromColumns(const Dataset& dataset,
                                           const std::vector<size_t>& columns);
+
+  // Integer fast path: groups rows by their code tuples.
+  // `code_columns[pos]` is a row-aligned code array whose codes lie in
+  // [0, cardinalities[pos]). Codes must be order-isomorphic to the labels
+  // they encode (hierarchy/level_codec.h guarantees this), so the class
+  // order — ascending code tuples — is bit-identical to what FromColumns
+  // produces over the label strings. Class members stay in row order.
+  static EquivalencePartition FromCodeColumns(
+      size_t row_count, const std::vector<std::vector<uint32_t>>& code_columns,
+      const std::vector<uint32_t>& cardinalities);
 
   size_t class_count() const { return classes_.size(); }
   size_t row_count() const { return class_of_row_.size(); }

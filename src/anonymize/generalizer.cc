@@ -47,16 +47,27 @@ StatusOr<Anonymization> Generalizer::Apply(
   MDC_ASSIGN_OR_RETURN(Schema release_schema,
                        ReleaseSchema(schema, qi_columns));
   Dataset release(release_schema);
+  release.ReserveRows(original->row_count());
+  // Hoist the per-position hierarchy and level lookups out of the row loop.
+  struct Binding {
+    size_t column;
+    const ValueHierarchy* hierarchy;
+    int level;
+  };
+  std::vector<Binding> bindings;
+  bindings.reserve(qi_columns.size());
+  for (size_t pos = 0; pos < qi_columns.size(); ++pos) {
+    bindings.push_back({qi_columns[pos], &scheme.hierarchies().At(pos),
+                        scheme.levels()[pos]});
+  }
   for (size_t r = 0; r < original->row_count(); ++r) {
     Dataset::Row row = original->row(r);
-    for (size_t pos = 0; pos < qi_columns.size(); ++pos) {
-      size_t column = qi_columns[pos];
-      const ValueHierarchy& hierarchy = scheme.hierarchies().At(pos);
+    for (const Binding& binding : bindings) {
       MDC_ASSIGN_OR_RETURN(
           std::string label,
-          hierarchy.Generalize(original->cell(r, column),
-                               scheme.levels()[pos]));
-      row[column] = Value(std::move(label));
+          binding.hierarchy->Generalize(original->cell(r, binding.column),
+                                        binding.level));
+      row[binding.column] = Value(std::move(label));
     }
     MDC_RETURN_IF_ERROR(release.AppendRow(std::move(row)));
   }

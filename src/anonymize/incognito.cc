@@ -3,42 +3,46 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
 
 #include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "hierarchy/level_codec.h"
+#include "table/encoded_view.h"
 
 namespace mdc {
 namespace {
 
 // Interned labels: label_ids[pos][level][row] is a small integer
-// identifying Generalize(cell(row, column_of(pos)), level).
+// identifying Generalize(cell(row, column_of(pos)), level). Built by
+// dictionary-encoding each column once and gathering through the per-level
+// code tables — O(distinct) hierarchy lookups instead of O(rows), and the
+// same Status on ungeneralizable values as the per-row path.
 struct LabelTable {
   std::vector<std::vector<std::vector<int>>> label_ids;
 
   static StatusOr<LabelTable> Build(const Dataset& data,
                                     const HierarchySet& hierarchies) {
+    MDC_ASSIGN_OR_RETURN(EncodedView view,
+                         EncodedView::Build(data, hierarchies.columns()));
+    MDC_ASSIGN_OR_RETURN(LevelCodec codec,
+                         LevelCodec::Build(view, hierarchies));
     LabelTable table;
     table.label_ids.resize(hierarchies.size());
     for (size_t pos = 0; pos < hierarchies.size(); ++pos) {
-      const ValueHierarchy& hierarchy = hierarchies.At(pos);
-      size_t column = hierarchies.columns()[pos];
-      table.label_ids[pos].resize(
-          static_cast<size_t>(hierarchy.height()) + 1);
-      for (int level = 0; level <= hierarchy.height(); ++level) {
-        std::unordered_map<std::string, int> interned;
+      const std::vector<uint32_t>& codes = view.codes(pos);
+      const int height = codec.height(pos);
+      table.label_ids[pos].resize(static_cast<size_t>(height) + 1);
+      for (int level = 0; level <= height; ++level) {
+        const LevelCodeTable& lut = codec.table(pos, level);
         std::vector<int>& ids =
             table.label_ids[pos][static_cast<size_t>(level)];
-        ids.resize(data.row_count());
-        for (size_t row = 0; row < data.row_count(); ++row) {
-          MDC_ASSIGN_OR_RETURN(
-              std::string label,
-              hierarchy.Generalize(data.cell(row, column), level));
-          auto [it, inserted] =
-              interned.emplace(std::move(label),
-                               static_cast<int>(interned.size()));
-          ids[row] = it->second;
+        ids.resize(codes.size());
+        for (size_t row = 0; row < codes.size(); ++row) {
+          ids[row] = static_cast<int>(lut.value_to_label[codes[row]]);
         }
       }
     }
@@ -178,6 +182,9 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
       RunContext::ChargeMemory(run, ids.size() * sizeof(int));
     }
   }
+  const int threads = ThreadPool::ResolveThreadCount(config.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
 
   IncognitoResult result;
   result.lattice_size = lattice.NodeCount();
@@ -238,58 +245,130 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
       return Status::InvalidArgument("incognito checkpoint: node index out of range");
     }
     std::set<std::vector<int>>& sat = satisfying[subset];
-    for (size_t node_idx = first_node; node_idx < nodes.size(); ++node_idx) {
-      const std::vector<int>& node = nodes[node_idx];
-      if (Status status = RunContext::Check(run); !status.ok()) {
-        if (checkpoint != nullptr) {
-          checkpoint->next_subset = subset_idx;
-          checkpoint->next_node = node_idx;
-          checkpoint->frequency_evaluations = result.frequency_evaluations;
-          checkpoint->satisfying = satisfying;
-          checkpoint->captured = true;
+
+    // Subset pruning: every (|S|-1)-projection must satisfy.
+    auto subset_pruned = [&](const std::vector<int>& node) {
+      if (subset.size() <= 1) return false;
+      for (size_t drop = 0; drop < subset.size(); ++drop) {
+        std::vector<size_t> sub_subset;
+        std::vector<int> sub_node;
+        for (size_t i = 0; i < subset.size(); ++i) {
+          if (i == drop) continue;
+          sub_subset.push_back(subset[i]);
+          sub_node.push_back(node[i]);
         }
-        // Whatever the full-QI subset has accumulated so far is sound
-        // (every node passed the frequency check); degrade to it if
-        // non-empty, otherwise report the budget error.
-        if (satisfying[full].empty()) return status;
-        budget_status = status;
-        truncated = true;
-        break;
+        if (satisfying[sub_subset].count(sub_node) == 0) return true;
       }
-      MDC_FAILPOINT("incognito.node");
-      // Subset pruning: every (|S|-1)-projection must satisfy.
-      bool candidate = true;
-      if (subset.size() > 1) {
-        for (size_t drop = 0; drop < subset.size() && candidate; ++drop) {
-          std::vector<size_t> sub_subset;
-          std::vector<int> sub_node;
-          for (size_t i = 0; i < subset.size(); ++i) {
-            if (i == drop) continue;
-            sub_subset.push_back(subset[i]);
-            sub_node.push_back(node[i]);
-          }
-          if (satisfying[sub_subset].count(sub_node) == 0) candidate = false;
-        }
-      }
-      if (!candidate) continue;
-      // Generalization pruning: a satisfying direct predecessor implies
-      // this node satisfies.
-      bool implied = false;
-      for (size_t i = 0; i < node.size() && !implied; ++i) {
+      return false;
+    };
+    // Generalization pruning: a satisfying direct predecessor implies the
+    // node satisfies.
+    auto implied_by_predecessor = [&](const std::vector<int>& node) {
+      for (size_t i = 0; i < node.size(); ++i) {
         if (node[i] > 0) {
           std::vector<int> pred = node;
           --pred[i];
-          if (sat.count(pred) != 0) implied = true;
+          if (sat.count(pred) != 0) return true;
         }
       }
-      if (implied) {
-        sat.insert(node);
-        continue;
+      return false;
+    };
+    // Budget expiry at `node_idx`: capture the position, then degrade to
+    // whatever the full-QI subset has accumulated so far — it is sound
+    // (every node passed the frequency check) — or report the error.
+    auto handle_budget = [&](size_t node_idx, const Status& status) {
+      if (checkpoint != nullptr) {
+        checkpoint->next_subset = subset_idx;
+        checkpoint->next_node = node_idx;
+        checkpoint->frequency_evaluations = result.frequency_evaluations;
+        checkpoint->satisfying = satisfying;
+        checkpoint->captured = true;
       }
-      ++result.frequency_evaluations;
-      if (ProjectionFeasible(labels, subset, node, row_count, config.k,
-                             max_suppressed)) {
-        sat.insert(node);
+      if (satisfying[full].empty()) return false;
+      budget_status = status;
+      truncated = true;
+      return true;
+    };
+
+    if (!pool.has_value()) {
+      for (size_t node_idx = first_node; node_idx < nodes.size();
+           ++node_idx) {
+        const std::vector<int>& node = nodes[node_idx];
+        if (Status status = RunContext::Check(run); !status.ok()) {
+          if (!handle_budget(node_idx, status)) return status;
+          break;
+        }
+        MDC_FAILPOINT("incognito.node");
+        if (subset_pruned(node)) continue;
+        if (implied_by_predecessor(node)) {
+          sat.insert(node);
+          continue;
+        }
+        ++result.frequency_evaluations;
+        if (ProjectionFeasible(labels, subset, node, row_count, config.k,
+                               max_suppressed)) {
+          sat.insert(node);
+        }
+      }
+    } else {
+      // Wave-parallel sweep of the sub-lattice. Both prunings only consult
+      // smaller subsets (complete) or nodes one height down, so nodes of
+      // one height are independent: a wave admits nodes of a single height
+      // — replaying the budget + failpoint sequence per node in sweep
+      // order, resolving prunes inline — then runs the frequency checks
+      // concurrently and commits verdicts in sweep order.
+      auto height_of = [](const std::vector<int>& node) {
+        int h = 0;
+        for (int v : node) h += v;
+        return h;
+      };
+      const size_t wave = static_cast<size_t>(pool->thread_count()) * 4;
+      size_t node_idx = first_node;
+      while (node_idx < nodes.size() && budget_status.ok()) {
+        const int height = height_of(nodes[node_idx]);
+        Status admit_error;  // Budget/failpoint error, at `node_idx`.
+        bool admit_error_is_budget = false;
+        std::vector<size_t> batch;  // Indices into `nodes`.
+        while (node_idx < nodes.size() && batch.size() < wave &&
+               height_of(nodes[node_idx]) == height) {
+          const std::vector<int>& node = nodes[node_idx];
+          admit_error = RunContext::Check(run);
+          if (!admit_error.ok()) {
+            admit_error_is_budget = true;
+            break;
+          }
+          admit_error = MDC_FAILPOINT_STATUS("incognito.node");
+          if (!admit_error.ok()) break;
+          if (subset_pruned(node)) {
+            ++node_idx;
+            continue;
+          }
+          if (implied_by_predecessor(node)) {
+            sat.insert(node);
+            ++node_idx;
+            continue;
+          }
+          batch.push_back(node_idx);
+          ++node_idx;
+        }
+        std::vector<char> feasible(batch.size(), 0);
+        pool->ParallelFor(batch.size(), [&](size_t j) {
+          feasible[j] =
+              ProjectionFeasible(labels, subset, nodes[batch[j]], row_count,
+                                 config.k, max_suppressed)
+                  ? 1
+                  : 0;
+        });
+        for (size_t j = 0; j < batch.size(); ++j) {
+          ++result.frequency_evaluations;
+          if (feasible[j] != 0) sat.insert(nodes[batch[j]]);
+        }
+        if (!admit_error.ok()) {
+          // A budget error degrades exactly as in the serial sweep; an
+          // injected failpoint error propagates as-is.
+          if (!admit_error_is_budget) return admit_error;
+          if (!handle_budget(node_idx, admit_error)) return admit_error;
+        }
       }
     }
   }

@@ -28,6 +28,12 @@ namespace mdc {
 struct IncognitoConfig {
   int k = 2;
   SuppressionBudget suppression;
+  // Worker threads for frequency checks; 1 = serial, <= 0 = one per
+  // hardware thread. Nodes of one height within a subset's sub-lattice
+  // evaluate concurrently (both prunings only consult smaller subsets or
+  // lower heights); results are identical for any thread count and step
+  // budgets expire on the same node as a serial run.
+  int threads = 1;
 };
 
 // Resumable search position: the subset/node indices refer to the

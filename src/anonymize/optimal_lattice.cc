@@ -1,9 +1,12 @@
 #include "anonymize/optimal_lattice.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
+#include "anonymize/encoded_eval.h"
 #include "common/failpoint.h"
+#include "common/thread_pool.h"
 
 namespace mdc {
 namespace {
@@ -65,6 +68,11 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
   }
   MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
+  MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator evaluator,
+                       EncodedNodeEvaluator::Build(original, hierarchies, run));
+  const int threads = ThreadPool::ResolveThreadCount(config.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
 
   OptimalSearchResult result;
   result.lattice_size = lattice.NodeCount();
@@ -99,55 +107,147 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
     }
   }
 
-  bool truncated = false;
-  for (size_t node_index = start_index; node_index < all_nodes.size();
-       ++node_index) {
-    const LatticeNode& node = all_nodes[node_index];
-    size_t index = lattice.IndexOf(node);
-    bool implied = false;
-    for (const LatticeNode& pred : lattice.Predecessors(node)) {
-      if (satisfying[lattice.IndexOf(pred)] != 0) {
-        implied = true;
-        break;
-      }
-    }
-    if (implied) {
-      satisfying[index] = 1;
-      continue;  // Not minimal; skip evaluation entirely.
-    }
-    MDC_FAILPOINT("optimal.node");
-    auto evaluation_or = EvaluateNode(original, hierarchies, node, config.k,
-                                      config.suppression, "optimal", run);
-    if (!evaluation_or.ok()) {
-      if (evaluation_or.status().IsBudgetError() && checkpoint != nullptr) {
-        checkpoint->next_index = node_index;
-        checkpoint->satisfying.assign(satisfying.begin(), satisfying.end());
-        checkpoint->minimal_nodes = result.minimal_nodes;
-        checkpoint->best_node = result.best_node;
-        checkpoint->best_loss = result.best_loss;
-        checkpoint->nodes_evaluated = result.nodes_evaluated;
-        checkpoint->captured = true;
-      }
-      // Degrade to the minimal nodes already found; each is sound. With
-      // nothing found yet, the budget error (or real error) propagates.
-      if (evaluation_or.status().IsBudgetError() &&
-          !result.minimal_nodes.empty()) {
-        truncated = true;
-        break;
-      }
-      return evaluation_or.status();
-    }
-    NodeEvaluation evaluation = std::move(evaluation_or).value();
-    ++result.nodes_evaluated;
-    if (!SatisfiesAll(config, evaluation)) continue;
+  // Captures the sweep position for resume; `next_index` is the node the
+  // interrupted run did not finish evaluating.
+  auto capture = [&](size_t next_index) {
+    if (checkpoint == nullptr) return;
+    checkpoint->next_index = next_index;
+    checkpoint->satisfying.assign(satisfying.begin(), satisfying.end());
+    checkpoint->minimal_nodes = result.minimal_nodes;
+    checkpoint->best_node = result.best_node;
+    checkpoint->best_loss = result.best_loss;
+    checkpoint->nodes_evaluated = result.nodes_evaluated;
+    checkpoint->captured = true;
+  };
 
+  // Commits one evaluated node in deterministic sweep order: feasible nodes
+  // are materialized (release + loss) and recorded as minimal.
+  auto commit = [&](const LatticeNode& node, size_t index,
+                    const EncodedNodeEvaluator::Evaluation& evaluation)
+      -> Status {
+    ++result.nodes_evaluated;
+    if (!evaluation.feasible) return Status::Ok();
+    MDC_ASSIGN_OR_RETURN(NodeEvaluation full,
+                         evaluator.Materialize(node, evaluation, "optimal"));
+    if (config.extra_predicate &&
+        !config.extra_predicate(full.anonymization, full.partition)) {
+      return Status::Ok();
+    }
     satisfying[index] = 1;
     result.minimal_nodes.push_back(node);
-    double node_loss = loss(evaluation.anonymization, evaluation.partition);
+    double node_loss = loss(full.anonymization, full.partition);
     if (result.minimal_nodes.size() == 1 || node_loss < result.best_loss) {
       result.best_loss = node_loss;
       result.best_node = node;
-      result.best = std::move(evaluation);
+      result.best = std::move(full);
+    }
+    return Status::Ok();
+  };
+
+  bool truncated = false;
+  if (!pool.has_value()) {
+    for (size_t node_index = start_index; node_index < all_nodes.size();
+         ++node_index) {
+      const LatticeNode& node = all_nodes[node_index];
+      size_t index = lattice.IndexOf(node);
+      bool implied = false;
+      for (const LatticeNode& pred : lattice.Predecessors(node)) {
+        if (satisfying[lattice.IndexOf(pred)] != 0) {
+          implied = true;
+          break;
+        }
+      }
+      if (implied) {
+        satisfying[index] = 1;
+        continue;  // Not minimal; skip evaluation entirely.
+      }
+      MDC_FAILPOINT("optimal.node");
+      auto evaluation_or =
+          evaluator.Evaluate(node, config.k, config.suppression, run);
+      if (!evaluation_or.ok()) {
+        if (evaluation_or.status().IsBudgetError()) {
+          capture(node_index);
+          // Degrade to the minimal nodes already found; each is sound. With
+          // nothing found yet, the budget error propagates.
+          if (!result.minimal_nodes.empty()) {
+            truncated = true;
+            break;
+          }
+        }
+        return evaluation_or.status();
+      }
+      MDC_RETURN_IF_ERROR(
+          commit(node, index, std::move(evaluation_or).value()));
+    }
+  } else {
+    // Wave-parallel sweep. Monotonicity pruning only consults nodes one
+    // height below, so nodes of one height are independent: a wave admits
+    // nodes of a single height, replaying the failpoint + budget sequence
+    // per node in sweep order BEFORE dispatch (a step budget expires at
+    // exactly the node a serial sweep would stop at), then evaluates the
+    // wave concurrently and commits results in sweep order.
+    const size_t wave = static_cast<size_t>(pool->thread_count()) * 4;
+    size_t node_index = start_index;
+    while (node_index < all_nodes.size() && !truncated) {
+      const int height = lattice.Height(all_nodes[node_index]);
+      Status admit_error;  // First failpoint/budget error, at `node_index`.
+      std::vector<LatticeNode> batch;
+      std::vector<size_t> batch_lattice_index;
+      std::vector<size_t> batch_sweep_index;
+      while (node_index < all_nodes.size() && batch.size() < wave &&
+             lattice.Height(all_nodes[node_index]) == height) {
+        const LatticeNode& node = all_nodes[node_index];
+        size_t index = lattice.IndexOf(node);
+        bool implied = false;
+        for (const LatticeNode& pred : lattice.Predecessors(node)) {
+          if (satisfying[lattice.IndexOf(pred)] != 0) {
+            implied = true;
+            break;
+          }
+        }
+        if (implied) {
+          satisfying[index] = 1;
+          ++node_index;
+          continue;
+        }
+        admit_error = MDC_FAILPOINT_STATUS("optimal.node");
+        if (admit_error.ok()) admit_error = RunContext::Check(run);
+        if (!admit_error.ok()) break;
+        batch.push_back(node);
+        batch_lattice_index.push_back(index);
+        batch_sweep_index.push_back(node_index);
+        ++node_index;
+      }
+      auto results =
+          EvaluateBatch(evaluator, batch, config.k, config.suppression, *pool);
+      for (size_t j = 0; j < batch.size() && !truncated; ++j) {
+        StatusOr<EncodedNodeEvaluator::Evaluation>& eval_or = *results[j];
+        if (!eval_or.ok()) {
+          // Workers run without `run`, but injected faults may still carry
+          // a budget code; mirror the serial degrade path.
+          if (eval_or.status().IsBudgetError()) {
+            capture(batch_sweep_index[j]);
+            if (!result.minimal_nodes.empty()) {
+              truncated = true;
+              continue;
+            }
+          }
+          return eval_or.status();
+        }
+        MDC_RETURN_IF_ERROR(commit(batch[j], batch_lattice_index[j],
+                                   std::move(eval_or).value()));
+      }
+      if (truncated) break;
+      if (!admit_error.ok()) {
+        if (admit_error.IsBudgetError()) {
+          capture(node_index);
+          if (!result.minimal_nodes.empty()) {
+            truncated = true;
+            break;
+          }
+        }
+        return admit_error;
+      }
     }
   }
 

@@ -37,6 +37,12 @@ struct OptimalSearchConfig {
   // If true, every satisfying minimal node's successors are re-checked and
   // a violation returns kFailedPrecondition instead of a wrong optimum.
   bool verify_monotonicity = false;
+  // Worker threads for node evaluation; 1 = serial, <= 0 = one per
+  // hardware thread. Nodes of one lattice height evaluate concurrently
+  // (monotonicity pruning only looks one height down); results are
+  // identical for any thread count and step-budget expiry lands on the
+  // same node as a serial run (deadlines at wave granularity).
+  int threads = 1;
 };
 
 // Resumable sweep position: `next_index` points into the deterministic

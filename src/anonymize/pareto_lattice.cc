@@ -1,6 +1,10 @@
 #include "anonymize/pareto_lattice.h"
 
+#include <optional>
+
+#include "anonymize/encoded_eval.h"
 #include "common/failpoint.h"
+#include "common/thread_pool.h"
 #include "core/pareto.h"
 #include "core/properties.h"
 #include "utility/loss_metric.h"
@@ -9,6 +13,24 @@ namespace mdc {
 namespace {
 
 constexpr uint32_t kParetoPayloadVersion = 1;
+
+// Evaluates one lattice node into a Pareto candidate: unsuppressed release,
+// class-size vector, per-tuple LM utility. Pure function of the node —
+// safe to run concurrently.
+StatusOr<ParetoCandidate> BuildCandidate(const EncodedNodeEvaluator& evaluator,
+                                         const LatticeNode& node) {
+  MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator::Candidate release,
+                       evaluator.MaterializeUnsuppressed(node, "pareto"));
+  ParetoCandidate candidate;
+  candidate.node = node;
+  PropertyVector sizes = EquivalenceClassSizeVector(release.partition);
+  MDC_ASSIGN_OR_RETURN(PropertyVector utility,
+                       LossMetric::PerTupleUtility(release.anonymization));
+  candidate.min_class_size = sizes.Min();
+  candidate.total_utility = utility.Sum();
+  candidate.properties = {std::move(sizes), std::move(utility)};
+  return candidate;
+}
 
 void WritePropertyVector(SnapshotWriter& writer, const PropertyVector& vec) {
   writer.WriteString(vec.name());
@@ -92,12 +114,16 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
     const ParetoLatticeConfig& config, RunContext* run,
     ParetoLatticeCheckpoint* checkpoint) {
-  (void)config;
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
   }
   MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
+  MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator evaluator,
+                       EncodedNodeEvaluator::Build(original, hierarchies, run));
+  const int threads = ThreadPool::ResolveThreadCount(config.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
 
   ParetoLatticeResult result;
   result.lattice_size = lattice.NodeCount();
@@ -114,42 +140,78 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
     result.candidates = checkpoint->candidates;
   }
 
-  bool truncated = false;
-  for (size_t node_index = start_index; node_index < all_nodes.size();
-       ++node_index) {
-    const LatticeNode& node = all_nodes[node_index];
-    if (Status status = RunContext::Check(run); !status.ok()) {
-      if (checkpoint != nullptr) {
-        checkpoint->next_index = node_index;
-        checkpoint->candidates = result.candidates;
-        checkpoint->captured = true;
-      }
-      // Degrade: compute the fronts over the candidates evaluated so far.
-      if (result.candidates.empty()) return status;
-      truncated = true;
-      break;
+  // Budget expiry at `node_index`: capture the position, then degrade to
+  // the candidates evaluated so far (the fronts over a prefix are exact
+  // for that prefix) — or report the error if nothing was evaluated.
+  auto handle_budget = [&](size_t node_index) {
+    if (checkpoint != nullptr) {
+      checkpoint->next_index = node_index;
+      checkpoint->candidates = result.candidates;
+      checkpoint->captured = true;
     }
-    MDC_FAILPOINT("pareto.node");
-    MDC_ASSIGN_OR_RETURN(
-        GeneralizationScheme scheme,
-        GeneralizationScheme::Create(hierarchies, node));
-    MDC_ASSIGN_OR_RETURN(Anonymization anonymization,
-                         Generalizer::Apply(original, scheme, "pareto"));
-    EquivalencePartition partition =
-        EquivalencePartition::FromAnonymization(anonymization);
+    return !result.candidates.empty();
+  };
 
-    ParetoCandidate candidate;
-    candidate.node = node;
-    PropertyVector sizes = EquivalenceClassSizeVector(partition);
-    MDC_ASSIGN_OR_RETURN(PropertyVector utility,
-                         LossMetric::PerTupleUtility(anonymization));
-    candidate.min_class_size = sizes.Min();
-    candidate.total_utility = utility.Sum();
-    candidate.properties = {std::move(sizes), std::move(utility)};
-    // Candidates retain two n-entry property vectors each; account for
-    // them so a memory budget can stop an oversized sweep.
-    RunContext::ChargeMemory(run, 2 * original->row_count() * sizeof(double));
-    result.candidates.push_back(std::move(candidate));
+  bool truncated = false;
+  if (!pool.has_value()) {
+    for (size_t node_index = start_index; node_index < all_nodes.size();
+         ++node_index) {
+      const LatticeNode& node = all_nodes[node_index];
+      if (Status status = RunContext::Check(run); !status.ok()) {
+        if (!handle_budget(node_index)) return status;
+        truncated = true;
+        break;
+      }
+      MDC_FAILPOINT("pareto.node");
+      MDC_ASSIGN_OR_RETURN(ParetoCandidate candidate,
+                           BuildCandidate(evaluator, node));
+      // Candidates retain two n-entry property vectors each; account for
+      // them so a memory budget can stop an oversized sweep.
+      RunContext::ChargeMemory(run,
+                               2 * original->row_count() * sizeof(double));
+      result.candidates.push_back(std::move(candidate));
+    }
+  } else {
+    // Wave-parallel sweep: candidates are independent, so a wave admits
+    // nodes in sweep order — replaying the budget + failpoint sequence and
+    // the per-candidate memory charge per node BEFORE dispatch (so a step
+    // or memory budget expires at exactly the node a serial sweep would
+    // stop at) — evaluates them concurrently and commits in sweep order.
+    const size_t wave = static_cast<size_t>(pool->thread_count()) * 4;
+    size_t node_index = start_index;
+    while (node_index < all_nodes.size() && !truncated) {
+      Status admit_error;  // Budget/failpoint error, at `node_index`.
+      bool admit_error_is_budget = false;
+      std::vector<LatticeNode> batch;
+      while (node_index < all_nodes.size() && batch.size() < wave) {
+        admit_error = RunContext::Check(run);
+        if (!admit_error.ok()) {
+          admit_error_is_budget = true;
+          break;
+        }
+        admit_error = MDC_FAILPOINT_STATUS("pareto.node");
+        if (!admit_error.ok()) break;
+        RunContext::ChargeMemory(run,
+                                 2 * original->row_count() * sizeof(double));
+        batch.push_back(all_nodes[node_index]);
+        ++node_index;
+      }
+      std::vector<std::optional<StatusOr<ParetoCandidate>>> built(
+          batch.size());
+      pool->ParallelFor(batch.size(), [&](size_t j) {
+        built[j].emplace(BuildCandidate(evaluator, batch[j]));
+      });
+      for (size_t j = 0; j < batch.size(); ++j) {
+        StatusOr<ParetoCandidate>& candidate_or = *built[j];
+        if (!candidate_or.ok()) return candidate_or.status();
+        result.candidates.push_back(std::move(candidate_or).value());
+      }
+      if (!admit_error.ok()) {
+        if (!admit_error_is_budget) return admit_error;
+        if (!handle_budget(node_index)) return admit_error;
+        truncated = true;
+      }
+    }
   }
 
   std::vector<PropertySet> property_sets;

@@ -2,7 +2,9 @@
 
 #include <optional>
 
+#include "anonymize/encoded_eval.h"
 #include "common/failpoint.h"
+#include "common/thread_pool.h"
 
 namespace mdc {
 namespace {
@@ -21,26 +23,61 @@ struct SweepState {
 // Evaluates nodes at `height` starting from sweep.next_node, appending
 // feasible ones to sweep.feasible. On error (budget or injected), leaves
 // `sweep` positioned at the node that was not evaluated.
-Status CollectFeasibleAtHeight(const std::shared_ptr<const Dataset>& original,
-                               const HierarchySet& hierarchies,
+//
+// With a multi-thread pool the sweep runs in waves: the failpoint + budget
+// sequence is replayed per node in deterministic order BEFORE dispatch, so
+// a step budget expires at exactly the node a serial sweep would stop at;
+// admitted nodes evaluate concurrently and commit in node order.
+Status CollectFeasibleAtHeight(const EncodedNodeEvaluator& evaluator,
                                const Lattice& lattice, int height,
                                const SamaratiConfig& config,
                                size_t& nodes_evaluated, SweepState& sweep,
-                               RunContext* run) {
+                               RunContext* run, ThreadPool* pool) {
   std::vector<LatticeNode> nodes = lattice.NodesAtHeight(height);
   if (sweep.next_node > nodes.size()) {
     return Status::InvalidArgument(
         "samarati checkpoint: sweep index out of range");
   }
-  for (size_t i = sweep.next_node; i < nodes.size(); ++i) {
-    sweep.next_node = i;
-    MDC_FAILPOINT("samarati.evaluate");
-    MDC_ASSIGN_OR_RETURN(NodeEvaluation evaluation,
-                         EvaluateNode(original, hierarchies, nodes[i],
-                                      config.k, config.suppression, "samarati",
-                                      run));
-    ++nodes_evaluated;
-    if (evaluation.feasible) sweep.feasible.push_back(nodes[i]);
+  if (pool == nullptr || pool->thread_count() <= 1) {
+    for (size_t i = sweep.next_node; i < nodes.size(); ++i) {
+      sweep.next_node = i;
+      MDC_FAILPOINT("samarati.evaluate");
+      MDC_ASSIGN_OR_RETURN(
+          EncodedNodeEvaluator::Evaluation evaluation,
+          evaluator.Evaluate(nodes[i], config.k, config.suppression, run));
+      ++nodes_evaluated;
+      if (evaluation.feasible) sweep.feasible.push_back(nodes[i]);
+    }
+    sweep.next_node = nodes.size();
+    return Status::Ok();
+  }
+
+  const size_t wave = static_cast<size_t>(pool->thread_count()) * 4;
+  size_t next = sweep.next_node;
+  while (next < nodes.size()) {
+    size_t begin = next;
+    Status admit_error;  // First failpoint/budget error, at node `next`.
+    std::vector<LatticeNode> batch;
+    while (next < nodes.size() && batch.size() < wave) {
+      admit_error = MDC_FAILPOINT_STATUS("samarati.evaluate");
+      if (admit_error.ok()) admit_error = RunContext::Check(run);
+      if (!admit_error.ok()) break;
+      batch.push_back(nodes[next]);
+      ++next;
+    }
+    auto results =
+        EvaluateBatch(evaluator, batch, config.k, config.suppression, *pool);
+    for (size_t j = 0; j < batch.size(); ++j) {
+      sweep.next_node = begin + j;
+      StatusOr<EncodedNodeEvaluator::Evaluation>& result = *results[j];
+      if (!result.ok()) return result.status();
+      ++nodes_evaluated;
+      if (result->feasible) sweep.feasible.push_back(batch[j]);
+    }
+    if (!admit_error.ok()) {
+      sweep.next_node = next;
+      return admit_error;
+    }
   }
   sweep.next_node = nodes.size();
   return Status::Ok();
@@ -97,6 +134,12 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
   }
   MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
+  MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator evaluator,
+                       EncodedNodeEvaluator::Build(original, hierarchies, run));
+  const int threads = ThreadPool::ResolveThreadCount(config.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
 
   SamaratiResult result;
 
@@ -171,10 +214,10 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
   // budget error here has no best-so-far to fall back to, so the Status
   // is returned (after capturing the position for resume).
   if (phase == 0) {
-    Status status = CollectFeasibleAtHeight(original, hierarchies, lattice,
+    Status status = CollectFeasibleAtHeight(evaluator, lattice,
                                             lattice.MaxHeight(), config,
                                             result.nodes_evaluated, sweep,
-                                            run);
+                                            run, pool_ptr);
     if (!status.ok()) {
       if (status.IsBudgetError()) capture(0);
       return status;
@@ -193,10 +236,9 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
   if (phase == 1) {
     while (lo < hi) {
       int mid = lo + (hi - lo) / 2;
-      Status status = CollectFeasibleAtHeight(original, hierarchies, lattice,
-                                              mid, config,
+      Status status = CollectFeasibleAtHeight(evaluator, lattice, mid, config,
                                               result.nodes_evaluated, sweep,
-                                              run);
+                                              run, pool_ptr);
       if (!status.ok()) {
         // Degrade to the lowest feasible height already mapped; the top is
         // known feasible, so fall back to it if no mid succeeded yet.
@@ -224,9 +266,9 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
 
   // Phase 2: the binary search converged on `lo` without sweeping it (the
   // last probe was below); sweep it now to collect all minimal nodes.
-  Status status = CollectFeasibleAtHeight(original, hierarchies, lattice, lo,
-                                          config, result.nodes_evaluated,
-                                          sweep, run);
+  Status status = CollectFeasibleAtHeight(evaluator, lattice, lo, config,
+                                          result.nodes_evaluated, sweep, run,
+                                          pool_ptr);
   if (!status.ok()) {
     if (!status.IsBudgetError()) return status;
     capture(2);

@@ -20,6 +20,11 @@ namespace mdc {
 struct SamaratiConfig {
   int k = 2;
   SuppressionBudget suppression;
+  // Worker threads for node evaluation; 1 = serial, <= 0 = one per
+  // hardware thread. Results are identical for any thread count; budget
+  // expiry and checkpoints land on the same node as a serial run (step
+  // budgets exactly; deadlines at wave granularity).
+  int threads = 1;
 };
 
 // Resumable position in the three-phase search: phase 0 verifies the

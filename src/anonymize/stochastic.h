@@ -22,6 +22,13 @@ struct StochasticConfig {
   uint64_t seed = 1;
   int restarts = 8;
   int max_steps_per_restart = 256;
+  // Worker threads for neighbor evaluation; 1 = serial, <= 0 = one per
+  // hardware thread. Each hill-climb step speculatively evaluates the
+  // not-yet-cached neighbors concurrently, then commits results in walk
+  // order — results past the first improving move are discarded uncached
+  // and uncharged, so the walk, the memo cache, `nodes_evaluated` and step
+  // budgets match a serial run exactly.
+  int threads = 1;
 };
 
 // Resumable position: the index of the first restart that did not

@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+namespace mdc {
+
+ThreadPool::ThreadPool(int threads) {
+  int spawn = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::ResolveThreadCount(int threads) {
+  if (threads > 0) return threads;
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+void ThreadPool::RunJob(Job& job) {
+  size_t completed = 0;
+  while (true) {
+    size_t index = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= job.count) break;
+    (*job.fn)(index);
+    ++completed;
+  }
+  if (completed > 0) {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.done += completed;
+    if (job.done >= job.count) job.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this, seen] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job != nullptr) RunJob(*job);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunJob(*job);
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&job] { return job->done >= job->count; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job_ == job) job_ = nullptr;
+  }
+}
+
+}  // namespace mdc

@@ -35,6 +35,10 @@ class Dataset {
   // Appends a row; fails if arity or value types disagree with the schema.
   Status AppendRow(Row row);
 
+  // Pre-allocates capacity for `rows` rows (callers that know the final
+  // size, e.g. Generalizer::Apply, avoid repeated growth).
+  void ReserveRows(size_t rows) { rows_.reserve(rows); }
+
   const Row& row(size_t index) const;
   const Value& cell(size_t row, size_t column) const;
   void set_cell(size_t row, size_t column, Value value);

@@ -1,0 +1,244 @@
+// Thread-count invariance of the five lattice searches: for any worker
+// count, every search must return a result bit-identical to its serial
+// run — same nodes, same losses, same evaluation counters, same released
+// tables — including when a step budget expires mid-search (the wave
+// protocol replays budget charges in deterministic node order before
+// dispatch), and the checkpoints captured at expiry must serialize to the
+// same bytes and resume to the uninterrupted result.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anonymize/incognito.h"
+#include "anonymize/optimal_lattice.h"
+#include "anonymize/pareto_lattice.h"
+#include "anonymize/samarati.h"
+#include "anonymize/stochastic.h"
+#include "datagen/census_generator.h"
+
+namespace mdc {
+namespace {
+
+// Census workload exercising interval, suffix and taxonomy hierarchies
+// over a 270-node lattice — small enough for exhaustive sweeps, large
+// enough that waves actually fill.
+const CensusData& Census() {
+  static const CensusData census = [] {
+    CensusConfig config;
+    config.rows = 120;
+    config.seed = 77;
+    config.with_occupation = false;
+    auto generated = GenerateCensus(config);
+    MDC_CHECK(generated.ok());
+    return std::move(generated).value();
+  }();
+  return census;
+}
+
+std::string NodeStr(const LatticeNode& node) {
+  std::string out = "(";
+  for (int level : node) out += std::to_string(level) + ",";
+  return out + ")";
+}
+
+std::string NodesStr(const std::vector<LatticeNode>& nodes) {
+  std::string out;
+  for (const LatticeNode& node : nodes) out += NodeStr(node);
+  return out;
+}
+
+std::string DoubleStr(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+const std::vector<int> kThreadCounts = {2, 4, 0};  // 0 = hardware.
+const std::vector<uint64_t> kStepBudgets = {1, 3, 9, 27, 81, 200};
+
+// The invariance harness. `run_fn(threads, run, checkpoint)` runs one
+// search; `fingerprint` must cover everything the search promises to keep
+// deterministic. Checks: (1) full runs match the serial fingerprint for
+// every thread count; (2) at every step budget, the serial and parallel
+// runs agree on outcome, fingerprint, truncation, and checkpoint BYTES;
+// (3) parallel-resumed checkpoints land on the uninterrupted result,
+// compared via `resume_fingerprint` — normally the same as `fingerprint`,
+// but stochastic excludes nodes_evaluated there (the memo cache is not
+// part of the checkpoint, so a resumed run may recompute evaluations; see
+// checkpoint_resume_test.cc).
+template <typename Checkpoint, typename RunFn, typename FingerprintFn,
+          typename ResumeFingerprintFn>
+void CheckThreadInvariance(RunFn run_fn, FingerprintFn fingerprint,
+                           ResumeFingerprintFn resume_fingerprint) {
+  auto baseline = run_fn(1, nullptr, nullptr);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string want = fingerprint(*baseline);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto parallel = run_fn(threads, nullptr, nullptr);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(fingerprint(*parallel), want);
+  }
+
+  for (uint64_t max_steps : kStepBudgets) {
+    SCOPED_TRACE("max_steps=" + std::to_string(max_steps));
+    RunContext serial_run;
+    serial_run.set_max_steps(max_steps);
+    Checkpoint serial_ckpt;
+    auto serial = run_fn(1, &serial_run, &serial_ckpt);
+
+    RunContext parallel_run;
+    parallel_run.set_max_steps(max_steps);
+    Checkpoint parallel_ckpt;
+    auto parallel = run_fn(4, &parallel_run, &parallel_ckpt);
+
+    ASSERT_EQ(serial.ok(), parallel.ok())
+        << (serial.ok() ? parallel.status() : serial.status()).ToString();
+    if (serial.ok()) {
+      EXPECT_EQ(fingerprint(*serial), fingerprint(*parallel));
+      EXPECT_EQ(serial->run_stats.truncated, parallel->run_stats.truncated);
+    } else {
+      EXPECT_EQ(serial.status().code(), parallel.status().code());
+    }
+
+    ASSERT_EQ(serial_ckpt.has_state(), parallel_ckpt.has_state());
+    if (serial_ckpt.has_state()) {
+      auto serial_bytes = serial_ckpt.SaveCheckpoint();
+      auto parallel_bytes = parallel_ckpt.SaveCheckpoint();
+      ASSERT_TRUE(serial_bytes.ok());
+      ASSERT_TRUE(parallel_bytes.ok());
+      // Byte-identical capture: same position, same accumulated state.
+      EXPECT_EQ(*serial_bytes, *parallel_bytes);
+
+      // Round-trip the parallel capture and finish the search with
+      // threads again: must land on the uninterrupted result.
+      Checkpoint reloaded;
+      ASSERT_TRUE(reloaded.ResumeFrom(*parallel_bytes).ok());
+      auto resumed = run_fn(4, nullptr, &reloaded);
+      ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+      EXPECT_EQ(resume_fingerprint(*resumed), resume_fingerprint(*baseline));
+    }
+  }
+}
+
+template <typename Checkpoint, typename RunFn, typename FingerprintFn>
+void CheckThreadInvariance(RunFn run_fn, FingerprintFn fingerprint) {
+  CheckThreadInvariance<Checkpoint>(run_fn, fingerprint, fingerprint);
+}
+
+TEST(ParallelSearchTest, SamaratiThreadInvariant) {
+  CheckThreadInvariance<SamaratiCheckpoint>(
+      [](int threads, RunContext* run, SamaratiCheckpoint* checkpoint) {
+        SamaratiConfig config;
+        config.k = 3;
+        config.suppression.max_fraction = 0.02;
+        config.threads = threads;
+        return SamaratiAnonymize(Census().data, Census().hierarchies, config,
+                                 ProxyLoss, run, checkpoint);
+      },
+      [](const SamaratiResult& result) {
+        return std::to_string(result.minimal_height) + "|" +
+               NodesStr(result.minimal_nodes) + "|" +
+               NodeStr(result.best_node) + "|" +
+               std::to_string(result.nodes_evaluated) + "|" +
+               result.best.anonymization.release.ToCsv();
+      });
+}
+
+TEST(ParallelSearchTest, OptimalThreadInvariant) {
+  CheckThreadInvariance<OptimalLatticeCheckpoint>(
+      [](int threads, RunContext* run, OptimalLatticeCheckpoint* checkpoint) {
+        OptimalSearchConfig config;
+        config.k = 3;
+        config.suppression.max_fraction = 0.02;
+        config.threads = threads;
+        return OptimalLatticeSearch(Census().data, Census().hierarchies,
+                                    config, ProxyLoss, run, checkpoint);
+      },
+      [](const OptimalSearchResult& result) {
+        return NodesStr(result.minimal_nodes) + "|" +
+               NodeStr(result.best_node) + "|" +
+               DoubleStr(result.best_loss) + "|" +
+               std::to_string(result.nodes_evaluated) + "|" +
+               result.best.anonymization.release.ToCsv();
+      });
+}
+
+TEST(ParallelSearchTest, IncognitoThreadInvariant) {
+  CheckThreadInvariance<IncognitoCheckpoint>(
+      [](int threads, RunContext* run, IncognitoCheckpoint* checkpoint) {
+        IncognitoConfig config;
+        config.k = 3;
+        config.suppression.max_fraction = 0.02;
+        config.threads = threads;
+        return IncognitoAnonymize(Census().data, Census().hierarchies, config,
+                                  ProxyLoss, run, checkpoint);
+      },
+      [](const IncognitoResult& result) {
+        return NodesStr(result.anonymous_nodes) + "|" +
+               NodesStr(result.minimal_nodes) + "|" +
+               NodeStr(result.best_node) + "|" +
+               DoubleStr(result.best_loss) + "|" +
+               std::to_string(result.frequency_evaluations);
+      });
+}
+
+TEST(ParallelSearchTest, ParetoThreadInvariant) {
+  CheckThreadInvariance<ParetoLatticeCheckpoint>(
+      [](int threads, RunContext* run, ParetoLatticeCheckpoint* checkpoint) {
+        ParetoLatticeConfig config;
+        config.threads = threads;
+        return ParetoLatticeSearch(Census().data, Census().hierarchies,
+                                   config, run, checkpoint);
+      },
+      [](const ParetoLatticeResult& result) {
+        std::string out;
+        for (const ParetoCandidate& candidate : result.candidates) {
+          out += NodeStr(candidate.node) +
+                 DoubleStr(candidate.min_class_size) + "," +
+                 DoubleStr(candidate.total_utility) + ";";
+        }
+        out += "|front:";
+        for (size_t index : result.vector_front) {
+          out += std::to_string(index) + ",";
+        }
+        out += "|scalar:";
+        for (size_t index : result.scalar_front) {
+          out += std::to_string(index) + ",";
+        }
+        return out;
+      });
+}
+
+TEST(ParallelSearchTest, StochasticThreadInvariant) {
+  CheckThreadInvariance<StochasticCheckpoint>(
+      [](int threads, RunContext* run, StochasticCheckpoint* checkpoint) {
+        StochasticConfig config;
+        config.k = 3;
+        config.suppression.max_fraction = 0.02;
+        config.seed = 9;
+        config.restarts = 4;
+        config.threads = threads;
+        return StochasticAnonymize(Census().data, Census().hierarchies,
+                                   config, ProxyLoss, run, checkpoint);
+      },
+      [](const StochasticResult& result) {
+        return NodeStr(result.best_node) + "|" +
+               DoubleStr(result.best_loss) + "|" +
+               std::to_string(result.nodes_evaluated) + "|" +
+               result.best.anonymization.release.ToCsv();
+      },
+      [](const StochasticResult& result) {
+        return NodeStr(result.best_node) + "|" +
+               DoubleStr(result.best_loss) + "|" +
+               result.best.anonymization.release.ToCsv();
+      });
+}
+
+}  // namespace
+}  // namespace mdc
