@@ -13,14 +13,20 @@
 #include <string>
 
 #include "anonymize/generalizer.h"
+#include "common/metrics.h"
 #include "common/run_context.h"
 #include "common/strings.h"
 #include "common/text_table.h"
+#include "common/trace.h"
 #include "core/property_vector.h"
 
 namespace mdc::repro {
 
 inline int g_failures = 0;
+
+// Sink paths set by --metrics-out / --trace-out; flushed in Finish().
+inline std::string g_metrics_out;
+inline std::string g_trace_out;
 
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -80,7 +86,9 @@ inline std::string RenderRelease(const Anonymization& anonymization,
 // "--max-steps <n>" bound the algorithm runs (see docs/error_handling.md);
 // "--threads <n>" (accepted when `threads` is non-null) sets the lattice
 // searches' worker-thread count (docs/performance.md — results are
-// identical for any value). Returns &storage when a budget was requested,
+// identical for any value). "--metrics-out <file>" / "--trace-out <file>"
+// write the metrics snapshot / Chrome-trace JSON when the driver finishes
+// (docs/observability.md). Returns &storage when a budget was requested,
 // nullptr otherwise; malformed or unknown arguments terminate with exit
 // code 2.
 inline RunContext* ParseBudgetFlags(int argc, char** argv,
@@ -100,9 +108,15 @@ inline RunContext* ParseBudgetFlags(int argc, char** argv,
     } else if (flag == "--threads" && threads != nullptr &&
                value.has_value()) {
       *threads = static_cast<int>(*value);
+    } else if (flag == "--metrics-out" && i + 1 < argc) {
+      g_metrics_out = argv[i + 1];
+    } else if (flag == "--trace-out" && i + 1 < argc) {
+      g_trace_out = argv[i + 1];
+      trace::Enable();
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--deadline-ms <ms>] [--max-steps <n>]%s\n",
+                   "usage: %s [--deadline-ms <ms>] [--max-steps <n>]%s"
+                   " [--metrics-out <file>] [--trace-out <file>]\n",
                    argv[0], threads != nullptr ? " [--threads <n>]" : "");
       std::exit(2);
     }
@@ -132,8 +146,24 @@ bool BudgetSkipped(const std::string& what, const ResultOr& result) {
   return true;
 }
 
-// Exit code for main(): 0 iff every CheckEq/CheckVec passed.
+// Exit code for main(): 0 iff every CheckEq/CheckVec passed. Also flushes
+// the --metrics-out / --trace-out sinks (failures there only warn: the
+// repro verdict should not flip on an unwritable sink path).
 inline int Finish() {
+  if (!g_metrics_out.empty()) {
+    if (Status status = metrics::WriteSnapshotFile(g_metrics_out);
+        !status.ok()) {
+      std::fprintf(stderr, "warning: --metrics-out: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (!g_trace_out.empty()) {
+    trace::Disable();
+    if (Status status = trace::WriteChromeTrace(g_trace_out); !status.ok()) {
+      std::fprintf(stderr, "warning: --trace-out: %s\n",
+                   status.ToString().c_str());
+    }
+  }
   if (g_failures == 0) {
     std::printf("\nAll reproduced values match the paper.\n");
     return 0;

@@ -39,8 +39,10 @@
 #include "anonymize/samarati.h"
 #include "common/csv.h"
 #include "common/durable_io.h"
+#include "common/metrics.h"
 #include "common/run_context.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/batch_runner.h"
 #include "core/report.h"
 #include "hierarchy/spec_parser.h"
@@ -55,7 +57,8 @@ constexpr const char* kUsageHint =
     "usage: mdc_cli <anonymize|compare|batch> --input <csv> --schema <spec> "
     "[--hierarchies <file>] [--algorithm <name>] [--algorithms <a,b>] "
     "[--k <n>] [--max-suppression <frac>] [--output <csv>] "
-    "[--deadline-ms <ms>] [--max-steps <n>] [--threads <n>] | batch "
+    "[--deadline-ms <ms>] [--max-steps <n>] [--threads <n>] "
+    "[--metrics-out <file>] [--trace-out <file>] | batch "
     "--jobs <spec.csv> --checkpoint-dir <dir> [--max-retries <n>] "
     "[--backoff-ms <ms>]";
 
@@ -63,7 +66,8 @@ constexpr const char* kKnownFlags[] = {
     "input",       "schema",      "hierarchies",    "algorithm",
     "algorithms",  "k",           "output",         "max-steps",
     "deadline-ms", "max-suppression", "jobs",       "checkpoint-dir",
-    "max-retries", "backoff-ms",  "threads"};
+    "max-retries", "backoff-ms",  "threads",        "metrics-out",
+    "trace-out"};
 
 struct CliArgs {
   std::string command;
@@ -219,6 +223,31 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Flushes --metrics-out / --trace-out when main returns, whatever the exit
+// path: command dispatch, Fail(), or success.
+struct ObservabilitySinks {
+  std::string metrics_path;
+  std::string trace_path;
+
+  ~ObservabilitySinks() {
+    if (!metrics_path.empty()) {
+      if (Status status = metrics::WriteSnapshotFile(metrics_path);
+          !status.ok()) {
+        std::fprintf(stderr, "warning: --metrics-out: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    if (!trace_path.empty()) {
+      trace::Disable();
+      if (Status status = trace::WriteChromeTrace(trace_path);
+          !status.ok()) {
+        std::fprintf(stderr, "warning: --trace-out: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+  }
+};
+
 // Executes one batch job: resolves its dataset/hierarchies/algorithm from
 // params, runs it under the job's RunContext, and durably writes the
 // release next to the batch checkpoint.
@@ -359,6 +388,14 @@ int main(int argc, char** argv) {
   auto args_or = ParseArgs(argc, argv);
   if (!args_or.ok()) return Fail(args_or.status());
   CliArgs args = std::move(args_or).value();
+  ObservabilitySinks sinks;
+  if (auto it = args.flags.find("metrics-out"); it != args.flags.end()) {
+    sinks.metrics_path = it->second;
+  }
+  if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
+    sinks.trace_path = it->second;
+    trace::Enable();
+  }
   if (args.command.empty()) return Demo();
   if (args.command == "batch") return RunBatchCommand(args);
 

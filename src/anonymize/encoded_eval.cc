@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace mdc {
 
@@ -13,6 +15,8 @@ StatusOr<EncodedNodeEvaluator> EncodedNodeEvaluator::Build(
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
   }
+  TRACE_SPAN("encoded_eval/build");
+  MDC_METRIC_INC("eval.builds");
   EncodedNodeEvaluator evaluator;
   MDC_ASSIGN_OR_RETURN(evaluator.view_,
                        EncodedView::Build(*original, hierarchies.columns()));
@@ -72,6 +76,10 @@ StatusOr<EncodedNodeEvaluator::Evaluation> EncodedNodeEvaluator::Evaluate(
   MDC_RETURN_IF_ERROR(RunContext::Check(run));
   MDC_FAILPOINT("full_domain.evaluate");
   MDC_RETURN_IF_ERROR(ValidateNode(node));
+  // Counted only after the budget check, failpoint, and validation so the
+  // serial path (which may stop mid-wave on budget expiry) and the wave
+  // path (admission-checked, workers run with run == nullptr) agree.
+  MDC_METRIC_INC("eval.nodes");
 
   const size_t rows = view_.row_count();
   std::vector<std::vector<uint32_t>> label_cols;
@@ -112,12 +120,16 @@ StatusOr<EncodedNodeEvaluator::Evaluation> EncodedNodeEvaluator::Evaluate(
   size_t min_size = evaluation.partition.MinClassSizeExempting(exempt);
   evaluation.feasible = min_size >= static_cast<size_t>(k) ||
                         evaluation.suppressed_count == rows;
+  if (evaluation.feasible) MDC_METRIC_INC("eval.feasible");
+  MDC_METRIC_ADD("eval.suppressed_rows", evaluation.suppressed_count);
   return evaluation;
 }
 
 StatusOr<NodeEvaluation> EncodedNodeEvaluator::Materialize(
     const LatticeNode& node, const Evaluation& evaluation,
     std::string algorithm) const {
+  TRACE_SPAN("encoded_eval/materialize");
+  MDC_METRIC_INC("eval.materialized");
   MDC_ASSIGN_OR_RETURN(GeneralizationScheme scheme,
                        GeneralizationScheme::Create(hierarchies_, node));
   const size_t rows = view_.row_count();

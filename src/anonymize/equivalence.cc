@@ -6,6 +6,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
+
 namespace mdc {
 namespace {
 
@@ -166,6 +168,9 @@ EquivalencePartition EquivalencePartition::FromCodeColumns(
     }
     partition.classes_.push_back(std::move(grouped.slots[slot]));
   }
+  MDC_METRIC_INC("partition.builds");
+  MDC_METRIC_ADD("partition.rows", row_count);
+  MDC_METRIC_ADD("partition.classes", partition.classes_.size());
   return partition;
 }
 

@@ -9,7 +9,9 @@
 #include <unordered_map>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "hierarchy/level_codec.h"
 #include "table/encoded_view.h"
 
@@ -171,6 +173,8 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
   }
+  TRACE_SPAN("incognito/search");
+  MDC_METRIC_INC("search.incognito.runs");
   MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
   MDC_ASSIGN_OR_RETURN(LabelTable labels,
@@ -299,12 +303,17 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
           break;
         }
         MDC_FAILPOINT("incognito.node");
-        if (subset_pruned(node)) continue;
+        if (subset_pruned(node)) {
+          MDC_METRIC_INC("search.incognito.subset_pruned");
+          continue;
+        }
         if (implied_by_predecessor(node)) {
+          MDC_METRIC_INC("search.incognito.implied_pruned");
           sat.insert(node);
           continue;
         }
         ++result.frequency_evaluations;
+        MDC_METRIC_INC("search.incognito.frequency_checks");
         if (ProjectionFeasible(labels, subset, node, row_count, config.k,
                                max_suppressed)) {
           sat.insert(node);
@@ -340,10 +349,12 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
           admit_error = MDC_FAILPOINT_STATUS("incognito.node");
           if (!admit_error.ok()) break;
           if (subset_pruned(node)) {
+            MDC_METRIC_INC("search.incognito.subset_pruned");
             ++node_idx;
             continue;
           }
           if (implied_by_predecessor(node)) {
+            MDC_METRIC_INC("search.incognito.implied_pruned");
             sat.insert(node);
             ++node_idx;
             continue;
@@ -361,6 +372,7 @@ StatusOr<IncognitoResult> IncognitoAnonymize(
         });
         for (size_t j = 0; j < batch.size(); ++j) {
           ++result.frequency_evaluations;
+          MDC_METRIC_INC("search.incognito.frequency_checks");
           if (feasible[j] != 0) sat.insert(nodes[batch[j]]);
         }
         if (!admit_error.ok()) {

@@ -6,7 +6,9 @@
 
 #include "anonymize/encoded_eval.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace mdc {
 namespace {
@@ -66,6 +68,8 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
   }
+  TRACE_SPAN("optimal/search");
+  MDC_METRIC_INC("search.optimal.runs");
   MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
   MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator evaluator,
@@ -126,6 +130,7 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
                     const EncodedNodeEvaluator::Evaluation& evaluation)
       -> Status {
     ++result.nodes_evaluated;
+    MDC_METRIC_INC("search.optimal.nodes_evaluated");
     if (!evaluation.feasible) return Status::Ok();
     MDC_ASSIGN_OR_RETURN(NodeEvaluation full,
                          evaluator.Materialize(node, evaluation, "optimal"));
@@ -133,6 +138,7 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
         !config.extra_predicate(full.anonymization, full.partition)) {
       return Status::Ok();
     }
+    MDC_METRIC_INC("search.optimal.satisfying_nodes");
     satisfying[index] = 1;
     result.minimal_nodes.push_back(node);
     double node_loss = loss(full.anonymization, full.partition);
@@ -159,6 +165,7 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
       }
       if (implied) {
         satisfying[index] = 1;
+        MDC_METRIC_INC("search.optimal.implied_pruned");
         continue;  // Not minimal; skip evaluation entirely.
       }
       MDC_FAILPOINT("optimal.node");
@@ -207,6 +214,7 @@ StatusOr<OptimalSearchResult> OptimalLatticeSearch(
         }
         if (implied) {
           satisfying[index] = 1;
+          MDC_METRIC_INC("search.optimal.implied_pruned");
           ++node_index;
           continue;
         }

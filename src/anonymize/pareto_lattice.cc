@@ -4,7 +4,9 @@
 
 #include "anonymize/encoded_eval.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/pareto.h"
 #include "core/properties.h"
 #include "utility/loss_metric.h"
@@ -117,6 +119,8 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
   }
+  TRACE_SPAN("pareto/search");
+  MDC_METRIC_INC("search.pareto.runs");
   MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
   MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator evaluator,
@@ -169,6 +173,7 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
       // them so a memory budget can stop an oversized sweep.
       RunContext::ChargeMemory(run,
                                2 * original->row_count() * sizeof(double));
+      MDC_METRIC_INC("search.pareto.candidates");
       result.candidates.push_back(std::move(candidate));
     }
   } else {
@@ -204,6 +209,7 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
       for (size_t j = 0; j < batch.size(); ++j) {
         StatusOr<ParetoCandidate>& candidate_or = *built[j];
         if (!candidate_or.ok()) return candidate_or.status();
+        MDC_METRIC_INC("search.pareto.candidates");
         result.candidates.push_back(std::move(candidate_or).value());
       }
       if (!admit_error.ok()) {

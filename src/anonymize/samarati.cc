@@ -4,7 +4,9 @@
 
 #include "anonymize/encoded_eval.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace mdc {
 namespace {
@@ -33,6 +35,8 @@ Status CollectFeasibleAtHeight(const EncodedNodeEvaluator& evaluator,
                                const SamaratiConfig& config,
                                size_t& nodes_evaluated, SweepState& sweep,
                                RunContext* run, ThreadPool* pool) {
+  TRACE_SPAN("samarati/sweep_height");
+  MDC_METRIC_INC("search.samarati.height_sweeps");
   std::vector<LatticeNode> nodes = lattice.NodesAtHeight(height);
   if (sweep.next_node > nodes.size()) {
     return Status::InvalidArgument(
@@ -46,7 +50,11 @@ Status CollectFeasibleAtHeight(const EncodedNodeEvaluator& evaluator,
           EncodedNodeEvaluator::Evaluation evaluation,
           evaluator.Evaluate(nodes[i], config.k, config.suppression, run));
       ++nodes_evaluated;
-      if (evaluation.feasible) sweep.feasible.push_back(nodes[i]);
+      MDC_METRIC_INC("search.samarati.nodes_evaluated");
+      if (evaluation.feasible) {
+        MDC_METRIC_INC("search.samarati.feasible_nodes");
+        sweep.feasible.push_back(nodes[i]);
+      }
     }
     sweep.next_node = nodes.size();
     return Status::Ok();
@@ -72,7 +80,11 @@ Status CollectFeasibleAtHeight(const EncodedNodeEvaluator& evaluator,
       StatusOr<EncodedNodeEvaluator::Evaluation>& result = *results[j];
       if (!result.ok()) return result.status();
       ++nodes_evaluated;
-      if (result->feasible) sweep.feasible.push_back(batch[j]);
+      MDC_METRIC_INC("search.samarati.nodes_evaluated");
+      if (result->feasible) {
+        MDC_METRIC_INC("search.samarati.feasible_nodes");
+        sweep.feasible.push_back(batch[j]);
+      }
     }
     if (!admit_error.ok()) {
       sweep.next_node = next;
@@ -132,6 +144,8 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
   }
+  TRACE_SPAN("samarati/search");
+  MDC_METRIC_INC("search.samarati.runs");
   MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
   MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator evaluator,

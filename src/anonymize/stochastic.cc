@@ -5,7 +5,9 @@
 
 #include "anonymize/encoded_eval.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace mdc {
 namespace {
@@ -35,7 +37,10 @@ class NodeCache {
                                   size_t& evaluations) {
     size_t index = lattice_.IndexOf(node);
     auto it = cache_.find(index);
-    if (it != cache_.end()) return &it->second;
+    if (it != cache_.end()) {
+      MDC_METRIC_INC("search.stochastic.cache_hits");
+      return &it->second;
+    }
     MDC_FAILPOINT("stochastic.evaluate");
     MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator::Evaluation evaluation,
                          evaluator_.Evaluate(node, k_, budget_, run_));
@@ -77,7 +82,11 @@ class NodeCache {
           evaluator_.Materialize(node, evaluation, "stochastic"));
       entry.loss = loss_(full.anonymization, full.partition);
     }
+    // The commit point shared by serial Get() misses and
+    // CommitSpeculative: counting here (never in Speculate) keeps the
+    // total invariant across thread counts.
     ++evaluations;
+    MDC_METRIC_INC("search.stochastic.nodes_evaluated");
     auto [inserted, _] = cache_.emplace(index, entry);
     return &inserted->second;
   }
@@ -215,6 +224,8 @@ StatusOr<StochasticResult> StochasticAnonymize(
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
   }
+  TRACE_SPAN("stochastic/search");
+  MDC_METRIC_INC("search.stochastic.runs");
   MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
   MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator evaluator,
@@ -258,6 +269,8 @@ StatusOr<StochasticResult> StochasticAnonymize(
 
   bool truncated = false;
   for (int restart = start_restart; restart < config.restarts; ++restart) {
+    TRACE_SPAN("stochastic/restart");
+    MDC_METRIC_INC("search.stochastic.restarts");
     // Snapshot the stream BEFORE the restart draws from it, so a resumed
     // run replays the interrupted restart with the same draws.
     const std::array<uint64_t, 6> restart_rng_state = rng.SaveState();

@@ -1,5 +1,6 @@
 #include "common/run_context.h"
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace mdc {
@@ -38,8 +39,10 @@ RunContext& RunContext::set_cancellation(CancellationToken token) {
 
 Status RunContext::Check(uint64_t steps) {
   steps_ += steps;
+  MDC_METRIC_ADD("run.steps", steps);
   if (!exhausted_.ok()) return exhausted_;
   if (cancel_.cancelled()) {
+    MDC_METRIC_INC("run.cancelled");
     exhausted_ = Status::Cancelled("run cancelled after " +
                                    std::to_string(steps_) + " steps");
     return exhausted_;
@@ -52,11 +55,13 @@ Status RunContext::Check(uint64_t steps) {
     return exhausted_;
   }
   if (max_steps_.has_value() && steps_ > *max_steps_) {
+    MDC_METRIC_INC("run.budget_exhausted");
     exhausted_ = Status::ResourceExhausted(
         "step budget of " + std::to_string(*max_steps_) + " exhausted");
     return exhausted_;
   }
   if (max_memory_bytes_.has_value() && memory_bytes_ > *max_memory_bytes_) {
+    MDC_METRIC_INC("run.budget_exhausted");
     exhausted_ = Status::ResourceExhausted(
         "memory budget of " + std::to_string(*max_memory_bytes_) +
         " bytes exhausted (charged " + std::to_string(memory_bytes_) + ")");
@@ -65,7 +70,10 @@ Status RunContext::Check(uint64_t steps) {
   return Status::Ok();
 }
 
-void RunContext::ChargeMemory(uint64_t bytes) { memory_bytes_ += bytes; }
+void RunContext::ChargeMemory(uint64_t bytes) {
+  memory_bytes_ += bytes;
+  MDC_METRIC_ADD("run.memory_charged_bytes", bytes);
+}
 
 void RunContext::ReleaseMemory(uint64_t bytes) {
   memory_bytes_ = bytes > memory_bytes_ ? 0 : memory_bytes_ - bytes;

@@ -1,10 +1,25 @@
 #include "common/thread_pool.h"
 
+#include <chrono>
+
+#include "common/metrics.h"
+
 namespace mdc {
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   int spawn = threads > 1 ? threads - 1 : 0;
   workers_.reserve(static_cast<size_t>(spawn));
+  metrics::GetGauge("pool.workers").Add(spawn);
   for (int i = 0; i < spawn; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -17,6 +32,7 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  metrics::GetGauge("pool.workers").Add(-static_cast<int64_t>(workers_.size()));
 }
 
 int ThreadPool::ResolveThreadCount(int threads) {
@@ -44,6 +60,7 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen = 0;
   while (true) {
     std::shared_ptr<Job> job;
+    uint64_t wait_start = NowUs();
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
@@ -52,6 +69,7 @@ void ThreadPool::WorkerLoop() {
       seen = generation_;
       job = job_;
     }
+    MDC_METRIC_OBSERVE("pool.worker_wait_us", NowUs() - wait_start);
     if (job != nullptr) RunJob(*job);
   }
 }
@@ -63,6 +81,11 @@ void ThreadPool::ParallelFor(size_t count,
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  MDC_METRIC_INC("pool.jobs");
+  MDC_METRIC_ADD("pool.indices", count);
+  static metrics::Gauge& active = metrics::GetGauge("pool.active_jobs");
+  active.Add(1);
+  uint64_t job_start = NowUs();
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->count = count;
@@ -81,6 +104,8 @@ void ThreadPool::ParallelFor(size_t count,
     std::lock_guard<std::mutex> lock(mu_);
     if (job_ == job) job_ = nullptr;
   }
+  MDC_METRIC_OBSERVE("pool.job_us", NowUs() - job_start);
+  active.Add(-1);
 }
 
 }  // namespace mdc

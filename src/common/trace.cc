@@ -1,0 +1,123 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "common/durable_io.h"
+
+namespace mdc::trace {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_dropped{0};
+std::atomic<uint64_t> g_next_span_id{0};
+std::atomic<uint32_t> g_next_thread_id{0};
+
+std::mutex g_mu;                     // Guards buffer, capacity, epoch.
+std::vector<SpanRecord> g_buffer;    // Bounded by g_capacity.
+size_t g_capacity = kDefaultCapacity;
+Clock::time_point g_epoch = Clock::now();
+
+uint32_t LocalThreadId() {
+  thread_local uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Innermost open span on this thread; parents for nested TRACE_SPANs.
+thread_local std::vector<uint64_t> t_open_spans;
+
+uint64_t NowUs() {
+  Clock::time_point epoch;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    epoch = g_epoch;
+  }
+  Clock::time_point now = Clock::now();
+  if (now < epoch) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - epoch)
+          .count());
+}
+
+}  // namespace
+
+void Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_buffer.clear();
+  g_capacity = capacity;
+  g_epoch = Clock::now();
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_next_span_id.store(0, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void Disable() { g_enabled.store(false, std::memory_order_release); }
+
+bool Enabled() { return g_enabled.load(std::memory_order_acquire); }
+
+std::vector<SpanRecord> Spans() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_buffer;
+}
+
+uint64_t Dropped() { return g_dropped.load(std::memory_order_relaxed); }
+
+Span::Span(const char* name) : name_(name) {
+  if (!g_enabled.load(std::memory_order_acquire)) return;
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  parent_id_ = t_open_spans.empty() ? 0 : t_open_spans.back();
+  t_open_spans.push_back(span_id_);
+  start_us_ = NowUs();
+}
+
+Span::~Span() {
+  if (span_id_ == 0) return;
+  if (!t_open_spans.empty() && t_open_spans.back() == span_id_) {
+    t_open_spans.pop_back();
+  }
+  if (!g_enabled.load(std::memory_order_acquire)) return;
+  SpanRecord record;
+  record.name = name_;
+  record.thread_id = LocalThreadId();
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
+  record.start_us = start_us_;
+  uint64_t end_us = NowUs();
+  record.duration_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_buffer.size() < g_capacity) {
+    g_buffer.push_back(record);
+  } else {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string ChromeTraceJson() {
+  std::vector<SpanRecord> spans = Spans();
+  std::string out = "{\"traceEvents\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"name\": \"";
+    out += span.name;  // TRACE_SPAN literals: no escaping needed by policy.
+    out += "\", \"cat\": \"mdc\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(span.thread_id) +
+           ", \"ts\": " + std::to_string(span.start_us) +
+           ", \"dur\": " + std::to_string(span.duration_us) +
+           ", \"args\": {\"span_id\": " + std::to_string(span.span_id) +
+           ", \"parent_id\": " + std::to_string(span.parent_id) + "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped\": " +
+         std::to_string(Dropped()) + "}}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return DurableWriteFile(path, ChromeTraceJson());
+}
+
+}  // namespace mdc::trace

@@ -1,0 +1,89 @@
+// Lightweight span tracing with a bounded ring buffer and Chrome-trace
+// JSON export.
+//
+// A span is one timed region of the pipeline: TRACE_SPAN("incognito/
+// evaluate_wave") records its start, duration, owning thread, and parent
+// span (the innermost enclosing span on the same thread) into a bounded
+// in-memory buffer. Tracing is off by default and the disabled path is a
+// single relaxed atomic load — no clock read, no allocation — so spans can
+// stay in production code.
+//
+// The buffer is a hard bound, not a ring that silently rots: once full,
+// new spans are dropped and counted (dropped()), so a trace is always an
+// exact prefix of the run plus an explicit loss figure. Flush with
+// WriteChromeTrace(), which renders the spans as Chrome-trace "X"
+// (complete) events — load the file at chrome://tracing or
+// https://ui.perfetto.dev — and writes it durably (temp + fsync + rename,
+// common/durable_io.h).
+
+#ifndef MDC_COMMON_TRACE_H_
+#define MDC_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mdc::trace {
+
+inline constexpr size_t kDefaultCapacity = 1 << 16;
+
+struct SpanRecord {
+  const char* name = nullptr;  // Static string from the TRACE_SPAN literal.
+  uint32_t thread_id = 0;      // Small sequential id, first-span order.
+  uint64_t span_id = 0;        // 1-based; 0 means "no span".
+  uint64_t parent_id = 0;      // Innermost enclosing span on this thread.
+  uint64_t start_us = 0;       // Microseconds since Enable().
+  uint64_t duration_us = 0;
+};
+
+// Starts tracing into a fresh buffer of at most `capacity` spans. Calling
+// Enable while enabled restarts (clears the buffer and the clock).
+void Enable(size_t capacity = kDefaultCapacity);
+
+// Stops recording; the buffer is retained for Spans()/WriteChromeTrace.
+void Disable();
+
+bool Enabled();
+
+// Completed spans recorded so far, in completion order.
+std::vector<SpanRecord> Spans();
+
+// Spans rejected because the buffer was full.
+uint64_t Dropped();
+
+// {"traceEvents":[...]} with one "X" event per span.
+std::string ChromeTraceJson();
+
+// Durable write of ChromeTraceJson() to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+// RAII span. Records on destruction; safe (and free) when tracing is
+// disabled or becomes disabled mid-span.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t span_id_ = 0;   // 0 when tracing was off at construction.
+  uint64_t parent_id_ = 0;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace mdc::trace
+
+#define MDC_TRACE_CONCAT_INNER(a, b) a##b
+#define MDC_TRACE_CONCAT(a, b) MDC_TRACE_CONCAT_INNER(a, b)
+
+// Names one timed region; the literal must outlive the program (use string
+// literals). Nesting is tracked per thread.
+#define TRACE_SPAN(name) \
+  ::mdc::trace::Span MDC_TRACE_CONCAT(_mdc_span_, __LINE__)(name)
+
+#endif  // MDC_COMMON_TRACE_H_

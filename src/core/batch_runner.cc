@@ -8,17 +8,21 @@
 
 #include "common/csv.h"
 #include "common/durable_io.h"
+#include "common/metrics.h"
 #include "common/snapshot.h"
 #include "common/strings.h"
 #include "common/text_table.h"
+#include "common/trace.h"
 
 namespace mdc {
 namespace {
 
-constexpr uint32_t kBatchPayloadVersion = 1;
+// v1: terminal outcomes only. v2 appends the process metrics counters at
+// save time, so a resumed batch restores cumulative totals.
+constexpr uint32_t kBatchPayloadVersion = 2;
 
 // The batch checkpoint is the list of terminal outcomes so far, in
-// completion order.
+// completion order, plus the counter snapshot at save time.
 std::string SerializeOutcomes(const std::vector<JobOutcome>& outcomes) {
   SnapshotWriter writer(SnapshotKind::kBatch, kBatchPayloadVersion);
   writer.WriteU64(outcomes.size());
@@ -28,21 +32,39 @@ std::string SerializeOutcomes(const std::vector<JobOutcome>& outcomes) {
     writer.WriteU32(outcome.attempts);
     writer.WriteString(outcome.message);
   }
+  const std::map<std::string, uint64_t> counters =
+      metrics::Snapshot().counters;
+  writer.WriteU64(counters.size());
+  for (const auto& [name, value] : counters) {
+    writer.WriteString(name);
+    writer.WriteU64(value);
+  }
   return writer.Finish();
 }
 
-StatusOr<std::vector<JobOutcome>> DeserializeOutcomes(
-    std::string_view bytes) {
-  MDC_ASSIGN_OR_RETURN(
-      SnapshotReader reader,
-      SnapshotReader::Open(bytes, SnapshotKind::kBatch, kBatchPayloadVersion));
+struct BatchCheckpointData {
+  std::vector<JobOutcome> outcomes;
+  std::map<std::string, uint64_t> counters;
+};
+
+StatusOr<BatchCheckpointData> DeserializeOutcomes(std::string_view bytes) {
+  // Accept the previous payload version (no counter section) so existing
+  // checkpoints keep resuming.
+  StatusOr<SnapshotReader> reader_or =
+      SnapshotReader::Open(bytes, SnapshotKind::kBatch, kBatchPayloadVersion);
+  bool has_counters = reader_or.ok();
+  if (!has_counters) {
+    reader_or = SnapshotReader::Open(bytes, SnapshotKind::kBatch, 1);
+    if (!reader_or.ok()) return reader_or.status();
+  }
+  SnapshotReader reader = std::move(reader_or).value();
   MDC_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
   if (count > reader.remaining() / sizeof(uint64_t)) {
     return Status::InvalidArgument(
         "batch checkpoint: outcome count exceeds data");
   }
-  std::vector<JobOutcome> outcomes;
-  outcomes.reserve(count);
+  BatchCheckpointData data;
+  data.outcomes.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     JobOutcome outcome;
     MDC_ASSIGN_OR_RETURN(outcome.id, reader.ReadString());
@@ -53,10 +75,22 @@ StatusOr<std::vector<JobOutcome>> DeserializeOutcomes(
     outcome.state = static_cast<JobState>(state);
     MDC_ASSIGN_OR_RETURN(outcome.attempts, reader.ReadU32());
     MDC_ASSIGN_OR_RETURN(outcome.message, reader.ReadString());
-    outcomes.push_back(std::move(outcome));
+    data.outcomes.push_back(std::move(outcome));
+  }
+  if (has_counters) {
+    MDC_ASSIGN_OR_RETURN(uint64_t counter_count, reader.ReadU64());
+    if (counter_count > reader.remaining() / sizeof(uint64_t)) {
+      return Status::InvalidArgument(
+          "batch checkpoint: counter count exceeds data");
+    }
+    for (uint64_t i = 0; i < counter_count; ++i) {
+      MDC_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+      MDC_ASSIGN_OR_RETURN(uint64_t value, reader.ReadU64());
+      data.counters[std::move(name)] = value;
+    }
   }
   MDC_RETURN_IF_ERROR(reader.ExpectEnd());
-  return outcomes;
+  return data;
 }
 
 int64_t BackoffMs(const BatchRunnerConfig& config, int retry_number) {
@@ -154,9 +188,9 @@ StatusOr<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
   if (!config.checkpoint_path.empty()) {
     StatusOr<std::string> bytes = ReadFileToString(config.checkpoint_path);
     if (bytes.ok()) {
-      MDC_ASSIGN_OR_RETURN(std::vector<JobOutcome> prior,
+      MDC_ASSIGN_OR_RETURN(BatchCheckpointData prior,
                            DeserializeOutcomes(*bytes));
-      for (JobOutcome& outcome : prior) {
+      for (JobOutcome& outcome : prior.outcomes) {
         if (ids.count(outcome.id) == 0) {
           return Status::InvalidArgument(
               "batch checkpoint: unknown job id " + outcome.id +
@@ -164,6 +198,11 @@ StatusOr<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
         }
         completed[outcome.id] = std::move(outcome);
       }
+      // Restore the interrupted run's cumulative totals; the registry is
+      // monotone, so new events add on top.
+      metrics::MergeCounters(prior.counters);
+      MDC_METRIC_INC("batch.resumes");
+      MDC_METRIC_ADD("batch.jobs_restored", prior.outcomes.size());
     } else if (bytes.status().code() != StatusCode::kNotFound) {
       return bytes.status();
     }
@@ -179,8 +218,10 @@ StatusOr<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
 
   auto save_checkpoint = [&]() -> Status {
     if (config.checkpoint_path.empty()) return Status::Ok();
-    return DurableWriteFile(config.checkpoint_path,
-                            SerializeOutcomes(terminal));
+    MDC_RETURN_IF_ERROR(DurableWriteFile(config.checkpoint_path,
+                                         SerializeOutcomes(terminal)));
+    MDC_METRIC_INC("batch.checkpoint_saves");
+    return Status::Ok();
   };
 
   for (const BatchJob& job : jobs) {
@@ -197,8 +238,11 @@ StatusOr<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
 
     JobOutcome outcome;
     outcome.id = job.id;
+    TRACE_SPAN("batch/job");
     while (true) {
       ++outcome.attempts;
+      MDC_METRIC_INC("batch.attempts");
+      if (outcome.attempts > 1) MDC_METRIC_INC("batch.retries");
       RunContext run;
       if (job.deadline_ms > 0) run.set_deadline_ms(job.deadline_ms);
       if (job.max_steps > 0) run.set_max_steps(job.max_steps);
@@ -237,8 +281,25 @@ StatusOr<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
 
     if (outcome.state == JobState::kPending) {
       result.aborted = true;
+      MDC_METRIC_INC("batch.aborted");
       result.outcomes.push_back(std::move(outcome));
       continue;
+    }
+    switch (outcome.state) {
+      case JobState::kOk:
+        MDC_METRIC_INC("batch.jobs_ok");
+        break;
+      case JobState::kTruncated:
+        MDC_METRIC_INC("batch.jobs_truncated");
+        break;
+      case JobState::kQuarantined:
+        MDC_METRIC_INC("batch.jobs_quarantined");
+        break;
+      case JobState::kExhausted:
+        MDC_METRIC_INC("batch.jobs_exhausted");
+        break;
+      case JobState::kPending:
+        break;
     }
     terminal.push_back(outcome);
     result.outcomes.push_back(std::move(outcome));

@@ -18,6 +18,7 @@
 #include "anonymize/pareto_lattice.h"
 #include "anonymize/samarati.h"
 #include "anonymize/stochastic.h"
+#include "common/metrics.h"
 #include "datagen/census_generator.h"
 
 namespace mdc {
@@ -74,15 +75,24 @@ template <typename Checkpoint, typename RunFn, typename FingerprintFn,
           typename ResumeFingerprintFn>
 void CheckThreadInvariance(RunFn run_fn, FingerprintFn fingerprint,
                            ResumeFingerprintFn resume_fingerprint) {
+  metrics::ResetForTest();
   auto baseline = run_fn(1, nullptr, nullptr);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
   const std::string want = fingerprint(*baseline);
+  // The deterministic counter subset (search.* / run.* / batch.*) must be
+  // byte-identical across thread counts: each counter sits at a point the
+  // wave protocol replays in deterministic sweep order.
+  const std::string want_counters =
+      metrics::Snapshot().DeterministicCountersText();
+  EXPECT_FALSE(want_counters.empty());
 
   for (int threads : kThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
+    metrics::ResetForTest();
     auto parallel = run_fn(threads, nullptr, nullptr);
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
     EXPECT_EQ(fingerprint(*parallel), want);
+    EXPECT_EQ(metrics::Snapshot().DeterministicCountersText(), want_counters);
   }
 
   for (uint64_t max_steps : kStepBudgets) {
@@ -90,15 +100,24 @@ void CheckThreadInvariance(RunFn run_fn, FingerprintFn fingerprint,
     RunContext serial_run;
     serial_run.set_max_steps(max_steps);
     Checkpoint serial_ckpt;
+    metrics::ResetForTest();
     auto serial = run_fn(1, &serial_run, &serial_ckpt);
+    const std::string serial_counters =
+        metrics::Snapshot().DeterministicCountersText();
 
     RunContext parallel_run;
     parallel_run.set_max_steps(max_steps);
     Checkpoint parallel_ckpt;
+    metrics::ResetForTest();
     auto parallel = run_fn(4, &parallel_run, &parallel_ckpt);
+    const std::string parallel_counters =
+        metrics::Snapshot().DeterministicCountersText();
 
     ASSERT_EQ(serial.ok(), parallel.ok())
         << (serial.ok() ? parallel.status() : serial.status()).ToString();
+    // Budget expiry lands on the same node either way, so the counters up
+    // to that point agree too.
+    EXPECT_EQ(serial_counters, parallel_counters);
     if (serial.ok()) {
       EXPECT_EQ(fingerprint(*serial), fingerprint(*parallel));
       EXPECT_EQ(serial->run_stats.truncated, parallel->run_stats.truncated);

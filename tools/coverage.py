@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage for src/ and enforce a floor.
+
+Usage (after building the `coverage` preset and running its tests):
+
+    cmake --preset coverage && cmake --build --preset coverage -j
+    ctest --preset coverage
+    python3 tools/coverage.py --build-dir build-coverage --fail-under 80
+
+Walks the build tree for .gcda files (one per translation unit that
+actually ran), shells out to `gcov --stdout --json-format`, and merges the
+per-line execution counts across translation units: a line is covered if
+ANY unit executed it (headers compile into many units). Only files under
+--source-prefix (default: src/) count toward the total, so test and bench
+code cannot pad the number.
+
+Exit code 0 iff total line coverage >= --fail-under.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def run_gcov(gcda, gcov_binary):
+    """Returns the parsed JSON documents gcov emits for one .gcda file."""
+    result = subprocess.run(
+        [gcov_binary, "--stdout", "--json-format", gcda],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        print(f"warning: gcov failed on {gcda}: {result.stderr.strip()}",
+              file=sys.stderr)
+        return []
+    docs = []
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            print(f"warning: unparseable gcov output for {gcda}",
+                  file=sys.stderr)
+    return docs
+
+
+def normalize(path, repo_root):
+    path = os.path.normpath(path)
+    if os.path.isabs(path):
+        try:
+            path = os.path.relpath(path, repo_root)
+        except ValueError:
+            pass
+    return path
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-coverage")
+    parser.add_argument("--source-prefix", default="src/",
+                        help="only files under this repo-relative prefix "
+                             "count (default: src/)")
+    parser.add_argument("--fail-under", type=float, default=0.0,
+                        help="minimum acceptable total line coverage, "
+                             "in percent")
+    parser.add_argument("--gcov", default="gcov")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every file, not just the summary")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    # {file: {line_number: max execution count seen in any unit}}
+    lines = defaultdict(lambda: defaultdict(int))
+    gcda_count = 0
+    for gcda in sorted(find_gcda(args.build_dir)):
+        gcda_count += 1
+        for doc in run_gcov(gcda, args.gcov):
+            for entry in doc.get("files", []):
+                path = normalize(entry["file"], repo_root)
+                if not path.startswith(args.source_prefix):
+                    continue
+                for line in entry.get("lines", []):
+                    number = line["line_number"]
+                    lines[path][number] = max(lines[path][number],
+                                              line["count"])
+
+    if gcda_count == 0:
+        print(f"error: no .gcda files under {args.build_dir} — build the "
+              "coverage preset and run ctest first", file=sys.stderr)
+        return 2
+    if not lines:
+        print(f"error: no coverage data for files under "
+              f"{args.source_prefix}", file=sys.stderr)
+        return 2
+
+    total_lines = 0
+    total_covered = 0
+    rows = []
+    for path in sorted(lines):
+        file_lines = len(lines[path])
+        file_covered = sum(1 for count in lines[path].values() if count > 0)
+        total_lines += file_lines
+        total_covered += file_covered
+        rows.append((path, file_covered, file_lines,
+                     100.0 * file_covered / file_lines))
+
+    if args.verbose:
+        for path, covered, executable, percent in rows:
+            print(f"  {percent:6.1f}%  {covered:5d}/{executable:<5d}  {path}")
+    else:
+        worst = sorted(rows, key=lambda row: row[3])[:5]
+        print("least covered files:")
+        for path, covered, executable, percent in worst:
+            print(f"  {percent:6.1f}%  {covered:5d}/{executable:<5d}  {path}")
+
+    percent = 100.0 * total_covered / total_lines
+    print(f"\nTOTAL {args.source_prefix} line coverage: {percent:.2f}% "
+          f"({total_covered}/{total_lines} lines, {len(rows)} files, "
+          f"{gcda_count} translation units)")
+
+    if percent < args.fail_under:
+        print(f"FAIL: coverage {percent:.2f}% is below the floor "
+              f"{args.fail_under:.2f}%", file=sys.stderr)
+        return 1
+    print(f"OK: coverage {percent:.2f}% >= floor {args.fail_under:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
