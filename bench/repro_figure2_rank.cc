@@ -6,6 +6,7 @@
 
 #include "anonymize/equivalence.h"
 #include "common/text_table.h"
+#include "core/compare_engine.h"
 #include "core/properties.h"
 #include "core/quality_index.h"
 #include "paper/paper_data.h"
@@ -51,5 +52,24 @@ int main() {
   PropertyVector close("c", {3.0, 4.05});
   repro::CheckEq("eps=0.1 mutes a 0.04 rank gap", 0.0,
                  RankBetter(close, a, origin, 0.1) ? 1.0 : 0.0);
+
+  repro::Banner("Packed engine cross-check (P_rank, all pairs)");
+  auto matrix = PropertyMatrix::FromSet({sa, sb, s4});
+  MDC_CHECK(matrix.ok());
+  AllPairsOptions options;
+  options.d_max = d_max;
+  auto packed = AllPairsCompare(*matrix, options);
+  MDC_CHECK(packed.ok());
+  repro::CheckEq("packed P_rank(T3a) == scalar", RankIndex(sa, d_max),
+                 packed->ranks[0], /*tolerance=*/0.0);
+  repro::CheckEq("packed P_rank(T3b) == scalar", RankIndex(sb, d_max),
+                 packed->ranks[1], /*tolerance=*/0.0);
+  repro::CheckEq("packed P_rank(T4) == scalar", RankIndex(s4, d_max),
+                 packed->ranks[2], /*tolerance=*/0.0);
+  repro::CheckEq("packed ordering: T3b closest to D_max", 1.0,
+                 (packed->ranks[1] < packed->ranks[0] &&
+                  packed->ranks[1] < packed->ranks[2])
+                     ? 1.0
+                     : 0.0);
   return repro::Finish();
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/text_table.h"
+#include "core/compare_engine.h"
 #include "core/quality_index.h"
 #include "repro_util.h"
 
@@ -50,5 +51,24 @@ int main() {
                  SpreadBetter(two_anon, three_anon) ? 1.0 : 0.0);
   repro::CheckEq("coverage agrees (paper's remark)", 1.0,
                  CoverageBetter(two_anon, three_anon) ? 1.0 : 0.0);
+
+  repro::Banner("Packed engine cross-check (P_cov / P_spr, fused pass)");
+  PairwiseStats stats = ComputePairwiseStats(
+      d1.values().data(), d2.values().data(), d1.size(), /*with_hv=*/false);
+  repro::CheckEq("packed P_cov(D1,D2) == scalar", CoverageIndex(d1, d2),
+                 CoverageFromStats(stats, d1.size(), /*forward=*/true),
+                 /*tolerance=*/0.0);
+  repro::CheckEq("packed P_cov(D2,D1) == scalar", CoverageIndex(d2, d1),
+                 CoverageFromStats(stats, d1.size(), /*forward=*/false),
+                 /*tolerance=*/0.0);
+  repro::CheckEq("packed P_spr(D1,D2) == scalar", SpreadIndex(d1, d2),
+                 stats.spr12, /*tolerance=*/0.0);
+  repro::CheckEq("packed P_spr(D2,D1) == scalar", SpreadIndex(d2, d1),
+                 stats.spr21, /*tolerance=*/0.0);
+  PairwiseStats anon_stats = ComputePairwiseStats(
+      two_anon.values().data(), three_anon.values().data(), two_anon.size(),
+      /*with_hv=*/false);
+  repro::CheckEq("packed spread still prefers 2-anon", 1.0,
+                 anon_stats.spr12 > anon_stats.spr21 ? 1.0 : 0.0);
   return repro::Finish();
 }

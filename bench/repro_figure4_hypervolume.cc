@@ -3,6 +3,7 @@
 
 #include <cstdio>
 
+#include "core/compare_engine.h"
 #include "core/dominance.h"
 #include "core/quality_index.h"
 #include "repro_util.h"
@@ -44,5 +45,21 @@ int main() {
                  NonDominated(s, t) ? 1.0 : 0.0);
   repro::Note("hv expands the comparison to unseen anonymizations: more of "
               "the property space is worse than s than is worse than t");
+
+  repro::Banner("Packed engine cross-check (P_hv, all pairs)");
+  auto matrix = PropertyMatrix::FromSet({s, t});
+  MDC_CHECK(matrix.ok());
+  AllPairsOptions options;
+  options.include_hypervolume = true;
+  auto packed = AllPairsCompare(*matrix, options);
+  MDC_CHECK(packed.ok());
+  const PairComparison& pair = packed->Pair(0, 1);
+  repro::CheckEq("packed P_hv(s,t) == scalar", HypervolumeIndex(s, t),
+                 pair.hv12, /*tolerance=*/0.0);
+  repro::CheckEq("packed P_hv(t,s) == scalar", HypervolumeIndex(t, s),
+                 pair.hv21, /*tolerance=*/0.0);
+  repro::CheckEq("packed agrees s and t are incomparable", 1.0,
+                 pair.relation == DominanceRelation::kIncomparable ? 1.0
+                                                                   : 0.0);
   return repro::Finish();
 }

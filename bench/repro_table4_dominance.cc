@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/text_table.h"
+#include "core/compare_engine.h"
 #include "core/dominance.h"
 #include "paper/paper_data.h"
 #include "repro_util.h"
@@ -61,5 +62,33 @@ int main() {
   PropertySet set3 = {sa, PropertyVector("u", {3, 3, 3, 3, 3, 3, 3, 3, 3, 3})};
   repro::CheckEq("Y1 and Y3 incomparable (split properties)", 1.0,
                  NonDominated(set1, set3) ? 1.0 : 0.0);
+
+  repro::Banner("Packed engine cross-check (Table 4 relations)");
+  const size_t n = sa.size();
+  repro::CheckEq("packed weak(T3b,T3a) == scalar", 1.0,
+                 PackedWeaklyDominates(sb.values().data(), sa.values().data(),
+                                       n)
+                     ? 1.0
+                     : 0.0);
+  repro::CheckEq("packed strong(T3b,T3a) == scalar", 1.0,
+                 PackedStronglyDominates(sb.values().data(),
+                                         sa.values().data(), n)
+                     ? 1.0
+                     : 0.0);
+  repro::CheckEq("packed T3b || T4 == scalar", 1.0,
+                 PackedNonDominated(sb.values().data(), s4.values().data(), n)
+                     ? 1.0
+                     : 0.0);
+  repro::CheckEq(
+      "packed relation(T4,T3a) == scalar", 1.0,
+      PackedCompareDominance(s4.values().data(), sa.values().data(), n) ==
+              CompareDominance(s4, sa)
+          ? 1.0
+          : 0.0);
+  auto y1 = PropertyMatrix::FromSet(set1);
+  auto y2 = PropertyMatrix::FromSet(set2);
+  MDC_CHECK(y1.ok() && y2.ok());
+  repro::CheckEq("packed set-level strong(Y1,Y2) == scalar", 1.0,
+                 PackedSetStronglyDominates(*y1, *y2) ? 1.0 : 0.0);
   return repro::Finish();
 }

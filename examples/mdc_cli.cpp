@@ -58,6 +58,7 @@ constexpr const char* kUsageHint =
     "[--hierarchies <file>] [--algorithm <name>] [--algorithms <a,b>] "
     "[--k <n>] [--max-suppression <frac>] [--output <csv>] "
     "[--deadline-ms <ms>] [--max-steps <n>] [--threads <n>] "
+    "[--compare-engine <scalar|packed>] "
     "[--metrics-out <file>] [--trace-out <file>] | batch "
     "--jobs <spec.csv> --checkpoint-dir <dir> [--max-retries <n>] "
     "[--backoff-ms <ms>]";
@@ -67,7 +68,7 @@ constexpr const char* kKnownFlags[] = {
     "algorithms",  "k",           "output",         "max-steps",
     "deadline-ms", "max-suppression", "jobs",       "checkpoint-dir",
     "max-retries", "backoff-ms",  "threads",        "metrics-out",
-    "trace-out"};
+    "trace-out",   "compare-engine"};
 
 struct CliArgs {
   std::string command;
@@ -498,10 +499,18 @@ int main(int argc, char** argv) {
     auto second = RunAlgorithm(names[1], data, hierarchies, k,
                                max_suppression, run, threads);
     if (!second.ok()) return Fail(second.status());
+    ComparisonOptions comparison_options;
+    comparison_options.threads = threads;
+    if (auto it = args.flags.find("compare-engine"); it != args.flags.end()) {
+      auto engine = ParseCompareEngine(it->second);
+      if (!engine.ok()) return Fail(engine.status());
+      comparison_options.engine = *engine;
+    }
     auto report = CompareAnonymizations(first->anonymization,
                                         first->partition,
                                         second->anonymization,
-                                        second->partition, {}, run);
+                                        second->partition,
+                                        comparison_options, run);
     if (!report.ok()) return Fail(report.status());
     std::printf("%s", report->ToText().c_str());
     if (budgeted) {

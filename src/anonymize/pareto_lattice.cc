@@ -229,8 +229,15 @@ StatusOr<ParetoLatticeResult> ParetoLatticeSearch(
     scalar_points.push_back(
         {candidate.min_class_size, candidate.total_utility});
   }
-  result.vector_front = ParetoFront(property_sets);
-  result.scalar_front = ParetoFrontScalar(scalar_points);
+  // Packed-engine front extraction, fanned out across the same worker
+  // budget as the candidate evaluation (fronts are engine- and
+  // thread-invariant).
+  ParetoOptions pareto_options;
+  pareto_options.threads = config.threads;
+  MDC_ASSIGN_OR_RETURN(result.vector_front,
+                       ParetoFront(property_sets, pareto_options));
+  MDC_ASSIGN_OR_RETURN(result.scalar_front,
+                       ParetoFrontScalar(scalar_points, pareto_options));
   result.run_stats = RunContext::Stats(run, truncated);
   return result;
 }

@@ -34,6 +34,7 @@ constexpr const char* kSites[] = {
     "top_down.step",
     "bottom_up.step",
     "report.compare",
+    "cmp.read",
 };
 
 struct ArmedSite {

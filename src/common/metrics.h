@@ -119,7 +119,7 @@ struct MetricsSnapshot {
 // schedule-independent for the wave searches but NOT for stochastic
 // speculation, so they are excluded here.
 inline constexpr const char* kDeterministicPrefixes[] = {"search.", "run.",
-                                                         "batch."};
+                                                         "batch.", "cmp."};
 
 // Interns `name` (first call) and returns the process-wide instrument.
 // The same name always maps to the same instrument; a name must not be

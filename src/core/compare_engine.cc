@@ -1,0 +1,509 @@
+#include "core/compare_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "core/quality_index.h"
+
+namespace mdc {
+namespace {
+
+// Branchless running min in index order over one row — same value and
+// representation as min_element's first-occurrence rule.
+double PackedRowMin(const double* d, size_t n) {
+  double min_value = d[0];
+  for (size_t i = 1; i < n; ++i) min_value = std::min(min_value, d[i]);
+  return min_value;
+}
+
+PairComparison ComparePairPacked(const PropertyMatrix& matrix, size_t i,
+                                 size_t j, const AllPairsOptions& options,
+                                 const std::vector<double>& row_mins) {
+  PairComparison pair;
+  pair.first = i;
+  pair.second = j;
+  // Minima were hoisted to one pass per row (they depend on a single
+  // row), so the per-pair kernel skips its min sweep.
+  PairwiseStats stats =
+      ComputePairwiseStats(matrix.row(i), matrix.row(j), matrix.cols(),
+                           options.include_hypervolume, options.block,
+                           /*with_min=*/false);
+  pair.relation = RelationFromStats(stats);
+  pair.cov12 = CoverageFromStats(stats, matrix.cols(), /*forward=*/true);
+  pair.cov21 = CoverageFromStats(stats, matrix.cols(), /*forward=*/false);
+  pair.binary12 = stats.gt12;
+  pair.binary21 = stats.gt21;
+  pair.spr12 = stats.spr12;
+  pair.spr21 = stats.spr21;
+  pair.min1 = row_mins[i];
+  pair.min2 = row_mins[j];
+  pair.hv12 = stats.hv12;
+  pair.hv21 = stats.hv21;
+  return pair;
+}
+
+// The differential oracle: the same pair scored by the legacy
+// element-at-a-time code paths.
+PairComparison ComparePairScalar(const PropertySet& rows, size_t i, size_t j,
+                                 const AllPairsOptions& options) {
+  PairComparison pair;
+  pair.first = i;
+  pair.second = j;
+  const PropertyVector& d1 = rows[i];
+  const PropertyVector& d2 = rows[j];
+  pair.relation = CompareDominance(d1, d2);
+  pair.cov12 = CoverageIndex(d1, d2);
+  pair.cov21 = CoverageIndex(d2, d1);
+  pair.binary12 = StrictlyBetterCount(d1, d2);
+  pair.binary21 = StrictlyBetterCount(d2, d1);
+  pair.spr12 = SpreadIndex(d1, d2);
+  pair.spr21 = SpreadIndex(d2, d1);
+  pair.min1 = MinIndex(d1);
+  pair.min2 = MinIndex(d2);
+  if (options.include_hypervolume) {
+    pair.hv12 = HypervolumeIndex(d1, d2);
+    pair.hv21 = HypervolumeIndex(d2, d1);
+  }
+  return pair;
+}
+
+Status ValidateKinds(const PropertyMatrix& s1,
+                     const std::vector<PackedBinaryIndexKind>& kinds) {
+  if (kinds.size() != 1 && kinds.size() != s1.rows()) {
+    return Status::InvalidArgument(
+        "index list must have one entry or one per property");
+  }
+  return Status::Ok();
+}
+
+Status ValidateAlignment(const PropertyMatrix& s1, const PropertyMatrix& s2) {
+  if (s1.rows() != s2.rows()) {
+    return Status::InvalidArgument("property sets have different arity");
+  }
+  if (s1.empty()) {
+    return Status::InvalidArgument("property sets are empty");
+  }
+  if (s1.cols() != s2.cols()) {
+    return Status::InvalidArgument("aligned property vectors differ in size");
+  }
+  return Status::Ok();
+}
+
+PackedBinaryIndexKind KindAt(const std::vector<PackedBinaryIndexKind>& kinds,
+                             size_t i) {
+  return kinds.size() == 1 ? kinds[0] : kinds[i];
+}
+
+Status RequirePositive(const PropertyMatrix& matrix) {
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    const double* values = matrix.row(r);
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      if (!(values[c] > 0.0)) {
+        return Status::InvalidArgument(
+            "hypervolume indices require strictly positive entries "
+            "(property '" +
+            matrix.name(r) + "', position " + std::to_string(c) + ")");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// P_cov / P_spr / P_hv of one aligned row pair, by kind. The spread and
+// hypervolume accumulations run in index order, matching the scalar code.
+double PackedBinaryValue(PackedBinaryIndexKind kind, const double* a,
+                         const double* b, size_t n, bool forward) {
+  PairwiseStats stats = ComputePairwiseStats(
+      a, b, n, /*with_hv=*/kind == PackedBinaryIndexKind::kHypervolume,
+      kCompareBlockSize, /*with_min=*/false);  // No kind reads the mins.
+  switch (kind) {
+    case PackedBinaryIndexKind::kCoverage:
+      return CoverageFromStats(stats, n, forward);
+    case PackedBinaryIndexKind::kSpread:
+      return forward ? stats.spr12 : stats.spr21;
+    case PackedBinaryIndexKind::kHypervolume:
+      return forward ? stats.hv12 : stats.hv21;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* CompareEngineName(CompareEngine engine) {
+  switch (engine) {
+    case CompareEngine::kScalar:
+      return "scalar";
+    case CompareEngine::kPacked:
+      return "packed";
+  }
+  return "unknown";
+}
+
+StatusOr<CompareEngine> ParseCompareEngine(const std::string& name) {
+  if (name == "scalar") return CompareEngine::kScalar;
+  if (name == "packed") return CompareEngine::kPacked;
+  return Status::InvalidArgument("unknown compare engine '" + name +
+                                 "' (expected scalar|packed)");
+}
+
+bool PackedWeaklyDominates(const double* d1, const double* d2, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (d1[i] < d2[i]) return false;
+  }
+  return true;
+}
+
+bool PackedStronglyDominates(const double* d1, const double* d2, size_t n) {
+  bool strict = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (d1[i] < d2[i]) return false;
+    if (d1[i] > d2[i]) strict = true;
+  }
+  return strict;
+}
+
+bool PackedNonDominated(const double* d1, const double* d2, size_t n) {
+  bool first_better = false;
+  bool second_better = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (d1[i] > d2[i]) first_better = true;
+    if (d1[i] < d2[i]) second_better = true;
+  }
+  return first_better && second_better;
+}
+
+DominanceRelation PackedCompareDominance(const double* d1, const double* d2,
+                                         size_t n) {
+  bool first_better = false;
+  bool second_better = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (d1[i] > d2[i]) first_better = true;
+    if (d1[i] < d2[i]) second_better = true;
+  }
+  if (first_better && second_better) return DominanceRelation::kIncomparable;
+  if (first_better) return DominanceRelation::kFirstDominates;
+  if (second_better) return DominanceRelation::kSecondDominates;
+  return DominanceRelation::kEqual;
+}
+
+double PackedRankIndex(const double* d, const double* d_max, size_t n,
+                       double p) {
+  MDC_CHECK_GE(p, 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += std::pow(std::abs(d[i] - d_max[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+PairwiseStats ComputePairwiseStats(const double* d1, const double* d2,
+                                   size_t n, bool with_hv, size_t block,
+                                   bool with_min) {
+  MDC_CHECK_GT(n, 0u);
+  MDC_CHECK_GT(block, 0u);
+  PairwiseStats stats;
+  stats.with_hv = with_hv;
+  stats.min1 = d1[0];
+  stats.min2 = d2[0];
+  double own1 = 1.0;
+  double own2 = 1.0;
+  double shared = 1.0;
+  for (size_t start = 0; start < n; start += block) {
+    const size_t end = std::min(n, start + block);
+    // Strict comparison counts: branch-free and order-free, so this loop
+    // vectorizes. Both rows stay L1-resident for the follow-up loops.
+    // Only the two strict counters are accumulated here; the weak counts
+    // follow from totality once the sweep is done.
+    uint64_t gt12 = 0, gt21 = 0;
+    for (size_t i = start; i < end; ++i) {
+      gt12 += d1[i] > d2[i] ? 1u : 0u;
+      gt21 += d2[i] > d1[i] ? 1u : 0u;
+    }
+    stats.gt12 += gt12;
+    stats.gt21 += gt21;
+    // Ordered accumulations: the running sums/products carry across
+    // blocks in index order so results match the scalar code bit for bit
+    // (reassociating per block would not).
+    for (size_t i = start; i < end; ++i) {
+      stats.spr12 += std::max(d1[i] - d2[i], 0.0);
+      stats.spr21 += std::max(d2[i] - d1[i], 0.0);
+    }
+    if (with_min) {
+      // Branchless running mins, blocked for locality. std::min keeps the
+      // accumulator on ties, which is exactly min_element's
+      // first-occurrence rule — a data-dependent branch here costs ~4x on
+      // the whole kernel.
+      for (size_t i = start; i < end; ++i) {
+        stats.min1 = std::min(stats.min1, d1[i]);
+        stats.min2 = std::min(stats.min2, d2[i]);
+      }
+    }
+    if (with_hv) {
+      for (size_t i = start; i < end; ++i) {
+        MDC_CHECK_MSG(d1[i] > 0.0 && d2[i] > 0.0,
+                      "hypervolume indices require strictly positive entries");
+        own1 *= d1[i];
+        own2 *= d2[i];
+        shared *= std::min(d1[i], d2[i]);
+      }
+    }
+  }
+  if (with_hv) {
+    stats.hv12 = own1 - shared;
+    stats.hv21 = own2 - shared;
+  }
+  // Finite entries are totally ordered: d1[i] >= d2[i] ⟺ ¬(d2[i] > d1[i]).
+  stats.ge12 = n - stats.gt21;
+  stats.ge21 = n - stats.gt12;
+  return stats;
+}
+
+DominanceRelation RelationFromStats(const PairwiseStats& stats) {
+  const bool first_better = stats.gt12 > 0;
+  const bool second_better = stats.gt21 > 0;
+  if (first_better && second_better) return DominanceRelation::kIncomparable;
+  if (first_better) return DominanceRelation::kFirstDominates;
+  if (second_better) return DominanceRelation::kSecondDominates;
+  return DominanceRelation::kEqual;
+}
+
+double CoverageFromStats(const PairwiseStats& stats, size_t n, bool forward) {
+  MDC_CHECK_GT(n, 0u);
+  return static_cast<double>(forward ? stats.ge12 : stats.ge21) /
+         static_cast<double>(n);
+}
+
+ComparatorOutcome OutcomeFromScalars(double first, double second,
+                                     double epsilon) {
+  if (first > second + epsilon) return ComparatorOutcome::kFirstBetter;
+  if (second > first + epsilon) return ComparatorOutcome::kSecondBetter;
+  return ComparatorOutcome::kEquivalent;
+}
+
+void CommitComparisonMetrics(DominanceRelation relation, size_t cols) {
+  MDC_METRIC_INC("cmp.pairs_compared");
+  MDC_METRIC_ADD("cmp.elements", static_cast<uint64_t>(cols));
+  switch (relation) {
+    case DominanceRelation::kEqual:
+      MDC_METRIC_INC("cmp.relation.equal");
+      break;
+    case DominanceRelation::kFirstDominates:
+      MDC_METRIC_INC("cmp.relation.first");
+      break;
+    case DominanceRelation::kSecondDominates:
+      MDC_METRIC_INC("cmp.relation.second");
+      break;
+    case DominanceRelation::kIncomparable:
+      MDC_METRIC_INC("cmp.relation.incomparable");
+      break;
+  }
+}
+
+const PairComparison& AllPairsResult::Pair(size_t i, size_t j) const {
+  MDC_CHECK_LT(i, j);
+  MDC_CHECK_LT(j, rows);
+  // Row-major pair order: pairs (i, *) start after all pairs (i', *) with
+  // i' < i, i.e. after i*rows - i*(i+1)/2 entries.
+  const size_t offset = i * rows - i * (i + 1) / 2 + (j - i - 1);
+  MDC_CHECK_LT(offset, pairs.size());
+  return pairs[offset];
+}
+
+StatusOr<AllPairsResult> AllPairsCompare(const PropertyMatrix& matrix,
+                                         const AllPairsOptions& options,
+                                         RunContext* run) {
+  if (matrix.empty()) {
+    return Status::InvalidArgument("empty property matrix");
+  }
+  if (options.block == 0) {
+    return Status::InvalidArgument("block size must be positive");
+  }
+  const bool with_rank = !options.d_max.empty();
+  if (with_rank && options.d_max.size() != matrix.cols()) {
+    return Status::InvalidArgument("rank ideal size does not match matrix");
+  }
+  if (options.include_hypervolume) {
+    MDC_RETURN_IF_ERROR(RequirePositive(matrix));
+  }
+  MDC_METRIC_INC("cmp.runs");
+
+  const bool packed = options.engine == CompareEngine::kPacked;
+  PropertySet scalar_rows;
+  std::vector<double> row_mins;
+  if (packed) {
+    // One min pass per row instead of two per pair: minima are unary, so
+    // this turns O(r²·N) min work into O(r·N). Unbudgeted, like the
+    // scalar engine's per-pair MinIndex calls.
+    row_mins.reserve(matrix.rows());
+    for (size_t r = 0; r < matrix.rows(); ++r) {
+      row_mins.push_back(PackedRowMin(matrix.row(r), matrix.cols()));
+    }
+  } else {
+    scalar_rows = matrix.ToSet();
+  }
+
+  AllPairsResult result;
+  result.rows = matrix.rows();
+  result.cols = matrix.cols();
+
+  // Per-row ranks first, in row order (unary; cheap next to the pairs).
+  if (with_rank) {
+    const double* ideal = options.d_max.values().data();
+    result.ranks.reserve(matrix.rows());
+    for (size_t r = 0; r < matrix.rows(); ++r) {
+      MDC_RETURN_IF_ERROR(RunContext::Check(run));
+      double rank = packed ? PackedRankIndex(matrix.row(r), ideal,
+                                             matrix.cols(), options.rank_p)
+                           : RankIndex(scalar_rows[r], options.d_max,
+                                       options.rank_p);
+      result.ranks.push_back(rank);
+      MDC_METRIC_INC("cmp.rank_rows");
+    }
+  }
+
+  std::vector<std::pair<size_t, size_t>> index_of_pair;
+  index_of_pair.reserve(matrix.rows() * (matrix.rows() - 1) / 2);
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = i + 1; j < matrix.rows(); ++j) {
+      index_of_pair.emplace_back(i, j);
+    }
+  }
+  result.pairs.reserve(index_of_pair.size());
+
+  ThreadPool pool(ThreadPool::ResolveThreadCount(options.threads));
+  const size_t wave_size =
+      std::max<size_t>(1, static_cast<size_t>(pool.thread_count()) * 4);
+
+  size_t next = 0;
+  Status admit = Status::Ok();
+  std::vector<PairComparison> slots;
+  while (next < index_of_pair.size()) {
+    // Serial admission: budget charges replay in pair order, so a step
+    // budget truncates at the identical pair for every thread count.
+    const size_t begin = next;
+    while (next < index_of_pair.size() && next - begin < wave_size) {
+      admit = RunContext::Check(run);
+      if (!admit.ok()) break;
+      ++next;
+    }
+    const size_t count = next - begin;
+    if (count == 0) break;
+    slots.assign(count, PairComparison{});
+    pool.ParallelFor(count, [&](size_t s) {
+      const auto [i, j] = index_of_pair[begin + s];
+      slots[s] = packed ? ComparePairPacked(matrix, i, j, options, row_mins)
+                        : ComparePairScalar(scalar_rows, i, j, options);
+    });
+    // In-order commit: results append and counters increment in admission
+    // order regardless of evaluation schedule.
+    for (size_t s = 0; s < count; ++s) {
+      if (with_rank) {
+        slots[s].rank1 = result.ranks[slots[s].first];
+        slots[s].rank2 = result.ranks[slots[s].second];
+      }
+      CommitComparisonMetrics(slots[s].relation, matrix.cols());
+      result.pairs.push_back(slots[s]);
+    }
+    if (!admit.ok()) break;
+  }
+  MDC_RETURN_IF_ERROR(admit);
+  return result;
+}
+
+StatusOr<double> PackedWtdIndex(
+    const PropertyMatrix& s1, const PropertyMatrix& s2,
+    const std::vector<double>& weights,
+    const std::vector<PackedBinaryIndexKind>& kinds) {
+  MDC_RETURN_IF_ERROR(ValidateAlignment(s1, s2));
+  MDC_RETURN_IF_ERROR(ValidateKinds(s1, kinds));
+  if (weights.size() != s1.rows()) {
+    return Status::InvalidArgument("weight vector arity mismatch");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0 || w >= 1.0) {
+      // A single property with weight 1 is allowed as the degenerate case.
+      if (!(weights.size() == 1 && w == 1.0)) {
+        return Status::InvalidArgument(
+            "weights must lie strictly between 0 and 1");
+      }
+    }
+    sum += w;
+  }
+  if (std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("weights must sum to 1");
+  }
+  for (size_t i = 0; i < s1.rows(); ++i) {
+    if (KindAt(kinds, i) == PackedBinaryIndexKind::kHypervolume) {
+      MDC_RETURN_IF_ERROR(RequirePositive(s1));
+      MDC_RETURN_IF_ERROR(RequirePositive(s2));
+      break;
+    }
+  }
+  double value = 0.0;
+  for (size_t i = 0; i < s1.rows(); ++i) {
+    value += weights[i] * PackedBinaryValue(KindAt(kinds, i), s1.row(i),
+                                            s2.row(i), s1.cols(),
+                                            /*forward=*/true);
+  }
+  return value;
+}
+
+StatusOr<size_t> PackedLexIndex(
+    const PropertyMatrix& s1, const PropertyMatrix& s2,
+    const std::vector<double>& epsilons,
+    const std::vector<PackedBinaryIndexKind>& kinds) {
+  MDC_RETURN_IF_ERROR(ValidateAlignment(s1, s2));
+  MDC_RETURN_IF_ERROR(ValidateKinds(s1, kinds));
+  if (epsilons.size() != 1 && epsilons.size() != s1.rows()) {
+    return Status::InvalidArgument(
+        "epsilon vector must have one entry or one per property");
+  }
+  for (double e : epsilons) {
+    if (e < 0.0) {
+      return Status::InvalidArgument("epsilons must be non-negative");
+    }
+  }
+  for (size_t i = 0; i < s1.rows(); ++i) {
+    if (KindAt(kinds, i) == PackedBinaryIndexKind::kHypervolume) {
+      MDC_RETURN_IF_ERROR(RequirePositive(s1));
+      MDC_RETURN_IF_ERROR(RequirePositive(s2));
+      break;
+    }
+  }
+  for (size_t i = 0; i < s1.rows(); ++i) {
+    const PackedBinaryIndexKind kind = KindAt(kinds, i);
+    double forward =
+        PackedBinaryValue(kind, s1.row(i), s2.row(i), s1.cols(), true);
+    double backward =
+        PackedBinaryValue(kind, s1.row(i), s2.row(i), s1.cols(), false);
+    double epsilon = epsilons.size() == 1 ? epsilons[0] : epsilons[i];
+    if (forward - backward > epsilon) return i + 1;
+  }
+  return s1.rows() + 1;
+}
+
+bool PackedSetWeaklyDominates(const PropertyMatrix& s1,
+                              const PropertyMatrix& s2) {
+  MDC_CHECK_EQ(s1.rows(), s2.rows());
+  MDC_CHECK_EQ(s1.cols(), s2.cols());
+  for (size_t i = 0; i < s1.rows(); ++i) {
+    if (!PackedWeaklyDominates(s1.row(i), s2.row(i), s1.cols())) return false;
+  }
+  return true;
+}
+
+bool PackedSetStronglyDominates(const PropertyMatrix& s1,
+                                const PropertyMatrix& s2) {
+  MDC_CHECK_EQ(s1.rows(), s2.rows());
+  MDC_CHECK_EQ(s1.cols(), s2.cols());
+  if (!PackedSetWeaklyDominates(s1, s2)) return false;
+  for (size_t i = 0; i < s1.rows(); ++i) {
+    if (PackedStronglyDominates(s1.row(i), s2.row(i), s1.cols())) return true;
+  }
+  return false;
+}
+
+}  // namespace mdc

@@ -1,6 +1,7 @@
 #include "core/insufficiency.h"
 
 #include "common/strings.h"
+#include "core/compare_engine.h"
 #include "core/dominance.h"
 
 namespace mdc {
@@ -31,8 +32,13 @@ bool CheckPair(const std::vector<UnaryIndex>& battery,
   std::vector<double> v2 = Evaluate(battery, d2);
   bool idx_ge_12 = IndexGe(v1, v2);
   bool idx_ge_21 = IndexGe(v2, v1);
-  bool dom_12 = WeaklyDominates(d1, d2);
-  bool dom_21 = WeaklyDominates(d2, d1);
+  // Packed kernels: the counterexample search probes many large-N pairs,
+  // and only needs the boolean relation (identical to WeaklyDominates).
+  MDC_CHECK_EQ(d1.size(), d2.size());
+  bool dom_12 =
+      PackedWeaklyDominates(d1.values().data(), d2.values().data(), d1.size());
+  bool dom_21 =
+      PackedWeaklyDominates(d2.values().data(), d1.values().data(), d1.size());
 
   std::string explanation;
   if (idx_ge_12 && !dom_12) {

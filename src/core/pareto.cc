@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
 
 namespace mdc {
 namespace {
@@ -15,6 +19,54 @@ bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
     if (a[i] > b[i]) strict = true;
   }
   return strict;
+}
+
+// Set-level strong dominance through the packed kernels, on the vectors'
+// raw storage (no per-candidate repacking). Logic mirrors dominance.cc.
+bool SetStronglyDominatesPacked(const PropertySet& a, const PropertySet& b) {
+  for (size_t p = 0; p < a.size(); ++p) {
+    if (!PackedWeaklyDominates(a[p].values().data(), b[p].values().data(),
+                               a[p].size())) {
+      return false;
+    }
+  }
+  for (size_t p = 0; p < a.size(); ++p) {
+    if (PackedStronglyDominates(a[p].values().data(), b[p].values().data(),
+                                a[p].size())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Shared engine-aware front extraction: `dominates(j, i)` answers "does
+// candidate j strongly dominate candidate i". Wave protocol — serial
+// admission (one budget charge per candidate), parallel per-candidate
+// domination checks, in-order commit with cmp.pareto.* counters.
+template <typename DominatesFn>
+StatusOr<std::vector<size_t>> FrontWithEngine(size_t count, int threads,
+                                              RunContext* run,
+                                              const DominatesFn& dominates) {
+  for (size_t i = 0; i < count; ++i) {
+    MDC_RETURN_IF_ERROR(RunContext::Check(run));
+  }
+  std::vector<uint8_t> dominated(count, 0);
+  ThreadPool pool(ThreadPool::ResolveThreadCount(threads));
+  pool.ParallelFor(count, [&](size_t i) {
+    for (size_t j = 0; j < count; ++j) {
+      if (i != j && dominates(j, i)) {
+        dominated[i] = 1;
+        break;
+      }
+    }
+  });
+  std::vector<size_t> front;
+  for (size_t i = 0; i < count; ++i) {
+    if (!dominated[i]) front.push_back(i);
+  }
+  MDC_METRIC_ADD("cmp.pareto.candidates", static_cast<uint64_t>(count));
+  MDC_METRIC_ADD("cmp.pareto.front", static_cast<uint64_t>(front.size()));
+  return front;
 }
 
 }  // namespace
@@ -48,6 +100,50 @@ std::vector<size_t> ParetoFrontScalar(
     if (!dominated) front.push_back(i);
   }
   return front;
+}
+
+StatusOr<std::vector<size_t>> ParetoFront(
+    const std::vector<PropertySet>& candidates, const ParetoOptions& options,
+    RunContext* run) {
+  if (candidates.empty()) return std::vector<size_t>{};
+  const PropertySet& reference = candidates[0];
+  for (const PropertySet& candidate : candidates) {
+    if (candidate.size() != reference.size()) {
+      return Status::InvalidArgument("candidates differ in arity");
+    }
+    for (size_t p = 0; p < candidate.size(); ++p) {
+      if (candidate[p].size() != reference[p].size()) {
+        return Status::InvalidArgument(
+            "aligned property vectors differ in size at position " +
+            std::to_string(p));
+      }
+    }
+  }
+  const bool packed = options.engine == CompareEngine::kPacked;
+  return FrontWithEngine(
+      candidates.size(), options.threads, run, [&](size_t j, size_t i) {
+        return packed ? SetStronglyDominatesPacked(candidates[j], candidates[i])
+                      : StronglyDominates(candidates[j], candidates[i]);
+      });
+}
+
+StatusOr<std::vector<size_t>> ParetoFrontScalar(
+    const std::vector<std::vector<double>>& points,
+    const ParetoOptions& options, RunContext* run) {
+  if (points.empty()) return std::vector<size_t>{};
+  for (const std::vector<double>& point : points) {
+    if (point.size() != points[0].size()) {
+      return Status::InvalidArgument("inconsistent point arity");
+    }
+  }
+  const bool packed = options.engine == CompareEngine::kPacked;
+  return FrontWithEngine(
+      points.size(), options.threads, run, [&](size_t j, size_t i) {
+        return packed ? PackedStronglyDominates(points[j].data(),
+                                                points[i].data(),
+                                                points[i].size())
+                      : Dominates(points[j], points[i]);
+      });
 }
 
 StatusOr<size_t> KneePoint(const std::vector<std::vector<double>>& points) {

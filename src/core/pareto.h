@@ -12,7 +12,9 @@
 
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
+#include "core/compare_engine.h"
 #include "core/dominance.h"
 
 namespace mdc {
@@ -26,6 +28,25 @@ std::vector<size_t> ParetoFront(const std::vector<PropertySet>& candidates);
 // coordinate).
 std::vector<size_t> ParetoFrontScalar(
     const std::vector<std::vector<double>>& points);
+
+struct ParetoOptions {
+  CompareEngine engine = CompareEngine::kPacked;
+  // Dominance-check threads (workers + caller); <= 0 means hardware.
+  int threads = 1;
+};
+
+// Engine-aware front extraction: identical fronts to the legacy
+// overloads above for every engine/thread combination (wave protocol:
+// serial admission charging `run` once per candidate, parallel dominance
+// checks, in-order commit). Returns InvalidArgument on misaligned
+// candidates instead of aborting, and the budget Status when `run`
+// expires.
+StatusOr<std::vector<size_t>> ParetoFront(
+    const std::vector<PropertySet>& candidates, const ParetoOptions& options,
+    RunContext* run = nullptr);
+StatusOr<std::vector<size_t>> ParetoFrontScalar(
+    const std::vector<std::vector<double>>& points,
+    const ParetoOptions& options, RunContext* run = nullptr);
 
 // Knee point of a scalar front: the point minimizing the L2 distance to
 // the ideal (per-coordinate maximum) after min-max normalization. Fails

@@ -1,0 +1,122 @@
+#include "core/property_matrix.h"
+
+#include <cmath>
+
+#include "common/failpoint.h"
+#include "common/strings.h"
+
+namespace mdc {
+
+StatusOr<PropertyMatrix> PropertyMatrix::FromSet(const PropertySet& set) {
+  if (set.empty()) {
+    return Status::InvalidArgument("property set is empty");
+  }
+  const size_t cols = set[0].size();
+  if (cols == 0) {
+    return Status::InvalidArgument("property vectors are empty");
+  }
+  std::vector<std::string> names;
+  names.reserve(set.size());
+  std::vector<double> data;
+  data.reserve(set.size() * cols);
+  for (size_t r = 0; r < set.size(); ++r) {
+    const PropertyVector& vector = set[r];
+    if (vector.size() != cols) {
+      return Status::InvalidArgument(
+          "property vector '" + vector.name() + "' has " +
+          std::to_string(vector.size()) + " entries, expected " +
+          std::to_string(cols));
+    }
+    for (double value : vector.values()) {
+      if (!std::isfinite(value)) {
+        return Status::InvalidArgument("property vector '" + vector.name() +
+                                       "' contains a non-finite entry");
+      }
+    }
+    names.push_back(vector.name());
+    data.insert(data.end(), vector.values().begin(), vector.values().end());
+  }
+  return PropertyMatrix(cols, std::move(names), std::move(data));
+}
+
+StatusOr<PropertyMatrix> PropertyMatrix::FromCsv(const std::string& csv,
+                                                 RunContext* run) {
+  MDC_FAILPOINT("cmp.read");
+  size_t cols = 0;
+  std::vector<std::string> names;
+  std::vector<double> data;
+  size_t line_number = 0;
+  for (std::string_view line : StrSplit(csv, '\n')) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;  // Blank/trailing lines.
+    MDC_RETURN_IF_ERROR(RunContext::Check(run));
+    std::vector<std::string> cells = StrSplit(line, ',');
+    if (cells.size() < 2) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": expected \"name,v1,...\" with at least one value");
+    }
+    std::string name(StripWhitespace(cells[0]));
+    if (name.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": empty property name");
+    }
+    const size_t row_cols = cells.size() - 1;
+    if (cols == 0) {
+      cols = row_cols;
+    } else if (row_cols != cols) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": row has " +
+          std::to_string(row_cols) + " values, expected " +
+          std::to_string(cols));
+    }
+    for (size_t c = 1; c < cells.size(); ++c) {
+      std::optional<double> value = ParseDouble(StripWhitespace(cells[c]));
+      if (!value.has_value()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": cell '" + cells[c] +
+            "' is not a number");
+      }
+      if (!std::isfinite(*value)) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": non-finite value '" + cells[c] +
+                                       "'");
+      }
+      data.push_back(*value);
+    }
+    names.push_back(std::move(name));
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("CSV contains no property rows");
+  }
+  return PropertyMatrix(cols, std::move(names), std::move(data));
+}
+
+PropertyVector PropertyMatrix::ToVector(size_t r) const {
+  const double* begin = row(r);
+  return PropertyVector(names_[r],
+                        std::vector<double>(begin, begin + cols_));
+}
+
+PropertySet PropertyMatrix::ToSet() const {
+  PropertySet set;
+  set.reserve(rows());
+  for (size_t r = 0; r < rows(); ++r) set.push_back(ToVector(r));
+  return set;
+}
+
+std::string PropertyMatrix::ToCsv() const {
+  std::string out;
+  for (size_t r = 0; r < rows(); ++r) {
+    out += names_[r];
+    const double* values = row(r);
+    for (size_t c = 0; c < cols_; ++c) {
+      out += ',';
+      out += FormatCompact(values[c], 17);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mdc

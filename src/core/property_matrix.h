@@ -1,0 +1,77 @@
+// Packed r × N property matrix — the comparison engine's input layout.
+//
+// A PropertyMatrix holds r property vectors of a common length N in one
+// contiguous structure-of-arrays buffer (row-major: row i's N entries are
+// adjacent), so the pairwise comparison kernels (core/compare_engine.h)
+// stream cache lines instead of chasing per-vector allocations and paying
+// a bounds check per element. Entries are required to be finite: NaN/inf
+// would make the §5 indices (coverage counts, spread sums) ill-defined,
+// so both construction paths reject them up front with a clean Status
+// instead of letting poison propagate into comparator verdicts.
+
+#ifndef MDC_CORE_PROPERTY_MATRIX_H_
+#define MDC_CORE_PROPERTY_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "core/dominance.h"
+
+namespace mdc {
+
+class PropertyMatrix {
+ public:
+  PropertyMatrix() = default;
+
+  // Packs an aligned PropertySet. Fails on an empty set, empty vectors,
+  // size mismatches across the r set, or non-finite entries.
+  static StatusOr<PropertyMatrix> FromSet(const PropertySet& set);
+
+  // Ingests CSV rows of the form "name,v1,v2,...,vN" (one property vector
+  // per row). Fails on malformed CSV, rows with no values, ragged rows
+  // (mismatched N across the r set), non-numeric cells, and NaN/inf.
+  // `run` bounds the ingestion (one step charged per row); the `cmp.read`
+  // failpoint injects read faults for error-path tests.
+  static StatusOr<PropertyMatrix> FromCsv(const std::string& csv,
+                                          RunContext* run = nullptr);
+
+  size_t rows() const { return names_.size(); }
+  size_t cols() const { return cols_; }
+  bool empty() const { return names_.empty(); }
+
+  // Contiguous cols() entries of row r.
+  const double* row(size_t r) const {
+    MDC_CHECK_LT(r, rows());
+    return data_.data() + r * cols_;
+  }
+  double at(size_t r, size_t c) const {
+    MDC_CHECK_LT(c, cols_);
+    return row(r)[c];
+  }
+  const std::string& name(size_t r) const {
+    MDC_CHECK_LT(r, rows());
+    return names_[r];
+  }
+
+  // Unpacked copies, for interop with the scalar comparator layer.
+  PropertyVector ToVector(size_t r) const;
+  PropertySet ToSet() const;
+
+  // Inverse of FromCsv (modulo real-number formatting).
+  std::string ToCsv() const;
+
+ private:
+  PropertyMatrix(size_t cols, std::vector<std::string> names,
+                 std::vector<double> data)
+      : cols_(cols), names_(std::move(names)), data_(std::move(data)) {}
+
+  size_t cols_ = 0;
+  std::vector<std::string> names_;
+  std::vector<double> data_;  // rows() × cols_, row-major.
+};
+
+}  // namespace mdc
+
+#endif  // MDC_CORE_PROPERTY_MATRIX_H_

@@ -1,6 +1,8 @@
 #include "core/report.h"
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/text_table.h"
 #include "core/properties.h"
 #include "privacy/privacy_model.h"
@@ -14,6 +16,52 @@ struct NamedProperty {
   PropertyVector first;
   PropertyVector second;
 };
+
+const PropertyVector kNoIdeal;
+
+// The packed-engine equivalent of sweeping StandardComparators(ideal,
+// /*include_hypervolume=*/false) over one property: same comparator
+// names, same order, same outcomes, from one fused kernel pass.
+std::vector<ComparatorVerdict> PackedBattery(const NamedProperty& property,
+                                             const PropertyVector& ideal) {
+  const size_t n = property.first.size();
+  const double* d1 = property.first.values().data();
+  const double* d2 = property.second.values().data();
+  PairwiseStats stats = ComputePairwiseStats(d1, d2, n, /*with_hv=*/false);
+
+  std::vector<ComparatorVerdict> verdicts;
+  auto add = [&](const char* comparator, ComparatorOutcome outcome) {
+    verdicts.push_back({property.name, comparator, outcome});
+  };
+  ComparatorOutcome dominance = ComparatorOutcome::kIncomparable;
+  switch (RelationFromStats(stats)) {
+    case DominanceRelation::kEqual:
+      dominance = ComparatorOutcome::kEquivalent;
+      break;
+    case DominanceRelation::kFirstDominates:
+      dominance = ComparatorOutcome::kFirstBetter;
+      break;
+    case DominanceRelation::kSecondDominates:
+      dominance = ComparatorOutcome::kSecondBetter;
+      break;
+    case DominanceRelation::kIncomparable:
+      dominance = ComparatorOutcome::kIncomparable;
+      break;
+  }
+  add("dominance", dominance);
+  add("min-better", OutcomeFromScalars(stats.min1, stats.min2));
+  if (!ideal.empty()) {
+    double rank1 = PackedRankIndex(d1, ideal.values().data(), n);
+    double rank2 = PackedRankIndex(d2, ideal.values().data(), n);
+    // Lower rank (closer to the ideal) is better: flip the scalar order.
+    add("rank-better", OutcomeFromScalars(-rank1, -rank2));
+  }
+  add("cov-better",
+      OutcomeFromScalars(CoverageFromStats(stats, n, /*forward=*/true),
+                         CoverageFromStats(stats, n, /*forward=*/false)));
+  add("spr-better", OutcomeFromScalars(stats.spr12, stats.spr21));
+  return verdicts;
+}
 
 StatusOr<PropertyVector> UtilityVector(
     const Anonymization& anonymization,
@@ -92,6 +140,56 @@ StatusOr<ComparisonReport> CompareAnonymizations(
     d_max = PropertyVector(
         "ideal", std::vector<double>(first.row_count(),
                                      static_cast<double>(first.row_count())));
+  }
+
+  if (options.engine == CompareEngine::kPacked) {
+    // Wave protocol across properties: admit (budget charges in property
+    // order), evaluate batteries in parallel into per-property slots,
+    // commit verdicts, counters, and the net score serially in order.
+    for (size_t i = 0; i < properties.size(); ++i) {
+      MDC_RETURN_IF_ERROR(RunContext::Check(run));
+    }
+    MDC_METRIC_INC("cmp.runs");
+    std::vector<std::vector<ComparatorVerdict>> slots(properties.size());
+    ThreadPool pool(ThreadPool::ResolveThreadCount(options.threads));
+    pool.ParallelFor(properties.size(), [&](size_t i) {
+      // The rank ideal only makes sense for the class-size property.
+      const PropertyVector& ideal =
+          properties[i].name == "equivalence-class-size" ? d_max
+                                                         : kNoIdeal;
+      slots[i] = PackedBattery(properties[i], ideal);
+    });
+    for (size_t i = 0; i < properties.size(); ++i) {
+      report.properties.push_back(properties[i].name);
+      DominanceRelation relation = DominanceRelation::kIncomparable;
+      for (const ComparatorVerdict& verdict : slots[i]) {
+        if (verdict.comparator == "dominance") {
+          switch (verdict.outcome) {
+            case ComparatorOutcome::kEquivalent:
+              relation = DominanceRelation::kEqual;
+              break;
+            case ComparatorOutcome::kFirstBetter:
+              relation = DominanceRelation::kFirstDominates;
+              break;
+            case ComparatorOutcome::kSecondBetter:
+              relation = DominanceRelation::kSecondDominates;
+              break;
+            default:
+              relation = DominanceRelation::kIncomparable;
+              break;
+          }
+        }
+        if (verdict.outcome == ComparatorOutcome::kFirstBetter) {
+          ++report.net_score;
+        }
+        if (verdict.outcome == ComparatorOutcome::kSecondBetter) {
+          --report.net_score;
+        }
+        report.verdicts.push_back(verdict);
+      }
+      CommitComparisonMetrics(relation, properties[i].first.size());
+    }
+    return report;
   }
 
   for (const NamedProperty& property : properties) {

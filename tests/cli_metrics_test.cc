@@ -48,7 +48,7 @@ std::string ReadFile(const std::string& path) {
 }
 
 bool IsDeterministicName(const std::string& name) {
-  for (const char* prefix : {"search.", "run.", "batch."}) {
+  for (const char* prefix : {"search.", "run.", "batch.", "cmp."}) {
     if (name.rfind(prefix, 0) == 0) return true;
   }
   return false;
@@ -119,6 +119,59 @@ TEST(CliMetricsTest, DeterministicCountersInvariantAcrossThreadCounts) {
     ASSERT_EQ(RunCommand(AnonymizeCommand(threads, path)), 0);
     EXPECT_EQ(DeterministicCounters(ReadFile(path)), baseline);
   }
+}
+
+std::string CompareCommand(int threads, const std::string& engine,
+                           const std::string& metrics_out) {
+  std::string data = MDC_EXAMPLES_DATA_DIR;
+  return std::string(MDC_CLI_BIN) + " compare" +
+         " --input " + data + "/patients.csv" +
+         " --schema zip:string:qi,age:int:qi,marital:string:qi,"
+         "diagnosis:string:sensitive" +
+         " --hierarchies " + data + "/patients.spec" +
+         " --algorithms datafly,mondrian --k 2" +
+         " --compare-engine " + engine +
+         " --threads " + std::to_string(threads) +
+         " --metrics-out " + metrics_out + " > /dev/null";
+}
+
+// The comparison engine's cmp.* counters are part of the deterministic
+// contract: the compare command must emit byte-identical totals for any
+// --threads value.
+TEST(CliMetricsTest, CompareEngineCountersInvariantAcrossThreadCounts) {
+  std::string baseline_path = TempPath("mdc_cli_cmp_metrics_t1.json");
+  ASSERT_EQ(RunCommand(CompareCommand(1, "packed", baseline_path)), 0);
+  std::map<std::string, uint64_t> baseline =
+      DeterministicCounters(ReadFile(baseline_path));
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_GT(baseline.count("cmp.runs"), 0u);
+  EXPECT_GT(baseline.count("cmp.pairs_compared"), 0u);
+  EXPECT_GT(baseline.count("cmp.elements"), 0u);
+
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::string path =
+        TempPath("mdc_cli_cmp_metrics_t" + std::to_string(threads) +
+                 ".json");
+    ASSERT_EQ(RunCommand(CompareCommand(threads, "packed", path)), 0);
+    EXPECT_EQ(DeterministicCounters(ReadFile(path)), baseline);
+  }
+}
+
+// Both engines are accepted by the flag parser and exit cleanly; an
+// unknown engine is a usage error.
+TEST(CliMetricsTest, CompareEngineFlagParses) {
+  std::string path = TempPath("mdc_cli_cmp_scalar.json");
+  ASSERT_EQ(RunCommand(CompareCommand(1, "scalar", path)), 0);
+  FILE* pipe =
+      popen((CompareCommand(1, "bogus", TempPath("unused.json")) + " 2>&1")
+                .c_str(),
+            "r");
+  ASSERT_NE(pipe, nullptr);
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+  }
+  EXPECT_NE(pclose(pipe), 0) << "bogus --compare-engine must be rejected";
 }
 
 TEST(CliMetricsTest, TraceSinkWritesChromeTraceJson) {

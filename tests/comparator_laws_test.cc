@@ -7,6 +7,8 @@
 
 #include "common/rng.h"
 #include "core/comparator.h"
+#include "core/dominance.h"
+#include "core/insufficiency.h"
 #include "core/multi_property.h"
 #include "core/quality_index.h"
 #include "paper/paper_data.h"
@@ -19,6 +21,16 @@ PropertyVector RandomVector(Rng& rng, size_t n) {
   std::vector<double> values(n);
   for (double& v : values) v = static_cast<double>(rng.NextInt(1, 9));
   return PropertyVector("r", std::move(values));
+}
+
+// b with a random subset of coordinates bumped up: weakly dominates b by
+// construction, strongly iff at least one bump landed.
+PropertyVector BumpedUp(Rng& rng, const PropertyVector& b) {
+  std::vector<double> values = b.values();
+  for (double& v : values) {
+    if (rng.NextBool(0.5)) v += static_cast<double>(rng.NextInt(1, 3));
+  }
+  return PropertyVector("bumped", std::move(values));
 }
 
 class ComparatorLaws : public ::testing::TestWithParam<uint64_t> {};
@@ -139,6 +151,134 @@ TEST_P(ComparatorLaws, EmdMetricLawsAllGrounds) {
     ASSERT_TRUE(hpr.ok());
     EXPECT_NEAR(*hp, *hq, 1e-12);
     EXPECT_LE(*hpr, *hp + *hqr + 1e-9);
+  }
+}
+
+TEST_P(ComparatorLaws, WeakDominanceIsReflexiveAndTransitive) {
+  Rng rng(GetParam() + 40);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.NextBelow(12);
+    PropertyVector c = RandomVector(rng, n);
+    EXPECT_TRUE(WeaklyDominates(c, c));  // ⪰ is reflexive.
+    // Constructed chain a ⪰ b ⪰ c must close: a ⪰ c (transitivity).
+    PropertyVector b = BumpedUp(rng, c);
+    PropertyVector a = BumpedUp(rng, b);
+    ASSERT_TRUE(WeaklyDominates(b, c));
+    ASSERT_TRUE(WeaklyDominates(a, b));
+    EXPECT_TRUE(WeaklyDominates(a, c));
+    // And on unconstrained random triples whenever the premises hold.
+    PropertyVector x = RandomVector(rng, n);
+    PropertyVector y = RandomVector(rng, n);
+    PropertyVector z = RandomVector(rng, n);
+    if (WeaklyDominates(x, y) && WeaklyDominates(y, z)) {
+      EXPECT_TRUE(WeaklyDominates(x, z));
+    }
+  }
+}
+
+TEST_P(ComparatorLaws, StrongDominanceIsIrreflexiveAndAsymmetric) {
+  Rng rng(GetParam() + 50);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.NextBelow(12);
+    PropertyVector a = RandomVector(rng, n);
+    PropertyVector b = RandomVector(rng, n);
+    EXPECT_FALSE(StronglyDominates(a, a));  // ≻ is irreflexive.
+    if (StronglyDominates(a, b)) {          // ≻ is asymmetric.
+      EXPECT_FALSE(StronglyDominates(b, a));
+      // ...and strictly stronger than ⪰.
+      EXPECT_TRUE(WeaklyDominates(a, b));
+    }
+  }
+}
+
+TEST_P(ComparatorLaws, CoverageSumIsAtLeastOneWithEqualityIffNoTies) {
+  Rng rng(GetParam() + 60);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.NextBelow(64);
+    // Tie-heavy small ints half the time, continuous (tie-free) otherwise.
+    bool continuous = rng.NextBool(0.5);
+    std::vector<double> v1(n);
+    std::vector<double> v2(n);
+    size_t ties = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (continuous) {
+        v1[i] = rng.NextDouble();
+        v2[i] = rng.NextDouble();
+      } else {
+        v1[i] = static_cast<double>(rng.NextInt(1, 4));
+        v2[i] = static_cast<double>(rng.NextInt(1, 4));
+      }
+      if (v1[i] == v2[i]) ++ties;
+    }
+    PropertyVector d1("d1", std::move(v1));
+    PropertyVector d2("d2", std::move(v2));
+    double cov12 = CoverageIndex(d1, d2);
+    double cov21 = CoverageIndex(d2, d1);
+    // Every position is covered in at least one direction, tied positions
+    // in both: cov12 + cov21 = (n + ties) / n. The n/ties form is exact;
+    // the summed-quotient form needs an ulp of slack (e.g. 3/7 + 4/7).
+    double sum = cov12 + cov21;
+    double expected =
+        static_cast<double>(n + ties) / static_cast<double>(n);
+    EXPECT_NEAR(sum, expected, 1e-12);
+    EXPECT_GE(sum, 1.0 - 1e-12);
+    if (ties == 0) {
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    } else {
+      // ties >= 1 puts the sum at least 1/n above 1 — far beyond slack.
+      EXPECT_GT(sum, 1.0 + 0.5 / static_cast<double>(n));
+    }
+  }
+}
+
+TEST_P(ComparatorLaws, SpreadIsNonNegativeAndZeroIffWeaklyDominated) {
+  Rng rng(GetParam() + 70);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.NextBelow(32);
+    PropertyVector d1 = RandomVector(rng, n);
+    PropertyVector d2 = RandomVector(rng, n);
+    double spr12 = SpreadIndex(d1, d2);
+    EXPECT_GE(spr12, 0.0);
+    // P_spr(D1, D2) = 0 ⟺ D2 ⪰ D1 (no position where D1 exceeds D2).
+    EXPECT_EQ(spr12 == 0.0, WeaklyDominates(d2, d1));
+    // Constructed dominated pair: the ⟸ direction is actually exercised.
+    PropertyVector up = BumpedUp(rng, d1);
+    EXPECT_EQ(SpreadIndex(d1, up), 0.0);
+  }
+}
+
+TEST_P(ComparatorLaws, HypervolumeIsConsistentWithDominance) {
+  Rng rng(GetParam() + 80);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.NextBelow(8);
+    PropertyVector b = RandomVector(rng, n);  // Positive by construction.
+    PropertyVector a = BumpedUp(rng, b);      // a ⪰ b.
+    // a ⪰ b ⟹ min(a, b) = b pointwise ⟹ P_hv(b, a) = 0.
+    EXPECT_EQ(HypervolumeIndex(b, a), 0.0);
+    EXPECT_GE(HypervolumeIndex(a, b), 0.0);
+    if (StronglyDominates(a, b)) {
+      // Strict dominance strictly grows the solely-dominated volume.
+      EXPECT_GT(HypervolumeIndex(a, b), 0.0);
+      EXPECT_TRUE(HypervolumeBetter(a, b));
+    }
+  }
+}
+
+TEST_P(ComparatorLaws, InsufficiencyWitnessesAcrossScales) {
+  // Theorem 1 at N ∈ {2, 16, 1024}: the standard aggregate battery is
+  // coordinate-symmetric, so the swap pair defeats it at every scale, and
+  // randomized search independently finds a violation.
+  Rng rng(GetParam() + 90);
+  for (size_t n : {2u, 16u, 1024u}) {
+    InsufficiencyWitness swap_witness =
+        SwapCounterexample(StandardUnaryIndices(), n);
+    ASSERT_TRUE(swap_witness.found) << "n = " << n;
+    EXPECT_EQ(swap_witness.d1.size(), n);
+    EXPECT_TRUE(NonDominated(swap_witness.d1, swap_witness.d2));
+    InsufficiencyWitness random_witness =
+        FindEquivalenceViolation(StandardUnaryIndices(), n, rng,
+                                 /*max_trials=*/2000);
+    EXPECT_TRUE(random_witness.found) << "n = " << n;
   }
 }
 

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "anonymize/equivalence.h"
+#include "common/rng.h"
+#include "core/dominance.h"
+#include "core/quality_index.h"
 #include "core/report.h"
 #include "paper/paper_data.h"
 
@@ -64,6 +67,78 @@ TEST(ComparatorTest, StandardBatteryComposition) {
   EXPECT_EQ(StandardComparators().size(), 4u);  // No rank, no hv.
   EXPECT_EQ(StandardComparators(V({1, 1})).size(), 5u);
   EXPECT_EQ(StandardComparators(V({1, 1}), true).size(), 6u);
+}
+
+// Randomized large-N coverage: the original tests stop at N = 15, far
+// below the blocked-kernel sizes. Every comparator outcome must agree
+// with the underlying scalar index at vector lengths in the thousands,
+// under both tie-heavy (small-int) and continuous values.
+TEST(ComparatorTest, RandomizedLargeNAgreesWithScalarIndices) {
+  Rng rng(20260807);
+  for (size_t n : {1000u, 4096u, 5000u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const bool tie_heavy = trial % 2 == 0;
+      std::vector<double> v1(n);
+      std::vector<double> v2(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (tie_heavy) {
+          v1[i] = static_cast<double>(rng.NextInt(1, 5));
+          v2[i] = static_cast<double>(rng.NextInt(1, 5));
+        } else {
+          v1[i] = rng.NextDouble() * 50.0 + 1.0;
+          v2[i] = rng.NextDouble() * 50.0 + 1.0;
+        }
+      }
+      PropertyVector a("a", v1);
+      PropertyVector b("b", v2);
+      SCOPED_TRACE("n=" + std::to_string(n) + " trial=" +
+                   std::to_string(trial));
+
+      EXPECT_EQ(MakeDominanceComparator()->Compare(a, b) ==
+                    ComparatorOutcome::kIncomparable,
+                NonDominated(a, b));
+      auto expect_matches = [&](const char* name,
+                                ComparatorOutcome outcome, double first,
+                                double second) {
+        if (first > second) {
+          EXPECT_EQ(outcome, ComparatorOutcome::kFirstBetter) << name;
+        } else if (second > first) {
+          EXPECT_EQ(outcome, ComparatorOutcome::kSecondBetter) << name;
+        } else {
+          EXPECT_EQ(outcome, ComparatorOutcome::kEquivalent) << name;
+        }
+      };
+      expect_matches("min", MakeMinComparator()->Compare(a, b), MinIndex(a),
+                     MinIndex(b));
+      expect_matches("cov", MakeCoverageComparator()->Compare(a, b),
+                     CoverageIndex(a, b), CoverageIndex(b, a));
+      expect_matches("spr", MakeSpreadComparator()->Compare(a, b),
+                     SpreadIndex(a, b), SpreadIndex(b, a));
+      expect_matches("hv", MakeHypervolumeComparator()->Compare(a, b),
+                     HypervolumeIndex(a, b), HypervolumeIndex(b, a));
+      PropertyVector ideal("ideal", std::vector<double>(n, 60.0));
+      // Rank: smaller distance to the ideal is better.
+      expect_matches("rank",
+                     MakeRankComparator(ideal, 0.0)->Compare(a, b),
+                     -RankIndex(a, ideal), -RankIndex(b, ideal));
+    }
+  }
+}
+
+// Tie-heavy edge cases the original suite missed: fully tied vectors must
+// come out equivalent under every comparator in the battery.
+TEST(ComparatorTest, FullyTiedVectorsAreEquivalentEverywhere) {
+  Rng rng(99);
+  std::vector<double> values(2048);
+  for (double& v : values) v = static_cast<double>(rng.NextInt(1, 9));
+  PropertyVector a("a", values);
+  PropertyVector b("b", values);
+  PropertyVector ideal("ideal", std::vector<double>(values.size(), 10.0));
+  for (const auto& comparator :
+       StandardComparators(ideal, /*include_hypervolume=*/true)) {
+    EXPECT_EQ(comparator->Compare(a, b), ComparatorOutcome::kEquivalent)
+        << comparator->Name();
+  }
 }
 
 TEST(ComparatorTest, OutcomeNames) {
@@ -154,6 +229,40 @@ TEST(ReportTest, SizeMismatchRejected) {
   auto report = CompareAnonymizations(t3a.anonymization, t3a.partition,
                                       small, partition);
   EXPECT_FALSE(report.ok());
+}
+
+// Differential contract at the report level: the packed engine (the
+// default) and the scalar engine must produce the identical report —
+// verdict for verdict, byte for byte — at every thread count.
+TEST(ReportTest, PackedAndScalarEnginesProduceIdenticalReports) {
+  Fixture t3a = Make(&paper::MakeT3a);
+  Fixture t3b = Make(&paper::MakeT3b);
+  ComparisonOptions scalar_options;
+  scalar_options.sensitive_column = paper::kMaritalColumn;
+  scalar_options.engine = CompareEngine::kScalar;
+  auto scalar = CompareAnonymizations(t3a.anonymization, t3a.partition,
+                                      t3b.anonymization, t3b.partition,
+                                      scalar_options);
+  ASSERT_TRUE(scalar.ok());
+  for (int threads : {1, 2, 4, 0}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ComparisonOptions packed_options = scalar_options;
+    packed_options.engine = CompareEngine::kPacked;
+    packed_options.threads = threads;
+    auto packed = CompareAnonymizations(t3a.anonymization, t3a.partition,
+                                        t3b.anonymization, t3b.partition,
+                                        packed_options);
+    ASSERT_TRUE(packed.ok());
+    EXPECT_EQ(packed->net_score, scalar->net_score);
+    ASSERT_EQ(packed->verdicts.size(), scalar->verdicts.size());
+    for (size_t i = 0; i < packed->verdicts.size(); ++i) {
+      EXPECT_EQ(packed->verdicts[i].property, scalar->verdicts[i].property);
+      EXPECT_EQ(packed->verdicts[i].comparator,
+                scalar->verdicts[i].comparator);
+      EXPECT_EQ(packed->verdicts[i].outcome, scalar->verdicts[i].outcome);
+    }
+    EXPECT_EQ(packed->ToText(), scalar->ToText());
+  }
 }
 
 TEST(ReportTest, BiasFieldsPopulated) {

@@ -24,6 +24,7 @@
 #include "anonymize/top_down.h"
 #include "common/csv.h"
 #include "common/durable_io.h"
+#include "core/property_matrix.h"
 #include "core/report.h"
 #include "hierarchy/spec_parser.h"
 #include "paper/paper_data.h"
@@ -152,6 +153,9 @@ std::map<std::string, std::function<Status()>> Drivers() {
                                  mondrian->anonymization,
                                  mondrian->partition)
         .status();
+  };
+  drivers["cmp.read"] = [] {
+    return PropertyMatrix::FromCsv("p0,1,2\np1,3,4\n").status();
   };
   return drivers;
 }

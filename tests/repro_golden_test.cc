@@ -78,5 +78,20 @@ TEST(ReproGoldenTest, Table4Dominance) {
 
 TEST(ReproGoldenTest, Theorem1) { ExpectMatchesGolden("repro_theorem1"); }
 
+// The three figure drivers carry the packed-engine cross-check sections;
+// pinning their stdout keeps both the paper numbers and the
+// packed-vs-scalar "ok" lines from drifting.
+TEST(ReproGoldenTest, Figure2Rank) {
+  ExpectMatchesGolden("repro_figure2_rank");
+}
+
+TEST(ReproGoldenTest, Figure3CovSpr) {
+  ExpectMatchesGolden("repro_figure3_cov_spr");
+}
+
+TEST(ReproGoldenTest, Figure4Hypervolume) {
+  ExpectMatchesGolden("repro_figure4_hypervolume");
+}
+
 }  // namespace
 }  // namespace mdc

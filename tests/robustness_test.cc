@@ -10,7 +10,9 @@
 #include "anonymize/stochastic.h"
 #include "common/csv.h"
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/snapshot.h"
+#include "core/property_matrix.h"
 #include "hierarchy/interval_hierarchy.h"
 #include "hierarchy/spec_parser.h"
 #include "hierarchy/suffix_hierarchy.h"
@@ -305,6 +307,70 @@ TEST(RobustnessTest, CheckpointResumeNeverCrashesOnMutatedSnapshots) {
     IncognitoCheckpoint wrong_kind;
     EXPECT_FALSE(wrong_kind.ResumeFrom(mutated).ok());
   }
+}
+
+TEST(RobustnessTest, PropertyMatrixFromCsvNeverCrashesOnGarbage) {
+  // Comparison-engine ingestion: arbitrary bytes must produce ok() or a
+  // clean InvalidArgument — never crash — and anything accepted must
+  // round-trip through ToCsv()/FromCsv() exactly (the matrix is the
+  // kernels' source of truth, so drift here would poison every index).
+  Rng rng(12);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage = RandomText(rng, 1 + rng.NextBelow(200));
+    auto matrix = PropertyMatrix::FromCsv(garbage);
+    if (!matrix.ok()) continue;
+    auto round = PropertyMatrix::FromCsv(matrix->ToCsv());
+    ASSERT_TRUE(round.ok());
+    ASSERT_EQ(round->rows(), matrix->rows());
+    ASSERT_EQ(round->cols(), matrix->cols());
+    for (size_t r = 0; r < matrix->rows(); ++r) {
+      for (size_t c = 0; c < matrix->cols(); ++c) {
+        EXPECT_EQ(round->at(r, c), matrix->at(r, c));
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, PropertyMatrixFromCsvRejectsMalformedInputs) {
+  // NaN / inf cells: finite-values-only contract (NaN would break the
+  // packed==scalar differential equality and every index).
+  EXPECT_FALSE(PropertyMatrix::FromCsv("p0,1,nan\n").ok());
+  EXPECT_FALSE(PropertyMatrix::FromCsv("p0,inf,2\n").ok());
+  EXPECT_FALSE(PropertyMatrix::FromCsv("p0,-inf,2\n").ok());
+  EXPECT_FALSE(PropertyMatrix::FromCsv("p0,1e999,2\n").ok());
+  // Mismatched N between rows (ragged matrix).
+  EXPECT_FALSE(PropertyMatrix::FromCsv("p0,1,2\np1,3\n").ok());
+  EXPECT_FALSE(PropertyMatrix::FromCsv("p0,1\np1,2,3\n").ok());
+  // Structurally malformed rows.
+  EXPECT_FALSE(PropertyMatrix::FromCsv("").ok());
+  EXPECT_FALSE(PropertyMatrix::FromCsv("\n\n").ok());
+  EXPECT_FALSE(PropertyMatrix::FromCsv("justaname\n").ok());
+  EXPECT_FALSE(PropertyMatrix::FromCsv(",1,2\n").ok());
+  EXPECT_FALSE(PropertyMatrix::FromCsv("p0,1,notanumber\n").ok());
+  // And the shapes that are fine must stay fine.
+  EXPECT_TRUE(PropertyMatrix::FromCsv("p0,1,2\np1,3,4\n").ok());
+  EXPECT_TRUE(PropertyMatrix::FromCsv("p0,-1.5,0,2e-3\n").ok());
+}
+
+TEST(RobustnessTest, PropertyMatrixFromCsvHonorsBudgetsAndCancellation) {
+  std::string csv;
+  for (int r = 0; r < 16; ++r) {
+    csv += "p" + std::to_string(r) + ",1,2,3\n";
+  }
+  // One budget step per row.
+  RunContext steps;
+  steps.set_max_steps(4);
+  EXPECT_EQ(PropertyMatrix::FromCsv(csv, &steps).status().code(),
+            StatusCode::kResourceExhausted);
+  RunContext enough;
+  enough.set_max_steps(64);
+  EXPECT_TRUE(PropertyMatrix::FromCsv(csv, &enough).ok());
+  CancellationToken token;
+  token.Cancel();
+  RunContext cancelled;
+  cancelled.set_cancellation(token);
+  EXPECT_EQ(PropertyMatrix::FromCsv(csv, &cancelled).status().code(),
+            StatusCode::kCancelled);
 }
 
 TEST(RobustnessTest, EmptyDatasetOperations) {
