@@ -1,12 +1,12 @@
 // mdc_cli — command-line anonymization and comparison.
 //
-//   example_mdc_cli anonymize --input data.csv --schema <spec> \
-//       --hierarchies spec.txt --algorithm datafly --k 3 \
-//       [--max-suppression 0.02] [--output out.csv] \
+//   example_mdc_cli anonymize --input data.csv --schema <spec>
+//       --hierarchies spec.txt --algorithm datafly --k 3
+//       [--max-suppression 0.02] [--output out.csv]
 //       [--deadline-ms 500] [--max-steps 100000] [--threads 4]
-//   example_mdc_cli compare --input data.csv --schema <spec> \
+//   example_mdc_cli compare --input data.csv --schema <spec>
 //       --hierarchies spec.txt --k 3 --algorithms datafly,mondrian
-//   example_mdc_cli batch --jobs jobs.csv --checkpoint-dir out \
+//   example_mdc_cli batch --jobs jobs.csv --checkpoint-dir out
 //       [--max-retries 2] [--backoff-ms 10]
 //
 // `--schema` is an inline column list "name:type:role,..." with type in
@@ -22,11 +22,33 @@
 // retried with backoff, deterministic failures are quarantined, and the
 // batch checkpoints into --checkpoint-dir so a killed run resumes at the
 // first incomplete job. Job releases are written durably to
-// <checkpoint-dir>/<id>.csv.
+// <checkpoint-dir>/<id>.csv. SIGINT/SIGTERM abort the batch at the next
+// job boundary with the checkpoint durable (exit code 3, "interrupted").
+//
+//   example_mdc_cli serve --state-dir <dir> [--window-capacity <n>]
+//       [--tenant-budget <n>] [--quantum <n>] [--default-deadline-ms <ms>]
+//       [--max-retries <n>] [--backoff-ms <ms>] [--threads <n>]
+//
+// `serve` runs the resident job service (docs/service.md): newline
+// protocol on stdin/stdout (`submit <id> key=value ...`, `status`, `wait`,
+// `drain`), durable job journal + artifacts under --state-dir, crash
+// recovery on restart, graceful drain on SIGTERM/SIGINT or EOF.
+//
+// The MDC_FAILPOINTS environment variable arms fault-injection sites in
+// any command (see common/failpoint.h) — the kill-torture harness uses it
+// to crash the service inside durable-write windows.
 //
 // Run without arguments for a self-contained demo on the paper's Table 1.
 
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,6 +61,7 @@
 #include "anonymize/samarati.h"
 #include "common/csv.h"
 #include "common/durable_io.h"
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/run_context.h"
 #include "common/strings.h"
@@ -48,27 +71,82 @@
 #include "hierarchy/spec_parser.h"
 #include "paper/paper_data.h"
 #include "privacy/k_anonymity.h"
+#include "service/service_core.h"
 
 using namespace mdc;
 
 namespace {
 
 constexpr const char* kUsageHint =
-    "usage: mdc_cli <anonymize|compare|batch> --input <csv> --schema <spec> "
+    "usage: mdc_cli <anonymize|compare|batch|serve> --input <csv> "
+    "--schema <spec> "
     "[--hierarchies <file>] [--algorithm <name>] [--algorithms <a,b>] "
     "[--k <n>] [--max-suppression <frac>] [--output <csv>] "
     "[--deadline-ms <ms>] [--max-steps <n>] [--threads <n>] "
     "[--compare-engine <scalar|packed>] "
     "[--metrics-out <file>] [--trace-out <file>] | batch "
     "--jobs <spec.csv> --checkpoint-dir <dir> [--max-retries <n>] "
-    "[--backoff-ms <ms>]";
+    "[--backoff-ms <ms>] | serve --state-dir <dir> "
+    "[--window-capacity <n>] [--tenant-budget <n>] [--quantum <n>] "
+    "[--default-deadline-ms <ms>]";
 
 constexpr const char* kKnownFlags[] = {
     "input",       "schema",      "hierarchies",    "algorithm",
     "algorithms",  "k",           "output",         "max-steps",
     "deadline-ms", "max-suppression", "jobs",       "checkpoint-dir",
     "max-retries", "backoff-ms",  "threads",        "metrics-out",
-    "trace-out",   "compare-engine"};
+    "trace-out",   "compare-engine",                "state-dir",
+    "window-capacity", "tenant-budget", "quantum",
+    "default-deadline-ms"};
+
+// Signal plumbing shared by `batch` and `serve`: the handler records the
+// signal and cancels the shared token, which aborts the batch at its next
+// job boundary or interrupts the service's in-flight job (its RunContext
+// carries a copy). Everything else — checkpointing, draining, the exit
+// code — happens in normal control flow.
+//
+// The serve loop blocks in read(2) on stdin, and EINTR alone is not
+// enough to wake it: a signal that lands between the g_signal check and
+// the read() call would be recorded but never noticed (the classic lost
+// wake-up). The handler therefore also writes one byte to a self-pipe,
+// and the protocol reader poll(2)s on {stdin, self-pipe} so a pending
+// signal is level-triggered rather than edge-triggered.
+volatile std::sig_atomic_t g_signal = 0;
+int g_wakeup_pipe[2] = {-1, -1};
+CancellationToken& InterruptToken() {
+  static CancellationToken token;
+  return token;
+}
+
+void OnSignal(int sig) {
+  g_signal = sig;
+  // CancellationToken::Cancel is one relaxed store on a lock-free atomic
+  // reached through a stable shared_ptr — safe from a handler here, as is
+  // write(2) on the non-blocking self-pipe (errno is preserved).
+  InterruptToken().Cancel();
+  if (g_wakeup_pipe[1] >= 0) {
+    int saved_errno = errno;
+    char byte = 1;
+    (void)!::write(g_wakeup_pipe[1], &byte, 1);
+    errno = saved_errno;
+  }
+}
+
+void InstallSignalHandlers() {
+  if (g_wakeup_pipe[0] < 0) {
+    if (::pipe(g_wakeup_pipe) == 0) {
+      ::fcntl(g_wakeup_pipe[0], F_SETFL, O_NONBLOCK);
+      ::fcntl(g_wakeup_pipe[1], F_SETFL, O_NONBLOCK);
+    }
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // No SA_RESTART: blocking reads must wake.
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 struct CliArgs {
   std::string command;
@@ -249,57 +327,84 @@ struct ObservabilitySinks {
   }
 };
 
+// Both the batch runner (BatchJob.params) and the service (JobSpec.params)
+// describe work as string key=value maps; the helpers below resolve them
+// identically so a job behaves the same whichever path runs it.
+using ParamMap = std::map<std::string, std::string>;
+
+std::string GetParam(const ParamMap& params, const std::string& key) {
+  auto it = params.find(key);
+  return it == params.end() ? std::string() : it->second;
+}
+
+// dataset=table1 (the paper's Table 1, the default) or input+schema
+// [+hierarchies] files.
+Status LoadJobInputs(const ParamMap& params, const std::string& label,
+                     std::shared_ptr<const Dataset>& data,
+                     HierarchySet& hierarchies) {
+  std::string dataset = GetParam(params, "dataset");
+  if (dataset == "table1" ||
+      (dataset.empty() && GetParam(params, "input").empty())) {
+    MDC_ASSIGN_OR_RETURN(data, paper::Table1());
+    MDC_ASSIGN_OR_RETURN(hierarchies, paper::HierarchySetA());
+    return Status::Ok();
+  }
+  if (!dataset.empty()) {
+    return Status::InvalidArgument(label + ": unknown dataset '" + dataset +
+                                   "' (table1 or input+schema)");
+  }
+  MDC_ASSIGN_OR_RETURN(Schema schema,
+                       ParseSchemaFlag(GetParam(params, "schema")));
+  MDC_ASSIGN_OR_RETURN(std::string csv,
+                       ReadFileToString(GetParam(params, "input")));
+  MDC_ASSIGN_OR_RETURN(Dataset parsed, Dataset::FromCsv(schema, csv));
+  data = std::make_shared<const Dataset>(std::move(parsed));
+  if (!GetParam(params, "hierarchies").empty()) {
+    MDC_ASSIGN_OR_RETURN(std::string spec,
+                         ReadFileToString(GetParam(params, "hierarchies")));
+    MDC_ASSIGN_OR_RETURN(hierarchies,
+                         ParseHierarchySpec(data->schema(), spec));
+  }
+  return Status::Ok();
+}
+
+Status ParseJobKnobs(const ParamMap& params, const std::string& label,
+                     int& k, double& max_suppression) {
+  k = 2;
+  max_suppression = 0.0;
+  if (!GetParam(params, "k").empty()) {
+    auto parsed = ParseInt64(GetParam(params, "k"));
+    if (!parsed.has_value()) {
+      return Status::InvalidArgument(label + ": bad k");
+    }
+    k = static_cast<int>(*parsed);
+  }
+  if (!GetParam(params, "max_suppression").empty()) {
+    auto parsed = ParseDouble(GetParam(params, "max_suppression"));
+    if (!parsed.has_value()) {
+      return Status::InvalidArgument(label + ": bad max_suppression");
+    }
+    max_suppression = *parsed;
+  }
+  return Status::Ok();
+}
+
 // Executes one batch job: resolves its dataset/hierarchies/algorithm from
 // params, runs it under the job's RunContext, and durably writes the
 // release next to the batch checkpoint.
 Status ExecuteBatchJob(const BatchJob& job, const std::string& artifact_dir,
                        RunContext* run) {
-  auto param = [&](const std::string& key) -> std::string {
-    auto it = job.params.find(key);
-    return it == job.params.end() ? std::string() : it->second;
-  };
-  std::string algorithm = param("algorithm");
+  std::string label = "job " + job.id;
+  std::string algorithm = GetParam(job.params, "algorithm");
   if (algorithm.empty()) {
-    return Status::InvalidArgument("job " + job.id +
-                                   ": missing `algorithm` column");
+    return Status::InvalidArgument(label + ": missing `algorithm` column");
   }
   std::shared_ptr<const Dataset> data;
   HierarchySet hierarchies;
-  std::string dataset = param("dataset");
-  if (dataset == "table1" || (dataset.empty() && param("input").empty())) {
-    MDC_ASSIGN_OR_RETURN(data, paper::Table1());
-    MDC_ASSIGN_OR_RETURN(hierarchies, paper::HierarchySetA());
-  } else if (dataset.empty()) {
-    MDC_ASSIGN_OR_RETURN(Schema schema, ParseSchemaFlag(param("schema")));
-    MDC_ASSIGN_OR_RETURN(std::string csv, ReadFileToString(param("input")));
-    MDC_ASSIGN_OR_RETURN(Dataset parsed, Dataset::FromCsv(schema, csv));
-    data = std::make_shared<const Dataset>(std::move(parsed));
-    if (!param("hierarchies").empty()) {
-      MDC_ASSIGN_OR_RETURN(std::string spec,
-                           ReadFileToString(param("hierarchies")));
-      MDC_ASSIGN_OR_RETURN(hierarchies,
-                           ParseHierarchySpec(data->schema(), spec));
-    }
-  } else {
-    return Status::InvalidArgument("job " + job.id + ": unknown dataset '" +
-                                   dataset + "' (table1 or input+schema)");
-  }
+  MDC_RETURN_IF_ERROR(LoadJobInputs(job.params, label, data, hierarchies));
   int k = 2;
-  if (!param("k").empty()) {
-    auto parsed = ParseInt64(param("k"));
-    if (!parsed.has_value()) {
-      return Status::InvalidArgument("job " + job.id + ": bad k");
-    }
-    k = static_cast<int>(*parsed);
-  }
   double max_suppression = 0.0;
-  if (!param("max_suppression").empty()) {
-    auto parsed = ParseDouble(param("max_suppression"));
-    if (!parsed.has_value()) {
-      return Status::InvalidArgument("job " + job.id + ": bad max_suppression");
-    }
-    max_suppression = *parsed;
-  }
+  MDC_RETURN_IF_ERROR(ParseJobKnobs(job.params, label, k, max_suppression));
   MDC_ASSIGN_OR_RETURN(
       NamedRelease release,
       RunAlgorithm(algorithm, data, hierarchies, k, max_suppression, run));
@@ -345,6 +450,12 @@ int RunBatchCommand(const CliArgs& args) {
   auto jobs_or = ParseJobSpecCsv(*spec_or);
   if (!jobs_or.ok()) return Fail(jobs_or.status());
 
+  // SIGINT/SIGTERM cancel the shared token; the runner aborts at the next
+  // job boundary with the checkpoint durable, so re-running the same
+  // command resumes at the first incomplete job.
+  config.cancellation = InterruptToken();
+  InstallSignalHandlers();
+
   auto result = RunBatch(
       *jobs_or,
       [&dir](const BatchJob& job, RunContext* run) {
@@ -353,10 +464,304 @@ int RunBatchCommand(const CliArgs& args) {
       config);
   if (!result.ok()) return Fail(result.status());
   std::printf("%s", result->Summary().c_str());
+  if (result->aborted && g_signal != 0) {
+    std::fprintf(stderr,
+                 "interrupted: checkpoint is durable; re-run the same "
+                 "command to resume\n");
+    return 3;
+  }
   bool clean = !result->aborted &&
                result->CountState(JobState::kQuarantined) == 0 &&
                result->CountState(JobState::kExhausted) == 0;
   return clean ? 0 : 1;
+}
+
+// One service-job attempt. anonymize -> release CSV; compare -> the
+// comparison report text; report -> release text + achieved-k summary.
+// All three are deterministic functions of the spec (no timings in the
+// artifact), which is what makes crash recovery byte-identical. The
+// optimal search threads its Checkpointable state through
+// resume_checkpoint so a drained job resumes mid-sweep.
+service::ServiceCore::ExecResult ExecuteServiceJob(
+    const service::JobSpec& spec, RunContext* run,
+    std::string_view resume_checkpoint, int threads) {
+  service::ServiceCore::ExecResult out;
+  std::string label = "job " + spec.id;
+  out.status = [&]() -> Status {
+    std::shared_ptr<const Dataset> data;
+    HierarchySet hierarchies;
+    MDC_RETURN_IF_ERROR(LoadJobInputs(spec.params, label, data, hierarchies));
+    int k = 2;
+    double max_suppression = 0.0;
+    MDC_RETURN_IF_ERROR(
+        ParseJobKnobs(spec.params, label, k, max_suppression));
+    if (spec.kind == "anonymize") {
+      std::string algorithm = GetParam(spec.params, "algorithm");
+      if (algorithm.empty()) algorithm = "mondrian";
+      if (algorithm == "optimal") {
+        OptimalLatticeCheckpoint checkpoint;
+        if (!resume_checkpoint.empty()) {
+          MDC_RETURN_IF_ERROR(checkpoint.ResumeFrom(resume_checkpoint));
+        }
+        OptimalSearchConfig config;
+        config.k = k;
+        config.suppression = SuppressionBudget{max_suppression};
+        config.threads = threads;
+        auto result = OptimalLatticeSearch(data, hierarchies, config,
+                                           ProxyLoss, run, &checkpoint);
+        if (checkpoint.has_state()) {
+          // Budget expiry (drain, deadline, steps) captured the sweep
+          // position; hand it to the service for the next attempt/life.
+          if (auto bytes = checkpoint.SaveCheckpoint(); bytes.ok()) {
+            out.checkpoint = std::move(bytes).value();
+          }
+        }
+        if (!result.ok()) return result.status();
+        out.truncated = result->run_stats.truncated;
+        out.artifact = result->best.anonymization.release.ToCsv();
+        return Status::Ok();
+      }
+      MDC_ASSIGN_OR_RETURN(NamedRelease release,
+                           RunAlgorithm(algorithm, data, hierarchies, k,
+                                        max_suppression, run, threads));
+      out.truncated = release.run_stats.truncated;
+      out.artifact = release.anonymization.release.ToCsv();
+      return Status::Ok();
+    }
+
+    if (spec.kind == "compare") {
+      std::string algorithms = GetParam(spec.params, "algorithms");
+      if (algorithms.empty()) algorithms = "datafly,mondrian";
+      std::vector<std::string> names = StrSplit(algorithms, ',');
+      if (names.size() != 2) {
+        return Status::InvalidArgument(
+            label + ": algorithms needs two comma-separated names");
+      }
+      MDC_ASSIGN_OR_RETURN(NamedRelease first,
+                           RunAlgorithm(names[0], data, hierarchies, k,
+                                        max_suppression, run, threads));
+      MDC_ASSIGN_OR_RETURN(NamedRelease second,
+                           RunAlgorithm(names[1], data, hierarchies, k,
+                                        max_suppression, run, threads));
+      ComparisonOptions options;
+      options.threads = threads;
+      std::string sensitive = GetParam(spec.params, "sensitive");
+      if (!sensitive.empty()) {
+        auto parsed = ParseInt64(sensitive);
+        if (!parsed.has_value() || *parsed < 0) {
+          return Status::InvalidArgument(label +
+                                         ": sensitive must be a column index");
+        }
+        options.sensitive_column = static_cast<size_t>(*parsed);
+      } else if (GetParam(spec.params, "input").empty()) {
+        options.sensitive_column = paper::kMaritalColumn;  // table1
+      }
+      MDC_ASSIGN_OR_RETURN(
+          ComparisonReport report,
+          CompareAnonymizations(first.anonymization, first.partition,
+                                second.anonymization, second.partition,
+                                options, run));
+      out.truncated = first.run_stats.truncated ||
+                      second.run_stats.truncated;
+      out.artifact = report.ToText();
+      return Status::Ok();
+    }
+
+    if (spec.kind == "report") {
+      std::string algorithm = GetParam(spec.params, "algorithm");
+      if (algorithm.empty()) algorithm = "mondrian";
+      MDC_ASSIGN_OR_RETURN(NamedRelease release,
+                           RunAlgorithm(algorithm, data, hierarchies, k,
+                                        max_suppression, run, threads));
+      double achieved = KAnonymity(1).Measure(release.anonymization,
+                                              release.partition);
+      out.truncated = release.run_stats.truncated;
+      out.artifact = release.anonymization.release.ToText();
+      out.artifact += "achieved_k=" + std::to_string(achieved) +
+                      " suppressed=" +
+                      std::to_string(release.anonymization.SuppressedCount()) +
+                      "\n";
+      return Status::Ok();
+    }
+    return Status::InvalidArgument(label + ": unknown kind '" + spec.kind +
+                                   "'");
+  }();
+  return out;
+}
+
+// Reads one newline-terminated line from stdin. The wait is a poll(2)
+// over {stdin, signal self-pipe}: a SIGTERM that arrived at any earlier
+// point left a byte in the self-pipe, so the poll returns immediately and
+// the drain path runs even if the signal raced the transition into the
+// blocking wait.
+enum class ReadLineResult { kLine, kEof, kSignal };
+ReadLineResult ReadProtocolLine(std::string& line, std::string& buffer) {
+  while (true) {
+    size_t pos = buffer.find('\n');
+    if (pos != std::string::npos) {
+      line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      return ReadLineResult::kLine;
+    }
+    if (g_signal != 0) return ReadLineResult::kSignal;
+    struct pollfd fds[2];
+    fds[0].fd = STDIN_FILENO;
+    fds[0].events = POLLIN;
+    fds[1].fd = g_wakeup_pipe[0];
+    fds[1].events = POLLIN;
+    int ready = ::poll(fds, g_wakeup_pipe[0] >= 0 ? 2 : 1, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // Loop re-checks g_signal.
+      return ReadLineResult::kEof;
+    }
+    if (g_signal != 0) return ReadLineResult::kSignal;
+    if (!(fds[0].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+    char chunk[4096];
+    ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EOF (or a read error, which ends the session the same way).
+    if (buffer.empty()) return ReadLineResult::kEof;
+    line = std::move(buffer);
+    buffer.clear();
+    return ReadLineResult::kLine;
+  }
+}
+
+void Reply(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+  std::fflush(stdout);
+}
+
+int RunServeCommand(const CliArgs& args) {
+  auto dir_flag = args.flags.find("state-dir");
+  if (dir_flag == args.flags.end()) {
+    return Fail(Status::InvalidArgument("serve needs --state-dir; " +
+                                        std::string(kUsageHint)));
+  }
+  service::ServiceConfig config;
+  config.state_dir = dir_flag->second;
+  config.drain_token = InterruptToken();
+  auto parse_u64 = [&](const char* flag, uint64_t& out) -> Status {
+    if (auto it = args.flags.find(flag); it != args.flags.end()) {
+      auto parsed = ParseInt64(it->second);
+      if (!parsed.has_value() || *parsed < 0) {
+        return Status::InvalidArgument(std::string("bad --") + flag);
+      }
+      out = static_cast<uint64_t>(*parsed);
+    }
+    return Status::Ok();
+  };
+  if (Status s = parse_u64("window-capacity", config.admission.window_capacity);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = parse_u64("tenant-budget", config.admission.tenant_budget);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = parse_u64("quantum", config.admission.quantum); !s.ok()) {
+    return Fail(s);
+  }
+  if (auto it = args.flags.find("default-deadline-ms");
+      it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value() || *parsed < 0) {
+      return Fail(Status::InvalidArgument("bad --default-deadline-ms"));
+    }
+    config.default_deadline_ms = *parsed;
+  }
+  if (auto it = args.flags.find("max-retries"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value() || *parsed < 0) {
+      return Fail(Status::InvalidArgument("bad --max-retries"));
+    }
+    config.max_retries = static_cast<int>(*parsed);
+  }
+  if (auto it = args.flags.find("backoff-ms"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value() || *parsed < 0) {
+      return Fail(Status::InvalidArgument("bad --backoff-ms"));
+    }
+    config.backoff_base_ms = *parsed;
+  }
+  int threads = 1;
+  if (auto it = args.flags.find("threads"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value()) return Fail(Status::InvalidArgument("bad --threads"));
+    threads = static_cast<int>(*parsed);
+  }
+
+  auto core_or = service::ServiceCore::Start(
+      config, [threads](const service::ServiceCore::ExecRequest& request) {
+        return ExecuteServiceJob(request.spec, request.run,
+                                 request.resume_checkpoint, threads);
+      });
+  if (!core_or.ok()) return Fail(core_or.status());
+  service::ServiceCore& core = **core_or;
+  InstallSignalHandlers();
+  // Startup banner: the client driver syncs on it; `recovered` tells the
+  // torture harness how many jobs survived the previous life.
+  Reply("ready recovered=" + std::to_string(core.recovered_jobs()));
+
+  std::string line;
+  std::string buffer;
+  bool interrupted = false;
+  while (true) {
+    ReadLineResult read = ReadProtocolLine(line, buffer);
+    if (read == ReadLineResult::kSignal) {
+      interrupted = true;
+      break;
+    }
+    if (read == ReadLineResult::kEof) break;
+    std::string command = line;
+    std::string payload;
+    if (size_t space = line.find(' '); space != std::string::npos) {
+      command = line.substr(0, space);
+      payload = line.substr(space + 1);
+    }
+    if (command.empty()) continue;
+    if (command == "submit") {
+      auto spec_or = service::ParseSubmitSpec(payload);
+      if (!spec_or.ok()) {
+        Reply("err submit " + spec_or.status().ToString());
+        continue;
+      }
+      auto decision_or = core.Submit(*spec_or);
+      if (!decision_or.ok()) {
+        Reply("err " + spec_or->id + " " + decision_or.status().ToString());
+      } else if (*decision_or == service::AdmitDecision::kAdmitted) {
+        Reply("ok " + spec_or->id + " admitted");
+      } else {
+        Reply("rejected " + spec_or->id + " " +
+              service::AdmitDecisionName(*decision_or));
+      }
+    } else if (command == "status") {
+      Reply("ok status " + core.GetStats().ToString());
+    } else if (command == "wait") {
+      core.WaitIdle();
+      if (g_signal != 0) {
+        interrupted = true;
+        break;
+      }
+      Reply("ok wait idle");
+    } else if (command == "drain") {
+      Status status = core.Drain();
+      Reply(status.ok() ? "ok drain" : "err drain " + status.ToString());
+    } else {
+      Reply("err unknown command '" + command + "'");
+    }
+  }
+  Status drained = core.Drain();
+  if (interrupted) {
+    std::fprintf(stderr, "interrupted: drained after signal %d\n",
+                 static_cast<int>(g_signal));
+  }
+  if (!drained.ok()) return Fail(drained);
+  return 0;
 }
 
 int Demo() {
@@ -386,6 +791,14 @@ int Demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Fault-injection arming from the environment (torture harnesses pass
+  // e.g. MDC_FAILPOINTS="io.rename=kill:skip=3" to child processes).
+  if (const char* spec = std::getenv("MDC_FAILPOINTS");
+      spec != nullptr && *spec != '\0') {
+    if (Status status = failpoint::ArmFromEnvSpec(spec); !status.ok()) {
+      return Fail(status);
+    }
+  }
   auto args_or = ParseArgs(argc, argv);
   if (!args_or.ok()) return Fail(args_or.status());
   CliArgs args = std::move(args_or).value();
@@ -399,6 +812,7 @@ int main(int argc, char** argv) {
   }
   if (args.command.empty()) return Demo();
   if (args.command == "batch") return RunBatchCommand(args);
+  if (args.command == "serve") return RunServeCommand(args);
 
   int k = 2;
   if (auto it = args.flags.find("k"); it != args.flags.end()) {
@@ -521,5 +935,5 @@ int main(int argc, char** argv) {
   }
 
   return Fail(Status::InvalidArgument("unknown command '" + args.command +
-                                      "' (anonymize|compare|batch)"));
+                                      "' (anonymize|compare|batch|serve)"));
 }

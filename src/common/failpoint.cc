@@ -1,8 +1,15 @@
 #include "common/failpoint.h"
 
+#include <csignal>
+
 #include <atomic>
 #include <mutex>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
 
 namespace mdc::failpoint {
 namespace {
@@ -35,12 +42,16 @@ constexpr const char* kSites[] = {
     "bottom_up.step",
     "report.compare",
     "cmp.read",
+    "svc.execute",
 };
 
 struct ArmedSite {
   Status status = Status::Internal("failpoint");
   int skip = 0;       // Remaining passes that succeed.
-  int count = -1;     // Remaining passes that fail; -1 = unlimited.
+  int count = -1;     // Remaining fires; -1 = unlimited.
+  int period = 0;     // 0 = fire consecutively; N = fire every Nth pass.
+  int passes = 0;     // Post-skip passes seen (period bookkeeping).
+  bool kill = false;  // Raise SIGKILL instead of returning `status`.
   int hits = 0;       // Times this site fired since arming.
 };
 
@@ -64,6 +75,15 @@ bool IsDeclared(const std::string& site) {
   return false;
 }
 
+bool ArmInternal(const std::string& site, ArmedSite armed) {
+  if (!IsDeclared(site)) return false;
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] = Armed().insert_or_assign(site, std::move(armed));
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 }  // namespace
 
 bool Enabled() {
@@ -78,15 +98,101 @@ std::vector<std::string> AllSites() {
   return std::vector<std::string>(std::begin(kSites), std::end(kSites));
 }
 
-bool Arm(const std::string& site, Status status, int skip, int count) {
-  if (!IsDeclared(site) || status.ok()) return false;
-  std::lock_guard<std::mutex> lock(Mutex());
-  auto [it, inserted] =
-      Armed().insert_or_assign(site, ArmedSite{std::move(status), skip,
-                                               count, 0});
-  (void)it;
-  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
-  return true;
+bool Arm(const std::string& site, Status status, int skip, int count,
+         int period) {
+  if (status.ok() || period < 0) return false;
+  ArmedSite armed;
+  armed.status = std::move(status);
+  armed.skip = skip;
+  armed.count = count;
+  armed.period = period;
+  return ArmInternal(site, std::move(armed));
+}
+
+bool ArmKill(const std::string& site, int skip, int count, int period) {
+  if (period < 0) return false;
+  ArmedSite armed;
+  armed.skip = skip;
+  armed.count = count;
+  armed.period = period;
+  armed.kill = true;
+  return ArmInternal(site, std::move(armed));
+}
+
+Status ArmFromEnvSpec(const std::string& spec) {
+  struct Clause {
+    std::string site;
+    std::string action;
+    int skip = 0;
+    int count = -1;
+    int period = 0;
+  };
+  std::vector<Clause> clauses;
+  for (const std::string& raw : StrSplit(spec, ';')) {
+    std::string_view text = StripWhitespace(raw);
+    if (text.empty()) continue;
+    std::vector<std::string> fields = StrSplit(std::string(text), ':');
+    std::vector<std::string> head = StrSplit(fields[0], '=');
+    if (head.size() != 2 || head[0].empty() || head[1].empty()) {
+      return Status::InvalidArgument("failpoint spec: clause '" +
+                                     std::string(text) +
+                                     "' is not site=action");
+    }
+    Clause clause;
+    clause.site = head[0];
+    clause.action = head[1];
+    if (clause.action != "internal" && clause.action != "notfound" &&
+        clause.action != "kill") {
+      return Status::InvalidArgument("failpoint spec: unknown action '" +
+                                     clause.action + "' in '" +
+                                     std::string(text) + "'");
+    }
+    for (size_t i = 1; i < fields.size(); ++i) {
+      std::vector<std::string> kv = StrSplit(fields[i], '=');
+      std::optional<int64_t> value;
+      if (kv.size() == 2) value = ParseInt64(kv[1]);
+      if (!value.has_value() || *value < -1 || *value > 1 << 30) {
+        return Status::InvalidArgument("failpoint spec: bad modifier '" +
+                                       fields[i] + "' in '" +
+                                       std::string(text) + "'");
+      }
+      if (kv[0] == "skip") {
+        clause.skip = static_cast<int>(*value);
+      } else if (kv[0] == "count") {
+        clause.count = static_cast<int>(*value);
+      } else if (kv[0] == "period") {
+        clause.period = static_cast<int>(*value);
+      } else {
+        return Status::InvalidArgument("failpoint spec: unknown modifier '" +
+                                       kv[0] + "' in '" + std::string(text) +
+                                       "'");
+      }
+    }
+    if (!IsDeclared(clause.site)) {
+      return Status::InvalidArgument("failpoint spec: unknown site '" +
+                                     clause.site + "'");
+    }
+    clauses.push_back(std::move(clause));
+  }
+  // Validation passed for every clause; arm them all (atomically enough —
+  // nothing above armed anything).
+  for (const Clause& clause : clauses) {
+    bool armed;
+    if (clause.action == "kill") {
+      armed = ArmKill(clause.site, clause.skip, clause.count, clause.period);
+    } else {
+      Status injected =
+          clause.action == "internal"
+              ? Status::Internal("injected by MDC_FAILPOINTS at " +
+                                 clause.site)
+              : Status::NotFound("injected by MDC_FAILPOINTS at " +
+                                 clause.site);
+      armed = Arm(clause.site, std::move(injected), clause.skip,
+                  clause.count, clause.period);
+    }
+    MDC_CHECK(armed);
+  }
+  return Status::Ok();
 }
 
 void Disarm(const std::string& site) {
@@ -122,8 +228,18 @@ Status Trigger(const char* site) {
     return Status::Ok();
   }
   if (armed.count == 0) return Status::Ok();
+  if (armed.period > 0) {
+    // Periodic arming: only every period-th post-skip pass fires.
+    ++armed.passes;
+    if (armed.passes % armed.period != 0) return Status::Ok();
+  }
   if (armed.count > 0) --armed.count;
   ++armed.hits;
+  if (armed.kill) {
+    // Die exactly here: SIGKILL cannot be caught, so no destructor or
+    // buffered write runs — the harness's model of a hard crash.
+    std::raise(SIGKILL);
+  }
   return armed.status;
 }
 

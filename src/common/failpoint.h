@@ -13,10 +13,23 @@
 //                                 Status::Internal("injected"));
 //   EXPECT_FALSE(ParseCsv("a,b").ok());
 //
-// Arming supports skip/count so inner-loop sites can fail on the Nth pass.
-// The hooks compile to nothing when MDC_FAILPOINTS is OFF (release
-// builds); the registry functions remain linkable and report Enabled() ==
-// false so tests can skip themselves.
+// Arming supports skip/count so inner-loop sites can fail on the Nth pass,
+// and period so a site fires on every Nth pass (recurring transient faults
+// for torture runs). The hooks compile to nothing when MDC_FAILPOINTS is
+// OFF (release builds); the registry functions remain linkable and report
+// Enabled() == false so tests can skip themselves.
+//
+// For out-of-process fault injection (the CLI, the kill-torture harness),
+// ArmFromEnvSpec parses the MDC_FAILPOINTS environment variable:
+//
+//   MDC_FAILPOINTS="io.fsync=internal:period=7;io.rename=kill:skip=3"
+//
+// Each clause is site=action with optional :skip=N / :count=N / :period=N
+// modifiers. Action `internal` injects Status::Internal (a transient code
+// the retry layers handle); `notfound` injects Status::NotFound (a
+// deterministic code); `kill` raises SIGKILL at the site, which is how the
+// torture harness lands a crash deterministically inside a durable-write
+// window.
 
 #ifndef MDC_COMMON_FAILPOINT_H_
 #define MDC_COMMON_FAILPOINT_H_
@@ -35,10 +48,26 @@ bool Enabled();
 std::vector<std::string> AllSites();
 
 // Arms `site` to return `status` from its MDC_FAILPOINT. The first `skip`
-// passes succeed; the next `count` passes fail (-1 = until disarmed).
-// Returns false (and arms nothing) if `site` is not a declared site.
+// passes succeed. With `period` == 0 the next `count` passes fail
+// consecutively (-1 = until disarmed); with `period` == N > 0 every Nth
+// post-skip pass fires (pass N, 2N, 3N, ...), still bounded by `count`
+// total fires. Returns false (and arms nothing) if `site` is not a
+// declared site.
 bool Arm(const std::string& site, Status status, int skip = 0,
-         int count = -1);
+         int count = -1, int period = 0);
+
+// Arms `site` to raise SIGKILL when due (same skip/count/period schedule).
+// The process dies exactly at the site — no destructors, no flushes —
+// which is what the kill-torture harness uses to crash inside io.*
+// windows. Returns false for undeclared sites.
+bool ArmKill(const std::string& site, int skip = 0, int count = -1,
+             int period = 0);
+
+// Parses a MDC_FAILPOINTS-style spec ("site=action[:skip=N][:count=N]
+// [:period=N];...") and arms every clause. Actions: internal, notfound,
+// kill. Empty spec is OK (arms nothing). Any malformed clause or unknown
+// site/action is an error and nothing new stays armed.
+Status ArmFromEnvSpec(const std::string& spec);
 
 void Disarm(const std::string& site);
 void DisarmAll();
@@ -53,9 +82,9 @@ Status Trigger(const char* site);
 class ScopedFailpoint {
  public:
   ScopedFailpoint(std::string site, Status status, int skip = 0,
-                  int count = -1)
+                  int count = -1, int period = 0)
       : site_(std::move(site)) {
-    armed_ = Arm(site_, std::move(status), skip, count);
+    armed_ = Arm(site_, std::move(status), skip, count, period);
   }
   ~ScopedFailpoint() { Disarm(site_); }
   ScopedFailpoint(const ScopedFailpoint&) = delete;

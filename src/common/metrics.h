@@ -118,8 +118,8 @@ struct MetricsSnapshot {
 // commit points). "eval." and "partition." counters are also
 // schedule-independent for the wave searches but NOT for stochastic
 // speculation, so they are excluded here.
-inline constexpr const char* kDeterministicPrefixes[] = {"search.", "run.",
-                                                         "batch.", "cmp."};
+inline constexpr const char* kDeterministicPrefixes[] = {
+    "search.", "run.", "batch.", "cmp.", "svc."};
 
 // Interns `name` (first call) and returns the process-wide instrument.
 // The same name always maps to the same instrument; a name must not be

@@ -39,6 +39,8 @@ enum class SnapshotKind : uint32_t {
   kParetoLattice = 4,
   kStochastic = 5,
   kBatch = 6,
+  kServiceJob = 7,      // One admitted job's durable journal record.
+  kServiceOutcome = 8,  // One job's terminal outcome record.
 };
 
 // CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.

@@ -93,15 +93,60 @@ StatusOr<BatchCheckpointData> DeserializeOutcomes(std::string_view bytes) {
   return data;
 }
 
-int64_t BackoffMs(const BatchRunnerConfig& config, int retry_number) {
-  int64_t delay = config.backoff_base_ms;
-  for (int i = 1; i < retry_number && delay < config.backoff_max_ms; ++i) {
-    delay *= 2;
-  }
-  return std::min(delay, config.backoff_max_ms);
+// splitmix64: small, seedable, platform-stable — delays must be
+// reproducible for a fixed config on any libc.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
+
+uint64_t BackoffSalt(std::string_view text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+BackoffSequence::BackoffSequence(int64_t base_ms, int64_t max_ms, bool jitter,
+                                 uint64_t seed, uint64_t salt)
+    : base_ms_(base_ms),
+      max_ms_(max_ms),
+      jitter_(jitter),
+      rng_state_(seed ^ salt),
+      prev_ms_(base_ms) {}
+
+BackoffSequence::BackoffSequence(const BatchRunnerConfig& config,
+                                 uint64_t salt)
+    : BackoffSequence(config.backoff_base_ms, config.backoff_max_ms,
+                      config.backoff_jitter, config.backoff_jitter_seed,
+                      salt) {}
+
+int64_t BackoffSequence::NextDelayMs(int retry_number) {
+  if (base_ms_ <= 0) return 0;
+  if (!jitter_) {
+    int64_t delay = base_ms_;
+    for (int i = 1; i < retry_number && delay < max_ms_; ++i) {
+      delay *= 2;
+    }
+    return std::min(delay, max_ms_);
+  }
+  // Decorrelated jitter: uniform over [base, min(max, 3 * previous)].
+  int64_t ceiling = std::min(max_ms_, prev_ms_ > max_ms_ / 3
+                                          ? max_ms_
+                                          : 3 * prev_ms_);
+  if (ceiling < base_ms_) ceiling = base_ms_;
+  uint64_t span = static_cast<uint64_t>(ceiling - base_ms_) + 1;
+  int64_t delay =
+      base_ms_ + static_cast<int64_t>(SplitMix64(&rng_state_) % span);
+  prev_ms_ = delay;
+  return delay;
+}
 
 std::string JobStateName(JobState state) {
   switch (state) {
@@ -239,6 +284,7 @@ StatusOr<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
     JobOutcome outcome;
     outcome.id = job.id;
     TRACE_SPAN("batch/job");
+    BackoffSequence backoff(config, BackoffSalt(job.id));
     while (true) {
       ++outcome.attempts;
       MDC_METRIC_INC("batch.attempts");
@@ -273,7 +319,7 @@ StatusOr<BatchResult> RunBatch(const std::vector<BatchJob>& jobs,
         break;
       }
       int64_t delay =
-          BackoffMs(config, static_cast<int>(outcome.attempts));
+          backoff.NextDelayMs(static_cast<int>(outcome.attempts));
       if (delay > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(delay));
       }

@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/run_context.h"
@@ -62,6 +63,16 @@ struct BatchRunnerConfig {
   int max_retries = 2;           // Retries after the first attempt.
   int64_t backoff_base_ms = 10;  // First retry delay; doubles per retry.
   int64_t backoff_max_ms = 1000;
+  // Bounded decorrelated jitter on retry delays: each delay is drawn
+  // uniformly from [base, min(max, 3 * previous delay)], which keeps the
+  // exponential envelope but desynchronizes concurrent retry loops so
+  // multi-tenant load cannot form a synchronized retry storm. The draw
+  // stream is seeded from jitter_seed XOR a per-job id hash, so delays are
+  // reproducible for a fixed config. Jitter affects only sleep durations —
+  // the deterministic-counter contract is untouched because batch.retries
+  // is charged at attempt commit points, never from timing.
+  bool backoff_jitter = true;
+  uint64_t backoff_jitter_seed = 0;
   // Batch checkpoint file; empty disables checkpointing. Written durably
   // after every terminal job and loaded (strictly — a corrupt file is an
   // error, not a silent fresh start) before the first.
@@ -84,6 +95,35 @@ struct BatchResult {
 // Everything else is deterministic and quarantines the job. kCancelled is
 // neither — it aborts the whole batch.
 bool IsTransientStatus(const Status& status);
+
+// Retry-delay stream for one job's attempts. With jitter disabled the
+// stream is the classic deterministic doubling base, 2*base, 4*base, ...
+// capped at max; with jitter enabled it is bounded decorrelated jitter
+// (see BatchRunnerConfig::backoff_jitter). Reused by the service layer so
+// every supervised retry loop in the system shares one backoff law.
+class BackoffSequence {
+ public:
+  // `salt` decorrelates streams (callers pass a job-id hash).
+  BackoffSequence(int64_t base_ms, int64_t max_ms, bool jitter,
+                  uint64_t seed, uint64_t salt);
+  explicit BackoffSequence(const BatchRunnerConfig& config, uint64_t salt);
+
+  // Delay before retry `retry_number` (1 = first retry). Always within
+  // [0, max_ms]; with base_ms <= 0 always 0. Calls must be made with
+  // retry_number increasing from 1 — the jittered stream is stateful.
+  int64_t NextDelayMs(int retry_number);
+
+ private:
+  int64_t base_ms_;
+  int64_t max_ms_;
+  bool jitter_;
+  uint64_t rng_state_;
+  int64_t prev_ms_;
+};
+
+// FNV-1a over `text`; the salt BackoffSequence callers derive from a job
+// id so per-job delay streams differ even under one seed.
+uint64_t BackoffSalt(std::string_view text);
 
 // Runs a job once under a fresh RunContext built from its budgets. The
 // Status the executor returns classifies the attempt; a returned OK with

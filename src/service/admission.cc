@@ -1,0 +1,127 @@
+#include "service/admission.h"
+
+#include "common/check.h"
+
+namespace mdc::service {
+
+const char* AdmitDecisionName(AdmitDecision decision) {
+  switch (decision) {
+    case AdmitDecision::kAdmitted:
+      return "admitted";
+    case AdmitDecision::kOverloadedWindow:
+      return "overloaded_window";
+    case AdmitDecision::kOverloadedTenant:
+      return "overloaded_tenant";
+    case AdmitDecision::kDuplicateId:
+      return "duplicate_id";
+    case AdmitDecision::kDraining:
+      return "draining";
+    case AdmitDecision::kInvalidSpec:
+      return "invalid_spec";
+  }
+  return "unknown";
+}
+
+bool IsOverloaded(AdmitDecision decision) {
+  return decision == AdmitDecision::kOverloadedWindow ||
+         decision == AdmitDecision::kOverloadedTenant;
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config)
+    : config_(config) {
+  MDC_CHECK_MSG(config_.quantum > 0, "admission quantum must be positive");
+}
+
+AdmitDecision AdmissionQueue::Admit(const JobSpec& spec) {
+  if (draining_) return AdmitDecision::kDraining;
+  if (!IsValidToken(spec.id) || !IsValidToken(spec.tenant) ||
+      spec.cost == 0) {
+    return AdmitDecision::kInvalidSpec;
+  }
+  if (queued_ids_.count(spec.id) != 0) return AdmitDecision::kDuplicateId;
+  if (window_cost_ + spec.cost > config_.window_capacity) {
+    return AdmitDecision::kOverloadedWindow;
+  }
+  if (config_.tenant_budget > 0) {
+    auto it = tenants_.find(spec.tenant);
+    uint64_t tenant_cost = it == tenants_.end() ? 0 : it->second.window_cost;
+    if (tenant_cost + spec.cost > config_.tenant_budget) {
+      return AdmitDecision::kOverloadedTenant;
+    }
+  }
+  Requeue(spec);
+  return AdmitDecision::kAdmitted;
+}
+
+void AdmissionQueue::Requeue(const JobSpec& spec) {
+  auto [it, inserted] = tenants_.try_emplace(spec.tenant);
+  if (inserted) ring_.push_back(spec.tenant);
+  it->second.window_cost += spec.cost;
+  window_cost_ += spec.cost;
+  queued_ids_.insert(spec.id);
+  it->second.jobs.push_back(spec);
+  ++queued_;
+}
+
+std::optional<JobSpec> AdmissionQueue::Dequeue() {
+  if (queued_ == 0) return std::nullopt;
+  // DRR: visit tenants in arrival order; a visit refills the deficit; a
+  // job dispatches when its cost fits. Terminates because some tenant is
+  // non-empty and every full ring pass grows its deficit by quantum.
+  while (true) {
+    MDC_CHECK(!ring_.empty());
+    Tenant& tenant = tenants_[ring_[ring_pos_]];
+    if (tenant.jobs.empty()) {
+      tenant.deficit = 0;
+      ring_pos_ = (ring_pos_ + 1) % ring_.size();
+      continue;
+    }
+    if (tenant.deficit >= tenant.jobs.front().cost) {
+      JobSpec job = std::move(tenant.jobs.front());
+      tenant.jobs.pop_front();
+      tenant.deficit -= job.cost;
+      if (tenant.jobs.empty()) tenant.deficit = 0;
+      queued_ids_.erase(job.id);
+      --queued_;
+      return job;
+    }
+    tenant.deficit += config_.quantum;
+    ring_pos_ = (ring_pos_ + 1) % ring_.size();
+  }
+}
+
+void AdmissionQueue::Abandon(const JobSpec& spec) {
+  auto it = tenants_.find(spec.tenant);
+  if (it == tenants_.end() || it->second.jobs.empty() ||
+      it->second.jobs.back().id != spec.id) {
+    return;  // Not the newest entry — nothing to roll back.
+  }
+  it->second.jobs.pop_back();
+  it->second.window_cost -= spec.cost;
+  window_cost_ -= spec.cost;
+  queued_ids_.erase(spec.id);
+  --queued_;
+}
+
+void AdmissionQueue::ResetWindow() {
+  window_cost_ = 0;
+  for (auto& [name, tenant] : tenants_) {
+    (void)name;
+    tenant.window_cost = 0;
+  }
+}
+
+void AdmissionQueue::CloseForDrain() { draining_ = true; }
+
+std::vector<std::string> AdmissionQueue::QueuedIds() const {
+  // Simulate the DRR dispatch on a copy — the order the worker will see.
+  AdmissionQueue copy(*this);
+  std::vector<std::string> ids;
+  ids.reserve(queued_);
+  while (auto job = copy.Dequeue()) {
+    ids.push_back(job->id);
+  }
+  return ids;
+}
+
+}  // namespace mdc::service

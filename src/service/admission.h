@@ -1,0 +1,124 @@
+// Bounded, multi-tenant admission control with deterministic shedding.
+//
+// The service must never let its queue grow without bound, and a rejected
+// job must be rejected *deterministically* — the same arrival order always
+// sheds the same jobs, independent of how fast the worker drains the
+// queue. That rules out accounting against instantaneous queue occupancy
+// (a race between client and worker). Instead budgets are charged per
+// **admission window**: every accepted job consumes cost units from a
+// global budget and from its tenant's budget, and the window resets only
+// at client-visible barriers (an explicit `wait` reaching idle, a drain,
+// or service start). Decisions therefore depend only on the arrival
+// sequence and the barrier positions, both of which the client controls.
+// The in-memory queue is bounded by the window capacity as a corollary
+// (queued <= admitted-this-window).
+//
+// Dispatch order is deficit round-robin (DRR) across tenants: tenants are
+// visited in first-arrival order, each visit refills the tenant's deficit
+// by `quantum`, and a job is dispatched when its head-of-queue cost fits
+// the deficit. One greedy tenant cannot starve the others; cost-weighted
+// jobs (cost=4 compare sweeps vs cost=1 anonymize calls) share capacity
+// proportionally. Dequeue order is a pure function of the admitted
+// sequence, so the worker's schedule is deterministic too.
+//
+// Not thread-safe: ServiceCore serializes access under its own mutex.
+
+#ifndef MDC_SERVICE_ADMISSION_H_
+#define MDC_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/job_spec.h"
+
+namespace mdc::service {
+
+struct AdmissionConfig {
+  // Cost units admitted per window across all tenants. The hard bound on
+  // queue growth.
+  uint64_t window_capacity = 256;
+  // Cost units one tenant may admit per window; 0 = no per-tenant bound
+  // (the global capacity still applies).
+  uint64_t tenant_budget = 0;
+  // DRR deficit refill per tenant visit.
+  uint64_t quantum = 1;
+};
+
+// Why a submit was accepted or shed. Shedding is typed — the client always
+// learns which budget rejected it, never a silent drop or a blocked queue.
+enum class AdmitDecision : uint32_t {
+  kAdmitted = 0,
+  kOverloadedWindow = 1,  // Global window capacity exhausted.
+  kOverloadedTenant = 2,  // Tenant window budget exhausted.
+  kDuplicateId = 3,       // Id already queued (or known to the service).
+  kDraining = 4,          // Service is draining; no new work.
+  kInvalidSpec = 5,       // Empty id / zero cost.
+};
+
+// Stable lower-case name ("admitted", "overloaded_window", ...).
+const char* AdmitDecisionName(AdmitDecision decision);
+
+// True for the two kOverloaded* decisions.
+bool IsOverloaded(AdmitDecision decision);
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionConfig config);
+
+  // Decides deterministically from the admission sequence alone; on
+  // kAdmitted the job joins its tenant's queue.
+  AdmitDecision Admit(const JobSpec& spec);
+
+  // Recovery path: journaled jobs were admitted by a previous process
+  // life, so they bypass window budgets (they still charge them, keeping
+  // later decisions conservative) and re-enter in admission order.
+  void Requeue(const JobSpec& spec);
+
+  // Next job in DRR order; nullopt when empty.
+  std::optional<JobSpec> Dequeue();
+
+  // Rolls back an Admit whose durable journal write failed: removes the
+  // job (it is its tenant's newest entry) and refunds the window charges,
+  // as if the submit never happened.
+  void Abandon(const JobSpec& spec);
+
+  // Closes the window barrier: window charges reset. Call only at
+  // client-visible idle points (wait-idle, drain, start) or determinism is
+  // lost.
+  void ResetWindow();
+
+  // Stop admitting (Admit returns kDraining); queued jobs still dequeue.
+  void CloseForDrain();
+  bool draining() const { return draining_; }
+
+  size_t queued() const { return queued_; }
+  uint64_t window_cost() const { return window_cost_; }
+  std::vector<std::string> QueuedIds() const;  // DRR dispatch order.
+
+ private:
+  struct Tenant {
+    std::deque<JobSpec> jobs;
+    uint64_t deficit = 0;
+    uint64_t window_cost = 0;
+  };
+
+  AdmissionConfig config_;
+  std::map<std::string, Tenant> tenants_;
+  std::set<std::string> queued_ids_;
+  // Tenants in first-arrival order; entries stay after a tenant empties so
+  // the visit order is stable for the life of the queue.
+  std::vector<std::string> ring_;
+  size_t ring_pos_ = 0;
+  uint64_t window_cost_ = 0;
+  size_t queued_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace mdc::service
+
+#endif  // MDC_SERVICE_ADMISSION_H_

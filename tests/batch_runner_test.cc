@@ -9,6 +9,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -277,6 +278,64 @@ TEST(BatchRunnerTest, RejectsMalformedJobSpecs) {
   EXPECT_FALSE(ParseJobSpecCsv("id,k\na\n").ok());              // Ragged row.
   EXPECT_FALSE(ParseJobSpecCsv("id,deadline_ms\na,soon\n").ok());
   EXPECT_FALSE(ParseJobSpecCsv("id,max_steps\na,-5\n").ok());
+}
+
+TEST(BatchRunnerTest, BackoffWithoutJitterIsTheClassicDoubling) {
+  BackoffSequence backoff(/*base_ms=*/10, /*max_ms=*/1000, /*jitter=*/false,
+                          /*seed=*/0, /*salt=*/0);
+  EXPECT_EQ(backoff.NextDelayMs(1), 10);
+  EXPECT_EQ(backoff.NextDelayMs(2), 20);
+  EXPECT_EQ(backoff.NextDelayMs(3), 40);
+  EXPECT_EQ(backoff.NextDelayMs(7), 640);
+  EXPECT_EQ(backoff.NextDelayMs(8), 1000);   // Capped.
+  EXPECT_EQ(backoff.NextDelayMs(20), 1000);  // Stays capped.
+}
+
+TEST(BatchRunnerTest, JitteredBackoffStaysWithinTheDecorrelatedEnvelope) {
+  const int64_t base = 10;
+  const int64_t max = 1000;
+  BackoffSequence backoff(base, max, /*jitter=*/true, /*seed=*/42,
+                          BackoffSalt("job-a"));
+  int64_t prev = base;
+  for (int retry = 1; retry <= 50; ++retry) {
+    int64_t delay = backoff.NextDelayMs(retry);
+    EXPECT_GE(delay, base) << "retry " << retry;
+    EXPECT_LE(delay, max) << "retry " << retry;
+    // Decorrelated jitter bound: no delay exceeds 3x its predecessor.
+    EXPECT_LE(delay, std::max(base, 3 * prev)) << "retry " << retry;
+    prev = delay;
+  }
+}
+
+TEST(BatchRunnerTest, JitteredBackoffIsReproduciblePerSeedAndSalt) {
+  auto draw = [](uint64_t seed, const std::string& job) {
+    BackoffSequence backoff(10, 1000, /*jitter=*/true, seed,
+                            BackoffSalt(job));
+    std::vector<int64_t> delays;
+    for (int retry = 1; retry <= 8; ++retry) {
+      delays.push_back(backoff.NextDelayMs(retry));
+    }
+    return delays;
+  };
+  // Same seed + same job id -> the identical stream.
+  EXPECT_EQ(draw(42, "job-a"), draw(42, "job-a"));
+  // Different jobs under one seed (and different seeds for one job)
+  // desynchronize — the whole point of jitter.
+  EXPECT_NE(draw(42, "job-a"), draw(42, "job-b"));
+  EXPECT_NE(draw(42, "job-a"), draw(43, "job-a"));
+}
+
+TEST(BatchRunnerTest, ZeroBaseBackoffNeverSleepsEvenWithJitter) {
+  BackoffSequence jittered(/*base_ms=*/0, /*max_ms=*/1000, /*jitter=*/true,
+                           /*seed=*/7, /*salt=*/9);
+  for (int retry = 1; retry <= 5; ++retry) {
+    EXPECT_EQ(jittered.NextDelayMs(retry), 0);
+  }
+}
+
+TEST(BatchRunnerTest, BackoffSaltDiffersAcrossJobIds) {
+  EXPECT_NE(BackoffSalt("job-a"), BackoffSalt("job-b"));
+  EXPECT_EQ(BackoffSalt("job-a"), BackoffSalt("job-a"));
 }
 
 TEST(BatchRunnerTest, TransientStatusClassification) {

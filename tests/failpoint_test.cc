@@ -7,11 +7,13 @@
 #include "common/failpoint.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "anonymize/clustering.h"
 #include "anonymize/datafly.h"
@@ -28,6 +30,7 @@
 #include "core/report.h"
 #include "hierarchy/spec_parser.h"
 #include "paper/paper_data.h"
+#include "service/service_core.h"
 #include "table/dataset.h"
 
 namespace mdc {
@@ -157,6 +160,33 @@ std::map<std::string, std::function<Status()>> Drivers() {
   drivers["cmp.read"] = [] {
     return PropertyMatrix::FromCsv("p0,1,2\np1,3,4\n").status();
   };
+  drivers["svc.execute"] = [] {
+    // The site fires once per service job attempt; run one job through a
+    // fresh ServiceCore and surface its outcome as the driver Status.
+    static int invocation = 0;
+    service::ServiceConfig config;
+    config.state_dir = "/tmp/mdc_failpoint_svc_" +
+                       std::to_string(::getpid()) + "_" +
+                       std::to_string(invocation++);
+    config.max_retries = 0;  // One attempt: the outcome is the injection.
+    config.backoff_base_ms = 0;
+    auto core = service::ServiceCore::Start(
+        config, [](const service::ServiceCore::ExecRequest&) {
+          service::ServiceCore::ExecResult result;
+          result.artifact = "probe artifact\n";
+          return result;
+        });
+    MDC_CHECK(core.ok());
+    service::JobSpec spec;
+    spec.id = "probe";
+    auto decision = (*core)->Submit(spec);
+    MDC_CHECK(decision.ok());
+    (*core)->WaitIdle();
+    std::vector<JobOutcome> outcomes = (*core)->Outcomes();
+    MDC_CHECK(outcomes.size() == 1);
+    if (outcomes[0].state == JobState::kOk) return Status::Ok();
+    return Status::Internal(outcomes[0].message);
+  };
   return drivers;
 }
 
@@ -212,6 +242,87 @@ TEST(FailpointTest, SkipAndCountArmNthPass) {
   EXPECT_FALSE(ParseCsv("a\n").ok());
   EXPECT_TRUE(ParseCsv("a\n").ok());
   EXPECT_EQ(failpoint::HitCount("csv.parse"), 1);
+}
+
+TEST(FailpointTest, PeriodArmsEveryNthPass) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "library built with MDC_FAILPOINTS=OFF";
+  }
+  // period=3: post-skip passes 3, 6, 9, ... fire; everything else passes.
+  failpoint::ScopedFailpoint fp("csv.parse", Status::Internal("periodic"),
+                                /*skip=*/0, /*count=*/-1, /*period=*/3);
+  ASSERT_TRUE(fp.armed());
+  for (int pass = 1; pass <= 9; ++pass) {
+    bool should_fire = pass % 3 == 0;
+    EXPECT_EQ(ParseCsv("a\n").ok(), !should_fire) << "pass " << pass;
+  }
+  EXPECT_EQ(failpoint::HitCount("csv.parse"), 3);
+}
+
+TEST(FailpointTest, PeriodComposesWithSkipAndCount) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "library built with MDC_FAILPOINTS=OFF";
+  }
+  // skip=2, period=2, count=2: passes 1-2 skipped, then post-skip passes
+  // 2 and 4 fire (the count exhausts), everything after succeeds.
+  failpoint::ScopedFailpoint fp("csv.parse", Status::Internal("composed"),
+                                /*skip=*/2, /*count=*/2, /*period=*/2);
+  ASSERT_TRUE(fp.armed());
+  std::vector<bool> expected_ok = {true, true, true, false, true, false,
+                                   true, true};
+  for (size_t pass = 0; pass < expected_ok.size(); ++pass) {
+    EXPECT_EQ(ParseCsv("a\n").ok(), expected_ok[pass]) << "pass " << pass;
+  }
+  EXPECT_EQ(failpoint::HitCount("csv.parse"), 2);
+}
+
+TEST(FailpointTest, ArmFromEnvSpecArmsEveryClause) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "library built with MDC_FAILPOINTS=OFF";
+  }
+  failpoint::DisarmAll();
+  ASSERT_TRUE(failpoint::ArmFromEnvSpec(
+                  "csv.parse=internal:skip=1:count=1; csv.write_file=notfound")
+                  .ok());
+  EXPECT_TRUE(ParseCsv("a\n").ok());  // skip=1
+  Status injected = ParseCsv("a\n").status();
+  EXPECT_EQ(injected.code(), StatusCode::kInternal);
+  EXPECT_TRUE(ParseCsv("a\n").ok());  // count exhausted
+  Status write = WriteStringToFile("/tmp/mdc_failpoint_env.csv", "a\n");
+  EXPECT_EQ(write.code(), StatusCode::kNotFound);
+  failpoint::DisarmAll();
+}
+
+TEST(FailpointTest, ArmFromEnvSpecAcceptsKillAction) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "library built with MDC_FAILPOINTS=OFF";
+  }
+  failpoint::DisarmAll();
+  // Arm-only: triggering a kill site would SIGKILL this test process (the
+  // torture harness exercises the firing path in a child).
+  EXPECT_TRUE(
+      failpoint::ArmFromEnvSpec("io.rename=kill:skip=1000000").ok());
+  failpoint::DisarmAll();
+}
+
+TEST(FailpointTest, ArmFromEnvSpecRejectsMalformedSpecsAtomically) {
+  failpoint::DisarmAll();
+  EXPECT_EQ(failpoint::ArmFromEnvSpec("nonsense").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromEnvSpec("no.such.site=internal").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromEnvSpec("csv.parse=explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromEnvSpec("csv.parse=internal:bogus=1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromEnvSpec("csv.parse=internal:skip=x").code(),
+            StatusCode::kInvalidArgument);
+  // Validation is all-or-nothing: the valid first clause of a spec with an
+  // invalid second clause must not have been armed.
+  EXPECT_EQ(
+      failpoint::ArmFromEnvSpec("csv.parse=internal;no.such.site=kill").code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ParseCsv("a\n").ok());
 }
 
 TEST(FailpointTest, DisarmedSitesDoNotFire) {

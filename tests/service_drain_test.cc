@@ -1,0 +1,320 @@
+// Process-level drain semantics for the resident service and the batch
+// runner, driven against the real CLI binary (path injected via
+// MDC_CLI_BIN):
+//
+//  * `mdc_cli serve` + SIGTERM: the daemon stops admitting, drains, and
+//    exits 0; the state directory holds no partially written artifacts
+//    (`*.tmp`), and a restart + resubmission converges to artifacts that
+//    are byte-identical to an uninterrupted reference run.
+//  * `mdc_cli batch` + SIGTERM mid-run: exit code 3, the checkpoint loads
+//    (re-running the same command resumes), no partial artifacts, and the
+//    resumed artifact set is byte-identical to an uninterrupted run.
+//  * The deterministic counters the service flushes at drain
+//    (state-dir/counters.txt) are byte-identical across --threads values.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service_process_util.h"
+
+namespace mdc {
+namespace {
+
+using testing::CliProcess;
+using testing::ListFilesUnder;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = "/tmp/mdc_drain_" + name + "_" +
+                    std::to_string(static_cast<long>(::getpid()));
+  std::string cleanup = "rm -rf " + dir;
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
+  EXPECT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  return dir;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// The canonical job set for serve tests: a spread of algorithms plus a
+// comparison so both anonymize and compare artifact paths are exercised.
+std::vector<std::string> ServeJobs() {
+  return {
+      "submit d1 kind=anonymize algorithm=datafly k=3",
+      "submit m1 kind=anonymize algorithm=mondrian k=2",
+      "submit s1 kind=anonymize algorithm=samarati k=3 max_suppression=0.2",
+      "submit o1 kind=anonymize algorithm=optimal k=2",
+      "submit c1 kind=compare algorithms=datafly,mondrian k=3",
+      "submit r1 kind=report algorithm=datafly k=2",
+  };
+}
+
+// Maps every artifact file under <dir>/artifacts to its bytes.
+std::vector<std::pair<std::string, std::string>> ArtifactSet(
+    const std::string& state_dir) {
+  std::vector<std::string> names;
+  ListFilesUnder(state_dir + "/artifacts", "", names);
+  std::vector<std::pair<std::string, std::string>> set;
+  for (const std::string& name : names) {
+    set.emplace_back(name, ReadFileOrEmpty(state_dir + "/artifacts/" + name));
+  }
+  return set;
+}
+
+int CountTmpFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  ListFilesUnder(dir, "", files);
+  int tmp = 0;
+  for (const std::string& f : files) {
+    if (f.size() >= 4 && f.compare(f.size() - 4, 4, ".tmp") == 0) ++tmp;
+  }
+  return tmp;
+}
+
+// Runs a full, uninterrupted serve session over `jobs` and returns the
+// state dir. The resulting artifacts are the byte-identical reference.
+std::string ReferenceServeRun(const std::string& tag,
+                              const std::vector<std::string>& jobs) {
+  std::string dir = FreshDir(tag);
+  CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
+  std::string line;
+  EXPECT_TRUE(serve.ReadLine(line));
+  EXPECT_EQ(line.rfind("ready recovered=0", 0), 0u) << line;
+  for (const std::string& job : jobs) {
+    EXPECT_TRUE(serve.SendLine(job));
+    EXPECT_TRUE(serve.ReadLine(line));
+    EXPECT_EQ(line.rfind("ok ", 0), 0u) << line;
+  }
+  EXPECT_TRUE(serve.SendLine("wait"));
+  EXPECT_TRUE(serve.ReadLine(line));
+  EXPECT_EQ(line, "ok wait idle");
+  serve.CloseStdin();
+  int status = serve.Wait();
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  return dir;
+}
+
+TEST(ServeDrainTest, SigtermDrainsDurablyAndResumesByteIdentically) {
+  const std::vector<std::string> jobs = ServeJobs();
+  const std::string reference = ReferenceServeRun("serve_ref", jobs);
+  const auto want = ArtifactSet(reference);
+  ASSERT_EQ(want.size(), jobs.size());
+
+  // Life 1: submit everything, then SIGTERM immediately — the worker is
+  // somewhere in the middle of the queue.
+  std::string dir = FreshDir("serve_int");
+  {
+    CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
+    std::string line;
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line.rfind("ready recovered=0", 0), 0u) << line;
+    for (const std::string& job : jobs) {
+      ASSERT_TRUE(serve.SendLine(job));
+      ASSERT_TRUE(serve.ReadLine(line));
+      ASSERT_EQ(line.rfind("ok ", 0), 0u) << line;
+    }
+    serve.Signal(SIGTERM);
+    int status = serve.Wait();
+    ASSERT_TRUE(WIFEXITED(status)) << "serve must drain, not die, on SIGTERM";
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // Graceful drain never leaves torn writes behind.
+  EXPECT_EQ(CountTmpFiles(dir), 0);
+
+  // Any artifact the drained life did finish must already be byte-exact.
+  for (const auto& [name, bytes] : ArtifactSet(dir)) {
+    bool matched = false;
+    for (const auto& [ref_name, ref_bytes] : want) {
+      if (ref_name == name) {
+        matched = true;
+        EXPECT_EQ(bytes, ref_bytes) << "partial artifact " << name;
+      }
+    }
+    EXPECT_TRUE(matched) << "unexpected artifact " << name;
+  }
+
+  // Life 2: restart, resubmit everything (completed jobs are typed
+  // duplicate rejections), and let the recovered queue finish.
+  {
+    CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
+    std::string line;
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line.rfind("ready recovered=", 0), 0u) << line;
+    for (const std::string& job : jobs) {
+      ASSERT_TRUE(serve.SendLine(job));
+      ASSERT_TRUE(serve.ReadLine(line));
+      ASSERT_TRUE(line.rfind("ok ", 0) == 0 ||
+                  line.rfind("rejected ", 0) == 0)
+          << line;
+      if (line.rfind("rejected ", 0) == 0) {
+        EXPECT_NE(line.find("duplicate_id"), std::string::npos) << line;
+      }
+    }
+    ASSERT_TRUE(serve.SendLine("wait"));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line, "ok wait idle");
+    ASSERT_TRUE(serve.SendLine("drain"));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line, "ok drain");
+    serve.CloseStdin();
+    int status = serve.Wait();
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  EXPECT_EQ(CountTmpFiles(dir), 0);
+  EXPECT_EQ(ArtifactSet(dir), want)
+      << "resumed artifacts must be byte-identical to the uninterrupted run";
+}
+
+TEST(ServeDrainTest, DeterministicCountersAreIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> jobs = ServeJobs();
+  std::vector<std::string> counter_files;
+  for (const char* threads : {"1", "4"}) {
+    std::string dir = FreshDir(std::string("serve_threads_") + threads);
+    CliProcess serve(MDC_CLI_BIN,
+                     {"serve", "--state-dir", dir, "--threads", threads});
+    std::string line;
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line.rfind("ready recovered=0", 0), 0u) << line;
+    for (const std::string& job : jobs) {
+      ASSERT_TRUE(serve.SendLine(job));
+      ASSERT_TRUE(serve.ReadLine(line));
+      ASSERT_EQ(line.rfind("ok ", 0), 0u) << line;
+    }
+    ASSERT_TRUE(serve.SendLine("wait"));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line, "ok wait idle");
+    ASSERT_TRUE(serve.SendLine("drain"));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line, "ok drain");
+    serve.CloseStdin();
+    int status = serve.Wait();
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+    std::string counters = ReadFileOrEmpty(dir + "/counters.txt");
+    ASSERT_FALSE(counters.empty()) << "drain must flush counters.txt";
+    counter_files.push_back(counters);
+  }
+  EXPECT_EQ(counter_files[0], counter_files[1])
+      << "svc./batch./search. counters must not depend on --threads";
+}
+
+// ---------------------------------------------------------------------------
+// batch + SIGTERM: checkpoint loads, no partial artifacts, byte-identical
+// resume.
+
+std::string BatchJobsCsv(int jobs) {
+  std::string csv = "id,algorithm,k\n";
+  for (int i = 0; i < jobs; ++i) {
+    // Alternate algorithms so the batch is not one homogeneous loop; the
+    // optimal jobs are the slow ones that give the signal a window.
+    const char* algorithm = (i % 2 == 0) ? "optimal" : "datafly";
+    csv += "job" + std::to_string(i) + "," + algorithm + ",3\n";
+  }
+  return csv;
+}
+
+int CountCsvArtifacts(const std::string& dir) {
+  std::vector<std::string> files;
+  ListFilesUnder(dir, "", files);
+  int count = 0;
+  for (const std::string& f : files) {
+    if (f.size() >= 4 && f.compare(f.size() - 4, 4, ".csv") == 0) ++count;
+  }
+  return count;
+}
+
+TEST(BatchDrainTest, SigtermMidBatchCheckpointsAndResumesByteIdentically) {
+  constexpr int kJobs = 48;
+  const std::string jobs_csv = BatchJobsCsv(kJobs);
+
+  // Uninterrupted reference.
+  std::string ref_dir = FreshDir("batch_ref");
+  std::string ref_jobs = ref_dir + ".jobs.csv";  // Outside the artifact dir.
+  WriteFile(ref_jobs, jobs_csv);
+  {
+    CliProcess batch(MDC_CLI_BIN, {"batch", "--jobs", ref_jobs,
+                                   "--checkpoint-dir", ref_dir});
+    batch.CloseStdin();
+    int status = batch.Wait();
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+  ASSERT_EQ(CountCsvArtifacts(ref_dir), kJobs);
+
+  // Interrupted run: SIGTERM once the batch is visibly mid-flight. The
+  // kill lands at a job boundary (cooperative cancellation), so with a
+  // 48-job batch the window is wide; if the batch still wins the race we
+  // retry on a fresh directory rather than flake.
+  std::string dir;
+  bool interrupted = false;
+  for (int attempt = 0; attempt < 5 && !interrupted; ++attempt) {
+    dir = FreshDir("batch_int_" + std::to_string(attempt));
+    std::string jobs_path = dir + ".jobs.csv";
+    WriteFile(jobs_path, jobs_csv);
+    CliProcess batch(MDC_CLI_BIN, {"batch", "--jobs", jobs_path,
+                                   "--checkpoint-dir", dir});
+    // Wait until at least two artifacts are durable, then pull the plug.
+    for (int spin = 0; spin < 20000 && CountCsvArtifacts(dir) < 2; ++spin) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    batch.Signal(SIGTERM);
+    batch.CloseStdin();
+    int status = batch.Wait();
+    ASSERT_TRUE(WIFEXITED(status)) << "batch must exit cleanly on SIGTERM";
+    if (WEXITSTATUS(status) == 0) continue;  // Finished before the signal.
+    ASSERT_EQ(WEXITSTATUS(status), 3)
+        << "interrupted batch must exit with the `interrupted` code";
+    interrupted = true;
+  }
+  ASSERT_TRUE(interrupted) << "could not interrupt a 48-job batch in 5 tries";
+
+  // Invariants at the interruption point: durable checkpoint, fewer
+  // artifacts than jobs, no torn writes.
+  EXPECT_FALSE(ReadFileOrEmpty(dir + "/batch_checkpoint.bin").empty());
+  EXPECT_LT(CountCsvArtifacts(dir), kJobs);
+  EXPECT_EQ(CountTmpFiles(dir), 0);
+
+  // Resume: the same command again runs only the remainder and exits 0.
+  {
+    std::string jobs_path = dir + ".jobs.csv";
+    CliProcess batch(MDC_CLI_BIN, {"batch", "--jobs", jobs_path,
+                                   "--checkpoint-dir", dir});
+    batch.CloseStdin();
+    int status = batch.Wait();
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0)
+        << "checkpoint must load and the batch must complete on resume";
+  }
+  ASSERT_EQ(CountCsvArtifacts(dir), kJobs);
+  EXPECT_EQ(CountTmpFiles(dir), 0);
+
+  // Byte-identical artifacts versus the uninterrupted reference.
+  for (int i = 0; i < kJobs; ++i) {
+    std::string name = "/job" + std::to_string(i) + ".csv";
+    EXPECT_EQ(ReadFileOrEmpty(dir + name), ReadFileOrEmpty(ref_dir + name))
+        << "artifact diverged after resume: job" << i;
+  }
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,167 @@
+// Child-process driver for the service/batch robustness tests: spawns the
+// real CLI binary with pipes on stdin/stdout, speaks the serve protocol,
+// delivers signals, and reaps exits. Used by service_drain_test.cc and
+// service_torture_test.cc (the kill-torture harness).
+
+#ifndef MDC_TESTS_SERVICE_PROCESS_UTIL_H_
+#define MDC_TESTS_SERVICE_PROCESS_UTIL_H_
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mdc::testing {
+
+// A spawned CLI process with line-oriented pipes. The child's stderr passes
+// through to the test's stderr (useful on failure).
+class CliProcess {
+ public:
+  // `argv` excludes the binary path; `env_extra` entries are "KEY=VALUE"
+  // strings added to the child environment (e.g. MDC_FAILPOINTS specs).
+  CliProcess(const std::string& binary, const std::vector<std::string>& argv,
+             const std::vector<std::string>& env_extra = {}) {
+    int to_child[2];
+    int from_child[2];
+    MDC_CHECK(::pipe(to_child) == 0);
+    MDC_CHECK(::pipe(from_child) == 0);
+    pid_ = ::fork();
+    MDC_CHECK(pid_ >= 0);
+    if (pid_ == 0) {
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      for (const std::string& kv : env_extra) {
+        std::string copy = kv;
+        size_t eq = copy.find('=');
+        MDC_CHECK(eq != std::string::npos);
+        ::setenv(copy.substr(0, eq).c_str(), copy.substr(eq + 1).c_str(), 1);
+      }
+      std::vector<char*> args;
+      args.push_back(const_cast<char*>(binary.c_str()));
+      for (const std::string& arg : argv) {
+        args.push_back(const_cast<char*>(arg.c_str()));
+      }
+      args.push_back(nullptr);
+      ::execv(binary.c_str(), args.data());
+      std::perror("execv");
+      ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    in_ = ::fdopen(to_child[1], "w");
+    out_ = ::fdopen(from_child[0], "r");
+    MDC_CHECK(in_ != nullptr && out_ != nullptr);
+    // The torture harness writes to children that may be SIGKILLed at any
+    // moment; a write to a dead pipe must surface as EPIPE, not kill us.
+    ::signal(SIGPIPE, SIG_IGN);
+  }
+
+  ~CliProcess() {
+    if (in_ != nullptr) std::fclose(in_);
+    if (out_ != nullptr) std::fclose(out_);
+    if (pid_ > 0 && !reaped_) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  CliProcess(const CliProcess&) = delete;
+  CliProcess& operator=(const CliProcess&) = delete;
+
+  pid_t pid() const { return pid_; }
+
+  // False when the pipe is gone (child died) — callers treat that as a
+  // crash point, not an error.
+  bool SendLine(const std::string& line) {
+    if (std::fprintf(in_, "%s\n", line.c_str()) < 0) return false;
+    return std::fflush(in_) == 0;
+  }
+
+  // Reads one reply line (without the newline); false on EOF (child died
+  // or closed stdout).
+  bool ReadLine(std::string& line) {
+    line.clear();
+    char buffer[4096];
+    if (std::fgets(buffer, sizeof(buffer), out_) == nullptr) return false;
+    line = buffer;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    return true;
+  }
+
+  void Signal(int sig) { ::kill(pid_, sig); }
+
+  void CloseStdin() {
+    if (in_ != nullptr) {
+      std::fclose(in_);
+      in_ = nullptr;
+    }
+  }
+
+  // Blocks until the child exits; returns the raw waitpid status (use
+  // WIFEXITED/WEXITSTATUS/WTERMSIG on it).
+  int Wait() {
+    int status = 0;
+    MDC_CHECK(::waitpid(pid_, &status, 0) == pid_);
+    reaped_ = true;
+    return status;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  std::FILE* in_ = nullptr;
+  std::FILE* out_ = nullptr;
+  bool reaped_ = false;
+};
+
+// Recursively lists regular files under `dir` relative to it, sorted.
+inline void ListFilesUnder(const std::string& dir, const std::string& prefix,
+                           std::vector<std::string>& files);
+
+}  // namespace mdc::testing
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+
+namespace mdc::testing {
+
+inline void ListFilesUnder(const std::string& dir, const std::string& prefix,
+                           std::vector<std::string>& files) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  while (dirent* entry = ::readdir(handle)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::string path = dir + "/" + name;
+    struct stat info;
+    if (::stat(path.c_str(), &info) != 0) continue;
+    if (S_ISDIR(info.st_mode)) {
+      ListFilesUnder(path, prefix + name + "/", files);
+    } else {
+      files.push_back(prefix + name);
+    }
+  }
+  ::closedir(handle);
+  std::sort(files.begin(), files.end());
+}
+
+}  // namespace mdc::testing
+
+#endif  // MDC_TESTS_SERVICE_PROCESS_UTIL_H_
