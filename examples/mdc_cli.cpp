@@ -72,6 +72,7 @@
 #include "paper/paper_data.h"
 #include "privacy/k_anonymity.h"
 #include "service/service_core.h"
+#include "service/transport.h"
 
 using namespace mdc;
 
@@ -88,7 +89,10 @@ constexpr const char* kUsageHint =
     "--jobs <spec.csv> --checkpoint-dir <dir> [--max-retries <n>] "
     "[--backoff-ms <ms>] | serve --state-dir <dir> "
     "[--window-capacity <n>] [--tenant-budget <n>] [--quantum <n>] "
-    "[--default-deadline-ms <ms>]";
+    "[--default-deadline-ms <ms>] [--listen <unix:path|tcp:ip:port>] "
+    "[--max-connections <n>] [--max-line-bytes <n>] "
+    "[--net-read-deadline-ms <ms>] [--net-idle-deadline-ms <ms>] "
+    "[--net-write-deadline-ms <ms>]";
 
 constexpr const char* kKnownFlags[] = {
     "input",       "schema",      "hierarchies",    "algorithm",
@@ -97,7 +101,10 @@ constexpr const char* kKnownFlags[] = {
     "max-retries", "backoff-ms",  "threads",        "metrics-out",
     "trace-out",   "compare-engine",                "state-dir",
     "window-capacity", "tenant-budget", "quantum",
-    "default-deadline-ms"};
+    "default-deadline-ms",
+    "listen",      "max-connections", "max-line-bytes",
+    "net-read-deadline-ms", "net-idle-deadline-ms",
+    "net-write-deadline-ms"};
 
 // Signal plumbing shared by `batch` and `serve`: the handler records the
 // signal and cancels the shared token, which aborts the batch at its next
@@ -594,14 +601,39 @@ service::ServiceCore::ExecResult ExecuteServiceJob(
 // point left a byte in the self-pipe, so the poll returns immediately and
 // the drain path runs even if the signal raced the transition into the
 // blocking wait.
-enum class ReadLineResult { kLine, kEof, kSignal };
-ReadLineResult ReadProtocolLine(std::string& line, std::string& buffer) {
+//
+// Lines are capped at kMaxStdinLineBytes — the same frame bound the socket
+// front-end enforces — so a runaway writer cannot grow the buffer without
+// bound. An oversize line reports kOversize exactly once; `discarding`
+// carries the skip-to-next-newline state across calls, and the dropped
+// bytes never accumulate.
+enum class ReadLineResult { kLine, kEof, kSignal, kOversize };
+constexpr size_t kMaxStdinLineBytes = 64 * 1024;
+ReadLineResult ReadProtocolLine(std::string& line, std::string& buffer,
+                                bool& discarding) {
   while (true) {
     size_t pos = buffer.find('\n');
-    if (pos != std::string::npos) {
+    if (discarding) {
+      if (pos == std::string::npos) {
+        buffer.clear();  // Still inside the oversize line: drop and keep going.
+      } else {
+        buffer.erase(0, pos + 1);  // The oversize line finally ended.
+        discarding = false;
+        continue;
+      }
+    } else if (pos != std::string::npos) {
+      if (pos > kMaxStdinLineBytes) {
+        buffer.erase(0, pos + 1);
+        return ReadLineResult::kOversize;
+      }
       line = buffer.substr(0, pos);
       buffer.erase(0, pos + 1);
       return ReadLineResult::kLine;
+    } else if (buffer.size() > kMaxStdinLineBytes) {
+      buffer.clear();
+      buffer.shrink_to_fit();
+      discarding = true;
+      return ReadLineResult::kOversize;
     }
     if (g_signal != 0) return ReadLineResult::kSignal;
     struct pollfd fds[2];
@@ -623,8 +655,9 @@ ReadLineResult ReadProtocolLine(std::string& line, std::string& buffer) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    // EOF (or a read error, which ends the session the same way).
-    if (buffer.empty()) return ReadLineResult::kEof;
+    // EOF (or a read error, which ends the session the same way). A final
+    // unterminated fragment of a discarded oversize line stays dropped.
+    if (buffer.empty() || discarding) return ReadLineResult::kEof;
     line = std::move(buffer);
     buffer.clear();
     return ReadLineResult::kLine;
@@ -694,6 +727,43 @@ int RunServeCommand(const CliArgs& args) {
     if (!parsed.has_value()) return Fail(Status::InvalidArgument("bad --threads"));
     threads = static_cast<int>(*parsed);
   }
+  service::TransportConfig transport;
+  const bool use_socket = args.flags.count("listen") > 0;
+  if (use_socket) transport.listen = args.flags.at("listen");
+  auto parse_i64 = [&](const char* flag, int64_t& out) -> Status {
+    if (auto it = args.flags.find(flag); it != args.flags.end()) {
+      auto parsed = ParseInt64(it->second);
+      if (!parsed.has_value() || *parsed < 0) {
+        return Status::InvalidArgument(std::string("bad --") + flag);
+      }
+      out = *parsed;
+    }
+    return Status::Ok();
+  };
+  if (auto it = args.flags.find("max-connections"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.has_value() || *parsed < 1) {
+      return Fail(Status::InvalidArgument("bad --max-connections"));
+    }
+    transport.max_connections = static_cast<int>(*parsed);
+  }
+  if (Status s = parse_u64("max-line-bytes", transport.max_line_bytes);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = parse_i64("net-read-deadline-ms", transport.read_deadline_ms);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = parse_i64("net-idle-deadline-ms", transport.idle_deadline_ms);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s =
+          parse_i64("net-write-deadline-ms", transport.write_deadline_ms);
+      !s.ok()) {
+    return Fail(s);
+  }
 
   auto core_or = service::ServiceCore::Start(
       config, [threads](const service::ServiceCore::ExecRequest& request) {
@@ -703,57 +773,71 @@ int RunServeCommand(const CliArgs& args) {
   if (!core_or.ok()) return Fail(core_or.status());
   service::ServiceCore& core = **core_or;
   InstallSignalHandlers();
+
+  if (use_socket) {
+    service::SocketFrontEnd front(&core, transport);
+    if (Status s = front.Listen(); !s.ok()) return Fail(s);
+    // Startup banner: the client driver syncs on it; `recovered` tells the
+    // torture harness how many jobs survived the previous life, `listen`
+    // reports the bound address (an ephemeral tcp port is resolved here).
+    Reply("ready recovered=" + std::to_string(core.recovered_jobs()) +
+          " listen=" + front.bound_address());
+    Status drained = front.Run(g_wakeup_pipe[0], [] { return g_signal != 0; });
+    if (g_signal != 0) {
+      std::fprintf(stderr, "interrupted: drained after signal %d\n",
+                   static_cast<int>(g_signal));
+    }
+    if (!drained.ok()) return Fail(drained);
+    return 0;
+  }
+
   // Startup banner: the client driver syncs on it; `recovered` tells the
   // torture harness how many jobs survived the previous life.
   Reply("ready recovered=" + std::to_string(core.recovered_jobs()));
 
   std::string line;
   std::string buffer;
+  bool discarding = false;
   bool interrupted = false;
   while (true) {
-    ReadLineResult read = ReadProtocolLine(line, buffer);
+    ReadLineResult read = ReadProtocolLine(line, buffer, discarding);
     if (read == ReadLineResult::kSignal) {
       interrupted = true;
       break;
     }
     if (read == ReadLineResult::kEof) break;
-    std::string command = line;
-    std::string payload;
-    if (size_t space = line.find(' '); space != std::string::npos) {
-      command = line.substr(0, space);
-      payload = line.substr(space + 1);
+    if (read == ReadLineResult::kOversize) {
+      // Same typed rejection as the socket front-end's frame bound; the
+      // stdin session survives it (the oversize line was discarded).
+      MDC_METRIC_INC("net.rejected.line_too_long");
+      Reply(service::TransportRejectReply(
+                service::TransportReject::kLineTooLong) +
+            " limit=" + std::to_string(kMaxStdinLineBytes));
+      continue;
     }
-    if (command.empty()) continue;
-    if (command == "submit") {
-      auto spec_or = service::ParseSubmitSpec(payload);
-      if (!spec_or.ok()) {
-        Reply("err submit " + spec_or.status().ToString());
-        continue;
-      }
-      auto decision_or = core.Submit(*spec_or);
-      if (!decision_or.ok()) {
-        Reply("err " + spec_or->id + " " + decision_or.status().ToString());
-      } else if (*decision_or == service::AdmitDecision::kAdmitted) {
-        Reply("ok " + spec_or->id + " admitted");
-      } else {
-        Reply("rejected " + spec_or->id + " " +
-              service::AdmitDecisionName(*decision_or));
-      }
-    } else if (command == "status") {
-      Reply("ok status " + core.GetStats().ToString());
-    } else if (command == "wait") {
-      core.WaitIdle();
-      if (g_signal != 0) {
-        interrupted = true;
+    // Empty command (blank line or leading space): silently ignored, as
+    // this front-end always has.
+    if (line.empty() || line[0] == ' ') continue;
+    service::ProtocolAction action = service::HandleProtocolLine(core, line);
+    switch (action.kind) {
+      case service::ProtocolAction::Kind::kReply:
+        Reply(action.reply);
+        break;
+      case service::ProtocolAction::Kind::kWaitIdle:
+        core.WaitIdle();
+        if (g_signal != 0) {
+          interrupted = true;
+        } else {
+          Reply("ok wait idle");
+        }
+        break;
+      case service::ProtocolAction::Kind::kDrain: {
+        Status status = core.Drain();
+        Reply(status.ok() ? "ok drain" : "err drain " + status.ToString());
         break;
       }
-      Reply("ok wait idle");
-    } else if (command == "drain") {
-      Status status = core.Drain();
-      Reply(status.ok() ? "ok drain" : "err drain " + status.ToString());
-    } else {
-      Reply("err unknown command '" + command + "'");
     }
+    if (interrupted) break;
   }
   Status drained = core.Drain();
   if (interrupted) {

@@ -43,6 +43,10 @@ constexpr const char* kSites[] = {
     "report.compare",
     "cmp.read",
     "svc.execute",
+    "net.accept",
+    "net.read",
+    "net.write",
+    "net.close",
 };
 
 struct ArmedSite {
@@ -156,11 +160,23 @@ Status ArmFromEnvSpec(const std::string& spec) {
                                        fields[i] + "' in '" +
                                        std::string(text) + "'");
       }
+      // -1 is meaningful only for count (= unlimited); Arm/ArmKill refuse
+      // a negative skip-schedule or period, so catching it here keeps the
+      // whole-spec-or-nothing contract instead of aborting on MDC_CHECK.
       if (kv[0] == "skip") {
+        if (*value < 0) {
+          return Status::InvalidArgument("failpoint spec: skip must be >= 0 in '" +
+                                         std::string(text) + "'");
+        }
         clause.skip = static_cast<int>(*value);
       } else if (kv[0] == "count") {
         clause.count = static_cast<int>(*value);
       } else if (kv[0] == "period") {
+        if (*value < 0) {
+          return Status::InvalidArgument(
+              "failpoint spec: period must be >= 0 in '" + std::string(text) +
+              "'");
+        }
         clause.period = static_cast<int>(*value);
       } else {
         return Status::InvalidArgument("failpoint spec: unknown modifier '" +

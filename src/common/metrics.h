@@ -118,8 +118,12 @@ struct MetricsSnapshot {
 // commit points). "eval." and "partition." counters are also
 // schedule-independent for the wave searches but NOT for stochastic
 // speculation, so they are excluded here.
+// "net." counters are charged at protocol commit points in the socket
+// front-end (a line fully parsed, a connection accepted/shed/reaped), so
+// for a fixed client script they are independent of worker-thread count;
+// client-side "client.*" counters are fault-timing-dependent and stay out.
 inline constexpr const char* kDeterministicPrefixes[] = {
-    "search.", "run.", "batch.", "cmp.", "svc."};
+    "search.", "run.", "batch.", "cmp.", "svc.", "net."};
 
 // Interns `name` (first call) and returns the process-wide instrument.
 // The same name always maps to the same instrument; a name must not be

@@ -22,6 +22,16 @@ const char* AdmitDecisionName(AdmitDecision decision) {
   return "unknown";
 }
 
+std::optional<AdmitDecision> AdmitDecisionFromName(std::string_view name) {
+  for (auto decision :
+       {AdmitDecision::kAdmitted, AdmitDecision::kOverloadedWindow,
+        AdmitDecision::kOverloadedTenant, AdmitDecision::kDuplicateId,
+        AdmitDecision::kDraining, AdmitDecision::kInvalidSpec}) {
+    if (name == AdmitDecisionName(decision)) return decision;
+  }
+  return std::nullopt;
+}
+
 bool IsOverloaded(AdmitDecision decision) {
   return decision == AdmitDecision::kOverloadedWindow ||
          decision == AdmitDecision::kOverloadedTenant;

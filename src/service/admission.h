@@ -32,6 +32,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "service/job_spec.h"
@@ -62,6 +63,10 @@ enum class AdmitDecision : uint32_t {
 
 // Stable lower-case name ("admitted", "overloaded_window", ...).
 const char* AdmitDecisionName(AdmitDecision decision);
+
+// Inverse of AdmitDecisionName; nullopt for an unknown token. The socket
+// client uses this to parse "rejected <id> <name>" replies.
+std::optional<AdmitDecision> AdmitDecisionFromName(std::string_view name);
 
 // True for the two kOverloaded* decisions.
 bool IsOverloaded(AdmitDecision decision);

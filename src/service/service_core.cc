@@ -59,6 +59,20 @@ std::string FormatSeq(uint64_t seq) {
   return buffer;
 }
 
+// Moves a rotted record out of the replay set (rename to <path>.corrupt)
+// so recovery can continue past it. The bytes are preserved for forensics;
+// only the rename failing is fatal, since leaving the record in place
+// would re-corrupt the next recovery too.
+Status QuarantineRecord(const std::string& path) {
+  const std::string target = path + ".corrupt";
+  std::remove(target.c_str());  // A previous life may have quarantined one.
+  if (std::rename(path.c_str(), target.c_str()) != 0) {
+    return ErrnoToStatus(errno, "quarantine rename " + path);
+  }
+  MDC_METRIC_INC("svc.recovery.quarantined");
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string ServiceStats::ToString() const {
@@ -118,24 +132,35 @@ Status ServiceCore::Recover() {
                        ListDir(config_.state_dir + "/done", ".done"));
   for (const std::string& id : done_ids) {
     MDC_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(DonePath(id)));
-    MDC_ASSIGN_OR_RETURN(JobOutcome outcome, DeserializeOutcome(bytes));
-    if (outcome.id != id) {
-      return Status::Internal("service: done record " + id +
-                              " names job '" + outcome.id + "'");
+    auto outcome = DeserializeOutcome(bytes);
+    if (!outcome.ok() || outcome->id != id) {
+      // Truncated / CRC-failing / mismatched done record: quarantine it.
+      // The job now looks incomplete and re-runs; the executor is
+      // deterministic, so the regenerated artifact and done record are
+      // byte-identical to the lost ones.
+      MDC_RETURN_IF_ERROR(QuarantineRecord(DonePath(id)));
+      ++quarantined_;
+      continue;
     }
-    completed_[id] = std::move(outcome);
+    completed_[id] = std::move(*outcome);
   }
   MDC_ASSIGN_OR_RETURN(std::vector<std::string> job_files,
                        ListDir(config_.state_dir + "/jobs", ".job"));
   std::vector<JobRecord> incomplete;
   for (const std::string& stem : job_files) {
-    MDC_ASSIGN_OR_RETURN(
-        std::string bytes,
-        ReadFileToString(config_.state_dir + "/jobs/" + stem + ".job"));
-    MDC_ASSIGN_OR_RETURN(JobRecord record, DeserializeJobSpec(bytes));
-    next_seq_ = std::max(next_seq_, record.seq + 1);
-    if (completed_.count(record.spec.id) == 0) {
-      incomplete.push_back(std::move(record));
+    const std::string path = config_.state_dir + "/jobs/" + stem + ".job";
+    MDC_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+    auto record = DeserializeJobSpec(bytes);
+    if (!record.ok()) {
+      // A rotted journal record cannot be replayed, but it must not take
+      // down the healthy jobs around it: quarantine and continue.
+      MDC_RETURN_IF_ERROR(QuarantineRecord(path));
+      ++quarantined_;
+      continue;
+    }
+    next_seq_ = std::max(next_seq_, record->seq + 1);
+    if (completed_.count(record->spec.id) == 0) {
+      incomplete.push_back(std::move(*record));
     }
   }
   // File names sort by zero-padded seq, but trust the records, not the
@@ -207,6 +232,11 @@ void ServiceCore::WaitIdle() {
   // start/drain), keeping shed decisions a pure function of arrival order.
   queue_.ResetWindow();
   MDC_METRIC_INC("svc.window_resets");
+}
+
+bool ServiceCore::Idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.queued() == 0 && running_id_.empty();
 }
 
 void ServiceCore::WorkerLoop() {

@@ -112,9 +112,14 @@ class ServiceCore {
   using Executor = std::function<ExecResult(const ExecRequest&)>;
 
   // Validates/creates the state directory, replays the journal (recovery),
-  // and starts the dispatch worker. Corrupt journal or outcome records are
-  // a hard error — silently re-running completed jobs is worse than
-  // stopping. Stray *.tmp files from a previous hard kill are removed.
+  // and starts the dispatch worker. A corrupt (truncated / CRC-failing)
+  // journal or outcome record is quarantined — renamed to <file>.corrupt
+  // and counted under svc.recovery.quarantined — rather than aborting
+  // recovery: executors are deterministic, so re-running a job whose done
+  // record was lost to corruption reproduces the identical artifact, while
+  // one rotted record must not take down every healthy job beside it. I/O
+  // failures reading the state directory remain hard errors. Stray *.tmp
+  // files from a previous hard kill are removed.
   static StatusOr<std::unique_ptr<ServiceCore>> Start(ServiceConfig config,
                                                       Executor executor);
   ~ServiceCore();  // Implies Drain().
@@ -131,6 +136,12 @@ class ServiceCore {
   // admission window (the client-visible barrier that resets budgets).
   void WaitIdle();
 
+  // Non-blocking idleness probe: true when nothing is queued or running.
+  // The socket front-end polls this so a `wait` request never blocks the
+  // event loop; on true it calls WaitIdle() for the window-reset barrier,
+  // which returns immediately (only the event loop submits).
+  bool Idle() const;
+
   // Graceful drain: stop admitting, checkpoint the in-flight job, stop
   // the worker, flush metrics.json + counters.txt durably. Idempotent;
   // queued jobs stay journaled for the next process life.
@@ -140,6 +151,8 @@ class ServiceCore {
   // Terminal outcomes of this process life, in completion order.
   std::vector<JobOutcome> Outcomes() const;
   size_t recovered_jobs() const;
+  // Corrupt records renamed to *.corrupt during this life's recovery.
+  size_t quarantined_records() const { return quarantined_; }
 
   // Cancelled when drain starts; signal handlers use it to interrupt the
   // in-flight job before calling Drain() from a normal context.
@@ -175,6 +188,7 @@ class ServiceCore {
   std::string running_id_;
   uint64_t next_seq_ = 1;
   size_t recovered_ = 0;
+  size_t quarantined_ = 0;
   ServiceStats stats_;
   bool stop_worker_ = false;
   bool drained_ = false;

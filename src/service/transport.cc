@@ -1,0 +1,671 @@
+#include "service/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/durable_io.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace mdc::service {
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoToStatus(errno, "fcntl O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<int> GuardedAccept(int listener_fd) {
+  // The failpoint fires before the syscall: a kill action lands with the
+  // connection still pending in the backlog (the client sees the accept
+  // window), an error action sheds this accept round.
+  MDC_FAILPOINT("net.accept");
+  while (true) {
+    int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return ErrnoToStatus(errno, "accept");
+  }
+}
+
+StatusOr<int64_t> GuardedRecv(int fd, char* buffer, size_t capacity) {
+  MDC_FAILPOINT("net.read");
+  ssize_t n = ::recv(fd, buffer, capacity, 0);
+  if (n < 0) {
+    // EINTR is folded into would-block: the event loop re-polls anyway.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return ErrnoToStatus(errno, "recv");
+  }
+  return static_cast<int64_t>(n);
+}
+
+StatusOr<int64_t> GuardedSend(int fd, const char* data, size_t size) {
+  MDC_FAILPOINT("net.write");
+  while (true) {
+    // MSG_NOSIGNAL: a peer that closed mid-reply must surface as EPIPE,
+    // never SIGPIPE.
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<int64_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return ErrnoToStatus(errno, "send");
+  }
+}
+
+Status GuardedClose(int fd) {
+  // Fires before the syscall so a kill action lands with the fd still
+  // open; an injected error is reported, but the close still happens —
+  // leaking descriptors is never an acceptable failure mode.
+  Status injected = MDC_FAILPOINT_STATUS("net.close");
+  while (::close(fd) < 0 && errno == EINTR) {
+  }
+  return injected;
+}
+
+std::string SocketAddress::ToString() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+StatusOr<SocketAddress> ParseSocketAddress(std::string_view text) {
+  SocketAddress address;
+  if (StartsWith(text, "unix:")) {
+    address.kind = SocketAddress::Kind::kUnix;
+    address.path = std::string(text.substr(5));
+    if (address.path.empty()) {
+      return Status::InvalidArgument("listen address: empty unix path");
+    }
+    sockaddr_un probe;
+    if (address.path.size() >= sizeof(probe.sun_path)) {
+      return Status::InvalidArgument("listen address: unix path too long (" +
+                                     std::to_string(address.path.size()) +
+                                     " bytes, max " +
+                                     std::to_string(sizeof(probe.sun_path) - 1) +
+                                     ")");
+    }
+    return address;
+  }
+  if (StartsWith(text, "tcp:")) {
+    address.kind = SocketAddress::Kind::kTcp;
+    std::string_view rest = text.substr(4);
+    size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument(
+          "listen address: tcp needs tcp:<ipv4>:<port>");
+    }
+    address.host = std::string(rest.substr(0, colon));
+    std::optional<int64_t> port = ParseInt64(rest.substr(colon + 1));
+    if (!port.has_value() || *port < 0 || *port > 65535) {
+      return Status::InvalidArgument("listen address: bad tcp port in '" +
+                                     std::string(text) + "'");
+    }
+    address.port = static_cast<int>(*port);
+    in_addr parsed;
+    if (::inet_pton(AF_INET, address.host.c_str(), &parsed) != 1) {
+      return Status::InvalidArgument(
+          "listen address: host must be a numeric IPv4 address, got '" +
+          address.host + "'");
+    }
+    return address;
+  }
+  return Status::InvalidArgument(
+      "listen address must be unix:<path> or tcp:<ipv4>:<port>, got '" +
+      std::string(text) + "'");
+}
+
+const char* TransportRejectName(TransportReject reject) {
+  switch (reject) {
+    case TransportReject::kLineTooLong:
+      return "line_too_long";
+    case TransportReject::kOverloadedConnections:
+      return "overloaded_connections";
+    case TransportReject::kReadDeadline:
+      return "read_deadline";
+    case TransportReject::kIdleDeadline:
+      return "idle_deadline";
+    case TransportReject::kWriteDeadline:
+      return "write_deadline";
+    case TransportReject::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+std::string TransportRejectReply(TransportReject reject) {
+  return std::string("err transport ") + TransportRejectName(reject);
+}
+
+ProtocolAction HandleProtocolLine(ServiceCore& core, const std::string& line) {
+  std::string command = line;
+  std::string payload;
+  if (size_t space = line.find(' '); space != std::string::npos) {
+    command = line.substr(0, space);
+    payload = line.substr(space + 1);
+  }
+  ProtocolAction action;
+  if (command == "submit") {
+    auto spec_or = ParseSubmitSpec(payload);
+    if (!spec_or.ok()) {
+      action.reply = "err submit " + spec_or.status().ToString();
+      return action;
+    }
+    auto decision_or = core.Submit(*spec_or);
+    if (!decision_or.ok()) {
+      action.reply = "err " + spec_or->id + " " + decision_or.status().ToString();
+    } else if (*decision_or == AdmitDecision::kAdmitted) {
+      action.reply = "ok " + spec_or->id + " admitted";
+    } else {
+      action.reply =
+          "rejected " + spec_or->id + " " + AdmitDecisionName(*decision_or);
+    }
+    return action;
+  }
+  if (command == "status") {
+    action.reply = "ok status " + core.GetStats().ToString();
+    return action;
+  }
+  if (command == "wait") {
+    action.kind = ProtocolAction::Kind::kWaitIdle;
+    return action;
+  }
+  if (command == "drain") {
+    action.kind = ProtocolAction::Kind::kDrain;
+    return action;
+  }
+  action.reply = "err unknown command '" + command + "'";
+  return action;
+}
+
+SocketFrontEnd::SocketFrontEnd(ServiceCore* core, TransportConfig config)
+    : core_(core), config_(std::move(config)) {}
+
+SocketFrontEnd::~SocketFrontEnd() {
+  for (Conn& conn : conns_) {
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+  CloseListener();
+}
+
+void SocketFrontEnd::CloseListener() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (address_.kind == SocketAddress::Kind::kUnix) {
+      ::unlink(address_.path.c_str());
+    }
+  }
+}
+
+Status SocketFrontEnd::Listen() {
+  MDC_ASSIGN_OR_RETURN(address_, ParseSocketAddress(config_.listen));
+  if (config_.max_connections < 1) {
+    return Status::InvalidArgument("transport: max_connections must be >= 1");
+  }
+  if (config_.max_line_bytes < 16) {
+    return Status::InvalidArgument("transport: max_line_bytes must be >= 16");
+  }
+  if (address_.kind == SocketAddress::Kind::kUnix) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return ErrnoToStatus(errno, "socket(AF_UNIX)");
+    // A stale socket file from a previous (possibly SIGKILLed) life would
+    // make bind fail with EADDRINUSE; remove it — connections to the old
+    // inode are dead anyway.
+    ::unlink(address_.path.c_str());
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, address_.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      Status status = ErrnoToStatus(errno, "bind " + address_.ToString());
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return ErrnoToStatus(errno, "socket(AF_INET)");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(address_.port));
+    ::inet_pton(AF_INET, address_.host.c_str(), &addr.sin_addr);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      Status status = ErrnoToStatus(errno, "bind " + address_.ToString());
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0) {
+      address_.port = ntohs(addr.sin_port);  // Resolve an ephemeral port.
+    }
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status status = ErrnoToStatus(errno, "listen " + address_.ToString());
+    CloseListener();
+    return status;
+  }
+  MDC_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  bound_address_ = address_.ToString();
+  return Status::Ok();
+}
+
+void SocketFrontEnd::Append(Conn& conn, std::string_view reply, int64_t now) {
+  if (conn.out.empty()) conn.write_start_ms = now;
+  conn.out.append(reply);
+  conn.out.push_back('\n');
+}
+
+void SocketFrontEnd::CloseConn(Conn& conn) {
+  if (conn.fd < 0) return;
+  if (!GuardedClose(conn.fd).ok()) {
+    MDC_METRIC_INC("net.errors.close");
+  }
+  conn.fd = -1;
+  conn.in.clear();
+  conn.out.clear();
+  conn.waiting = false;
+  MDC_METRIC_INC("net.closed");
+}
+
+void SocketFrontEnd::AcceptReady(int64_t now) {
+  while (true) {
+    // An accept fault (injected or real) sheds this accept round: the
+    // socket stays pending in the backlog and is retried on the next poll
+    // wake-up.
+    StatusOr<int> accepted = GuardedAccept(listen_fd_);
+    if (!accepted.ok()) {
+      MDC_METRIC_INC("net.errors.accept");
+      return;
+    }
+    if (*accepted < 0) return;  // Pending queue drained.
+    int fd = *accepted;
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      MDC_METRIC_INC("net.errors.accept");
+      continue;
+    }
+    if (static_cast<int>(conns_.size()) >= config_.max_connections) {
+      // Typed transport-level shed: tell the client which layer refused
+      // it, then close. Best-effort — an unwritable socket changes
+      // nothing about the decision.
+      std::string reply =
+          TransportRejectReply(TransportReject::kOverloadedConnections) + "\n";
+      (void)!::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      MDC_METRIC_INC("net.shed.connections");
+      Conn doomed;
+      doomed.fd = fd;
+      CloseConn(doomed);
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conn.last_activity_ms = now;
+    conns_.push_back(std::move(conn));
+    MDC_METRIC_INC("net.accepted");
+  }
+}
+
+void SocketFrontEnd::HandleLine(Conn& conn, const std::string& line) {
+  // Empty command (blank line or leading space): silently ignored, which
+  // is exactly what the stdin front-end does.
+  if (line.empty() || line[0] == ' ') return;
+  MDC_METRIC_INC("net.requests");
+  ProtocolAction action = HandleProtocolLine(*core_, line);
+  switch (action.kind) {
+    case ProtocolAction::Kind::kReply:
+      Append(conn, action.reply, NowMs());
+      break;
+    case ProtocolAction::Kind::kWaitIdle:
+      if (core_->Idle()) {
+        // Already idle: WaitIdle() returns immediately and performs the
+        // client-visible window reset barrier.
+        core_->WaitIdle();
+        MDC_METRIC_INC("net.waits");
+        Append(conn, "ok wait idle", NowMs());
+      } else {
+        conn.waiting = true;  // Replied by ServeWaiters() at idle.
+      }
+      break;
+    case ProtocolAction::Kind::kDrain:
+      drain_requested_ = true;
+      conn.wants_drain_reply = true;
+      break;
+  }
+}
+
+void SocketFrontEnd::ProcessBuffer(Conn& conn, int64_t now) {
+  while (conn.fd >= 0 && !conn.closing && !drain_requested_) {
+    size_t pos = conn.in.find('\n');
+    if (pos == std::string::npos) {
+      if (conn.in.size() > config_.max_line_bytes) {
+        // Slow-loris / oversize frame: typed rejection, then drop the
+        // connection — the buffer is freed now, not when the client
+        // eventually sends a newline.
+        MDC_METRIC_INC("net.rejected.line_too_long");
+        Append(conn,
+               TransportRejectReply(TransportReject::kLineTooLong) +
+                   " limit=" + std::to_string(config_.max_line_bytes),
+               now);
+        conn.in.clear();
+        conn.in.shrink_to_fit();
+        conn.closing = true;
+      }
+      break;
+    }
+    if (pos > config_.max_line_bytes) {
+      MDC_METRIC_INC("net.rejected.line_too_long");
+      Append(conn,
+             TransportRejectReply(TransportReject::kLineTooLong) +
+                 " limit=" + std::to_string(config_.max_line_bytes),
+             now);
+      conn.in.clear();
+      conn.closing = true;
+      break;
+    }
+    std::string line = conn.in.substr(0, pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    conn.in.erase(0, pos + 1);
+    HandleLine(conn, line);
+  }
+  conn.line_start_ms = conn.in.empty() ? -1
+                       : (conn.line_start_ms < 0 ? now : conn.line_start_ms);
+}
+
+void SocketFrontEnd::ReadInput(Conn& conn, int64_t now) {
+  // A read fault (injected or real) is transient and scoped to this
+  // connection only — it closes, the others are untouched, and a retrying
+  // client reconnects.
+  char chunk[4096];
+  StatusOr<int64_t> n = GuardedRecv(conn.fd, chunk, sizeof(chunk));
+  if (!n.ok()) {
+    MDC_METRIC_INC("net.errors.read");
+    CloseConn(conn);
+    return;
+  }
+  if (*n < 0) return;  // Would block; re-poll.
+  if (*n == 0) {
+    // Orderly EOF. A final unterminated line is processed like the stdin
+    // front-end processes a last line without a newline, then the reply
+    // is flushed and the connection closed.
+    if (!conn.in.empty() && !drain_requested_) {
+      std::string line = std::move(conn.in);
+      conn.in.clear();
+      if (line.size() <= config_.max_line_bytes) {
+        HandleLine(conn, line);
+      } else {
+        MDC_METRIC_INC("net.rejected.line_too_long");
+        Append(conn,
+               TransportRejectReply(TransportReject::kLineTooLong) +
+                   " limit=" + std::to_string(config_.max_line_bytes),
+               now);
+      }
+    }
+    conn.closing = true;
+    conn.line_start_ms = -1;
+    if (conn.out.empty()) CloseConn(conn);
+    return;
+  }
+  conn.in.append(chunk, static_cast<size_t>(*n));
+  conn.last_activity_ms = now;
+  ProcessBuffer(conn, now);
+  if (conn.fd >= 0 && !conn.out.empty()) FlushOutput(conn, now);
+}
+
+void SocketFrontEnd::FlushOutput(Conn& conn, int64_t now) {
+  if (conn.fd < 0 || conn.out.empty()) return;
+  // A write fault (injected or real) closes only this connection: a
+  // retrying client reconnects and resubmits idempotently. A kill armed
+  // on net.write lands here with a reply possibly half-sent.
+  bool progressed = false;
+  while (!conn.out.empty()) {
+    StatusOr<int64_t> n =
+        GuardedSend(conn.fd, conn.out.data(), conn.out.size());
+    if (!n.ok()) {
+      MDC_METRIC_INC("net.errors.write");
+      CloseConn(conn);
+      return;
+    }
+    if (*n < 0) {
+      // Would block. Restart the stall clock only on actual progress: a
+      // client that keeps sending requests but never reads must not be
+      // able to refresh its write deadline with no-progress flush
+      // attempts.
+      if (progressed || conn.write_start_ms < 0) conn.write_start_ms = now;
+      return;
+    }
+    progressed = true;
+    conn.out.erase(0, static_cast<size_t>(*n));  // Partial writes are normal.
+  }
+  conn.write_start_ms = -1;
+  if (conn.closing) CloseConn(conn);
+}
+
+void SocketFrontEnd::EnforceDeadlines(int64_t now) {
+  for (Conn& conn : conns_) {
+    if (conn.fd < 0) continue;
+    if (config_.write_deadline_ms > 0 && conn.write_start_ms >= 0 &&
+        now - conn.write_start_ms >= config_.write_deadline_ms) {
+      // The client is not reading its replies; nothing more to say to it.
+      MDC_METRIC_INC("net.reaped.write_deadline");
+      CloseConn(conn);
+      continue;
+    }
+    if (config_.read_deadline_ms > 0 && conn.line_start_ms >= 0 &&
+        now - conn.line_start_ms >= config_.read_deadline_ms) {
+      // Slow loris: a partial line outlived the read deadline. Typed
+      // notice (best-effort) and reap.
+      MDC_METRIC_INC("net.reaped.read_deadline");
+      std::string reply =
+          TransportRejectReply(TransportReject::kReadDeadline) + "\n";
+      (void)!::send(conn.fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      CloseConn(conn);
+      continue;
+    }
+    if (config_.idle_deadline_ms > 0 && conn.line_start_ms < 0 &&
+        conn.out.empty() && !conn.waiting &&
+        now - conn.last_activity_ms >= config_.idle_deadline_ms) {
+      MDC_METRIC_INC("net.reaped.idle_deadline");
+      std::string reply =
+          TransportRejectReply(TransportReject::kIdleDeadline) + "\n";
+      (void)!::send(conn.fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      CloseConn(conn);
+      continue;
+    }
+  }
+}
+
+void SocketFrontEnd::ServeWaiters() {
+  bool any_waiting = false;
+  for (const Conn& conn : conns_) {
+    if (conn.fd >= 0 && conn.waiting) {
+      any_waiting = true;
+      break;
+    }
+  }
+  if (!any_waiting || !core_->Idle()) return;
+  // One barrier for all waiters: WaitIdle() returns immediately (we just
+  // observed idle, and only this thread submits) and resets the admission
+  // window exactly once.
+  core_->WaitIdle();
+  MDC_METRIC_INC("net.waits");
+  int64_t now = NowMs();
+  for (Conn& conn : conns_) {
+    if (conn.fd >= 0 && conn.waiting) {
+      conn.waiting = false;
+      Append(conn, "ok wait idle", now);
+      FlushOutput(conn, now);
+    }
+  }
+}
+
+int SocketFrontEnd::PollTimeoutMs(int64_t now) const {
+  int64_t earliest = -1;
+  auto consider = [&earliest](int64_t when) {
+    if (when >= 0 && (earliest < 0 || when < earliest)) earliest = when;
+  };
+  for (const Conn& conn : conns_) {
+    if (conn.fd < 0) continue;
+    if (conn.waiting) consider(now + 20);  // Poll the core for idleness.
+    if (config_.read_deadline_ms > 0 && conn.line_start_ms >= 0) {
+      consider(conn.line_start_ms + config_.read_deadline_ms);
+    }
+    if (config_.write_deadline_ms > 0 && conn.write_start_ms >= 0) {
+      consider(conn.write_start_ms + config_.write_deadline_ms);
+    }
+    if (config_.idle_deadline_ms > 0 && conn.line_start_ms < 0 &&
+        conn.out.empty() && !conn.waiting) {
+      consider(conn.last_activity_ms + config_.idle_deadline_ms);
+    }
+  }
+  if (earliest < 0) return -1;  // Nothing pending: block until I/O.
+  int64_t delta = earliest - now + 1;
+  if (delta < 1) return 1;
+  if (delta > 60000) return 60000;
+  return static_cast<int>(delta);
+}
+
+Status SocketFrontEnd::Run(int wakeup_fd, std::function<bool()> interrupted) {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("transport: Run() before Listen()");
+  }
+  Status loop_status;
+  while (!drain_requested_) {
+    if (interrupted && interrupted()) break;
+    std::vector<pollfd> fds;
+    fds.reserve(conns_.size() + 2);
+    fds.push_back({listen_fd_, POLLIN, 0});
+    if (wakeup_fd >= 0) fds.push_back({wakeup_fd, POLLIN, 0});
+    const size_t base = fds.size();
+    for (const Conn& conn : conns_) {
+      short events = 0;
+      if (!conn.closing) events |= POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+    int64_t now = NowMs();
+    int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                       PollTimeoutMs(now));
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // Loop re-checks interrupted().
+      loop_status = ErrnoToStatus(errno, "poll");
+      break;
+    }
+    now = NowMs();
+    if (interrupted && interrupted()) break;
+    // Connections first, listener last: freeing a reaped slot before
+    // accepting keeps max_connections a cap on concurrently served
+    // clients rather than an accept-ordering artifact.
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      Conn& conn = conns_[i];
+      if (conn.fd < 0) continue;
+      short revents = fds[base + i].revents;
+      if (revents & POLLOUT) FlushOutput(conn, now);
+      if (conn.fd >= 0 && !conn.closing &&
+          (revents & (POLLIN | POLLHUP | POLLERR))) {
+        ReadInput(conn, now);
+      }
+      if (drain_requested_) break;
+    }
+    EnforceDeadlines(now);
+    ServeWaiters();
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& conn) { return conn.fd < 0; }),
+                 conns_.end());
+    if (!drain_requested_ && (fds[0].revents & POLLIN)) AcceptReady(now);
+  }
+  Status drained = DrainAndFlush();
+  return loop_status.ok() ? drained : loop_status;
+}
+
+Status SocketFrontEnd::DrainAndFlush() {
+  // 1. Stop accepting: the listener closes (and the unix socket path is
+  //    unlinked) before the core drains, so no client can observe a bound
+  //    socket whose daemon no longer admits.
+  CloseListener();
+  // 2. Drain the core: in-flight job interrupted + checkpointed, queued
+  //    jobs left journaled, metrics flushed durably.
+  Status drained = core_->Drain();
+  // 3. Answer everyone still connected: the drain issuer gets the drain
+  //    status, deferred waiters get a typed draining rejection (the idle
+  //    barrier they asked for will never be reached in this life).
+  int64_t now = NowMs();
+  for (Conn& conn : conns_) {
+    if (conn.fd < 0) continue;
+    if (conn.waiting) {
+      conn.waiting = false;
+      Append(conn, TransportRejectReply(TransportReject::kDraining), now);
+    }
+    if (conn.wants_drain_reply) {
+      conn.wants_drain_reply = false;
+      Append(conn,
+             drained.ok() ? "ok drain" : "err drain " + drained.ToString(),
+             now);
+    }
+  }
+  // 4. Finish in-flight responses: flush every pending reply within the
+  //    drain window, then close. A client that stopped reading forfeits
+  //    its tail output when the window expires.
+  const int64_t flush_deadline = now + std::max<int64_t>(config_.drain_flush_ms, 0);
+  while (true) {
+    std::vector<pollfd> fds;
+    std::vector<size_t> index;
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i].fd >= 0 && !conns_[i].out.empty()) {
+        fds.push_back({conns_[i].fd, POLLOUT, 0});
+        index.push_back(i);
+      }
+    }
+    if (fds.empty()) break;
+    int64_t remaining = flush_deadline - NowMs();
+    if (remaining <= 0) {
+      MDC_METRIC_INC("net.drain_flush_expired");
+      break;
+    }
+    int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                       static_cast<int>(std::min<int64_t>(remaining, 100)));
+    if (ready < 0 && errno != EINTR) break;
+    int64_t now_flush = NowMs();
+    for (size_t j = 0; j < fds.size(); ++j) {
+      if (fds[j].revents & (POLLOUT | POLLHUP | POLLERR)) {
+        FlushOutput(conns_[index[j]], now_flush);
+      }
+    }
+  }
+  for (Conn& conn : conns_) CloseConn(conn);
+  conns_.clear();
+  return drained;
+}
+
+}  // namespace mdc::service

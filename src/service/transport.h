@@ -1,0 +1,202 @@
+// Resilient socket front-end for the mdcd service.
+//
+// SocketFrontEnd puts a real network surface in front of ServiceCore: a
+// poll(2)-driven single-threaded event loop accepting Unix-domain or TCP
+// connections that speak the same newline protocol as the stdin front-end
+// (submit / status / wait / drain, docs/service.md). The loop owns every
+// connection's buffers, so one slow or hostile client can never block the
+// others — robustness is structural, not best-effort:
+//
+//  - **Per-connection deadlines.** A connection holding a partial request
+//    line longer than `read_deadline_ms` (the slow-loris shape: one byte
+//    per second, never a newline) is reaped with a typed notice; one that
+//    sends nothing at all for `idle_deadline_ms` is reaped as idle; one
+//    that stops reading its replies for `write_deadline_ms` while output
+//    is pending is reaped as write-stalled. Reaping one connection never
+//    delays another — the poll timeout is the earliest pending deadline.
+//  - **Bounded frames.** A request line longer than `max_line_bytes` is
+//    rejected with the typed `line_too_long` reply and the connection is
+//    closed; the buffer is freed immediately, so memory per connection is
+//    bounded by the cap, not by client behavior.
+//  - **Transport-level shedding.** At `max_connections` open connections,
+//    a new accept is answered with the typed `overloaded_connections`
+//    reply and closed. This composes with the AdmissionQueue: transport
+//    sheds connections, admission sheds jobs, and both rejections are
+//    typed so a client always learns which layer refused it.
+//  - **Syscall-fault injection.** Every accept/read/write/close syscall
+//    site triggers a `net.*` failpoint (common/failpoint.h) supporting
+//    error and kill actions with skip/count/period arming. The socket
+//    kill-torture harness lands SIGKILL inside these exact windows; error
+//    arming exercises the transient-fault paths (an injected read or
+//    write error closes only the affected connection).
+//  - **EINTR / partial-I/O correctness.** All reads and writes tolerate
+//    EINTR, EAGAIN, and short transfers; replies are buffered and flushed
+//    as POLLOUT allows.
+//  - **Graceful drain.** A `drain` request or a signal (the CLI's
+//    self-pipe fd is polled beside the sockets) stops accepting, drains
+//    the core (in-flight job checkpointed, queued jobs left journaled),
+//    then flushes every pending reply within `drain_flush_ms` before
+//    closing — in-flight responses finish; only then do the sockets go
+//    away.
+//
+// Event counts are exported as `net.*` metrics under the deterministic-
+// counter contract: counters are charged at protocol commit points (a
+// line fully parsed, a connection accepted/shed/closed), so for a fixed
+// client script they are independent of worker-thread count and I/O
+// chunking. Deadline reaps count the client's behavior (it idled past the
+// deadline), never the scheduler's.
+//
+// The protocol itself is shared with the stdin front-end through
+// HandleProtocolLine so both surfaces answer byte-identically.
+
+#ifndef MDC_SERVICE_TRANSPORT_H_
+#define MDC_SERVICE_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "service/service_core.h"
+
+namespace mdc::service {
+
+// "unix:<path>" or "tcp:<ipv4>:<port>" (numeric host only — the daemon
+// does not resolve names; port 0 binds an ephemeral port).
+struct SocketAddress {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix.
+  std::string host;  // kTcp, numeric IPv4.
+  int port = 0;      // kTcp.
+
+  std::string ToString() const;
+};
+
+StatusOr<SocketAddress> ParseSocketAddress(std::string_view text);
+
+struct TransportConfig {
+  std::string listen;            // SocketAddress syntax.
+  int max_connections = 64;      // Accepts beyond this are shed, typed.
+  uint64_t max_line_bytes = 64 * 1024;  // Request-line cap (frame bound).
+  // Deadlines in ms; 0 disables the corresponding reap.
+  int64_t read_deadline_ms = 10000;   // Partial line pending (slow loris).
+  int64_t idle_deadline_ms = 60000;   // No request activity at all.
+  int64_t write_deadline_ms = 10000;  // Output pending, client not reading.
+  int64_t drain_flush_ms = 2000;      // Reply-flush window during drain.
+};
+
+// Typed transport-level rejection/reap reasons; the wire form is
+// "err transport <name>[ detail]". Like AdmitDecision these are the
+// contract: a client can dispatch on the token.
+enum class TransportReject : uint32_t {
+  kLineTooLong = 0,
+  kOverloadedConnections = 1,
+  kReadDeadline = 2,
+  kIdleDeadline = 3,
+  kWriteDeadline = 4,
+  kDraining = 5,
+};
+const char* TransportRejectName(TransportReject reject);
+
+// "err transport <name>" — the reply prefix both front-ends emit for a
+// transport rejection (the stdin path reuses it for the oversize-line
+// rejection so the two surfaces stay byte-compatible).
+std::string TransportRejectReply(TransportReject reject);
+
+// Failpoint-instrumented socket syscalls (sites net.accept / net.read /
+// net.write / net.close). Each fires its failpoint *before* the syscall,
+// so an armed kill action lands inside the syscall window and an armed
+// error action surfaces here as the injected Status; real syscall
+// failures map through ErrnoToStatus. The event loop consumes these, and
+// tests/failpoint_test.cc drives them directly to prove every net.* site
+// fires and propagates cleanly.
+//
+// GuardedAccept returns the accepted fd, or -1 when the pending queue is
+// drained (EAGAIN). GuardedRecv/GuardedSend return the transfer size
+// (0 = orderly EOF for recv), or -1 when the call would block (EAGAIN,
+// and EINTR for recv — the loop simply re-polls). GuardedClose always
+// closes the fd — a leaked descriptor is never an acceptable failure
+// mode — and returns the injected status when the site was armed.
+StatusOr<int> GuardedAccept(int listener_fd);
+StatusOr<int64_t> GuardedRecv(int fd, char* buffer, size_t capacity);
+StatusOr<int64_t> GuardedSend(int fd, const char* data, size_t size);
+Status GuardedClose(int fd);
+
+// One protocol request, shared by the stdin and socket front-ends. The
+// result is either an immediate reply line or a barrier the front-end
+// must execute (wait-idle, drain) before answering.
+struct ProtocolAction {
+  enum class Kind { kReply, kWaitIdle, kDrain };
+  Kind kind = Kind::kReply;
+  std::string reply;  // kReply only; full reply line, no newline.
+};
+ProtocolAction HandleProtocolLine(ServiceCore& core, const std::string& line);
+
+class SocketFrontEnd {
+ public:
+  SocketFrontEnd(ServiceCore* core, TransportConfig config);
+  ~SocketFrontEnd();
+
+  SocketFrontEnd(const SocketFrontEnd&) = delete;
+  SocketFrontEnd& operator=(const SocketFrontEnd&) = delete;
+
+  // Parses config.listen, binds, and listens. For tcp with port 0 the
+  // bound ephemeral port is resolved into bound_address().
+  Status Listen();
+
+  // Resolved address ("unix:/path" or "tcp:127.0.0.1:41234"); valid after
+  // Listen() succeeds.
+  const std::string& bound_address() const { return bound_address_; }
+
+  // Runs the event loop until a `drain` request arrives on any connection
+  // or `interrupted` returns true (the CLI passes a check of its signal
+  // flag, with `wakeup_fd` the read end of the signal self-pipe so a
+  // racing signal is level-triggered; pass -1/nullptr to disable).
+  // Performs the graceful drain — core drained, replies flushed,
+  // connections closed, listener removed — before returning. The returned
+  // status is the drain status (or the poll-loop failure that forced an
+  // early drain).
+  Status Run(int wakeup_fd, std::function<bool()> interrupted);
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;   // Bytes received, not yet parsed into lines.
+    std::string out;  // Replies not yet written.
+    bool waiting = false;       // Deferred `wait`; replied at idle.
+    bool closing = false;       // Flush out, then close.
+    bool wants_drain_reply = false;  // This conn issued `drain`.
+    int64_t last_activity_ms = 0;    // Last byte received.
+    int64_t line_start_ms = -1;      // Partial line pending since; -1 none.
+    int64_t write_start_ms = -1;     // Output pending since; -1 none.
+  };
+
+  void AcceptReady(int64_t now);
+  void ReadInput(Conn& conn, int64_t now);
+  void ProcessBuffer(Conn& conn, int64_t now);
+  void HandleLine(Conn& conn, const std::string& line);
+  void FlushOutput(Conn& conn, int64_t now);
+  void Append(Conn& conn, std::string_view reply, int64_t now);
+  void CloseConn(Conn& conn);
+  void EnforceDeadlines(int64_t now);
+  void ServeWaiters();
+  int PollTimeoutMs(int64_t now) const;
+  Status DrainAndFlush();
+  void CloseListener();
+
+  ServiceCore* const core_;
+  const TransportConfig config_;
+  SocketAddress address_;
+  std::string bound_address_;
+  int listen_fd_ = -1;
+  std::vector<Conn> conns_;
+  bool drain_requested_ = false;
+};
+
+}  // namespace mdc::service
+
+#endif  // MDC_SERVICE_TRANSPORT_H_

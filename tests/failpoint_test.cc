@@ -7,6 +7,7 @@
 #include "common/failpoint.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <functional>
@@ -31,6 +32,7 @@
 #include "hierarchy/spec_parser.h"
 #include "paper/paper_data.h"
 #include "service/service_core.h"
+#include "service/transport.h"
 #include "table/dataset.h"
 
 namespace mdc {
@@ -187,6 +189,45 @@ std::map<std::string, std::function<Status()>> Drivers() {
     if (outcomes[0].state == JobState::kOk) return Status::Ok();
     return Status::Internal(outcomes[0].message);
   };
+  // The net.* sites live in the socket front-end's guarded syscall
+  // wrappers (service/transport.h); a socketpair stands in for a real
+  // connection so each driver runs the genuine syscall path.
+  drivers["net.accept"] = [] {
+    int fds[2];
+    MDC_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+    auto accepted = service::GuardedAccept(fds[0]);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    if (accepted.ok() && *accepted >= 0) ::close(*accepted);
+    return accepted.status();
+  };
+  drivers["net.read"] = [] {
+    int fds[2];
+    MDC_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+    MDC_CHECK(::send(fds[1], "x", 1, 0) == 1);
+    char buffer[8];
+    auto n = service::GuardedRecv(fds[0], buffer, sizeof(buffer));
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return n.status();
+  };
+  drivers["net.write"] = [] {
+    int fds[2];
+    MDC_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+    auto n = service::GuardedSend(fds[0], "x", 1);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return n.status();
+  };
+  drivers["net.close"] = [] {
+    int fds[2];
+    MDC_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+    // GuardedClose closes the fd even when the site injects (leaking a
+    // descriptor is never acceptable); only fds[1] still needs cleanup.
+    Status status = service::GuardedClose(fds[0]);
+    ::close(fds[1]);
+    return status;
+  };
   return drivers;
 }
 
@@ -323,6 +364,39 @@ TEST(FailpointTest, ArmFromEnvSpecRejectsMalformedSpecsAtomically) {
       failpoint::ArmFromEnvSpec("csv.parse=internal;no.such.site=kill").code(),
       StatusCode::kInvalidArgument);
   EXPECT_TRUE(ParseCsv("a\n").ok());
+}
+
+TEST(FailpointTest, ArmFromEnvSpecRejectsNegativeModifiers) {
+  failpoint::DisarmAll();
+  // -1 is the "unlimited" sentinel for count only. A negative skip or
+  // period used to pass spec validation and then abort inside Arm() — the
+  // regression this pins is that both are rejected as clean parse errors.
+  EXPECT_EQ(failpoint::ArmFromEnvSpec("csv.parse=internal:skip=-1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromEnvSpec("csv.parse=internal:period=-1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromEnvSpec("csv.parse=kill:skip=-2").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromEnvSpec("csv.parse=internal:period=-5").code(),
+            StatusCode::kInvalidArgument);
+  // The unlimited-count sentinel stays valid.
+  if (failpoint::Enabled()) {
+    EXPECT_TRUE(
+        failpoint::ArmFromEnvSpec("csv.parse=internal:count=-1:skip=1000000")
+            .ok());
+  }
+  failpoint::DisarmAll();
+}
+
+TEST(FailpointTest, ArmFromEnvSpecTreatsEmptySpecsAsNoOps) {
+  failpoint::DisarmAll();
+  // The CLI passes MDC_FAILPOINTS through verbatim; an unset or empty
+  // variable (and stray clause separators) must arm nothing and succeed.
+  EXPECT_TRUE(failpoint::ArmFromEnvSpec("").ok());
+  EXPECT_TRUE(failpoint::ArmFromEnvSpec(";").ok());
+  EXPECT_TRUE(failpoint::ArmFromEnvSpec(";;").ok());
+  EXPECT_TRUE(ParseCsv("a\n").ok());
+  failpoint::DisarmAll();
 }
 
 TEST(FailpointTest, DisarmedSitesDoNotFire) {

@@ -289,5 +289,106 @@ TEST(ServiceTortureTest, KillAnywhereRecoverEverywhere) {
       << " seeds were actually killed - the harness has gone soft";
 }
 
+// Disk rot, not crash torture: a truncated journal record and a bit-flipped
+// outcome record must be quarantined (renamed *.corrupt, counted under
+// svc.recovery.quarantined) instead of aborting recovery. The job whose
+// done record rotted re-runs deterministically, so the artifact set still
+// converges byte-identically; the rotted files stay on disk for forensics.
+TEST(ServiceTortureTest, CorruptRecordsAreQuarantinedNotFatal) {
+  std::string dir = FreshDir("corrupt");
+
+  // Life 1: a clean, uninterrupted run; its artifacts are the oracle.
+  {
+    CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
+    std::string line;
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line.rfind("ready recovered=0", 0), 0u) << line;
+    for (const std::string& job : TortureJobs()) {
+      ASSERT_TRUE(serve.SendLine(job));
+      ASSERT_TRUE(serve.ReadLine(line));
+      ASSERT_EQ(line.rfind("ok ", 0), 0u) << line;
+    }
+    ASSERT_TRUE(serve.SendLine("wait"));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line, "ok wait idle");
+    ASSERT_TRUE(serve.SendLine("drain"));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line, "ok drain");
+    serve.CloseStdin();
+    int status = serve.Wait();
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+  const auto want = ArtifactSet(dir);
+  ASSERT_EQ(want.size(), TortureJobs().size());
+
+  // Rot two different records in two different ways. The first journal
+  // record (lowest seq) is truncated mid-payload; the last done record is
+  // bit-flipped. Both defeat the snapshot CRC. Listings are sorted, so the
+  // two victims are distinct jobs (t-d1's journal vs t-s1's outcome).
+  std::vector<std::string> job_files;
+  ListFilesUnder(dir + "/jobs", "", job_files);
+  ASSERT_EQ(job_files.size(), TortureJobs().size());
+  std::vector<std::string> done_files;
+  ListFilesUnder(dir + "/done", "", done_files);
+  ASSERT_EQ(done_files.size(), TortureJobs().size());
+  const std::string job_path = dir + "/jobs/" + job_files.front();
+  const std::string done_path = dir + "/done/" + done_files.back();
+  {
+    std::string bytes = ReadFileOrEmpty(job_path);
+    ASSERT_GT(bytes.size(), 8u);
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(job_path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  {
+    std::string bytes = ReadFileOrEmpty(done_path);
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream out(done_path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  // Life 2: recovery must come up (the banner is the no-abort proof),
+  // re-queue exactly the job whose outcome rotted, and answer duplicate_id
+  // for everything already durable.
+  {
+    CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
+    std::string line;
+    ASSERT_TRUE(serve.ReadLine(line)) << "recovery aborted on corrupt records";
+    ASSERT_EQ(line.rfind("ready recovered=1", 0), 0u) << line;
+    for (const std::string& job : TortureJobs()) {
+      ASSERT_TRUE(serve.SendLine(job));
+      ASSERT_TRUE(serve.ReadLine(line));
+      ASSERT_TRUE(line.rfind("ok ", 0) == 0 ||
+                  line.find("duplicate_id") != std::string::npos)
+          << line;
+    }
+    ASSERT_TRUE(serve.SendLine("wait"));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line, "ok wait idle");
+    ASSERT_TRUE(serve.SendLine("drain"));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line, "ok drain");
+    serve.CloseStdin();
+    int status = serve.Wait();
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // Converged byte-identically, one fresh done record per job (the
+  // ".done.corrupt" file does not match the ".done" suffix), and both
+  // rotted files preserved under the quarantine name.
+  EXPECT_EQ(ArtifactSet(dir), want) << "artifacts diverged after quarantine";
+  EXPECT_EQ(CountFilesWithSuffix(dir + "/done", ".done"),
+            static_cast<int>(TortureJobs().size()));
+  EXPECT_EQ(CountFilesWithSuffix(dir + "/jobs", ".corrupt"), 1);
+  EXPECT_EQ(CountFilesWithSuffix(dir + "/done", ".corrupt"), 1);
+  EXPECT_EQ(CountFilesWithSuffix(dir, ".tmp"), 0);
+
+  std::string cleanup = "rm -rf " + dir;
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
+}
+
 }  // namespace
 }  // namespace mdc

@@ -1,0 +1,511 @@
+// Socket front-end + retrying client coverage, all in-process: address
+// parsing, the shared protocol handler, per-connection deadline reaping
+// (slow loris, idle, write stall) without cross-connection interference,
+// frame bounds, transport-level shedding, net.* fault injection, and the
+// client's reconnect/retry loop. The cross-process SIGKILL proofs live in
+// service_socket_torture_test.cc.
+
+#include "service/transport.h"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "service/client.h"
+#include "service/service_core.h"
+
+namespace mdc::service {
+namespace {
+
+std::string FreshStateDir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = "/tmp/mdc_transport_" + std::to_string(::getpid()) + "_" +
+                    tag + "_" + std::to_string(counter++);
+  std::string cleanup = "rm -rf " + dir;
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
+  return dir;
+}
+
+std::string FreshSocketPath(const std::string& tag) {
+  static int counter = 0;
+  return "/tmp/mdc_tr_" + std::to_string(::getpid()) + "_" + tag + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+ServiceCore::Executor EchoExecutor() {
+  return [](const ServiceCore::ExecRequest& request) {
+    ServiceCore::ExecResult result;
+    result.artifact = "artifact for " + request.spec.id + "\n";
+    return result;
+  };
+}
+
+// Runs a SocketFrontEnd on its own thread with a stop switch for teardown
+// (the switch mimics the CLI's signal flag + self-pipe).
+class FrontEndHarness {
+ public:
+  explicit FrontEndHarness(TransportConfig config,
+                           AdmissionConfig admission = {}) {
+    ServiceConfig service_config;
+    service_config.state_dir = FreshStateDir("harness");
+    service_config.admission = admission;
+    auto core = ServiceCore::Start(service_config, EchoExecutor());
+    EXPECT_TRUE(core.ok()) << core.status().ToString();
+    core_ = std::move(*core);
+    front_ = std::make_unique<SocketFrontEnd>(core_.get(), std::move(config));
+    Status listening = front_->Listen();
+    EXPECT_TRUE(listening.ok()) << listening.ToString();
+    EXPECT_EQ(::pipe(wakeup_), 0);
+    thread_ = std::thread([this] {
+      run_status_ = front_->Run(wakeup_[0], [this] { return stop_.load(); });
+    });
+  }
+
+  ~FrontEndHarness() {
+    Stop();
+    ::close(wakeup_[0]);
+    ::close(wakeup_[1]);
+  }
+
+  // Idempotent: triggers the interrupted() path if the loop still runs.
+  void Stop() {
+    if (thread_.joinable()) {
+      stop_.store(true);
+      char byte = 1;
+      (void)!::write(wakeup_[1], &byte, 1);
+      thread_.join();
+    }
+  }
+
+  const std::string& address() const { return front_->bound_address(); }
+  Status run_status() const { return run_status_; }
+  ServiceCore& core() { return *core_; }
+
+ private:
+  std::unique_ptr<ServiceCore> core_;
+  std::unique_ptr<SocketFrontEnd> front_;
+  std::atomic<bool> stop_{false};
+  int wakeup_[2] = {-1, -1};
+  Status run_status_;
+  std::thread thread_;
+};
+
+// Minimal raw connection for hostile-client tests (the ServiceClient is
+// deliberately too well-behaved to send a slow loris).
+class RawConn {
+ public:
+  explicit RawConn(const std::string& address) {
+    auto parsed = ParseSocketAddress(address);
+    EXPECT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->kind, SocketAddress::Kind::kUnix);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, parsed->path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads one newline-terminated line within `timeout_ms`; empty string on
+  // EOF/timeout/error.
+  std::string ReadLine(int timeout_ms = 5000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      if (size_t pos = buffer_.find('\n'); pos != std::string::npos) {
+        std::string line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return line;
+      }
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return "";
+      pollfd pfd{fd_, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) return "";
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  // True once the server closes its end (EOF observed) within timeout_ms.
+  bool WaitForClose(int timeout_ms) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd pfd{fd_, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, 50);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) continue;
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return true;
+      if (n < 0 && errno != EINTR) return true;
+      if (n > 0) buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    return false;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+ClientConfig QuickClient(const std::string& address) {
+  ClientConfig config;
+  config.target = address;
+  config.connect_timeout_ms = 2000;
+  config.request_timeout_ms = 5000;
+  config.max_retries = 3;
+  config.backoff_base_ms = 1;
+  config.backoff_max_ms = 20;
+  return config;
+}
+
+TEST(SocketAddressTest, ParsesUnixAndTcpForms) {
+  auto unix_addr = ParseSocketAddress("unix:/tmp/mdcd.sock");
+  ASSERT_TRUE(unix_addr.ok());
+  EXPECT_EQ(unix_addr->kind, SocketAddress::Kind::kUnix);
+  EXPECT_EQ(unix_addr->path, "/tmp/mdcd.sock");
+  EXPECT_EQ(unix_addr->ToString(), "unix:/tmp/mdcd.sock");
+
+  auto tcp = ParseSocketAddress("tcp:127.0.0.1:8080");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ(tcp->kind, SocketAddress::Kind::kTcp);
+  EXPECT_EQ(tcp->host, "127.0.0.1");
+  EXPECT_EQ(tcp->port, 8080);
+  EXPECT_EQ(tcp->ToString(), "tcp:127.0.0.1:8080");
+
+  EXPECT_TRUE(ParseSocketAddress("tcp:127.0.0.1:0").ok());  // Ephemeral.
+}
+
+TEST(SocketAddressTest, RejectsMalformedAddresses) {
+  EXPECT_FALSE(ParseSocketAddress("").ok());
+  EXPECT_FALSE(ParseSocketAddress("unix:").ok());
+  EXPECT_FALSE(ParseSocketAddress("http:/x").ok());
+  EXPECT_FALSE(ParseSocketAddress("tcp:127.0.0.1").ok());
+  EXPECT_FALSE(ParseSocketAddress("tcp::123").ok());
+  EXPECT_FALSE(ParseSocketAddress("tcp:localhost:80").ok());  // Numeric only.
+  EXPECT_FALSE(ParseSocketAddress("tcp:127.0.0.1:notaport").ok());
+  EXPECT_FALSE(ParseSocketAddress("tcp:127.0.0.1:70000").ok());
+  EXPECT_FALSE(ParseSocketAddress("unix:" + std::string(300, 'x')).ok());
+}
+
+TEST(TransportRejectTest, NamesAndRepliesAreStable) {
+  EXPECT_STREQ(TransportRejectName(TransportReject::kLineTooLong),
+               "line_too_long");
+  EXPECT_STREQ(TransportRejectName(TransportReject::kOverloadedConnections),
+               "overloaded_connections");
+  EXPECT_STREQ(TransportRejectName(TransportReject::kReadDeadline),
+               "read_deadline");
+  EXPECT_STREQ(TransportRejectName(TransportReject::kIdleDeadline),
+               "idle_deadline");
+  EXPECT_STREQ(TransportRejectName(TransportReject::kWriteDeadline),
+               "write_deadline");
+  EXPECT_STREQ(TransportRejectName(TransportReject::kDraining), "draining");
+  EXPECT_EQ(TransportRejectReply(TransportReject::kLineTooLong),
+            "err transport line_too_long");
+}
+
+TEST(AdmitDecisionNameTest, RoundTripsEveryDecision) {
+  for (auto decision :
+       {AdmitDecision::kAdmitted, AdmitDecision::kOverloadedWindow,
+        AdmitDecision::kOverloadedTenant, AdmitDecision::kDuplicateId,
+        AdmitDecision::kDraining, AdmitDecision::kInvalidSpec}) {
+    auto parsed = AdmitDecisionFromName(AdmitDecisionName(decision));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, decision);
+  }
+  EXPECT_FALSE(AdmitDecisionFromName("nope").has_value());
+  EXPECT_FALSE(AdmitDecisionFromName("").has_value());
+}
+
+TEST(HandleProtocolLineTest, AnswersExactlyLikeTheStdinFrontEnd) {
+  ServiceConfig config;
+  config.state_dir = FreshStateDir("protocol");
+  auto core = ServiceCore::Start(config, EchoExecutor());
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+
+  ProtocolAction action = HandleProtocolLine(**core, "submit p1 cost=1");
+  EXPECT_EQ(action.kind, ProtocolAction::Kind::kReply);
+  EXPECT_EQ(action.reply, "ok p1 admitted");
+
+  action = HandleProtocolLine(**core, "submit p1 cost=1");
+  EXPECT_EQ(action.reply, "rejected p1 duplicate_id");
+
+  action = HandleProtocolLine(**core, "submit bad/id");
+  EXPECT_EQ(action.reply.rfind("err submit ", 0), 0u) << action.reply;
+
+  action = HandleProtocolLine(**core, "status");
+  EXPECT_EQ(action.reply.rfind("ok status queued=", 0), 0u) << action.reply;
+
+  action = HandleProtocolLine(**core, "wait");
+  EXPECT_EQ(action.kind, ProtocolAction::Kind::kWaitIdle);
+
+  action = HandleProtocolLine(**core, "drain");
+  EXPECT_EQ(action.kind, ProtocolAction::Kind::kDrain);
+
+  action = HandleProtocolLine(**core, "bogus stuff");
+  EXPECT_EQ(action.reply, "err unknown command 'bogus'");
+}
+
+TEST(ServiceCoreTest, IdleProbeTracksQueueAndWorker) {
+  ServiceConfig config;
+  config.state_dir = FreshStateDir("idle");
+  auto core = ServiceCore::Start(config, EchoExecutor());
+  ASSERT_TRUE(core.ok());
+  EXPECT_TRUE((*core)->Idle());
+  JobSpec spec;
+  spec.id = "idle-1";
+  auto decision = (*core)->Submit(spec);
+  ASSERT_TRUE(decision.ok());
+  (*core)->WaitIdle();
+  EXPECT_TRUE((*core)->Idle());
+}
+
+TEST(SocketFrontEndTest, ServesTheFullProtocolOverAUnixSocket) {
+  TransportConfig config;
+  config.listen = "unix:" + FreshSocketPath("full");
+  FrontEndHarness harness(std::move(config));
+
+  ServiceClient client(QuickClient(harness.address()));
+  auto submit = client.Submit("s1 kind=anonymize cost=1");
+  ASSERT_TRUE(submit.ok()) << submit.status().ToString();
+  EXPECT_EQ(submit->decision, AdmitDecision::kAdmitted);
+  EXPECT_EQ(submit->id, "s1");
+  EXPECT_TRUE(submit->accepted());
+
+  // A duplicate submit is accepted() — the idempotent-retry contract.
+  auto duplicate = client.Submit("s1 kind=anonymize cost=1");
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_EQ(duplicate->decision, AdmitDecision::kDuplicateId);
+  EXPECT_TRUE(duplicate->accepted());
+
+  // A malformed spec is an application error, never a retry.
+  EXPECT_FALSE(client.Submit("bad/id").ok());
+
+  ASSERT_TRUE(client.WaitIdle().ok());
+  auto stats = client.GetStatusLine();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rfind("queued=0 running=0 done=1", 0), 0u) << *stats;
+
+  EXPECT_TRUE(client.Drain().ok());
+  harness.Stop();
+  EXPECT_TRUE(harness.run_status().ok()) << harness.run_status().ToString();
+}
+
+TEST(SocketFrontEndTest, BindsAnEphemeralTcpPort) {
+  TransportConfig config;
+  config.listen = "tcp:127.0.0.1:0";
+  FrontEndHarness harness(config);
+  // Port 0 must have been resolved to the real bound port.
+  EXPECT_EQ(harness.address().rfind("tcp:127.0.0.1:", 0), 0u)
+      << harness.address();
+  EXPECT_NE(harness.address(), "tcp:127.0.0.1:0");
+
+  ServiceClient client(QuickClient(harness.address()));
+  auto submit = client.Submit("tcp1 cost=1");
+  ASSERT_TRUE(submit.ok()) << submit.status().ToString();
+  EXPECT_TRUE(submit->accepted());
+  EXPECT_TRUE(client.WaitIdle().ok());
+  EXPECT_TRUE(client.Drain().ok());
+}
+
+TEST(SocketFrontEndTest, ReapsASlowLorisWithoutBlockingOthers) {
+  TransportConfig config;
+  config.listen = "unix:" + FreshSocketPath("loris");
+  config.read_deadline_ms = 300;  // Reap partial lines quickly.
+  FrontEndHarness harness(config);
+
+  // The slow loris: a partial line, one byte at a time, never a newline.
+  RawConn loris(harness.address());
+  ASSERT_TRUE(loris.connected());
+  ASSERT_TRUE(loris.Send("s"));
+
+  // A healthy client keeps getting served while the loris hangs.
+  ServiceClient client(QuickClient(harness.address()));
+  auto submit = client.Submit("healthy-1 cost=1");
+  ASSERT_TRUE(submit.ok());
+  EXPECT_TRUE(submit->accepted());
+  ASSERT_TRUE(client.WaitIdle().ok());
+
+  // The loris gets the typed notice and its connection closed within the
+  // deadline (plus scheduling slack), not at session end.
+  std::string notice = loris.ReadLine(3000);
+  EXPECT_EQ(notice, "err transport read_deadline");
+  EXPECT_TRUE(loris.WaitForClose(3000));
+
+  // And the service is still healthy afterwards.
+  auto again = client.Submit("healthy-2 cost=1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->accepted());
+  EXPECT_TRUE(client.Drain().ok());
+}
+
+TEST(SocketFrontEndTest, ReapsIdleConnections) {
+  TransportConfig config;
+  config.listen = "unix:" + FreshSocketPath("idle");
+  config.idle_deadline_ms = 250;
+  FrontEndHarness harness(config);
+
+  RawConn idler(harness.address());
+  ASSERT_TRUE(idler.connected());
+  // Sends nothing at all: reaped as idle with the typed notice.
+  std::string notice = idler.ReadLine(3000);
+  EXPECT_EQ(notice, "err transport idle_deadline");
+  EXPECT_TRUE(idler.WaitForClose(3000));
+}
+
+TEST(SocketFrontEndTest, RejectsOversizeLinesTyped) {
+  TransportConfig config;
+  config.listen = "unix:" + FreshSocketPath("oversize");
+  config.max_line_bytes = 128;
+  FrontEndHarness harness(config);
+
+  // Oversize without a newline: rejected as soon as the cap is crossed —
+  // the slow-loris memory bound, not just a parse guard.
+  RawConn hog(harness.address());
+  ASSERT_TRUE(hog.connected());
+  ASSERT_TRUE(hog.Send(std::string(200, 'x')));
+  std::string notice = hog.ReadLine(3000);
+  EXPECT_EQ(notice.rfind("err transport line_too_long", 0), 0u) << notice;
+  EXPECT_TRUE(hog.WaitForClose(3000));
+
+  // Oversize with a newline: same rejection.
+  RawConn framed(harness.address());
+  ASSERT_TRUE(framed.connected());
+  ASSERT_TRUE(framed.Send(std::string(200, 'y') + "\n"));
+  notice = framed.ReadLine(3000);
+  EXPECT_EQ(notice.rfind("err transport line_too_long", 0), 0u) << notice;
+
+  // In-bounds requests still work.
+  ServiceClient client(QuickClient(harness.address()));
+  auto submit = client.Submit("fits cost=1");
+  ASSERT_TRUE(submit.ok());
+  EXPECT_TRUE(submit->accepted());
+  EXPECT_TRUE(client.Drain().ok());
+}
+
+TEST(SocketFrontEndTest, ShedsConnectionsBeyondTheCapTyped) {
+  TransportConfig config;
+  config.listen = "unix:" + FreshSocketPath("shed");
+  config.max_connections = 1;
+  FrontEndHarness harness(config);
+
+  RawConn first(harness.address());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(first.Send("status\n"));
+  EXPECT_EQ(first.ReadLine(3000).rfind("ok status ", 0), 0u);
+
+  // The second connection is shed with the typed transport reply, and the
+  // first keeps working — overload hits the newcomer, not the tenant in
+  // possession.
+  RawConn second(harness.address());
+  ASSERT_TRUE(second.connected());
+  EXPECT_EQ(second.ReadLine(3000), "err transport overloaded_connections");
+  EXPECT_TRUE(second.WaitForClose(3000));
+
+  ASSERT_TRUE(first.Send("status\n"));
+  EXPECT_EQ(first.ReadLine(3000).rfind("ok status ", 0), 0u);
+  ASSERT_TRUE(first.Send("drain\n"));
+  EXPECT_EQ(first.ReadLine(3000), "ok drain");
+}
+
+TEST(SocketFrontEndTest, InjectedReadFaultClosesOnlyThatConnection) {
+  if (!failpoint::Enabled()) GTEST_SKIP() << "failpoints disabled";
+  TransportConfig config;
+  config.listen = "unix:" + FreshSocketPath("fault");
+  FrontEndHarness harness(config);
+
+  ServiceClient client(QuickClient(harness.address()));
+  // Warm the connection up so the armed fault hits an established session.
+  ASSERT_TRUE(client.WaitIdle().ok());
+
+  {
+    failpoint::ScopedFailpoint fp("net.read", Status::Internal("injected"),
+                                  /*skip=*/0, /*count=*/1);
+    ASSERT_TRUE(fp.armed());
+    // The daemon's next read on this connection fails and the connection
+    // drops; the client's retry loop reconnects and the request succeeds.
+    auto submit = client.Submit("fault-1 cost=1");
+    ASSERT_TRUE(submit.ok()) << submit.status().ToString();
+    EXPECT_TRUE(submit->accepted());
+  }
+  EXPECT_GE(client.retries() + client.reconnects(), 1u);
+  EXPECT_TRUE(client.WaitIdle().ok());
+  EXPECT_TRUE(client.Drain().ok());
+}
+
+TEST(SocketFrontEndTest, DrainByInterruptClosesOpenConnections) {
+  TransportConfig config;
+  config.listen = "unix:" + FreshSocketPath("drainwait");
+  FrontEndHarness harness(config);
+
+  // Leave a raw connection mid-session, then interrupt the loop: the
+  // graceful drain must still answer it (typed) before closing.
+  RawConn conn(harness.address());
+  ASSERT_TRUE(conn.connected());
+  ASSERT_TRUE(conn.Send("status\n"));
+  ASSERT_NE(conn.ReadLine(3000), "");
+  harness.Stop();
+  EXPECT_TRUE(harness.run_status().ok()) << harness.run_status().ToString();
+  EXPECT_TRUE(conn.WaitForClose(3000));
+}
+
+TEST(ServiceClientTest, ReportsConnectFailureAfterRetries) {
+  ClientConfig config = QuickClient("unix:/tmp/mdc_no_such_daemon.sock");
+  config.max_retries = 1;
+  config.connect_timeout_ms = 200;
+  ServiceClient client(config);
+  auto reply = client.Request("status");
+  EXPECT_FALSE(reply.ok());
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_FALSE(client.Submit("x cost=1").ok());
+}
+
+TEST(ServiceClientTest, RejectsUnparsableTarget) {
+  ServiceClient client(QuickClient("carrier-pigeon:coop-7"));
+  auto reply = client.Request("status");
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mdc::service
