@@ -81,6 +81,11 @@ void RunAllPairs(benchmark::State& state, CompareEngine engine) {
     pairs += result->pairs.size();
   }
   state.SetItemsProcessed(static_cast<int64_t>(pairs * cols));
+  // Each compared pair reads both property rows once per sweep; the
+  // bytes counter is the kernel-level memory traffic the roofline in
+  // docs/performance.md compares against measured peak bandwidth.
+  state.SetBytesProcessed(
+      static_cast<int64_t>(pairs * cols * 2 * sizeof(double)));
 }
 
 void BM_AllPairs_Scalar(benchmark::State& state) {

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "anonymize/encoded_eval.h"
@@ -76,6 +77,12 @@ void BM_NodeEval_Encoded(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations() * nodes.size());
+  // Per node, the gather/group hot path reads one u32 code and writes one
+  // u32 label per row per QI column; the bytes counter tracks that
+  // kernel-level traffic for the roofline in docs/performance.md.
+  const size_t rows = static_cast<size_t>(state.range(0));
+  state.SetBytesProcessed(static_cast<int64_t>(
+      state.iterations() * nodes.size() * rows * 5 * 2 * sizeof(uint32_t)));
 }
 BENCHMARK(BM_NodeEval_Encoded)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,65 @@
+// Shared main for the bench_* binaries, replacing benchmark_main so every
+// run carries the context needed to interpret (and trust) its numbers:
+//
+//   build_type      — CMAKE_BUILD_TYPE the binary was compiled under
+//   mdc_simd_level  — dispatch level the mdc kernels actually ran at
+//
+// The checked-in BENCH_*.json baselines must come from the release preset;
+// a non-release binary asked to write results (--benchmark_out) refuses,
+// because a debug or sanitizer build quietly producing a plausible-looking
+// baseline is worse than no baseline. MDC_BENCH_ALLOW_NONRELEASE=1
+// overrides the refusal for local experiments, and the output is then
+// annotated with nonrelease_build=true so it can never pass review as a
+// real capture.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/cpu_dispatch.h"
+
+#ifndef MDC_BENCH_BUILD_TYPE
+#define MDC_BENCH_BUILD_TYPE "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  bool writes_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0) {
+      writes_out = true;
+    }
+  }
+  const bool release_build =
+      std::string(MDC_BENCH_BUILD_TYPE) == "Release";
+  if (writes_out && !release_build) {
+    const char* allow = std::getenv("MDC_BENCH_ALLOW_NONRELEASE");
+    if (allow == nullptr || *allow == '\0' ||
+        std::strcmp(allow, "0") == 0) {
+      std::fprintf(
+          stderr,
+          "refusing --benchmark_out from a %s build: BENCH_*.json baselines "
+          "must be captured from the release preset (cmake --preset "
+          "release). Set MDC_BENCH_ALLOW_NONRELEASE=1 to write anyway; the "
+          "output will be annotated nonrelease_build=true.\n",
+          MDC_BENCH_BUILD_TYPE);
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "WARNING: writing benchmark output from a %s build; the "
+                 "numbers are not comparable to release captures.\n",
+                 MDC_BENCH_BUILD_TYPE);
+    benchmark::AddCustomContext("nonrelease_build", "true");
+  }
+  benchmark::AddCustomContext("build_type", MDC_BENCH_BUILD_TYPE);
+  benchmark::AddCustomContext(
+      "mdc_simd_level", mdc::SimdLevelName(mdc::ActiveSimdLevel()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -59,6 +59,7 @@
 #include "anonymize/mondrian.h"
 #include "anonymize/optimal_lattice.h"
 #include "anonymize/samarati.h"
+#include "common/cpu_dispatch.h"
 #include "common/csv.h"
 #include "common/durable_io.h"
 #include "common/failpoint.h"
@@ -79,7 +80,7 @@ using namespace mdc;
 namespace {
 
 constexpr const char* kUsageHint =
-    "usage: mdc_cli <anonymize|compare|batch|serve> --input <csv> "
+    "usage: mdc_cli <anonymize|compare|batch|serve|version> --input <csv> "
     "--schema <spec> "
     "[--hierarchies <file>] [--algorithm <name>] [--algorithms <a,b>] "
     "[--k <n>] [--max-suppression <frac>] [--output <csv>] "
@@ -893,6 +894,14 @@ int main(int argc, char** argv) {
   if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
     sinks.trace_path = it->second;
     trace::Enable();
+  }
+  if (args.command == "version") {
+    // `active` reflects any MDC_SIMD_LEVEL clamp; `detected` is what the
+    // hardware and build support.
+    std::printf("mdc_cli\nsimd_level: %s\nsimd_detected: %s\n",
+                SimdLevelName(ActiveSimdLevel()),
+                SimdLevelName(DetectSimdLevel()));
+    return 0;
   }
   if (args.command.empty()) return Demo();
   if (args.command == "batch") return RunBatchCommand(args);

@@ -6,6 +6,7 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "table/gather_kernels.h"
 
 namespace mdc {
 
@@ -54,16 +55,18 @@ void EncodedNodeEvaluator::GatherLabelCodes(
     std::vector<uint32_t>& cards) const {
   const size_t m = codec_.position_count();
   const size_t rows = view_.row_count();
+  const GatherKernels& kernels = ActiveGatherKernels();
   out.resize(m);
   cards.resize(m);
   for (size_t pos = 0; pos < m; ++pos) {
     const LevelCodeTable& table = codec_.table(pos, node[pos]);
     cards[pos] = static_cast<uint32_t>(table.labels.size());
-    const std::vector<uint32_t>& codes = view_.codes(pos);
+    const AlignedVector<uint32_t>& codes = view_.codes(pos);
     std::vector<uint32_t>& labels = out[pos];
     labels.resize(rows);
-    for (size_t row = 0; row < rows; ++row) {
-      labels[row] = table.value_to_label[codes[row]];
+    if (rows > 0) {
+      kernels.gather_u32(codes.data(), rows, table.value_to_label.data(),
+                         labels.data());
     }
   }
 }
@@ -82,8 +85,13 @@ StatusOr<EncodedNodeEvaluator::Evaluation> EncodedNodeEvaluator::Evaluate(
   MDC_METRIC_INC("eval.nodes");
 
   const size_t rows = view_.row_count();
-  std::vector<std::vector<uint32_t>> label_cols;
-  std::vector<uint32_t> cards;
+  // Thread-local scratch: Evaluate runs once per lattice node (hundreds
+  // to thousands of times per search, often from pool workers), and the
+  // gathered label columns are dead once the partitions are built.
+  // Reusing the buffers keeps the hot loop allocation-free after the
+  // first node each thread touches.
+  static thread_local std::vector<std::vector<uint32_t>> label_cols;
+  static thread_local std::vector<uint32_t> cards;
   GatherLabelCodes(node, label_cols, cards);
 
   Evaluation evaluation;
@@ -93,7 +101,7 @@ StatusOr<EncodedNodeEvaluator::Evaluation> EncodedNodeEvaluator::Evaluate(
   // Rows of classes smaller than k are suppression candidates; class order
   // is canonical, so this list matches the legacy path's.
   std::vector<size_t> to_suppress;
-  for (const std::vector<size_t>& members : evaluation.partition.classes()) {
+  for (ClassSpan members : evaluation.partition.classes()) {
     if (members.size() < static_cast<size_t>(k)) {
       to_suppress.insert(to_suppress.end(), members.begin(), members.end());
     }

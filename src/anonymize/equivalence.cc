@@ -4,69 +4,82 @@
 #include <bit>
 #include <map>
 #include <string>
-#include <unordered_map>
 
 #include "common/metrics.h"
 
 namespace mdc {
 namespace {
 
-// Hash-grouped classes before canonical ordering: `slots` holds the row
-// indices of each class in first-seen order; `order[i]` is the slot of the
-// class that sorts i-th in canonical (ascending key) order.
-struct GroupedClasses {
-  std::vector<std::vector<size_t>> slots;
-  std::vector<size_t> order;
+// Reused per-thread scratch for FromCodeColumns. A lattice search calls
+// the grouping once or twice per node from a fixed set of pool threads,
+// so the hash table and per-row arrays are allocated once per thread and
+// then recycled; generation tags make table "clearing" free.
+struct GroupScratch {
+  std::vector<uint64_t> keys;         // packed key per row
+  std::vector<uint32_t> slot_of_row;  // first-seen slot per row
+  // Open-addressing table: key/slot valid iff gen matches the current
+  // generation. Linear probing; capacity is a power of two ≥ 2·rows.
+  std::vector<uint64_t> table_key;
+  std::vector<uint32_t> table_slot;
+  std::vector<uint32_t> table_gen;
+  uint32_t gen = 0;
+  std::vector<uint32_t> counts;      // rows per slot
+  std::vector<uint64_t> slot_keys;   // key of each slot, first-seen order
 };
 
-// Grouping over keys packed into one integer (uint64_t or
-// unsigned __int128); ascending packed keys == lexicographic code tuples
-// because columns occupy disjoint, order-preserving bit ranges.
-template <typename Key>
-GroupedClasses GroupPacked(
-    size_t row_count, const std::vector<std::vector<uint32_t>>& code_columns,
-    const std::vector<int>& shifts) {
-  std::unordered_map<uint64_t, size_t> slot_of_key;
-  slot_of_key.reserve(row_count);
-  std::vector<Key> keys;            // Key of each slot, in first-seen order.
-  std::vector<std::vector<size_t>> slots;
-  const size_t m = code_columns.size();
-  for (size_t row = 0; row < row_count; ++row) {
-    Key key = 0;
-    for (size_t pos = 0; pos < m; ++pos) {
-      key |= static_cast<Key>(code_columns[pos][row]) << shifts[pos];
-    }
-    // uint64_t hash of the key: the low word collides only when the high
-    // word differs, which the equality probe below disambiguates.
-    uint64_t hashed = static_cast<uint64_t>(key);
-    auto [it, inserted] = slot_of_key.try_emplace(hashed, slots.size());
-    size_t slot = it->second;
-    if (!inserted && keys[slot] != key) {
-      // Low-word collision between distinct wide keys: fall back to a
-      // linear probe over slots with the same low word (vanishingly rare).
-      slot = slots.size();
-      for (size_t s = 0; s < keys.size(); ++s) {
-        if (keys[s] == key) {
-          slot = s;
-          break;
-        }
-      }
-      if (slot == slots.size()) inserted = true;
-    }
-    if (inserted) {
-      if (slot == slots.size()) {
-        keys.push_back(key);
-        slots.emplace_back();
-      }
-    }
-    slots[slot].push_back(row);
+// Avalanching multiply-xorshift so consecutive packed keys don't cluster
+// in the linear-probe table. Collisions are only a speed concern: slot
+// identity is decided by full-key comparison.
+uint64_t MixKey(uint64_t key) {
+  key *= 0x9e3779b97f4a7c15ull;
+  key ^= key >> 32;
+  return key;
+}
+
+// Groups rows by the packed key per row in `scratch.keys`, leaving the
+// per-slot counts, per-row slots, and first-seen slot keys in `scratch`.
+void GroupByKeys(size_t row_count, GroupScratch& scratch) {
+  size_t capacity = 16;
+  while (capacity < row_count * 2) capacity <<= 1;
+  if (scratch.table_key.size() != capacity) {
+    scratch.table_key.assign(capacity, 0);
+    scratch.table_slot.assign(capacity, 0);
+    scratch.table_gen.assign(capacity, 0);
+    scratch.gen = 0;
   }
-  (void)row_count;
-  std::vector<size_t> order(slots.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(),
-            [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
-  return GroupedClasses{std::move(slots), std::move(order)};
+  if (++scratch.gen == 0) {
+    // Generation counter wrapped: stale tags could alias. Reset once per
+    // 2^32 builds.
+    std::fill(scratch.table_gen.begin(), scratch.table_gen.end(), 0u);
+    scratch.gen = 1;
+  }
+  scratch.slot_of_row.resize(row_count);
+  scratch.counts.clear();
+  scratch.slot_keys.clear();
+  const uint64_t mask = capacity - 1;
+  for (size_t row = 0; row < row_count; ++row) {
+    const uint64_t key = scratch.keys[row];
+    uint64_t h = MixKey(key) & mask;
+    uint32_t slot;
+    for (;;) {
+      if (scratch.table_gen[h] != scratch.gen) {
+        scratch.table_gen[h] = scratch.gen;
+        scratch.table_key[h] = key;
+        slot = static_cast<uint32_t>(scratch.slot_keys.size());
+        scratch.table_slot[h] = slot;
+        scratch.slot_keys.push_back(key);
+        scratch.counts.push_back(0);
+        break;
+      }
+      if (scratch.table_key[h] == key) {
+        slot = scratch.table_slot[h];
+        break;
+      }
+      h = (h + 1) & mask;
+    }
+    scratch.slot_of_row[row] = slot;
+    scratch.counts[slot]++;
+  }
 }
 
 }  // namespace
@@ -92,11 +105,15 @@ EquivalencePartition EquivalencePartition::FromColumns(
   }
   EquivalencePartition partition;
   partition.class_of_row_.assign(dataset.row_count(), 0);
-  partition.classes_.reserve(groups.size());
+  partition.members_.reserve(dataset.row_count());
+  partition.offsets_.reserve(groups.size() + 1);
+  partition.offsets_.push_back(0);
   for (auto& [group_key, members] : groups) {
-    size_t class_id = partition.classes_.size();
+    size_t class_id = partition.offsets_.size() - 1;
     for (size_t row : members) partition.class_of_row_[row] = class_id;
-    partition.classes_.push_back(std::move(members));
+    partition.members_.insert(partition.members_.end(), members.begin(),
+                              members.end());
+    partition.offsets_.push_back(partition.members_.size());
   }
   return partition;
 }
@@ -106,14 +123,14 @@ EquivalencePartition EquivalencePartition::FromCodeColumns(
     const std::vector<uint32_t>& cardinalities) {
   MDC_CHECK_EQ(code_columns.size(), cardinalities.size());
   const size_t m = code_columns.size();
+  EquivalencePartition partition;
   if (m == 0) {
     // Empty key: every row shares one class (matches FromColumns).
-    EquivalencePartition partition;
     partition.class_of_row_.assign(row_count, 0);
     if (row_count > 0) {
-      std::vector<size_t> all(row_count);
-      for (size_t r = 0; r < row_count; ++r) all[r] = r;
-      partition.classes_.push_back(std::move(all));
+      partition.members_.resize(row_count);
+      for (size_t r = 0; r < row_count; ++r) partition.members_[r] = r;
+      partition.offsets_ = {0, row_count};
     }
     return partition;
   }
@@ -137,11 +154,49 @@ EquivalencePartition EquivalencePartition::FromCodeColumns(
     shift -= bits[pos];
     shifts[pos] = shift;
   }
-  GroupedClasses grouped;
+
   if (total_bits <= 64) {
-    grouped = GroupPacked<uint64_t>(row_count, code_columns, shifts);
-  } else if (total_bits <= 128) {
-    grouped = GroupPacked<unsigned __int128>(row_count, code_columns, shifts);
+    static thread_local GroupScratch scratch;
+    // Column-outer key packing: each pass is a vertical shift-or the
+    // compiler vectorizes, unlike a row-outer loop over m columns.
+    scratch.keys.assign(row_count, 0);
+    for (size_t pos = 0; pos < m; ++pos) {
+      const uint32_t* codes = code_columns[pos].data();
+      const int s = shifts[pos];
+      uint64_t* keys = scratch.keys.data();
+      for (size_t r = 0; r < row_count; ++r) {
+        keys[r] |= static_cast<uint64_t>(codes[r]) << s;
+      }
+    }
+    GroupByKeys(row_count, scratch);
+
+    // Canonical class order is ascending packed key == lexicographic
+    // tuple order. Sort the (few) distinct keys, not the rows.
+    const size_t class_count = scratch.slot_keys.size();
+    std::vector<uint32_t> order(class_count);
+    for (uint32_t i = 0; i < class_count; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&scratch](uint32_t a, uint32_t b) {
+                return scratch.slot_keys[a] < scratch.slot_keys[b];
+              });
+    std::vector<uint32_t> class_of_slot(class_count);
+    for (uint32_t i = 0; i < class_count; ++i) class_of_slot[order[i]] = i;
+
+    partition.offsets_.resize(class_count + 1);
+    partition.offsets_[0] = 0;
+    for (uint32_t i = 0; i < class_count; ++i) {
+      partition.offsets_[i + 1] =
+          partition.offsets_[i] + scratch.counts[order[i]];
+    }
+    std::vector<size_t> cursor(partition.offsets_.begin(),
+                               partition.offsets_.end() - 1);
+    partition.members_.resize(row_count);
+    partition.class_of_row_.resize(row_count);
+    for (size_t r = 0; r < row_count; ++r) {
+      const uint32_t class_id = class_of_slot[scratch.slot_of_row[r]];
+      partition.class_of_row_[r] = class_id;
+      partition.members_[cursor[class_id]++] = r;
+    }
   } else {
     // Very wide tuples: group on the code vectors themselves. std::map
     // keeps the canonical order directly; this path is cold.
@@ -151,33 +206,29 @@ EquivalencePartition EquivalencePartition::FromCodeColumns(
       for (size_t pos = 0; pos < m; ++pos) key[pos] = code_columns[pos][row];
       groups[key].push_back(row);
     }
-    grouped.slots.reserve(groups.size());
+    partition.class_of_row_.assign(row_count, 0);
+    partition.members_.reserve(row_count);
+    partition.offsets_.reserve(groups.size() + 1);
+    partition.offsets_.push_back(0);
     for (auto& [group_key, members] : groups) {
-      grouped.order.push_back(grouped.slots.size());
-      grouped.slots.push_back(std::move(members));
+      size_t class_id = partition.offsets_.size() - 1;
+      for (size_t row : members) partition.class_of_row_[row] = class_id;
+      partition.members_.insert(partition.members_.end(), members.begin(),
+                                members.end());
+      partition.offsets_.push_back(partition.members_.size());
     }
   }
 
-  EquivalencePartition partition;
-  partition.class_of_row_.assign(row_count, 0);
-  partition.classes_.reserve(grouped.slots.size());
-  for (size_t slot : grouped.order) {
-    size_t class_id = partition.classes_.size();
-    for (size_t row : grouped.slots[slot]) {
-      partition.class_of_row_[row] = class_id;
-    }
-    partition.classes_.push_back(std::move(grouped.slots[slot]));
-  }
   MDC_METRIC_INC("partition.builds");
   MDC_METRIC_ADD("partition.rows", row_count);
-  MDC_METRIC_ADD("partition.classes", partition.classes_.size());
+  MDC_METRIC_ADD("partition.classes", partition.class_count());
   return partition;
 }
 
-const std::vector<size_t>& EquivalencePartition::class_members(
-    size_t class_id) const {
-  MDC_CHECK_LT(class_id, classes_.size());
-  return classes_[class_id];
+ClassSpan EquivalencePartition::class_members(size_t class_id) const {
+  MDC_CHECK_LT(class_id, class_count());
+  return ClassSpan(members_.data() + offsets_[class_id],
+                   offsets_[class_id + 1] - offsets_[class_id]);
 }
 
 size_t EquivalencePartition::ClassOfRow(size_t row) const {
@@ -186,22 +237,24 @@ size_t EquivalencePartition::ClassOfRow(size_t row) const {
 }
 
 size_t EquivalencePartition::ClassSize(size_t class_id) const {
-  MDC_CHECK_LT(class_id, classes_.size());
-  return classes_[class_id].size();
+  MDC_CHECK_LT(class_id, class_count());
+  return offsets_[class_id + 1] - offsets_[class_id];
 }
 
 std::vector<double> EquivalencePartition::ClassSizePerRow() const {
   std::vector<double> sizes(class_of_row_.size(), 0.0);
   for (size_t r = 0; r < class_of_row_.size(); ++r) {
-    sizes[r] = static_cast<double>(classes_[class_of_row_[r]].size());
+    const size_t c = class_of_row_[r];
+    sizes[r] = static_cast<double>(offsets_[c + 1] - offsets_[c]);
   }
   return sizes;
 }
 
 size_t EquivalencePartition::MinClassSize() const {
   size_t min_size = 0;
-  for (size_t i = 0; i < classes_.size(); ++i) {
-    if (i == 0 || classes_[i].size() < min_size) min_size = classes_[i].size();
+  for (size_t i = 0; i < class_count(); ++i) {
+    const size_t size = offsets_[i + 1] - offsets_[i];
+    if (i == 0 || size < min_size) min_size = size;
   }
   return min_size;
 }
@@ -211,7 +264,7 @@ size_t EquivalencePartition::MinClassSizeExempting(
   MDC_CHECK_EQ(exempt.size(), class_of_row_.size());
   size_t min_size = 0;
   bool found = false;
-  for (const std::vector<size_t>& members : classes_) {
+  for (ClassSpan members : classes()) {
     bool counts = false;
     for (size_t row : members) {
       if (!exempt[row]) {

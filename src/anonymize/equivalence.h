@@ -4,6 +4,14 @@
 // class. Suppressed rows all carry the top label in every QI cell, so they
 // naturally coalesce into one class. Class order is deterministic
 // (lexicographic in the label tuples).
+//
+// Storage is CSR-shaped: one flat row-index array partitioned by an
+// offsets table. A lattice search builds one (sometimes two) partitions
+// per node, and the per-class vector-of-vectors this replaced spent more
+// time in the allocator than in the grouping loop; the flat layout costs
+// two allocations per build regardless of class count and keeps class
+// iteration contiguous. Callers see classes through the lightweight
+// ClassSpan/ClassRange views below.
 
 #ifndef MDC_ANONYMIZE_EQUIVALENCE_H_
 #define MDC_ANONYMIZE_EQUIVALENCE_H_
@@ -16,6 +24,112 @@
 #include "table/dataset.h"
 
 namespace mdc {
+
+// Borrowed view of one class's row indices (ascending row order). Valid
+// only while the owning EquivalencePartition is alive and unmodified.
+class ClassSpan {
+ public:
+  ClassSpan() : data_(nullptr), size_(0) {}
+  ClassSpan(const size_t* data, size_t size) : data_(data), size_(size) {}
+
+  const size_t* begin() const { return data_; }
+  const size_t* end() const { return data_ + size_; }
+  const size_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t operator[](size_t i) const { return data_[i]; }
+  size_t front() const { return data_[0]; }
+  size_t back() const { return data_[size_ - 1]; }
+
+  friend bool operator==(ClassSpan a, ClassSpan b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(ClassSpan a, ClassSpan b) { return !(a == b); }
+  friend bool operator==(ClassSpan a, const std::vector<size_t>& b) {
+    return a == ClassSpan(b.data(), b.size());
+  }
+  friend bool operator==(const std::vector<size_t>& a, ClassSpan b) {
+    return ClassSpan(a.data(), a.size()) == b;
+  }
+
+ private:
+  const size_t* data_;
+  size_t size_;
+};
+
+class EquivalencePartition;
+
+// Iterable range over a partition's classes, in canonical class order.
+// Dereferencing yields ClassSpan values.
+class ClassRange {
+ public:
+  class iterator {
+   public:
+    using value_type = ClassSpan;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+    using pointer = const ClassSpan*;
+    using reference = ClassSpan;
+
+    iterator(const size_t* members, const size_t* offsets, size_t index)
+        : members_(members), offsets_(offsets), index_(index) {}
+    ClassSpan operator*() const {
+      return ClassSpan(members_ + offsets_[index_],
+                       offsets_[index_ + 1] - offsets_[index_]);
+    }
+    iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      ++index_;
+      return old;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return a.index_ != b.index_;
+    }
+
+   private:
+    const size_t* members_;
+    const size_t* offsets_;
+    size_t index_;
+  };
+
+  ClassRange(const size_t* members, const size_t* offsets, size_t count)
+      : members_(members), offsets_(offsets), count_(count) {}
+
+  iterator begin() const { return iterator(members_, offsets_, 0); }
+  iterator end() const { return iterator(members_, offsets_, count_); }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  ClassSpan operator[](size_t i) const {
+    return ClassSpan(members_ + offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  friend bool operator==(const ClassRange& a, const ClassRange& b) {
+    if (a.count_ != b.count_) return false;
+    for (size_t i = 0; i < a.count_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const ClassRange& a, const ClassRange& b) {
+    return !(a == b);
+  }
+
+ private:
+  const size_t* members_;
+  const size_t* offsets_;
+  size_t count_;
+};
 
 class EquivalencePartition {
  public:
@@ -38,12 +152,17 @@ class EquivalencePartition {
       size_t row_count, const std::vector<std::vector<uint32_t>>& code_columns,
       const std::vector<uint32_t>& cardinalities);
 
-  size_t class_count() const { return classes_.size(); }
+  size_t class_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
   size_t row_count() const { return class_of_row_.size(); }
 
-  // Row indices of each class; classes are in deterministic label order.
-  const std::vector<std::vector<size_t>>& classes() const { return classes_; }
-  const std::vector<size_t>& class_members(size_t class_id) const;
+  // Views of each class's row indices; classes are in deterministic label
+  // order. Views borrow from the partition — do not outlive it.
+  ClassRange classes() const {
+    return ClassRange(members_.data(), offsets_.data(), class_count());
+  }
+  ClassSpan class_members(size_t class_id) const;
 
   size_t ClassOfRow(size_t row) const;
   size_t ClassSize(size_t class_id) const;
@@ -61,7 +180,11 @@ class EquivalencePartition {
   size_t MinClassSizeExempting(const std::vector<bool>& exempt) const;
 
  private:
-  std::vector<std::vector<size_t>> classes_;
+  // CSR storage: members_[offsets_[c] .. offsets_[c+1]) are class c's row
+  // indices in ascending row order; offsets_ has class_count()+1 entries
+  // (empty only for a default-constructed partition).
+  std::vector<size_t> members_;
+  std::vector<size_t> offsets_;
   std::vector<size_t> class_of_row_;
 };
 

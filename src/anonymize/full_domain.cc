@@ -28,7 +28,7 @@ StatusOr<NodeEvaluation> EvaluateNode(std::shared_ptr<const Dataset> original,
 
   // Rows of classes smaller than k are suppression candidates.
   std::vector<size_t> to_suppress;
-  for (const std::vector<size_t>& members : partition.classes()) {
+  for (ClassSpan members : partition.classes()) {
     if (members.size() < static_cast<size_t>(k)) {
       to_suppress.insert(to_suppress.end(), members.begin(), members.end());
     }

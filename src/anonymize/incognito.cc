@@ -35,7 +35,7 @@ struct LabelTable {
     LabelTable table;
     table.label_ids.resize(hierarchies.size());
     for (size_t pos = 0; pos < hierarchies.size(); ++pos) {
-      const std::vector<uint32_t>& codes = view.codes(pos);
+      const AlignedVector<uint32_t>& codes = view.codes(pos);
       const int height = codec.height(pos);
       table.label_ids[pos].resize(static_cast<size_t>(height) + 1);
       for (int level = 0; level <= height; ++level) {

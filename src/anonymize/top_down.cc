@@ -90,7 +90,7 @@ StatusOr<GreedyWalkResult> BottomUpGeneralize(
     // Privacy gain per unit of loss: (drop in undersized rows) /
     // (increase in loss); take the best ratio among generalizations.
     size_t current_undersized = 0;
-    for (const std::vector<size_t>& members : current.partition.classes()) {
+    for (ClassSpan members : current.partition.classes()) {
       if (members.size() < static_cast<size_t>(config.k)) {
         current_undersized += members.size();
       }
@@ -108,8 +108,7 @@ StatusOr<GreedyWalkResult> BottomUpGeneralize(
           EvaluateNode(original, hierarchies, candidate, config.k,
                        config.suppression, "bottom-up", run));
       size_t undersized = 0;
-      for (const std::vector<size_t>& members :
-           evaluation.partition.classes()) {
+      for (ClassSpan members : evaluation.partition.classes()) {
         if (members.size() < static_cast<size_t>(config.k)) {
           undersized += members.size();
         }

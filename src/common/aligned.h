@@ -1,0 +1,63 @@
+// Cache-line/vector-aligned storage for the hot kernels.
+//
+// The SIMD comparison and gather kernels (core/compare_kernels.h,
+// table/gather_kernels.h) stream contiguous columns with 256/512-bit
+// loads and, at large N, nontemporal stores. None of them *require*
+// alignment (every kernel uses unaligned loads and handles tails), but
+// 64-byte alignment keeps every vector access within one cache line and
+// lets the streaming-store paths run aligned full-width, so the column
+// containers (PropertyMatrix, EncodedView) allocate through this
+// allocator. property_matrix_test asserts the 64-byte contract.
+
+#ifndef MDC_COMMON_ALIGNED_H_
+#define MDC_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace mdc {
+
+inline constexpr size_t kCacheLineBytes = 64;
+
+// Minimal C++17 aligned allocator: operator new with std::align_val_t.
+template <typename T, size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below type requirement");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
+// Contiguous column storage aligned to a cache line.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+// True iff `p` sits on a kCacheLineBytes boundary (the testable contract).
+inline bool IsCacheAligned(const void* p) {
+  return (reinterpret_cast<uintptr_t>(p) & (kCacheLineBytes - 1)) == 0;
+}
+
+}  // namespace mdc
+
+#endif  // MDC_COMMON_ALIGNED_H_

@@ -1,0 +1,113 @@
+#include "common/cpu_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/metrics.h"
+
+namespace mdc {
+namespace {
+
+// The cached level, encoded as SimdLevel+1 so 0 means "not resolved
+// yet". Relaxed everywhere: the value is write-once (plus test-scoped
+// swaps, which are documented as not thread-safe).
+std::atomic<int> g_active_level{0};
+
+SimdLevel ResolveFromEnvironment() {
+  std::optional<SimdLevel> requested;
+  if (const char* env = std::getenv("MDC_SIMD_LEVEL")) {
+    StatusOr<SimdLevel> parsed = ParseSimdLevel(env);
+    if (parsed.ok()) {
+      requested = *parsed;
+    } else {
+      std::fprintf(stderr,
+                   "mdc: ignoring invalid MDC_SIMD_LEVEL='%s' "
+                   "(expected scalar|avx2|avx512)\n",
+                   env);
+    }
+  }
+  return ResolveSimdLevel(requested, DetectSimdLevel());
+}
+
+void PublishLevelMetric(SimdLevel level) {
+  metrics::GetGauge("mdc.cpu.simd_level").Set(static_cast<int64_t>(level));
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+StatusOr<SimdLevel> ParseSimdLevel(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  return Status::InvalidArgument("unknown SIMD level '" + name +
+                                 "' (expected scalar|avx2|avx512)");
+}
+
+SimdLevel DetectSimdLevel() {
+#if defined(MDC_HAVE_AVX512_KERNELS) || defined(MDC_HAVE_AVX2_KERNELS)
+  // __builtin_cpu_supports consults cpuid through the compiler's
+  // feature-probe machinery; glibc initializes it before main.
+#if defined(MDC_HAVE_AVX512_KERNELS)
+  // The AVX-512 kernels use F (512-bit lanes, masks, compress), DQ
+  // (double-precision mask compares), VL (256-bit masked tails), and BW;
+  // require the full set so one probe covers every instruction emitted.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return SimdLevel::kAvx512;
+  }
+#endif
+#if defined(MDC_HAVE_AVX2_KERNELS)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ResolveSimdLevel(const std::optional<SimdLevel>& requested,
+                           SimdLevel detected) {
+  if (!requested.has_value()) return detected;
+  return *requested < detected ? *requested : detected;
+}
+
+SimdLevel ActiveSimdLevel() {
+  int cached = g_active_level.load(std::memory_order_relaxed);
+  if (cached != 0) return static_cast<SimdLevel>(cached - 1);
+  SimdLevel resolved = ResolveFromEnvironment();
+  // First resolver wins; concurrent callers compute the same value (the
+  // environment does not change), so the race is benign.
+  g_active_level.store(static_cast<int>(resolved) + 1,
+                       std::memory_order_relaxed);
+  PublishLevelMetric(resolved);
+  return resolved;
+}
+
+ScopedSimdLevelForTest::ScopedSimdLevelForTest(SimdLevel level)
+    : previous_(ActiveSimdLevel()) {
+  SimdLevel clamped = ResolveSimdLevel(level, DetectSimdLevel());
+  g_active_level.store(static_cast<int>(clamped) + 1,
+                       std::memory_order_relaxed);
+  PublishLevelMetric(clamped);
+}
+
+ScopedSimdLevelForTest::~ScopedSimdLevelForTest() {
+  g_active_level.store(static_cast<int>(previous_) + 1,
+                       std::memory_order_relaxed);
+  PublishLevelMetric(previous_);
+}
+
+}  // namespace mdc

@@ -1,0 +1,73 @@
+// Runtime CPU-feature dispatch for the SIMD kernel families.
+//
+// One binary carries scalar, AVX2, and AVX-512 variants of the hot
+// kernels (core/compare_kernels.h, table/gather_kernels.h); this module
+// decides, once per process, which variant family every dispatched call
+// site uses:
+//
+//   level = Clamp(override from MDC_SIMD_LEVEL, DetectSimdLevel())
+//
+// The override can only lower the level — requesting avx512 on a machine
+// without it silently clamps to what the hardware supports, so test
+// matrices can set MDC_SIMD_LEVEL=avx512 unconditionally. An unparseable
+// override is ignored with a one-time stderr warning rather than
+// aborting: dispatch is a performance choice, never a correctness one
+// (every level is proven bit-identical by the differential oracle).
+//
+// The resolved level is exported as the `mdc.cpu.simd_level` gauge
+// (numeric value = SimdLevel enum; the JSON-friendly mapping is
+// 0=scalar, 1=avx2, 2=avx512) and printed by `mdc_cli version`.
+//
+// Kernel families cache nothing across calls: a dispatched call site
+// reads ActiveSimdLevel() (one relaxed atomic load) and indexes its
+// per-level table, so tests may swap the level mid-process with
+// ScopedSimdLevelForTest. That override is test-only and not
+// thread-safe against concurrent kernel callers.
+
+#ifndef MDC_COMMON_CPU_DISPATCH_H_
+#define MDC_COMMON_CPU_DISPATCH_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace mdc {
+
+// Ordered: a level implies every lower one, so clamping is min().
+enum class SimdLevel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* SimdLevelName(SimdLevel level);
+StatusOr<SimdLevel> ParseSimdLevel(const std::string& name);
+
+// What the hardware (and this build) can run: the highest level whose
+// instructions both compiled in and pass the cpuid probe. Pure hardware
+// question — ignores MDC_SIMD_LEVEL.
+SimdLevel DetectSimdLevel();
+
+// Pure resolution logic (unit-tested without touching process state):
+// the requested override clamped to `detected`; no override = detected.
+SimdLevel ResolveSimdLevel(const std::optional<SimdLevel>& requested,
+                           SimdLevel detected);
+
+// The process-wide dispatch level: resolved from MDC_SIMD_LEVEL on first
+// call, then cached. Also publishes the `mdc.cpu.simd_level` gauge.
+SimdLevel ActiveSimdLevel();
+
+// Test hook: forces the active level (clamped to DetectSimdLevel(), so a
+// test requesting an unsupported level runs the best available instead
+// of crashing) and restores the previous level on destruction.
+class ScopedSimdLevelForTest {
+ public:
+  explicit ScopedSimdLevelForTest(SimdLevel level);
+  ~ScopedSimdLevelForTest();
+  ScopedSimdLevelForTest(const ScopedSimdLevelForTest&) = delete;
+  ScopedSimdLevelForTest& operator=(const ScopedSimdLevelForTest&) = delete;
+
+ private:
+  SimdLevel previous_;
+};
+
+}  // namespace mdc
+
+#endif  // MDC_COMMON_CPU_DISPATCH_H_

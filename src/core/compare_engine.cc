@@ -5,43 +5,90 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "core/compare_kernels.h"
 #include "core/quality_index.h"
 
 namespace mdc {
 namespace {
 
-// Branchless running min in index order over one row — same value and
-// representation as min_element's first-occurrence rule.
-double PackedRowMin(const double* d, size_t n) {
-  double min_value = d[0];
-  for (size_t i = 1; i < n; ++i) min_value = std::min(min_value, d[i]);
-  return min_value;
-}
-
-PairComparison ComparePairPacked(const PropertyMatrix& matrix, size_t i,
-                                 size_t j, const AllPairsOptions& options,
-                                 const std::vector<double>& row_mins) {
-  PairComparison pair;
-  pair.first = i;
-  pair.second = j;
-  // Minima were hoisted to one pass per row (they depend on a single
-  // row), so the per-pair kernel skips its min sweep.
-  PairwiseStats stats =
-      ComputePairwiseStats(matrix.row(i), matrix.row(j), matrix.cols(),
-                           options.include_hypervolume, options.block,
-                           /*with_min=*/false);
-  pair.relation = RelationFromStats(stats);
-  pair.cov12 = CoverageFromStats(stats, matrix.cols(), /*forward=*/true);
-  pair.cov21 = CoverageFromStats(stats, matrix.cols(), /*forward=*/false);
-  pair.binary12 = stats.gt12;
-  pair.binary21 = stats.gt21;
-  pair.spr12 = stats.spr12;
-  pair.spr21 = stats.spr21;
-  pair.min1 = row_mins[i];
-  pair.min2 = row_mins[j];
-  pair.hv12 = stats.hv12;
-  pair.hv21 = stats.hv21;
-  return pair;
+// One-vs-many evaluation of a run of pairs (i, j_0..j_{count-1}) sharing
+// their first row. Blocks are the OUTER loop and partners the inner one,
+// so each block of row i is loaded once per `count` partner blocks — at
+// N=1e6 (rows far beyond LLC) that cuts DRAM traffic per pair-element
+// from 16 bytes toward 8·(1+count)/count.
+//
+// Bit-exactness vs the per-pair path: every per-partner accumulator
+// (counts, spreads, hv own/shared products) advances across blocks in
+// index order exactly as ComputePairwiseStats does, and the own1 product
+// depends only on row i, so hoisting it out of the partner loop keeps
+// its chain identical for every pair.
+void EvaluateRowGroupPacked(const PropertyMatrix& matrix, size_t i,
+                            const std::pair<size_t, size_t>* pairs,
+                            size_t count, const AllPairsOptions& options,
+                            const std::vector<double>& row_mins,
+                            PairComparison* out) {
+  const CompareKernels& kernels = ActiveCompareKernels();
+  const size_t n = matrix.cols();
+  const double* d1 = matrix.row(i);
+  const bool with_hv = options.include_hypervolume;
+  std::vector<PairwiseStats> stats(count);
+  double own1 = 1.0;
+  std::vector<double> own2;
+  std::vector<double> shared;
+  if (with_hv) {
+    own2.assign(count, 1.0);
+    shared.assign(count, 1.0);
+  }
+  for (size_t start = 0; start < n; start += options.block) {
+    const size_t end = std::min(n, start + options.block);
+    const size_t len = end - start;
+    if (with_hv) {
+      for (size_t c = start; c < end; ++c) {
+        MDC_CHECK_MSG(d1[c] > 0.0,
+                      "hypervolume indices require strictly positive entries");
+        own1 *= d1[c];
+      }
+    }
+    for (size_t s = 0; s < count; ++s) {
+      const double* d2 = matrix.row(pairs[s].second);
+      kernels.count_spread(d1 + start, d2 + start, len, &stats[s].gt12,
+                           &stats[s].gt21, &stats[s].spr12, &stats[s].spr21);
+      if (with_hv) {
+        for (size_t c = start; c < end; ++c) {
+          MDC_CHECK_MSG(
+              d2[c] > 0.0,
+              "hypervolume indices require strictly positive entries");
+          own2[s] *= d2[c];
+          shared[s] *= std::min(d1[c], d2[c]);
+        }
+      }
+    }
+  }
+  for (size_t s = 0; s < count; ++s) {
+    const auto [first, second] = pairs[s];
+    // Finite entries are totally ordered, so the weak counts follow from
+    // the strict ones by totality.
+    stats[s].ge12 = n - stats[s].gt21;
+    stats[s].ge21 = n - stats[s].gt12;
+    PairComparison& pair = out[s];
+    pair.first = first;
+    pair.second = second;
+    pair.relation = RelationFromStats(stats[s]);
+    pair.cov12 = CoverageFromStats(stats[s], n, /*forward=*/true);
+    pair.cov21 = CoverageFromStats(stats[s], n, /*forward=*/false);
+    pair.binary12 = stats[s].gt12;
+    pair.binary21 = stats[s].gt21;
+    pair.spr12 = stats[s].spr12;
+    pair.spr21 = stats[s].spr21;
+    // Minima were hoisted to one pass per row (they depend on a single
+    // row), so the group kernel skips its min sweep.
+    pair.min1 = row_mins[first];
+    pair.min2 = row_mins[second];
+    if (with_hv) {
+      pair.hv12 = own1 - shared[s];
+      pair.hv21 = own2[s] - shared[s];
+    }
+  }
 }
 
 // The differential oracle: the same pair scored by the legacy
@@ -149,28 +196,23 @@ StatusOr<CompareEngine> ParseCompareEngine(const std::string& name) {
 }
 
 bool PackedWeaklyDominates(const double* d1, const double* d2, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    if (d1[i] < d2[i]) return false;
-  }
-  return true;
+  return ActiveCompareKernels().weakly_dominates(d1, d2, n);
 }
 
 bool PackedStronglyDominates(const double* d1, const double* d2, size_t n) {
-  bool strict = false;
-  for (size_t i = 0; i < n; ++i) {
-    if (d1[i] < d2[i]) return false;
-    if (d1[i] > d2[i]) strict = true;
-  }
-  return strict;
+  const CompareKernels& kernels = ActiveCompareKernels();
+  if (!kernels.weakly_dominates(d1, d2, n)) return false;
+  bool first_better = false;
+  bool second_better = false;
+  kernels.strict_flags(d1, d2, n, &first_better, &second_better);
+  return first_better;
 }
 
 bool PackedNonDominated(const double* d1, const double* d2, size_t n) {
   bool first_better = false;
   bool second_better = false;
-  for (size_t i = 0; i < n; ++i) {
-    if (d1[i] > d2[i]) first_better = true;
-    if (d1[i] < d2[i]) second_better = true;
-  }
+  ActiveCompareKernels().strict_flags(d1, d2, n, &first_better,
+                                      &second_better);
   return first_better && second_better;
 }
 
@@ -178,10 +220,8 @@ DominanceRelation PackedCompareDominance(const double* d1, const double* d2,
                                          size_t n) {
   bool first_better = false;
   bool second_better = false;
-  for (size_t i = 0; i < n; ++i) {
-    if (d1[i] > d2[i]) first_better = true;
-    if (d1[i] < d2[i]) second_better = true;
-  }
+  ActiveCompareKernels().strict_flags(d1, d2, n, &first_better,
+                                      &second_better);
   if (first_better && second_better) return DominanceRelation::kIncomparable;
   if (first_better) return DominanceRelation::kFirstDominates;
   if (second_better) return DominanceRelation::kSecondDominates;
@@ -203,6 +243,7 @@ PairwiseStats ComputePairwiseStats(const double* d1, const double* d2,
                                    bool with_min) {
   MDC_CHECK_GT(n, 0u);
   MDC_CHECK_GT(block, 0u);
+  const CompareKernels& kernels = ActiveCompareKernels();
   PairwiseStats stats;
   stats.with_hv = with_hv;
   stats.min1 = d1[0];
@@ -212,33 +253,21 @@ PairwiseStats ComputePairwiseStats(const double* d1, const double* d2,
   double shared = 1.0;
   for (size_t start = 0; start < n; start += block) {
     const size_t end = std::min(n, start + block);
-    // Strict comparison counts: branch-free and order-free, so this loop
-    // vectorizes. Both rows stay L1-resident for the follow-up loops.
-    // Only the two strict counters are accumulated here; the weak counts
-    // follow from totality once the sweep is done.
-    uint64_t gt12 = 0, gt21 = 0;
-    for (size_t i = start; i < end; ++i) {
-      gt12 += d1[i] > d2[i] ? 1u : 0u;
-      gt21 += d2[i] > d1[i] ? 1u : 0u;
-    }
-    stats.gt12 += gt12;
-    stats.gt21 += gt21;
-    // Ordered accumulations: the running sums/products carry across
-    // blocks in index order so results match the scalar code bit for bit
-    // (reassociating per block would not).
-    for (size_t i = start; i < end; ++i) {
-      stats.spr12 += std::max(d1[i] - d2[i], 0.0);
-      stats.spr21 += std::max(d2[i] - d1[i], 0.0);
-    }
+    const size_t len = end - start;
+    // Fused strict counts + spread sums, one load per cache line. The
+    // counts are order-free; the spread accumulators carry across blocks
+    // in index order so results match the scalar code bit for bit
+    // (reassociating per block would not; see compare_kernels.h for how
+    // the SIMD variants keep the chain order). Only the two strict
+    // counters are accumulated; the weak counts follow from totality
+    // once the sweep is done.
+    kernels.count_spread(d1 + start, d2 + start, len, &stats.gt12,
+                         &stats.gt21, &stats.spr12, &stats.spr21);
     if (with_min) {
-      // Branchless running mins, blocked for locality. std::min keeps the
-      // accumulator on ties, which is exactly min_element's
-      // first-occurrence rule — a data-dependent branch here costs ~4x on
-      // the whole kernel.
-      for (size_t i = start; i < end; ++i) {
-        stats.min1 = std::min(stats.min1, d1[i]);
-        stats.min2 = std::min(stats.min2, d2[i]);
-      }
+      // Running mins, blocked for locality, with min_element's
+      // first-occurrence rule (the kernel contract).
+      stats.min1 = kernels.row_min(d1 + start, len, stats.min1);
+      stats.min2 = kernels.row_min(d2 + start, len, stats.min2);
     }
     if (with_hv) {
       for (size_t i = start; i < end; ++i) {
@@ -337,8 +366,10 @@ StatusOr<AllPairsResult> AllPairsCompare(const PropertyMatrix& matrix,
     // this turns O(r²·N) min work into O(r·N). Unbudgeted, like the
     // scalar engine's per-pair MinIndex calls.
     row_mins.reserve(matrix.rows());
+    const CompareKernels& kernels = ActiveCompareKernels();
     for (size_t r = 0; r < matrix.rows(); ++r) {
-      row_mins.push_back(PackedRowMin(matrix.row(r), matrix.cols()));
+      const double* d = matrix.row(r);
+      row_mins.push_back(kernels.row_min(d, matrix.cols(), d[0]));
     }
   } else {
     scalar_rows = matrix.ToSet();
@@ -373,12 +404,20 @@ StatusOr<AllPairsResult> AllPairsCompare(const PropertyMatrix& matrix,
   result.pairs.reserve(index_of_pair.size());
 
   ThreadPool pool(ThreadPool::ResolveThreadCount(options.threads));
-  const size_t wave_size =
-      std::max<size_t>(1, static_cast<size_t>(pool.thread_count()) * 4);
+  // Waves are sized for the grouped packed path: enough pairs that runs
+  // sharing a first row amortize its block loads, capped groups so one
+  // long run cannot serialize a multi-threaded wave. Wave/group sizing
+  // affects scheduling only — per-pair results are pure and the commit
+  // below replays admission order, so every choice here is
+  // thread-count-invariant.
+  const size_t threads = static_cast<size_t>(pool.thread_count());
+  const size_t wave_size = std::max<size_t>(32, threads * 32);
+  const size_t group_cap = threads == 1 ? 32 : 8;
 
   size_t next = 0;
   Status admit = Status::Ok();
   std::vector<PairComparison> slots;
+  std::vector<std::pair<size_t, size_t>> groups;  // (wave offset, count)
   while (next < index_of_pair.size()) {
     // Serial admission: budget charges replay in pair order, so a step
     // budget truncates at the identical pair for every thread count.
@@ -391,11 +430,32 @@ StatusOr<AllPairsResult> AllPairsCompare(const PropertyMatrix& matrix,
     const size_t count = next - begin;
     if (count == 0) break;
     slots.assign(count, PairComparison{});
-    pool.ParallelFor(count, [&](size_t s) {
-      const auto [i, j] = index_of_pair[begin + s];
-      slots[s] = packed ? ComparePairPacked(matrix, i, j, options, row_mins)
-                        : ComparePairScalar(scalar_rows, i, j, options);
-    });
+    if (packed) {
+      // Runs of pairs sharing a first row evaluate one-vs-many.
+      groups.clear();
+      size_t s = 0;
+      while (s < count) {
+        size_t e = s + 1;
+        while (e < count && e - s < group_cap &&
+               index_of_pair[begin + e].first ==
+                   index_of_pair[begin + s].first) {
+          ++e;
+        }
+        groups.emplace_back(s, e - s);
+        s = e;
+      }
+      pool.ParallelFor(groups.size(), [&](size_t g) {
+        const auto [offset, size] = groups[g];
+        EvaluateRowGroupPacked(matrix, index_of_pair[begin + offset].first,
+                               index_of_pair.data() + begin + offset, size,
+                               options, row_mins, slots.data() + offset);
+      });
+    } else {
+      pool.ParallelFor(count, [&](size_t s) {
+        const auto [i, j] = index_of_pair[begin + s];
+        slots[s] = ComparePairScalar(scalar_rows, i, j, options);
+      });
+    }
     // In-order commit: results append and counters increment in admission
     // order regardless of evaluation schedule.
     for (size_t s = 0; s < count; ++s) {

@@ -1,0 +1,159 @@
+// AVX2 (4 × f64) variants of the comparison primitives. Compiled with
+// -mavx2 for this file only; see compare_kernels.h for the
+// bit-exactness arguments each kernel relies on.
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "core/compare_kernels.h"
+
+namespace mdc {
+namespace {
+
+// Permutation table emulating AVX-512's vcompresspd for 4 doubles
+// viewed as 8 × i32 lanes: entry [mask] lists the i32 index pairs of the
+// doubles whose mask bit is set, in ascending lane order (zero-padded).
+alignas(32) constexpr uint32_t kCompressLut[16][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0}, {0, 1, 0, 0, 0, 0, 0, 0},
+    {2, 3, 0, 0, 0, 0, 0, 0}, {0, 1, 2, 3, 0, 0, 0, 0},
+    {4, 5, 0, 0, 0, 0, 0, 0}, {0, 1, 4, 5, 0, 0, 0, 0},
+    {2, 3, 4, 5, 0, 0, 0, 0}, {0, 1, 2, 3, 4, 5, 0, 0},
+    {6, 7, 0, 0, 0, 0, 0, 0}, {0, 1, 6, 7, 0, 0, 0, 0},
+    {2, 3, 6, 7, 0, 0, 0, 0}, {0, 1, 2, 3, 6, 7, 0, 0},
+    {4, 5, 6, 7, 0, 0, 0, 0}, {0, 1, 4, 5, 6, 7, 0, 0},
+    {2, 3, 4, 5, 6, 7, 0, 0}, {0, 1, 2, 3, 4, 5, 6, 7},
+};
+
+// Compress-then-sum spread accumulation — the AVX2 shape of the AVX-512
+// kernel (see compare_kernels_avx512.cc for the full argument). Phase A
+// is branchless: max_pd(0, diff) reproduces std::max(diff, 0.0) bitwise
+// (vmaxpd returns its second operand on NaN and on ±0.0 ties, exactly
+// like std::max returns its first), the NEQ_UQ mask keeps positive and
+// NaN addends, and a vpermd through kCompressLut packs the live addends
+// densely in index order. Phase B runs the serial chain over live
+// addends only; dropping ±0.0 addends is the zero-skip identity.
+void CountSpreadAvx2(const double* a, const double* b, size_t n,
+                     uint64_t* gt12, uint64_t* gt21, double* spr12,
+                     double* spr21) {
+  const __m256d zero = _mm256_setzero_pd();
+  uint64_t c12 = 0, c21 = 0;
+  double s12 = *spr12, s21 = *spr21;
+  constexpr size_t kChunk = 512;
+  alignas(32) double buf12[kChunk + 4];
+  alignas(32) double buf21[kChunk + 4];
+  size_t i = 0;
+  while (i < n) {
+    const size_t chunk_end = std::min(n, i + kChunk);
+    size_t len12 = 0, len21 = 0;
+    for (; i + 4 <= chunk_end; i += 4) {
+      // One prefetch per half line consumed per stream, 4 KiB ahead —
+      // covers DRAM latency when the engine streams LLC-sized rows.
+      // Prefetching past n is safe (prefetch never faults) and cheap.
+      _mm_prefetch(reinterpret_cast<const char*>(a + i + 512), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(b + i + 512), _MM_HINT_T0);
+      __m256d va = _mm256_loadu_pd(a + i);
+      __m256d vb = _mm256_loadu_pd(b + i);
+      c12 += static_cast<unsigned>(__builtin_popcount(
+          _mm256_movemask_pd(_mm256_cmp_pd(va, vb, _CMP_GT_OQ))));
+      c21 += static_cast<unsigned>(__builtin_popcount(
+          _mm256_movemask_pd(_mm256_cmp_pd(vb, va, _CMP_GT_OQ))));
+      __m256d m12 = _mm256_max_pd(zero, _mm256_sub_pd(va, vb));
+      __m256d m21 = _mm256_max_pd(zero, _mm256_sub_pd(vb, va));
+      int k12 = _mm256_movemask_pd(_mm256_cmp_pd(m12, zero, _CMP_NEQ_UQ));
+      int k21 = _mm256_movemask_pd(_mm256_cmp_pd(m21, zero, _CMP_NEQ_UQ));
+      __m256i perm12 = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kCompressLut[k12]));
+      __m256i perm21 = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kCompressLut[k21]));
+      _mm256_storeu_pd(buf12 + len12,
+                       _mm256_castsi256_pd(_mm256_permutevar8x32_epi32(
+                           _mm256_castpd_si256(m12), perm12)));
+      len12 += static_cast<unsigned>(__builtin_popcount(
+          static_cast<unsigned>(k12)));
+      _mm256_storeu_pd(buf21 + len21,
+                       _mm256_castsi256_pd(_mm256_permutevar8x32_epi32(
+                           _mm256_castpd_si256(m21), perm21)));
+      len21 += static_cast<unsigned>(__builtin_popcount(
+          static_cast<unsigned>(k21)));
+    }
+    for (size_t l = 0; l < len12; ++l) s12 += buf12[l];
+    for (size_t l = 0; l < len21; ++l) s21 += buf21[l];
+    // Chunk tail (only in the final chunk), after the buffered adds so
+    // index order is preserved.
+    for (; i < chunk_end; ++i) {
+      c12 += a[i] > b[i] ? 1u : 0u;
+      c21 += b[i] > a[i] ? 1u : 0u;
+      s12 += std::max(a[i] - b[i], 0.0);
+      s21 += std::max(b[i] - a[i], 0.0);
+    }
+  }
+  *gt12 += c12;
+  *gt21 += c21;
+  *spr12 = s12;
+  *spr21 = s21;
+}
+
+double RowMinAvx2(const double* d, size_t n, double init) {
+  double min_value = init;
+  size_t i = 0;
+  if (n >= 4) {
+    __m256d acc = _mm256_set1_pd(init);
+    for (; i + 4 <= n; i += 4) {
+      acc = _mm256_min_pd(acc, _mm256_loadu_pd(d + i));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    for (int l = 0; l < 4; ++l) min_value = std::min(min_value, lanes[l]);
+  }
+  for (; i < n; ++i) min_value = std::min(min_value, d[i]);
+  // The reduction is value-exact for finite inputs but may return the
+  // wrong zero sign; the scalar path keeps the FIRST element attaining
+  // the minimum, so when the minimum is a zero, rescan for it.
+  if (min_value == 0.0) {
+    if (init == 0.0) return init;
+    for (size_t j = 0; j < n; ++j) {
+      if (d[j] == 0.0) return d[j];
+    }
+  }
+  return min_value;
+}
+
+bool WeaklyDominatesAvx2(const double* a, const double* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d va = _mm256_loadu_pd(a + i);
+    __m256d vb = _mm256_loadu_pd(b + i);
+    if (_mm256_movemask_pd(_mm256_cmp_pd(va, vb, _CMP_LT_OQ))) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+void StrictFlagsAvx2(const double* a, const double* b, size_t n, bool* any12,
+                     bool* any21) {
+  bool f12 = false, f21 = false;
+  size_t i = 0;
+  for (; i + 4 <= n && !(f12 && f21); i += 4) {
+    __m256d va = _mm256_loadu_pd(a + i);
+    __m256d vb = _mm256_loadu_pd(b + i);
+    f12 |= _mm256_movemask_pd(_mm256_cmp_pd(va, vb, _CMP_GT_OQ)) != 0;
+    f21 |= _mm256_movemask_pd(_mm256_cmp_pd(vb, va, _CMP_GT_OQ)) != 0;
+  }
+  for (; i < n && !(f12 && f21); ++i) {
+    if (a[i] > b[i]) f12 = true;
+    if (b[i] > a[i]) f21 = true;
+  }
+  *any12 = f12;
+  *any21 = f21;
+}
+
+}  // namespace
+
+const CompareKernels kCompareKernelsAvx2 = {
+    CountSpreadAvx2, RowMinAvx2, WeaklyDominatesAvx2, StrictFlagsAvx2,
+};
+
+}  // namespace mdc

@@ -1,0 +1,145 @@
+// AVX-512 (8 × f64) variants of the comparison primitives. Compiled
+// with -mavx512f -mavx512dq -mavx512vl -mavx512bw for this file only;
+// see compare_kernels.h for the bit-exactness arguments.
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "core/compare_kernels.h"
+
+namespace mdc {
+namespace {
+
+// Compress-then-sum spread accumulation. Phase A is fully parallel and
+// branchless: per 8-lane vector it computes both strict-count masks
+// (popcount-accumulated), both addend vectors max_pd(0, diff) — which
+// reproduces std::max(diff, 0.0) bitwise, including NaN propagation —
+// and vcompresspd-packs the live addends (NEQ_UQ: positive or NaN, i.e.
+// everything except exact ±0.0) into a dense chunk buffer, preserving
+// index order within and across vectors. Phase B then runs the serial
+// FP chain over live addends only. Dropping the ±0.0 addends is the
+// zero-skip identity of compare_kernels.h, so the chain is bit-identical
+// to scalar while typically half as long — and the chain's 4-cycle add
+// latency is the kernel's critical path.
+void CountSpreadAvx512(const double* a, const double* b, size_t n,
+                       uint64_t* gt12, uint64_t* gt21, double* spr12,
+                       double* spr21) {
+  const __m512d zero = _mm512_setzero_pd();
+  uint64_t c12 = 0, c21 = 0;
+  double s12 = *spr12, s21 = *spr21;
+  // Chunked so the buffers live in L1 regardless of n; +8 slack because
+  // the compress store always writes a full vector's worth of lanes.
+  constexpr size_t kChunk = 512;
+  alignas(64) double buf12[kChunk + 8];
+  alignas(64) double buf21[kChunk + 8];
+  size_t i = 0;
+  while (i < n) {
+    const size_t chunk_end = std::min(n, i + kChunk);
+    size_t len12 = 0, len21 = 0;
+    for (; i + 8 <= chunk_end; i += 8) {
+      // The engine streams rows far larger than LLC through this kernel;
+      // at 8 doubles per line this issues one prefetch per line consumed
+      // per stream, far enough ahead (4 KiB) to cover DRAM latency.
+      // Prefetching past n is safe (prefetch never faults) and cheap.
+      _mm_prefetch(reinterpret_cast<const char*>(a + i + 512), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(b + i + 512), _MM_HINT_T0);
+      __m512d va = _mm512_loadu_pd(a + i);
+      __m512d vb = _mm512_loadu_pd(b + i);
+      c12 += static_cast<unsigned>(
+          __builtin_popcount(_mm512_cmp_pd_mask(va, vb, _CMP_GT_OQ)));
+      c21 += static_cast<unsigned>(
+          __builtin_popcount(_mm512_cmp_pd_mask(vb, va, _CMP_GT_OQ)));
+      __m512d m12 = _mm512_max_pd(zero, _mm512_sub_pd(va, vb));
+      __m512d m21 = _mm512_max_pd(zero, _mm512_sub_pd(vb, va));
+      __mmask8 k12 = _mm512_cmp_pd_mask(m12, zero, _CMP_NEQ_UQ);
+      __mmask8 k21 = _mm512_cmp_pd_mask(m21, zero, _CMP_NEQ_UQ);
+      _mm512_storeu_pd(buf12 + len12, _mm512_maskz_compress_pd(k12, m12));
+      len12 += static_cast<unsigned>(__builtin_popcount(k12));
+      _mm512_storeu_pd(buf21 + len21, _mm512_maskz_compress_pd(k21, m21));
+      len21 += static_cast<unsigned>(__builtin_popcount(k21));
+    }
+    for (size_t l = 0; l < len12; ++l) s12 += buf12[l];
+    for (size_t l = 0; l < len21; ++l) s21 += buf21[l];
+    // Chunk tail (only in the final chunk): after the buffered adds, so
+    // index order is preserved.
+    for (; i < chunk_end; ++i) {
+      c12 += a[i] > b[i] ? 1u : 0u;
+      c21 += b[i] > a[i] ? 1u : 0u;
+      s12 += std::max(a[i] - b[i], 0.0);
+      s21 += std::max(b[i] - a[i], 0.0);
+    }
+  }
+  *gt12 += c12;
+  *gt21 += c21;
+  *spr12 = s12;
+  *spr21 = s21;
+}
+
+double RowMinAvx512(const double* d, size_t n, double init) {
+  double min_value = init;
+  size_t i = 0;
+  if (n >= 8) {
+    __m512d acc = _mm512_set1_pd(init);
+    for (; i + 8 <= n; i += 8) {
+      acc = _mm512_min_pd(acc, _mm512_loadu_pd(d + i));
+    }
+    min_value = std::min(min_value, _mm512_reduce_min_pd(acc));
+  }
+  for (; i < n; ++i) min_value = std::min(min_value, d[i]);
+  // Recover the scalar path's first-occurrence bit pattern when the
+  // minimum is a zero (the only finite value with two encodings).
+  if (min_value == 0.0) {
+    if (init == 0.0) return init;
+    for (size_t j = 0; j < n; ++j) {
+      if (d[j] == 0.0) return d[j];
+    }
+  }
+  return min_value;
+}
+
+bool WeaklyDominatesAvx512(const double* a, const double* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d va = _mm512_loadu_pd(a + i);
+    __m512d vb = _mm512_loadu_pd(b + i);
+    if (_mm512_cmp_pd_mask(va, vb, _CMP_LT_OQ)) return false;
+  }
+  if (i < n) {
+    __mmask8 tail = static_cast<__mmask8>((1u << (n - i)) - 1u);
+    __m512d va = _mm512_maskz_loadu_pd(tail, a + i);
+    __m512d vb = _mm512_maskz_loadu_pd(tail, b + i);
+    if (_mm512_cmp_pd_mask(va, vb, _CMP_LT_OQ)) return false;
+  }
+  return true;
+}
+
+void StrictFlagsAvx512(const double* a, const double* b, size_t n,
+                       bool* any12, bool* any21) {
+  bool f12 = false, f21 = false;
+  size_t i = 0;
+  for (; i + 8 <= n && !(f12 && f21); i += 8) {
+    __m512d va = _mm512_loadu_pd(a + i);
+    __m512d vb = _mm512_loadu_pd(b + i);
+    f12 |= _mm512_cmp_pd_mask(va, vb, _CMP_GT_OQ) != 0;
+    f21 |= _mm512_cmp_pd_mask(vb, va, _CMP_GT_OQ) != 0;
+  }
+  if (i < n && !(f12 && f21)) {
+    __mmask8 tail = static_cast<__mmask8>((1u << (n - i)) - 1u);
+    __m512d va = _mm512_maskz_loadu_pd(tail, a + i);
+    __m512d vb = _mm512_maskz_loadu_pd(tail, b + i);
+    f12 |= _mm512_cmp_pd_mask(va, vb, _CMP_GT_OQ) != 0;
+    f21 |= _mm512_cmp_pd_mask(vb, va, _CMP_GT_OQ) != 0;
+  }
+  *any12 = f12;
+  *any21 = f21;
+}
+
+}  // namespace
+
+const CompareKernels kCompareKernelsAvx512 = {
+    CountSpreadAvx512, RowMinAvx512, WeaklyDominatesAvx512,
+    StrictFlagsAvx512,
+};
+
+}  // namespace mdc

@@ -1,0 +1,94 @@
+// Portable kernel variants — the ground truth every SIMD variant must
+// match bit for bit. These are the exact loops the pre-dispatch engine
+// inlined (see compare_kernels.h for the contract).
+
+#include <algorithm>
+
+#include "core/compare_kernels.h"
+
+namespace mdc {
+namespace {
+
+// Two separate loops on purpose: the branch-free count loop
+// auto-vectorizes at -O3, while the spread loop is pinned to a serial
+// chain by FP ordering; fusing them would drag the counts into the
+// serial loop. Both loops read L1-resident data the second time around
+// (the driver blocks its sweeps), so the extra pass costs loads only.
+void CountSpreadScalar(const double* a, const double* b, size_t n,
+                       uint64_t* gt12, uint64_t* gt21, double* spr12,
+                       double* spr21) {
+  uint64_t c12 = 0, c21 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    c12 += a[i] > b[i] ? 1u : 0u;
+    c21 += b[i] > a[i] ? 1u : 0u;
+  }
+  *gt12 += c12;
+  *gt21 += c21;
+  double s12 = *spr12, s21 = *spr21;
+  for (size_t i = 0; i < n; ++i) {
+    s12 += std::max(a[i] - b[i], 0.0);
+    s21 += std::max(b[i] - a[i], 0.0);
+  }
+  *spr12 = s12;
+  *spr21 = s21;
+}
+
+double RowMinScalar(const double* d, size_t n, double init) {
+  double min_value = init;
+  for (size_t i = 0; i < n; ++i) min_value = std::min(min_value, d[i]);
+  return min_value;
+}
+
+bool WeaklyDominatesScalar(const double* a, const double* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+void StrictFlagsScalar(const double* a, const double* b, size_t n,
+                       bool* any12, bool* any21) {
+  bool f12 = false, f21 = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] > b[i]) f12 = true;
+    if (b[i] > a[i]) f21 = true;
+    if (f12 && f21) break;
+  }
+  *any12 = f12;
+  *any21 = f21;
+}
+
+}  // namespace
+
+const CompareKernels kCompareKernelsScalar = {
+    CountSpreadScalar, RowMinScalar, WeaklyDominatesScalar,
+    StrictFlagsScalar,
+};
+
+const CompareKernels& CompareKernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return kCompareKernelsScalar;
+    case SimdLevel::kAvx2:
+#if defined(MDC_HAVE_AVX2_KERNELS)
+      return kCompareKernelsAvx2;
+#else
+      return kCompareKernelsScalar;
+#endif
+    case SimdLevel::kAvx512:
+#if defined(MDC_HAVE_AVX512_KERNELS)
+      return kCompareKernelsAvx512;
+#elif defined(MDC_HAVE_AVX2_KERNELS)
+      return kCompareKernelsAvx2;
+#else
+      return kCompareKernelsScalar;
+#endif
+  }
+  return kCompareKernelsScalar;
+}
+
+const CompareKernels& ActiveCompareKernels() {
+  return CompareKernelsFor(ActiveSimdLevel());
+}
+
+}  // namespace mdc

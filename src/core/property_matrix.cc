@@ -1,11 +1,32 @@
 #include "core/property_matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace mdc {
+namespace {
+
+constexpr size_t kRowAlignDoubles = kCacheLineBytes / sizeof(double);
+
+}  // namespace
+
+PropertyMatrix::PropertyMatrix(size_t cols, std::vector<std::string> names,
+                               std::vector<double> data)
+    : cols_(cols),
+      stride_((cols + kRowAlignDoubles - 1) / kRowAlignDoubles *
+              kRowAlignDoubles),
+      names_(std::move(names)) {
+  const size_t row_count = names_.size();
+  data_.assign(row_count * stride_, 0.0);
+  for (size_t r = 0; r < row_count; ++r) {
+    std::copy(data.begin() + static_cast<ptrdiff_t>(r * cols_),
+              data.begin() + static_cast<ptrdiff_t>((r + 1) * cols_),
+              data_.begin() + static_cast<ptrdiff_t>(r * stride_));
+  }
+}
 
 StatusOr<PropertyMatrix> PropertyMatrix::FromSet(const PropertySet& set) {
   if (set.empty()) {

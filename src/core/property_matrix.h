@@ -8,6 +8,11 @@
 // would make the §5 indices (coverage counts, spread sums) ill-defined,
 // so both construction paths reject them up front with a clean Status
 // instead of letting poison propagate into comparator verdicts.
+//
+// Storage is cache-line aligned and rows are padded to a 64-byte stride,
+// so every row(r) pointer starts a cache line and full-width vector
+// loads in the comparison kernels never split lines. The padding lanes
+// are zero-filled and outside the [0, cols()) extent the kernels read.
 
 #ifndef MDC_CORE_PROPERTY_MATRIX_H_
 #define MDC_CORE_PROPERTY_MATRIX_H_
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "core/dominance.h"
@@ -41,11 +47,15 @@ class PropertyMatrix {
   size_t cols() const { return cols_; }
   bool empty() const { return names_.empty(); }
 
-  // Contiguous cols() entries of row r.
+  // Contiguous cols() entries of row r; always 64-byte aligned.
   const double* row(size_t r) const {
     MDC_CHECK_LT(r, rows());
-    return data_.data() + r * cols_;
+    return data_.data() + r * stride_;
   }
+
+  // Doubles between consecutive row starts (cols() padded to a cache
+  // line); exposed for the alignment contract test.
+  size_t stride() const { return stride_; }
   double at(size_t r, size_t c) const {
     MDC_CHECK_LT(c, cols_);
     return row(r)[c];
@@ -63,13 +73,15 @@ class PropertyMatrix {
   std::string ToCsv() const;
 
  private:
+  // Repacks dense row-major `data` (rows × cols) into the padded,
+  // aligned layout.
   PropertyMatrix(size_t cols, std::vector<std::string> names,
-                 std::vector<double> data)
-      : cols_(cols), names_(std::move(names)), data_(std::move(data)) {}
+                 std::vector<double> data);
 
   size_t cols_ = 0;
+  size_t stride_ = 0;
   std::vector<std::string> names_;
-  std::vector<double> data_;  // rows() × cols_, row-major.
+  AlignedVector<double> data_;  // rows() × stride_, row-major.
 };
 
 }  // namespace mdc

@@ -29,7 +29,7 @@ StatusOr<std::vector<double>> PersonalizedPrivacy::BreachProbabilities(
   std::vector<double> breach(anonymization.row_count(), 0.0);
   for (size_t row = 0; row < anonymization.row_count(); ++row) {
     if (anonymization.suppressed[row]) continue;
-    const std::vector<size_t>& members =
+    ClassSpan members =
         partition.class_members(partition.ClassOfRow(row));
     size_t guarded = 0;
     for (size_t member : members) {

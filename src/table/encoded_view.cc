@@ -19,7 +19,7 @@ StatusOr<EncodedView> EncodedView::Build(const Dataset& dataset,
     }
     std::vector<Value>& distinct = view.distinct_[pos];
     distinct = dataset.DistinctValues(column);
-    std::vector<uint32_t>& codes = view.codes_[pos];
+    AlignedVector<uint32_t>& codes = view.codes_[pos];
     codes.resize(dataset.row_count());
     for (size_t row = 0; row < dataset.row_count(); ++row) {
       auto it = std::lower_bound(distinct.begin(), distinct.end(),
@@ -35,14 +35,14 @@ const std::vector<Value>& EncodedView::distinct_values(size_t pos) const {
   return distinct_[pos];
 }
 
-const std::vector<uint32_t>& EncodedView::codes(size_t pos) const {
+const AlignedVector<uint32_t>& EncodedView::codes(size_t pos) const {
   MDC_CHECK_LT(pos, codes_.size());
   return codes_[pos];
 }
 
 uint64_t EncodedView::CodeBytes() const {
   uint64_t bytes = 0;
-  for (const std::vector<uint32_t>& codes : codes_) {
+  for (const AlignedVector<uint32_t>& codes : codes_) {
     bytes += codes.size() * sizeof(uint32_t);
   }
   return bytes;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 #include "table/dataset.h"
 
@@ -35,8 +36,9 @@ class EncodedView {
   // that position index this vector.
   const std::vector<Value>& distinct_values(size_t pos) const;
 
-  // Row-aligned codes of position `pos`.
-  const std::vector<uint32_t>& codes(size_t pos) const;
+  // Row-aligned codes of position `pos`. Cache-line-aligned storage: the
+  // SIMD gather kernels stream these columns (table/gather_kernels.h).
+  const AlignedVector<uint32_t>& codes(size_t pos) const;
 
   // Bytes held by the code arrays (for RunContext memory accounting).
   uint64_t CodeBytes() const;
@@ -45,7 +47,7 @@ class EncodedView {
   size_t row_count_ = 0;
   std::vector<size_t> columns_;
   std::vector<std::vector<Value>> distinct_;
-  std::vector<std::vector<uint32_t>> codes_;
+  std::vector<AlignedVector<uint32_t>> codes_;
 };
 
 }  // namespace mdc

@@ -1,0 +1,59 @@
+// Dispatched gather primitive of the encoded-evaluation hot loop.
+//
+// EncodedNodeEvaluator translates one dictionary-encoded QI column
+// through a (position, level) code table with
+//
+//   out[row] = table[codes[row]]   for row in [0, n)
+//
+// — a column-contiguous u32 gather that dominates node evaluation at
+// large row counts. The scalar, AVX2 (vpgatherdd, 8 lanes), and AVX-512
+// (16 lanes, software prefetch, nontemporal stores in the streaming
+// regime) variants below are exact: every lane performs the same
+// table[codes[row]] load as the scalar loop, so results are identical by
+// construction — the bit-exactness question that constrains the
+// comparison kernels (FP accumulation order) does not arise for integer
+// gathers.
+//
+// Contract: every codes[row] < table_size; out must not alias codes or
+// table. The AVX-512 variant switches to nontemporal stores above
+// kGatherStreamingRows rows (the output exceeds any LLC budget worth
+// preserving, and the follow-up grouping pass streams it back linearly);
+// it fences before returning, so callers may read `out` immediately.
+
+#ifndef MDC_TABLE_GATHER_KERNELS_H_
+#define MDC_TABLE_GATHER_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cpu_dispatch.h"
+
+namespace mdc {
+
+// Above this row count the AVX-512 gather stores nontemporally.
+inline constexpr size_t kGatherStreamingRows = size_t{1} << 20;
+
+struct GatherKernels {
+  // out[row] = table[codes[row]] for row in [0, n).
+  void (*gather_u32)(const uint32_t* codes, size_t n, const uint32_t* table,
+                     uint32_t* out);
+};
+
+// The table for one level; levels compiled out alias scalar.
+const GatherKernels& GatherKernelsFor(SimdLevel level);
+
+// Convenience: GatherKernelsFor(ActiveSimdLevel()).
+const GatherKernels& ActiveGatherKernels();
+
+// Per-variant tables, exposed for the dispatch test.
+extern const GatherKernels kGatherKernelsScalar;
+#if defined(MDC_HAVE_AVX2_KERNELS)
+extern const GatherKernels kGatherKernelsAvx2;
+#endif
+#if defined(MDC_HAVE_AVX512_KERNELS)
+extern const GatherKernels kGatherKernelsAvx512;
+#endif
+
+}  // namespace mdc
+
+#endif  // MDC_TABLE_GATHER_KERNELS_H_

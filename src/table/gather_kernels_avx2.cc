@@ -1,0 +1,28 @@
+// AVX2 (8 × u32) gather variant. Compiled with -mavx2 for this file
+// only; see gather_kernels.h for the contract.
+
+#include <immintrin.h>
+
+#include "table/gather_kernels.h"
+
+namespace mdc {
+namespace {
+
+void GatherU32Avx2(const uint32_t* codes, size_t n, const uint32_t* table,
+                   uint32_t* out) {
+  size_t row = 0;
+  for (; row + 8 <= n; row += 8) {
+    __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + row));
+    __m256i values = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(table), idx, sizeof(uint32_t));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + row), values);
+  }
+  for (; row < n; ++row) out[row] = table[codes[row]];
+}
+
+}  // namespace
+
+const GatherKernels kGatherKernelsAvx2 = {GatherU32Avx2};
+
+}  // namespace mdc

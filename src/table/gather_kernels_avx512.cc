@@ -1,0 +1,57 @@
+// AVX-512 (16 × u32) gather variant with software prefetch and, in the
+// streaming regime, nontemporal stores. Compiled with -mavx512f
+// -mavx512dq -mavx512vl -mavx512bw for this file only.
+
+#include <immintrin.h>
+
+#include "table/gather_kernels.h"
+
+namespace mdc {
+namespace {
+
+// Distance (in rows) to prefetch the index stream ahead of the gather.
+// 512 rows = 2 KiB of codes, far enough to cover DRAM latency at the
+// N=1e6 streaming rate without thrashing L1.
+constexpr size_t kPrefetchRows = 512;
+
+void GatherU32Avx512(const uint32_t* codes, size_t n, const uint32_t* table,
+                     uint32_t* out) {
+  const int* table_i = reinterpret_cast<const int*>(table);
+  size_t row = 0;
+  if (n >= kGatherStreamingRows) {
+    // Head: element stores until `out` reaches a cache-line boundary, so
+    // the streaming loop below issues only aligned full-line stores.
+    while (row < n && (reinterpret_cast<uintptr_t>(out + row) & 63u) != 0) {
+      out[row] = table[codes[row]];
+      ++row;
+    }
+    for (; row + 16 <= n; row += 16) {
+      if (row + kPrefetchRows < n) {
+        _mm_prefetch(reinterpret_cast<const char*>(codes + row + kPrefetchRows),
+                     _MM_HINT_T0);
+      }
+      __m512i idx =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(codes + row));
+      __m512i values = _mm512_i32gather_epi32(idx, table_i, sizeof(uint32_t));
+      // The output is write-once and re-read linearly by the grouping
+      // pass; at this size it cannot stay cached anyway, so bypass the
+      // hierarchy instead of evicting 4·n bytes of useful lines.
+      _mm512_stream_si512(reinterpret_cast<__m512i*>(out + row), values);
+    }
+    _mm_sfence();  // Order the nontemporal stores before the caller reads.
+  } else {
+    for (; row + 16 <= n; row += 16) {
+      __m512i idx =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(codes + row));
+      __m512i values = _mm512_i32gather_epi32(idx, table_i, sizeof(uint32_t));
+      _mm512_storeu_si512(reinterpret_cast<void*>(out + row), values);
+    }
+  }
+  for (; row < n; ++row) out[row] = table[codes[row]];
+}
+
+}  // namespace
+
+const GatherKernels kGatherKernelsAvx512 = {GatherU32Avx512};
+
+}  // namespace mdc

@@ -1,0 +1,43 @@
+// Portable gather variant and the per-level table resolver.
+
+#include "table/gather_kernels.h"
+
+namespace mdc {
+namespace {
+
+void GatherU32Scalar(const uint32_t* codes, size_t n, const uint32_t* table,
+                     uint32_t* out) {
+  for (size_t row = 0; row < n; ++row) out[row] = table[codes[row]];
+}
+
+}  // namespace
+
+const GatherKernels kGatherKernelsScalar = {GatherU32Scalar};
+
+const GatherKernels& GatherKernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return kGatherKernelsScalar;
+    case SimdLevel::kAvx2:
+#if defined(MDC_HAVE_AVX2_KERNELS)
+      return kGatherKernelsAvx2;
+#else
+      return kGatherKernelsScalar;
+#endif
+    case SimdLevel::kAvx512:
+#if defined(MDC_HAVE_AVX512_KERNELS)
+      return kGatherKernelsAvx512;
+#elif defined(MDC_HAVE_AVX2_KERNELS)
+      return kGatherKernelsAvx2;
+#else
+      return kGatherKernelsScalar;
+#endif
+  }
+  return kGatherKernelsScalar;
+}
+
+const GatherKernels& ActiveGatherKernels() {
+  return GatherKernelsFor(ActiveSimdLevel());
+}
+
+}  // namespace mdc

@@ -5,7 +5,7 @@ namespace mdc {
 double AvgClassSize::PerTupleAverage(const EquivalencePartition& partition) {
   MDC_CHECK_GT(partition.row_count(), 0u);
   double sum = 0.0;
-  for (const std::vector<size_t>& members : partition.classes()) {
+  for (ClassSpan members : partition.classes()) {
     sum += static_cast<double>(members.size()) *
            static_cast<double>(members.size());
   }

@@ -107,7 +107,7 @@ StatusOr<PropertyVector> ClassSpreadLoss::PerTupleLoss(
 
     for (size_t class_id = 0; class_id < partition.class_count();
          ++class_id) {
-      const std::vector<size_t>& members = partition.class_members(class_id);
+      ClassSpan members = partition.class_members(class_id);
       double charge = 0.0;
       bool class_suppressed = true;
       for (size_t row : members) {

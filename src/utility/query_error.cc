@@ -92,7 +92,7 @@ StatusOr<double> EstimatedCount(const Anonymization& anonymization,
   }
   double estimate = 0.0;
   for (size_t class_id = 0; class_id < partition.class_count(); ++class_id) {
-    const std::vector<size_t>& members = partition.class_members(class_id);
+    ClassSpan members = partition.class_members(class_id);
     // Class envelope on the numeric attribute.
     double lo = original.cell(members[0], query.numeric_column).AsNumber();
     double hi = lo;

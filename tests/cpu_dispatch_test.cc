@@ -1,0 +1,236 @@
+// Runtime SIMD dispatch: level parsing/resolution, the test override
+// hook, the exported gauge, and — the part the differential oracle only
+// covers through the engine — direct bit-exactness of every compiled-in
+// kernel table against the scalar ground truth on adversarial inputs
+// (signed zeros, exact ties, denormals, NaN, all tail lengths).
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_dispatch.h"
+#include "common/metrics.h"
+#include "core/compare_kernels.h"
+#include "table/gather_kernels.h"
+
+namespace mdc {
+namespace {
+
+TEST(SimdLevelParse, AcceptsCanonicalNames) {
+  auto scalar = ParseSimdLevel("scalar");
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(*scalar, SimdLevel::kScalar);
+  auto avx2 = ParseSimdLevel("avx2");
+  ASSERT_TRUE(avx2.ok());
+  EXPECT_EQ(*avx2, SimdLevel::kAvx2);
+  auto avx512 = ParseSimdLevel("avx512");
+  ASSERT_TRUE(avx512.ok());
+  EXPECT_EQ(*avx512, SimdLevel::kAvx512);
+}
+
+TEST(SimdLevelParse, RejectsUnknownNames) {
+  EXPECT_FALSE(ParseSimdLevel("").ok());
+  EXPECT_FALSE(ParseSimdLevel("sse2").ok());
+  EXPECT_FALSE(ParseSimdLevel("AVX2").ok());
+  EXPECT_FALSE(ParseSimdLevel("avx512f").ok());
+}
+
+TEST(SimdLevelParse, NamesRoundTrip) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    auto parsed = ParseSimdLevel(SimdLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+}
+
+TEST(ResolveSimdLevel, NoOverrideUsesDetected) {
+  EXPECT_EQ(ResolveSimdLevel(std::nullopt, SimdLevel::kAvx512),
+            SimdLevel::kAvx512);
+  EXPECT_EQ(ResolveSimdLevel(std::nullopt, SimdLevel::kScalar),
+            SimdLevel::kScalar);
+}
+
+TEST(ResolveSimdLevel, OverrideOnlyLowers) {
+  // Lowering is honored.
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kScalar, SimdLevel::kAvx512),
+            SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx2, SimdLevel::kAvx512),
+            SimdLevel::kAvx2);
+  // Raising clamps to the hardware.
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx512, SimdLevel::kScalar),
+            SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx512, SimdLevel::kAvx2),
+            SimdLevel::kAvx2);
+  // Same level is a no-op.
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAvx2, SimdLevel::kAvx2),
+            SimdLevel::kAvx2);
+}
+
+TEST(ActiveSimdLevel, NeverExceedsDetectedAndPublishesGauge) {
+  SimdLevel active = ActiveSimdLevel();
+  EXPECT_LE(static_cast<int>(active), static_cast<int>(DetectSimdLevel()));
+  metrics::MetricsSnapshot snapshot = metrics::Snapshot();
+  auto it = snapshot.gauges.find("mdc.cpu.simd_level");
+  ASSERT_NE(it, snapshot.gauges.end());
+  EXPECT_EQ(it->second, static_cast<int64_t>(active));
+}
+
+TEST(ScopedSimdLevel, ForcesAndRestores) {
+  const SimdLevel before = ActiveSimdLevel();
+  {
+    ScopedSimdLevelForTest scalar(SimdLevel::kScalar);
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+    {
+      // Nested scope: requesting more than the hardware supports clamps
+      // instead of failing, so this is at most DetectSimdLevel().
+      ScopedSimdLevelForTest raise(SimdLevel::kAvx512);
+      EXPECT_LE(static_cast<int>(ActiveSimdLevel()),
+                static_cast<int>(DetectSimdLevel()));
+    }
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  }
+  EXPECT_EQ(ActiveSimdLevel(), before);
+}
+
+// --- Kernel table equivalence -------------------------------------------
+//
+// Every compiled-in level must be bit-identical to scalar. The engine's
+// differential oracle already proves this end to end; these cases hit the
+// kernel tables directly with inputs chosen to break the usual SIMD
+// shortcuts: ±0.0 (value-equal, bit-different), exact ties, denormals,
+// NaN (must propagate into the spread sums identically), and every
+// vector-tail length.
+
+std::vector<SimdLevel> CompiledLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+#if defined(MDC_HAVE_AVX2_KERNELS)
+  if (static_cast<int>(DetectSimdLevel()) >=
+      static_cast<int>(SimdLevel::kAvx2)) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+#endif
+#if defined(MDC_HAVE_AVX512_KERNELS)
+  if (DetectSimdLevel() == SimdLevel::kAvx512) {
+    levels.push_back(SimdLevel::kAvx512);
+  }
+#endif
+  return levels;
+}
+
+// Deterministic vectors with heavy tie/zero/denormal structure.
+std::vector<double> AdversarialVector(size_t n, uint64_t seed,
+                                      bool with_nan) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng() % 8) {
+      case 0:
+        values[i] = 0.0;
+        break;
+      case 1:
+        values[i] = -0.0;
+        break;
+      case 2:
+        values[i] = static_cast<double>(rng() % 16);  // frequent ties
+        break;
+      case 3:
+        values[i] = 5e-324;  // denormal
+        break;
+      case 4:
+        values[i] = with_nan && (rng() % 16 == 0)
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : 1.5;
+        break;
+      default:
+        values[i] =
+            std::ldexp(static_cast<double>(rng() % (1u << 20)), -10);
+        break;
+    }
+  }
+  return values;
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+TEST(CompareKernelTables, BitIdenticalToScalarOnAdversarialInputs) {
+  const std::vector<size_t> sizes = {0,  1,  3,  4,  7,  8,  9,
+                                     15, 16, 17, 31, 64, 257, 1024, 1031};
+  for (SimdLevel level : CompiledLevels()) {
+    const CompareKernels& kernels = CompareKernelsFor(level);
+    const CompareKernels& scalar = kCompareKernelsScalar;
+    for (size_t n : sizes) {
+      for (uint64_t seed = 1; seed <= 4; ++seed) {
+        // NaN only in the spread test data: row_min's contract assumes
+        // the engine's positive finite property values.
+        std::vector<double> a = AdversarialVector(n, seed * 11, true);
+        std::vector<double> b = AdversarialVector(n, seed * 13, true);
+
+        uint64_t gt12_s = 5, gt21_s = 7, gt12_v = 5, gt21_v = 7;
+        double spr12_s = 0.25, spr21_s = 0.0, spr12_v = 0.25, spr21_v = 0.0;
+        scalar.count_spread(a.data(), b.data(), n, &gt12_s, &gt21_s,
+                            &spr12_s, &spr21_s);
+        kernels.count_spread(a.data(), b.data(), n, &gt12_v, &gt21_v,
+                             &spr12_v, &spr21_v);
+        EXPECT_EQ(gt12_s, gt12_v) << "level=" << SimdLevelName(level)
+                                  << " n=" << n << " seed=" << seed;
+        EXPECT_EQ(gt21_s, gt21_v);
+        EXPECT_TRUE(BitEqual(spr12_s, spr12_v))
+            << "level=" << SimdLevelName(level) << " n=" << n
+            << " seed=" << seed << " scalar=" << spr12_s
+            << " vector=" << spr12_v;
+        EXPECT_TRUE(BitEqual(spr21_s, spr21_v));
+
+        EXPECT_EQ(scalar.weakly_dominates(a.data(), b.data(), n),
+                  kernels.weakly_dominates(a.data(), b.data(), n));
+        bool s12 = false, s21 = false, v12 = false, v21 = false;
+        scalar.strict_flags(a.data(), b.data(), n, &s12, &s21);
+        kernels.strict_flags(a.data(), b.data(), n, &v12, &v21);
+        EXPECT_EQ(s12, v12);
+        EXPECT_EQ(s21, v21);
+
+        std::vector<double> finite = AdversarialVector(n, seed * 17, false);
+        const double init = n > 0 ? finite[0] : 42.0;
+        EXPECT_TRUE(BitEqual(scalar.row_min(finite.data(), n, init),
+                             kernels.row_min(finite.data(), n, init)))
+            << "level=" << SimdLevelName(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(GatherKernelTables, IdenticalToScalar) {
+  const std::vector<size_t> sizes = {0, 1, 7, 8, 9, 15, 16, 17, 255, 1024};
+  std::mt19937_64 rng(99);
+  for (SimdLevel level : CompiledLevels()) {
+    const GatherKernels& kernels = GatherKernelsFor(level);
+    const GatherKernels& scalar = GatherKernelsFor(SimdLevel::kScalar);
+    for (size_t n : sizes) {
+      const uint32_t table_size = 64;
+      std::vector<uint32_t> table(table_size);
+      for (uint32_t& v : table) v = static_cast<uint32_t>(rng());
+      std::vector<uint32_t> codes(n);
+      for (uint32_t& c : codes) c = static_cast<uint32_t>(rng() % table_size);
+      std::vector<uint32_t> out_s(n, 0xdeadbeef), out_v(n, 0xfeedface);
+      if (n > 0) {
+        scalar.gather_u32(codes.data(), n, table.data(), out_s.data());
+        kernels.gather_u32(codes.data(), n, table.data(), out_v.data());
+      }
+      EXPECT_EQ(out_s, out_v) << "level=" << SimdLevelName(level)
+                              << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdc
