@@ -4,8 +4,18 @@
 //       --hierarchies spec.txt --algorithm datafly --k 3
 //       [--max-suppression 0.02] [--output out.csv]
 //       [--deadline-ms 500] [--max-steps 100000] [--threads 4]
+//   example_mdc_cli perturb --input data.csv --schema <spec>
+//       --mechanism <noise|rankswap|microagg> [--seed <n>]
+//       [--noise-scale <frac>] [--swap-window <frac>] [--k <n>]
+//       [--output out.csv]
 //   example_mdc_cli compare --input data.csv --schema <spec>
 //       --hierarchies spec.txt --k 3 --algorithms datafly,mondrian
+//
+// `perturb` releases numeric quasi-identifiers through a perturbative
+// (non-generalization) mechanism and prints the permutation-model summary
+// (docs/permutation.md) on stderr. `compare` with more than two names, or
+// with any perturbative mechanism in the list, ranks all releases under
+// the permutation paradigm instead of the two-release report.
 //   example_mdc_cli batch --jobs jobs.csv --checkpoint-dir out
 //       [--max-retries 2] [--backoff-ms 10]
 //
@@ -58,6 +68,7 @@
 #include "anonymize/datafly.h"
 #include "anonymize/mondrian.h"
 #include "anonymize/optimal_lattice.h"
+#include "anonymize/perturb/perturb.h"
 #include "anonymize/samarati.h"
 #include "common/cpu_dispatch.h"
 #include "common/csv.h"
@@ -67,7 +78,10 @@
 #include "common/run_context.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "common/text_table.h"
 #include "core/batch_runner.h"
+#include "core/permutation_metrics.h"
+#include "core/property_matrix.h"
 #include "core/report.h"
 #include "hierarchy/spec_parser.h"
 #include "paper/paper_data.h"
@@ -80,10 +94,12 @@ using namespace mdc;
 namespace {
 
 constexpr const char* kUsageHint =
-    "usage: mdc_cli <anonymize|compare|batch|serve|version> --input <csv> "
-    "--schema <spec> "
-    "[--hierarchies <file>] [--algorithm <name>] [--algorithms <a,b>] "
+    "usage: mdc_cli <anonymize|perturb|compare|batch|serve|version> "
+    "--input <csv> --schema <spec> "
+    "[--hierarchies <file>] [--algorithm <name>] [--algorithms <a,b,...>] "
     "[--k <n>] [--max-suppression <frac>] [--output <csv>] "
+    "[--mechanism <noise|rankswap|microagg>] [--seed <n>] "
+    "[--noise-scale <frac>] [--swap-window <frac>] "
     "[--deadline-ms <ms>] [--max-steps <n>] [--threads <n>] "
     "[--compare-engine <scalar|packed>] "
     "[--metrics-out <file>] [--trace-out <file>] | batch "
@@ -101,6 +117,7 @@ constexpr const char* kKnownFlags[] = {
     "deadline-ms", "max-suppression", "jobs",       "checkpoint-dir",
     "max-retries", "backoff-ms",  "threads",        "metrics-out",
     "trace-out",   "compare-engine",                "state-dir",
+    "mechanism",   "seed",        "noise-scale",    "swap-window",
     "window-capacity", "tenant-budget", "quantum",
     "default-deadline-ms",
     "listen",      "max-connections", "max-line-bytes",
@@ -282,6 +299,174 @@ StatusOr<NamedRelease> RunAlgorithm(const std::string& algorithm,
   return Status::InvalidArgument("unknown algorithm '" + algorithm +
                                  "' (datafly|samarati|optimal|mondrian|"
                                  "cluster)");
+}
+
+// Collects the perturbation knobs from a job param map (batch/service
+// spelling: noise_scale, swap_window) into a PerturbConfig. `k` doubles as
+// the microaggregation group size so one flag serves both families.
+StatusOr<PerturbConfig> PerturbConfigFromJobParams(
+    const std::map<std::string, std::string>& params, int k) {
+  std::map<std::string, std::string> knobs;
+  for (const char* key : {"mechanism", "seed", "noise_scale", "swap_window"}) {
+    auto it = params.find(key);
+    if (it != params.end()) knobs[key] = it->second;
+  }
+  MDC_ASSIGN_OR_RETURN(PerturbConfig config, PerturbConfigFromParams(knobs));
+  if (k >= 2) config.k = k;
+  return config;
+}
+
+// Same knobs from CLI flags (dashed spelling: --noise-scale, --swap-window).
+StatusOr<PerturbConfig> PerturbConfigFromFlags(
+    const std::map<std::string, std::string>& flags, int k) {
+  std::map<std::string, std::string> params;
+  static constexpr const char* kPairs[][2] = {{"mechanism", "mechanism"},
+                                              {"seed", "seed"},
+                                              {"noise-scale", "noise_scale"},
+                                              {"swap-window", "swap_window"}};
+  for (const auto& pair : kPairs) {
+    auto it = flags.find(pair[0]);
+    if (it != flags.end()) params[pair[1]] = it->second;
+  }
+  MDC_ASSIGN_OR_RETURN(PerturbConfig config, PerturbConfigFromParams(params));
+  if (k >= 2) config.k = k;
+  return config;
+}
+
+// One release under either backend family, reduced to its permutation
+// model: perturbative mechanisms run directly; generalization algorithms
+// run through RunAlgorithm and reverse-map via their equivalence
+// partition. The model's property vectors are renamed after the release
+// so a PropertyMatrix row carries the algorithm it scores.
+struct ModeledRelease {
+  std::string name;
+  PermutationModel model;
+  bool truncated = false;
+};
+
+StatusOr<ModeledRelease> ModelRelease(const std::string& name,
+                                      std::shared_ptr<const Dataset> data,
+                                      const HierarchySet& hierarchies, int k,
+                                      double max_suppression,
+                                      const PerturbConfig& perturb_base,
+                                      RunContext* run, int threads) {
+  ModeledRelease out;
+  out.name = name;
+  PermutationMetricsOptions metric_options;
+  metric_options.threads = threads;
+  if (IsPerturbMechanismName(name)) {
+    PerturbConfig config = perturb_base;
+    MDC_ASSIGN_OR_RETURN(config.mechanism, ParsePerturbMechanism(name));
+    config.threads = threads;
+    MDC_ASSIGN_OR_RETURN(PerturbResult result,
+                         PerturbAnonymize(data, config, run));
+    out.truncated = result.run_stats.truncated;
+    MDC_ASSIGN_OR_RETURN(out.model,
+                         PermutationModelFor(result.anonymization, nullptr,
+                                             metric_options, run));
+  } else {
+    MDC_ASSIGN_OR_RETURN(NamedRelease release,
+                         RunAlgorithm(name, data, hierarchies, k,
+                                      max_suppression, run, threads));
+    out.truncated = release.run_stats.truncated;
+    MDC_ASSIGN_OR_RETURN(
+        out.model, PermutationModelFor(release.anonymization,
+                                       &release.partition, metric_options,
+                                       run));
+  }
+  out.model.privacy = PropertyVector(name + "-privacy",
+                                     out.model.privacy.values());
+  out.model.utility = PropertyVector(name + "-utility",
+                                     out.model.utility.values());
+  return out;
+}
+
+// Cross-family comparison under the permutation paradigm: every release
+// (perturbative or generalization) is reduced to its two Def.-1 property
+// vectors, packed into a PropertyMatrix per dimension, and ranked with the
+// Table-4 all-pairs engine. The report is a pure function of the inputs
+// (no timings), so service artifacts stay crash-recovery deterministic.
+StatusOr<std::string> PermutationCompareReport(
+    const std::vector<std::string>& names,
+    std::shared_ptr<const Dataset> data, const HierarchySet& hierarchies,
+    int k, double max_suppression, const PerturbConfig& perturb_base,
+    CompareEngine engine, int threads, RunContext* run,
+    bool* truncated = nullptr) {
+  if (names.size() < 2) {
+    return Status::InvalidArgument(
+        "permutation comparison needs at least two algorithm names");
+  }
+  std::vector<ModeledRelease> releases;
+  for (const std::string& name : names) {
+    MDC_ASSIGN_OR_RETURN(ModeledRelease modeled,
+                         ModelRelease(name, data, hierarchies, k,
+                                      max_suppression, perturb_base, run,
+                                      threads));
+    if (truncated != nullptr && modeled.truncated) *truncated = true;
+    releases.push_back(std::move(modeled));
+  }
+
+  std::string text = "permutation comparison (" +
+                     std::to_string(releases.size()) + " releases, N=" +
+                     std::to_string(releases.front().model.rows) + ")\n";
+  TextTable summary;
+  summary.SetHeader({"release", "mean_privacy", "mean_utility"});
+  for (const ModeledRelease& release : releases) {
+    summary.AddRow({release.name,
+                    FormatDouble(release.model.privacy.Mean(), 4),
+                    FormatDouble(release.model.utility.Mean(), 4)});
+  }
+  text += summary.Render();
+
+  // Dominance wins per release across both dimensions — the ranking the
+  // acceptance gate reads.
+  std::vector<int> wins(releases.size(), 0);
+  for (const bool privacy_dimension : {true, false}) {
+    const std::string dimension = privacy_dimension ? "privacy" : "utility";
+    PropertySet set;
+    for (const ModeledRelease& release : releases) {
+      set.push_back(privacy_dimension ? release.model.privacy
+                                      : release.model.utility);
+    }
+    MDC_ASSIGN_OR_RETURN(PropertyMatrix matrix, PropertyMatrix::FromSet(set));
+    AllPairsOptions options;
+    options.engine = engine;
+    options.threads = threads;
+    // Ideal point: normalized displacement (and its complement) live in
+    // [0, 1], so the all-ones vector is the per-dimension optimum.
+    options.d_max = PropertyVector(
+        "ideal", std::vector<double>(matrix.cols(), 1.0));
+    MDC_ASSIGN_OR_RETURN(AllPairsResult pairs,
+                         AllPairsCompare(matrix, options, run));
+    TextTable table;
+    table.SetHeader({"pair (" + dimension + ")", "relation", "cov12", "cov21",
+                     "spr12", "spr21"});
+    for (const PairComparison& pair : pairs.pairs) {
+      table.AddRow({releases[pair.first].name + " vs " +
+                        releases[pair.second].name,
+                    DominanceRelationName(pair.relation),
+                    FormatDouble(pair.cov12, 4), FormatDouble(pair.cov21, 4),
+                    FormatDouble(pair.spr12, 4),
+                    FormatDouble(pair.spr21, 4)});
+      if (pair.relation == DominanceRelation::kFirstDominates) {
+        ++wins[pair.first];
+      } else if (pair.relation == DominanceRelation::kSecondDominates) {
+        ++wins[pair.second];
+      }
+    }
+    text += table.Render();
+    TextTable ranks;
+    ranks.SetHeader({"release", "P_rank(" + dimension + ")"});
+    for (size_t r = 0; r < releases.size(); ++r) {
+      ranks.AddRow({releases[r].name, FormatDouble(pairs.ranks[r], 4)});
+    }
+    text += ranks.Render();
+  }
+  for (size_t r = 0; r < releases.size(); ++r) {
+    text += "dominance wins: " + releases[r].name + "=" +
+            std::to_string(wins[r]) + "\n";
+  }
+  return text;
 }
 
 Status LoadInputs(const CliArgs& args,
@@ -484,12 +669,14 @@ int RunBatchCommand(const CliArgs& args) {
   return clean ? 0 : 1;
 }
 
-// One service-job attempt. anonymize -> release CSV; compare -> the
-// comparison report text; report -> release text + achieved-k summary.
-// All three are deterministic functions of the spec (no timings in the
+// One service-job attempt. anonymize -> release CSV; perturb -> the
+// perturbative release CSV; compare -> the comparison report text (the
+// permutation-paradigm report when the list is cross-family or wider than
+// two); report -> release text + achieved-k or permutation summary.
+// All kinds are deterministic functions of the spec (no timings in the
 // artifact), which is what makes crash recovery byte-identical. The
-// optimal search threads its Checkpointable state through
-// resume_checkpoint so a drained job resumes mid-sweep.
+// optimal search and the perturbation sweep thread their Checkpointable
+// state through resume_checkpoint so a drained job resumes mid-sweep.
 service::ServiceCore::ExecResult ExecuteServiceJob(
     const service::JobSpec& spec, RunContext* run,
     std::string_view resume_checkpoint, int threads) {
@@ -537,10 +724,50 @@ service::ServiceCore::ExecResult ExecuteServiceJob(
       return Status::Ok();
     }
 
+    if (spec.kind == "perturb") {
+      MDC_ASSIGN_OR_RETURN(PerturbConfig config,
+                           PerturbConfigFromJobParams(spec.params, k));
+      config.threads = threads;
+      PerturbCheckpoint checkpoint;
+      if (!resume_checkpoint.empty()) {
+        MDC_RETURN_IF_ERROR(checkpoint.ResumeFrom(resume_checkpoint));
+      }
+      auto result = PerturbAnonymize(data, config, run, &checkpoint);
+      if (checkpoint.has_state()) {
+        // Budget expiry (drain, deadline, steps) captured the column-sweep
+        // position; hand it to the service for the next attempt/life.
+        if (auto bytes = checkpoint.SaveCheckpoint(); bytes.ok()) {
+          out.checkpoint = std::move(bytes).value();
+        }
+      }
+      if (!result.ok()) return result.status();
+      out.truncated = result->run_stats.truncated;
+      out.artifact = result->anonymization.release.ToCsv();
+      return Status::Ok();
+    }
+
     if (spec.kind == "compare") {
       std::string algorithms = GetParam(spec.params, "algorithms");
       if (algorithms.empty()) algorithms = "datafly,mondrian";
       std::vector<std::string> names = StrSplit(algorithms, ',');
+      bool perturbative = false;
+      for (const std::string& name : names) {
+        perturbative = perturbative || IsPerturbMechanismName(name);
+      }
+      if (perturbative || names.size() > 2) {
+        // Cross-family or multi-way: rank under the permutation paradigm.
+        MDC_ASSIGN_OR_RETURN(PerturbConfig perturb_base,
+                             PerturbConfigFromJobParams(spec.params, k));
+        bool truncated = false;
+        MDC_ASSIGN_OR_RETURN(
+            out.artifact,
+            PermutationCompareReport(names, data, hierarchies, k,
+                                     max_suppression, perturb_base,
+                                     CompareEngine::kPacked, threads, run,
+                                     &truncated));
+        out.truncated = truncated;
+        return Status::Ok();
+      }
       if (names.size() != 2) {
         return Status::InvalidArgument(
             label + ": algorithms needs two comma-separated names");
@@ -578,6 +805,25 @@ service::ServiceCore::ExecResult ExecuteServiceJob(
     if (spec.kind == "report") {
       std::string algorithm = GetParam(spec.params, "algorithm");
       if (algorithm.empty()) algorithm = "mondrian";
+      if (IsPerturbMechanismName(algorithm)) {
+        MDC_ASSIGN_OR_RETURN(PerturbConfig config,
+                             PerturbConfigFromJobParams(spec.params, k));
+        config.threads = threads;
+        MDC_ASSIGN_OR_RETURN(config.mechanism,
+                             ParsePerturbMechanism(algorithm));
+        MDC_ASSIGN_OR_RETURN(PerturbResult result,
+                             PerturbAnonymize(data, config, run));
+        PermutationMetricsOptions metric_options;
+        metric_options.threads = threads;
+        MDC_ASSIGN_OR_RETURN(PermutationModel model,
+                             PermutationModelFor(result.anonymization,
+                                                 nullptr, metric_options,
+                                                 run));
+        out.truncated = result.run_stats.truncated;
+        out.artifact = result.anonymization.release.ToText();
+        out.artifact += PermutationModelSummary(model);
+        return Status::Ok();
+      }
       MDC_ASSIGN_OR_RETURN(NamedRelease release,
                            RunAlgorithm(algorithm, data, hierarchies, k,
                                         max_suppression, run, threads));
@@ -592,7 +838,7 @@ service::ServiceCore::ExecResult ExecuteServiceJob(
       return Status::Ok();
     }
     return Status::InvalidArgument(label + ": unknown kind '" + spec.kind +
-                                   "'");
+                                   "' (anonymize|perturb|compare|report)");
   }();
   return out;
 }
@@ -990,12 +1236,72 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.command == "perturb") {
+    auto config_or = PerturbConfigFromFlags(args.flags, k);
+    if (!config_or.ok()) return Fail(config_or.status());
+    PerturbConfig config = *config_or;
+    config.threads = threads;
+    auto result = PerturbAnonymize(data, config, run);
+    if (!result.ok()) return Fail(result.status());
+    PermutationMetricsOptions metric_options;
+    metric_options.threads = threads;
+    auto model = PermutationModelFor(result->anonymization, nullptr,
+                                     metric_options, run);
+    if (!model.ok()) return Fail(model.status());
+    std::fprintf(stderr, "%s: %zu rows, %zu columns perturbed\n%s",
+                 PerturbMechanismName(config.mechanism),
+                 result->anonymization.release.row_count(),
+                 result->perturbed_columns.size(),
+                 PermutationModelSummary(*model).c_str());
+    if (budgeted) {
+      std::fprintf(stderr, "run stats: %s\n",
+                   result->run_stats.ToString().c_str());
+    }
+    std::string csv = result->anonymization.release.ToCsv();
+    if (auto it = args.flags.find("output"); it != args.flags.end()) {
+      if (Status status = DurableWriteFile(it->second, csv); !status.ok()) {
+        return Fail(status);
+      }
+    } else {
+      std::printf("%s", csv.c_str());
+    }
+    return 0;
+  }
+
   if (args.command == "compare") {
     std::string algorithms = "datafly,mondrian";
     if (auto it = args.flags.find("algorithms"); it != args.flags.end()) {
       algorithms = it->second;
     }
     std::vector<std::string> names = StrSplit(algorithms, ',');
+    bool perturbative = false;
+    for (const std::string& name : names) {
+      perturbative = perturbative || IsPerturbMechanismName(name);
+    }
+    if (perturbative || names.size() > 2) {
+      // Cross-family or multi-way: the permutation paradigm is the common
+      // currency (docs/permutation.md). The two-generalization path below
+      // stays byte-identical to what it always printed.
+      auto perturb_base = PerturbConfigFromFlags(args.flags, k);
+      if (!perturb_base.ok()) return Fail(perturb_base.status());
+      CompareEngine engine = CompareEngine::kPacked;
+      if (auto it = args.flags.find("compare-engine");
+          it != args.flags.end()) {
+        auto parsed = ParseCompareEngine(it->second);
+        if (!parsed.ok()) return Fail(parsed.status());
+        engine = *parsed;
+      }
+      auto report = PermutationCompareReport(names, data, hierarchies, k,
+                                             max_suppression, *perturb_base,
+                                             engine, threads, run);
+      if (!report.ok()) return Fail(report.status());
+      std::printf("%s", report->c_str());
+      if (budgeted) {
+        std::fprintf(stderr, "run stats: %s\n",
+                     RunContext::Stats(run).ToString().c_str());
+      }
+      return 0;
+    }
     if (names.size() != 2) {
       return Fail(Status::InvalidArgument(
           "--algorithms needs exactly two comma-separated names"));
@@ -1027,6 +1333,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  return Fail(Status::InvalidArgument("unknown command '" + args.command +
-                                      "' (anonymize|compare|batch|serve)"));
+  return Fail(Status::InvalidArgument(
+      "unknown command '" + args.command +
+      "' (anonymize|perturb|compare|batch|serve)"));
 }

@@ -1,0 +1,35 @@
+// Additive correlated noise (Kim-style masking, diagonal covariance): the
+// noise added to attribute a has standard deviation scale·σ_a, so noisy
+// attributes keep their relative dispersion — the "correlated" scheme's
+// per-attribute marginal. Draws come from the column's own seeded Rng
+// stream, so the column output is independent of every other column and
+// of the evaluation schedule.
+
+#include <cmath>
+
+#include "anonymize/perturb/perturb.h"
+#include "common/rng.h"
+
+namespace mdc {
+
+std::vector<double> PerturbColumnNoise(const std::vector<double>& values,
+                                       double scale, uint64_t seed) {
+  const size_t n = values.size();
+  std::vector<double> out(values);
+  if (n == 0) return out;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (double v : values) variance += (v - mean) * (v - mean);
+  variance /= static_cast<double>(n);
+  const double sigma = std::sqrt(variance);
+  if (sigma == 0.0) return out;  // Constant column: nothing to hide.
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = values[i] + scale * sigma * rng.NextGaussian();
+  }
+  return out;
+}
+
+}  // namespace mdc

@@ -122,8 +122,11 @@ struct MetricsSnapshot {
 // front-end (a line fully parsed, a connection accepted/shed/reaped), so
 // for a fixed client script they are independent of worker-thread count;
 // client-side "client.*" counters are fault-timing-dependent and stay out.
+// "perturb." and "perm." counters are committed serially in column /
+// attribute admission order by the perturbation backend and the
+// permutation-model builder, so they share the same invariance.
 inline constexpr const char* kDeterministicPrefixes[] = {
-    "search.", "run.", "batch.", "cmp.", "svc.", "net."};
+    "search.", "run.", "batch.", "cmp.", "svc.", "net.", "perturb.", "perm."};
 
 // Interns `name` (first call) and returns the process-wide instrument.
 // The same name always maps to the same instrument; a name must not be

@@ -41,6 +41,7 @@ enum class SnapshotKind : uint32_t {
   kBatch = 6,
   kServiceJob = 7,      // One admitted job's durable journal record.
   kServiceOutcome = 8,  // One job's terminal outcome record.
+  kPerturb = 9,         // Perturbation column-sweep position.
 };
 
 // CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.

@@ -10,7 +10,8 @@ constexpr uint32_t kJobPayloadVersion = 1;
 constexpr uint32_t kOutcomePayloadVersion = 1;
 
 bool IsKnownKind(std::string_view kind) {
-  return kind == "anonymize" || kind == "compare" || kind == "report";
+  return kind == "anonymize" || kind == "perturb" || kind == "compare" ||
+         kind == "report";
 }
 
 }  // namespace
@@ -56,7 +57,7 @@ StatusOr<JobSpec> ParseSubmitSpec(std::string_view text) {
       if (!IsKnownKind(value)) {
         return Status::InvalidArgument(
             "submit: unknown kind '" + value +
-            "' (anonymize|compare|report)");
+            "' (anonymize|perturb|compare|report)");
       }
       spec.kind = value;
     } else if (key == "cost") {

@@ -25,7 +25,7 @@ namespace mdc::service {
 struct JobSpec {
   std::string id;                // Unique across the service; resume key.
   std::string tenant = "default";
-  std::string kind = "anonymize";  // anonymize | compare | report.
+  std::string kind = "anonymize";  // anonymize | perturb | compare | report.
   uint64_t cost = 1;             // Deficit-round-robin scheduling units.
   int64_t deadline_ms = 0;       // Client deadline; 0 = unbounded.
   uint64_t max_steps = 0;        // Client step budget; 0 = unbounded.

@@ -13,11 +13,13 @@
 #include <string>
 #include <vector>
 
+#include "anonymize/perturb/perturb.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/compare_engine.h"
+#include "core/permutation_metrics.h"
 #include "core/dominance.h"
 #include "core/multi_property.h"
 #include "core/property_matrix.h"
@@ -465,6 +467,64 @@ TEST(ComparisonOracle, FromCsvRoundTripAndFaultPaths) {
   auto injected = PropertyMatrix::FromCsv(matrix.ToCsv());
   ASSERT_FALSE(injected.ok());
   EXPECT_EQ(injected.status().code(), StatusCode::kInternal);
+}
+
+// Permutation-derived vectors through the oracle: the Def.-1 privacy and
+// utility vectors the perturbative backend emits (normalized rank
+// displacements — values in [0, 1] with heavy exact ties from repeated
+// displacement counts) must compare bit-identically on both engines.
+// Runs under the full MDC_SIMD_LEVEL matrix like every other oracle case.
+TEST(ComparisonOracle, PermutationDerivedVectorsMatchScalar) {
+  constexpr size_t kRows[] = {17, 64, 65, 257};
+  for (size_t n : kRows) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    Rng rng(5000 + n);
+    std::vector<double> original(n);
+    for (double& v : original) v = rng.NextDouble() * 1000.0;
+
+    // One release per mechanism family / strength: real displacement
+    // distributions, not synthetic noise.
+    std::vector<std::vector<double>> releases;
+    releases.push_back(PerturbColumnNoise(original, 0.05, 11));
+    releases.push_back(PerturbColumnNoise(original, 0.5, 12));
+    releases.push_back(PerturbColumnRankSwap(original, 0.1, 13));
+    releases.push_back(PerturbColumnRankSwap(original, 0.6, 14));
+    releases.push_back(PerturbColumnMicroaggregate(original, 3));
+    releases.push_back(PerturbColumnMicroaggregate(original, 8));
+
+    PropertySet privacy_set;
+    PropertySet utility_set;
+    for (size_t m = 0; m < releases.size(); ++m) {
+      auto model = BuildPermutationModel({original}, {releases[m]},
+                                         {"release" + std::to_string(m)});
+      ASSERT_TRUE(model.ok()) << model.status().ToString();
+      privacy_set.push_back(model->privacy);
+      utility_set.push_back(model->utility);
+    }
+    for (const PropertySet* set : {&privacy_set, &utility_set}) {
+      auto matrix = PropertyMatrix::FromSet(*set);
+      ASSERT_TRUE(matrix.ok());
+      AllPairsOptions scalar_options;
+      scalar_options.engine = CompareEngine::kScalar;
+      scalar_options.d_max =
+          PropertyVector("ideal", std::vector<double>(n, 1.0));
+      AllPairsOptions packed_options = scalar_options;
+      packed_options.engine = CompareEngine::kPacked;
+      auto scalar = AllPairsCompare(*matrix, scalar_options);
+      auto packed = AllPairsCompare(*matrix, packed_options);
+      ASSERT_TRUE(scalar.ok());
+      ASSERT_TRUE(packed.ok());
+      ExpectIdenticalResults(*scalar, *packed,
+                             "permutation vectors n=" + std::to_string(n));
+      // Small blocks force remainder handling on the same data.
+      packed_options.block = 7;
+      auto blocked = AllPairsCompare(*matrix, packed_options);
+      ASSERT_TRUE(blocked.ok());
+      ExpectIdenticalResults(*scalar, *blocked,
+                             "permutation vectors block=7 n=" +
+                                 std::to_string(n));
+    }
+  }
 }
 
 }  // namespace

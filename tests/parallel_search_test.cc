@@ -16,10 +16,14 @@
 #include "anonymize/incognito.h"
 #include "anonymize/optimal_lattice.h"
 #include "anonymize/pareto_lattice.h"
+#include "anonymize/perturb/perturb.h"
 #include "anonymize/samarati.h"
 #include "anonymize/stochastic.h"
 #include "common/metrics.h"
+#include "common/rng.h"
+#include "core/permutation_metrics.h"
 #include "datagen/census_generator.h"
+#include "table/schema.h"
 
 namespace mdc {
 namespace {
@@ -257,6 +261,155 @@ TEST(ParallelSearchTest, StochasticThreadInvariant) {
                DoubleStr(result.best_loss) + "|" +
                result.best.anonymization.release.ToCsv();
       });
+}
+
+// Multi-column numeric workload for the perturbation backend: six real QI
+// columns keep the column waves wider than any single worker, and 30 rows
+// put the kStepBudgets expiry points at interesting sweep positions (the
+// small budgets expire before the first column, 81 lands mid-sweep, 200
+// completes).
+std::shared_ptr<const Dataset> PerturbData() {
+  static const std::shared_ptr<const Dataset> data = [] {
+    std::vector<AttributeDef> attributes;
+    for (int c = 0; c < 6; ++c) {
+      AttributeDef attr;
+      attr.name = "c" + std::to_string(c);
+      attr.type = AttributeType::kReal;
+      attr.role = AttributeRole::kQuasiIdentifier;
+      attributes.push_back(attr);
+    }
+    auto schema = Schema::Create(std::move(attributes));
+    MDC_CHECK(schema.ok());
+    Dataset table(*schema);
+    Rng rng(123);
+    for (int r = 0; r < 30; ++r) {
+      std::vector<Value> row;
+      for (int c = 0; c < 6; ++c) row.emplace_back(rng.NextDouble() * 100.0);
+      MDC_CHECK(table.AppendRow(std::move(row)).ok());
+    }
+    return std::make_shared<const Dataset>(std::move(table));
+  }();
+  return data;
+}
+
+std::string PerturbFingerprint(const PerturbResult& result) {
+  std::string out = result.anonymization.release.ToCsv() + "|";
+  for (size_t column : result.perturbed_columns) {
+    out += std::to_string(column) + ",";
+  }
+  return out;
+}
+
+// Each mechanism's released table, perturb.* counters, and checkpoint
+// bytes must be invariant under worker-thread count — including when the
+// step budget expires inside the column sweep.
+TEST(ParallelSearchTest, PerturbNoiseThreadInvariant) {
+  CheckThreadInvariance<PerturbCheckpoint>(
+      [](int threads, RunContext* run, PerturbCheckpoint* checkpoint) {
+        PerturbConfig config;
+        config.mechanism = PerturbMechanism::kNoise;
+        config.seed = 31;
+        config.threads = threads;
+        return PerturbAnonymize(PerturbData(), config, run, checkpoint);
+      },
+      PerturbFingerprint);
+}
+
+TEST(ParallelSearchTest, PerturbRankSwapThreadInvariant) {
+  CheckThreadInvariance<PerturbCheckpoint>(
+      [](int threads, RunContext* run, PerturbCheckpoint* checkpoint) {
+        PerturbConfig config;
+        config.mechanism = PerturbMechanism::kRankSwap;
+        config.swap_window = 0.25;
+        config.seed = 32;
+        config.threads = threads;
+        return PerturbAnonymize(PerturbData(), config, run, checkpoint);
+      },
+      PerturbFingerprint);
+}
+
+TEST(ParallelSearchTest, PerturbMicroaggThreadInvariant) {
+  CheckThreadInvariance<PerturbCheckpoint>(
+      [](int threads, RunContext* run, PerturbCheckpoint* checkpoint) {
+        PerturbConfig config;
+        config.mechanism = PerturbMechanism::kMicroaggregation;
+        config.k = 4;
+        config.threads = threads;
+        return PerturbAnonymize(PerturbData(), config, run, checkpoint);
+      },
+      PerturbFingerprint);
+}
+
+// The permutation-model builder has no checkpoint (it is cheap enough to
+// re-run), but its attribute waves share the determinism contract: the
+// model, the per-tuple vectors, and the perm.* counters must be
+// byte-identical for any thread count, and a budget must expire at the
+// same attribute everywhere.
+TEST(ParallelSearchTest, PermutationModelThreadInvariant) {
+  PerturbConfig perturb;
+  perturb.mechanism = PerturbMechanism::kRankSwap;
+  perturb.swap_window = 0.3;
+  perturb.seed = 8;
+  auto release = PerturbAnonymize(PerturbData(), perturb);
+  ASSERT_TRUE(release.ok());
+
+  auto model_fingerprint = [](const PermutationModel& model) {
+    std::string out = PermutationModelSummary(model) + "|" +
+                      model.privacy.ToString() + "|" +
+                      model.utility.ToString();
+    for (const PermutationAttributeModel& attribute : model.attributes) {
+      out += "|" + attribute.name + ":" + DoubleStr(attribute.footrule);
+      for (uint32_t p : attribute.permutation) out += std::to_string(p) + ",";
+    }
+    return out;
+  };
+  auto run_model = [&](int threads, RunContext* run) {
+    PermutationMetricsOptions options;
+    options.threads = threads;
+    return PermutationModelFor(release->anonymization, nullptr, options, run);
+  };
+
+  metrics::ResetForTest();
+  auto baseline = run_model(1, nullptr);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string want = model_fingerprint(*baseline);
+  const std::string want_counters =
+      metrics::Snapshot().DeterministicCountersText();
+  EXPECT_FALSE(want_counters.empty());
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    metrics::ResetForTest();
+    auto parallel = run_model(threads, nullptr);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(model_fingerprint(*parallel), want);
+    EXPECT_EQ(metrics::Snapshot().DeterministicCountersText(), want_counters);
+  }
+
+  for (uint64_t max_steps : kStepBudgets) {
+    SCOPED_TRACE("max_steps=" + std::to_string(max_steps));
+    RunContext serial_run;
+    serial_run.set_max_steps(max_steps);
+    metrics::ResetForTest();
+    auto serial = run_model(1, &serial_run);
+    const std::string serial_counters =
+        metrics::Snapshot().DeterministicCountersText();
+
+    RunContext parallel_run;
+    parallel_run.set_max_steps(max_steps);
+    metrics::ResetForTest();
+    auto parallel = run_model(4, &parallel_run);
+    const std::string parallel_counters =
+        metrics::Snapshot().DeterministicCountersText();
+
+    ASSERT_EQ(serial.ok(), parallel.ok());
+    EXPECT_EQ(serial_counters, parallel_counters);
+    if (serial.ok()) {
+      EXPECT_EQ(model_fingerprint(*serial), model_fingerprint(*parallel));
+    } else {
+      EXPECT_EQ(serial.status().code(), parallel.status().code());
+    }
+  }
 }
 
 }  // namespace

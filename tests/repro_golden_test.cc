@@ -93,5 +93,13 @@ TEST(ReproGoldenTest, Figure4Hypervolume) {
   ExpectMatchesGolden("repro_figure4_hypervolume");
 }
 
+// The cross-family permutation-paradigm ranking (perturbative vs
+// generalization releases on the same census sample). The driver avoids
+// RNG-free-unstable paths (no Gaussian noise): every printed number is
+// exact rank arithmetic, so the bytes are platform-stable.
+TEST(ReproGoldenTest, Permutation) {
+  ExpectMatchesGolden("repro_permutation");
+}
+
 }  // namespace
 }  // namespace mdc
