@@ -38,11 +38,16 @@
 //   example_mdc_cli serve --state-dir <dir> [--window-capacity <n>]
 //       [--tenant-budget <n>] [--quantum <n>] [--default-deadline-ms <ms>]
 //       [--max-retries <n>] [--backoff-ms <ms>] [--threads <n>]
+//       [--cache-bytes <n>] [--no-cache]
 //
 // `serve` runs the resident job service (docs/service.md): newline
 // protocol on stdin/stdout (`submit <id> key=value ...`, `status`, `wait`,
-// `drain`), durable job journal + artifacts under --state-dir, crash
-// recovery on restart, graceful drain on SIGTERM/SIGINT or EOF.
+// `drain`, `metrics`, `cache stats|clear`), durable job journal +
+// artifacts under --state-dir, crash recovery on restart, graceful drain
+// on SIGTERM/SIGINT or EOF. File-backed job inputs are served from a
+// resident dataset cache (--cache-bytes budget, --no-cache to disable,
+// per-job `cache=off` to opt one job out); artifacts and deterministic
+// counters are byte-identical with the cache on or off.
 //
 // The MDC_FAILPOINTS environment variable arms fault-injection sites in
 // any command (see common/failpoint.h) — the kill-torture harness uses it
@@ -61,6 +66,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -109,7 +115,7 @@ constexpr const char* kUsageHint =
     "[--default-deadline-ms <ms>] [--listen <unix:path|tcp:ip:port>] "
     "[--max-connections <n>] [--max-line-bytes <n>] "
     "[--net-read-deadline-ms <ms>] [--net-idle-deadline-ms <ms>] "
-    "[--net-write-deadline-ms <ms>]";
+    "[--net-write-deadline-ms <ms>] [--cache-bytes <n>] [--no-cache]";
 
 constexpr const char* kKnownFlags[] = {
     "input",       "schema",      "hierarchies",    "algorithm",
@@ -122,7 +128,10 @@ constexpr const char* kKnownFlags[] = {
     "default-deadline-ms",
     "listen",      "max-connections", "max-line-bytes",
     "net-read-deadline-ms", "net-idle-deadline-ms",
-    "net-write-deadline-ms"};
+    "net-write-deadline-ms", "cache-bytes"};
+
+// Flags that take no value; parsed as present/absent.
+constexpr const char* kBoolFlags[] = {"no-cache"};
 
 // Signal plumbing shared by `batch` and `serve`: the handler records the
 // signal and cancels the shared token, which aborts the batch at its next
@@ -188,6 +197,17 @@ StatusOr<CliArgs> ParseArgs(int argc, char** argv) {
                                      kUsageHint);
     }
     key = key.substr(2);
+    bool boolean = false;
+    for (const char* flag : kBoolFlags) {
+      if (key == flag) {
+        boolean = true;
+        break;
+      }
+    }
+    if (boolean) {
+      args.flags[key] = "1";
+      continue;
+    }
     bool known = false;
     for (const char* flag : kKnownFlags) {
       if (key == flag) {
@@ -208,39 +228,39 @@ StatusOr<CliArgs> ParseArgs(int argc, char** argv) {
   return args;
 }
 
+// The inline "name:type:role,..." grammar lives in table/schema.h now so
+// the service's dataset cache parses it identically (error-message parity
+// between cached and uncached loads).
 StatusOr<Schema> ParseSchemaFlag(const std::string& spec) {
-  std::vector<AttributeDef> attributes;
-  for (const std::string& column : StrSplit(spec, ',')) {
-    std::vector<std::string> parts = StrSplit(column, ':');
-    if (parts.size() != 3) {
-      return Status::InvalidArgument("schema column must be name:type:role");
-    }
-    AttributeDef attr;
-    attr.name = parts[0];
-    if (parts[1] == "int") {
-      attr.type = AttributeType::kInt;
-    } else if (parts[1] == "real") {
-      attr.type = AttributeType::kReal;
-    } else if (parts[1] == "string") {
-      attr.type = AttributeType::kString;
-    } else {
-      return Status::InvalidArgument("unknown type '" + parts[1] + "'");
-    }
-    if (parts[2] == "qi") {
-      attr.role = AttributeRole::kQuasiIdentifier;
-    } else if (parts[2] == "sensitive") {
-      attr.role = AttributeRole::kSensitive;
-    } else if (parts[2] == "insensitive") {
-      attr.role = AttributeRole::kInsensitive;
-    } else if (parts[2] == "id") {
-      attr.role = AttributeRole::kIdentifier;
-    } else {
-      return Status::InvalidArgument("unknown role '" + parts[2] + "'");
-    }
-    attributes.push_back(std::move(attr));
-  }
-  return Schema::Create(std::move(attributes));
+  return ParseSchemaSpec(spec);
 }
+
+// Per-job view of the serve command's resident dataset cache; inert
+// (cache == nullptr / !active) for every other command. When a job's
+// inputs were resolved through the cache, `resolved` keys the shared
+// encoded bundle and the derived-model store. `derived_ok` additionally
+// gates the counter-replaying model store to jobs with no budget and no
+// resume checkpoint — a budget could truncate the build, and cached
+// models must only ever stand in for complete work.
+struct JobCacheContext {
+  service::DatasetCache* cache = nullptr;
+  bool active = false;
+  bool derived_ok = false;
+  service::DatasetCache::Resolved resolved;
+  // Raw algorithm knobs ("|k|max_suppression|seed|noise_scale|
+  // swap_window"), appended to the release name to key derived models.
+  std::string key_suffix;
+
+  // The entry's shared dictionary-encode bundle, or null when inactive or
+  // the build failed (callers then build fresh, so the failing Status
+  // surfaces exactly where it does without a cache).
+  std::shared_ptr<const EncodedBundle> EncodedOrNull() const {
+    if (!active) return nullptr;
+    auto bundle_or = cache->Encoded(resolved);
+    if (!bundle_or.ok()) return nullptr;
+    return std::move(bundle_or).value();
+  }
+};
 
 struct NamedRelease {
   Anonymization anonymization;
@@ -253,7 +273,8 @@ StatusOr<NamedRelease> RunAlgorithm(const std::string& algorithm,
                                     const HierarchySet& hierarchies, int k,
                                     double max_suppression,
                                     RunContext* run = nullptr,
-                                    int threads = 1) {
+                                    int threads = 1,
+                                    const JobCacheContext* jc = nullptr) {
   SuppressionBudget budget{max_suppression};
   if (algorithm == "datafly") {
     DataflyConfig config{k, budget};
@@ -266,6 +287,7 @@ StatusOr<NamedRelease> RunAlgorithm(const std::string& algorithm,
   if (algorithm == "samarati") {
     SamaratiConfig config{k, budget};
     config.threads = threads;
+    if (jc != nullptr) config.encoded = jc->EncodedOrNull();
     MDC_ASSIGN_OR_RETURN(
         auto result,
         SamaratiAnonymize(data, hierarchies, config, ProxyLoss, run));
@@ -277,6 +299,7 @@ StatusOr<NamedRelease> RunAlgorithm(const std::string& algorithm,
     config.k = k;
     config.suppression = budget;
     config.threads = threads;
+    if (jc != nullptr) config.encoded = jc->EncodedOrNull();
     MDC_ASSIGN_OR_RETURN(
         auto result,
         OptimalLatticeSearch(data, hierarchies, config, ProxyLoss, run));
@@ -349,9 +372,30 @@ StatusOr<ModeledRelease> ModelRelease(const std::string& name,
                                       const HierarchySet& hierarchies, int k,
                                       double max_suppression,
                                       const PerturbConfig& perturb_base,
-                                      RunContext* run, int threads) {
+                                      RunContext* run, int threads,
+                                      const JobCacheContext* jc = nullptr) {
   ModeledRelease out;
   out.name = name;
+  // Derived-model store: a hit returns the resident property vectors and
+  // replays the deterministic-counter delta the skipped build would have
+  // charged (see service/dataset_cache.h) — artifacts AND counters stay
+  // byte-identical with the cache off.
+  const bool cache_models = jc != nullptr && jc->derived_ok;
+  std::string model_key;
+  if (cache_models) {
+    model_key = name + jc->key_suffix;
+    if (std::optional<service::CachedModel> cached =
+            jc->cache->FindModel(jc->resolved.content_hash, model_key)) {
+      out.model.rows = cached->rows;
+      out.model.privacy = cached->matrix->ToVector(0);
+      out.model.utility = cached->matrix->ToVector(1);
+      return out;
+    }
+  }
+  std::map<std::string, uint64_t> counters_before;
+  if (cache_models) {
+    counters_before = service::DatasetCache::WorkCounterSnapshot();
+  }
   PermutationMetricsOptions metric_options;
   metric_options.threads = threads;
   if (IsPerturbMechanismName(name)) {
@@ -367,7 +411,7 @@ StatusOr<ModeledRelease> ModelRelease(const std::string& name,
   } else {
     MDC_ASSIGN_OR_RETURN(NamedRelease release,
                          RunAlgorithm(name, data, hierarchies, k,
-                                      max_suppression, run, threads));
+                                      max_suppression, run, threads, jc));
     out.truncated = release.run_stats.truncated;
     MDC_ASSIGN_OR_RETURN(
         out.model, PermutationModelFor(release.anonymization,
@@ -378,6 +422,20 @@ StatusOr<ModeledRelease> ModelRelease(const std::string& name,
                                      out.model.privacy.values());
   out.model.utility = PropertyVector(name + "-utility",
                                      out.model.utility.values());
+  if (cache_models && !out.truncated) {
+    PropertySet set;
+    set.push_back(out.model.privacy);
+    set.push_back(out.model.utility);
+    if (auto matrix_or = PropertyMatrix::FromSet(set); matrix_or.ok()) {
+      service::CachedModel cached;
+      cached.rows = out.model.rows;
+      cached.matrix = std::make_shared<const PropertyMatrix>(
+          std::move(matrix_or).value());
+      jc->cache->PutModel(
+          jc->resolved.content_hash, model_key, cached,
+          service::DatasetCache::WorkCounterDelta(counters_before));
+    }
+  }
   return out;
 }
 
@@ -391,7 +449,7 @@ StatusOr<std::string> PermutationCompareReport(
     std::shared_ptr<const Dataset> data, const HierarchySet& hierarchies,
     int k, double max_suppression, const PerturbConfig& perturb_base,
     CompareEngine engine, int threads, RunContext* run,
-    bool* truncated = nullptr) {
+    bool* truncated = nullptr, const JobCacheContext* jc = nullptr) {
   if (names.size() < 2) {
     return Status::InvalidArgument(
         "permutation comparison needs at least two algorithm names");
@@ -401,7 +459,7 @@ StatusOr<std::string> PermutationCompareReport(
     MDC_ASSIGN_OR_RETURN(ModeledRelease modeled,
                          ModelRelease(name, data, hierarchies, k,
                                       max_suppression, perturb_base, run,
-                                      threads));
+                                      threads, jc));
     if (truncated != nullptr && modeled.truncated) *truncated = true;
     releases.push_back(std::move(modeled));
   }
@@ -561,6 +619,31 @@ Status LoadJobInputs(const ParamMap& params, const std::string& label,
   return Status::Ok();
 }
 
+// LoadJobInputs routed through the resident dataset cache when the serve
+// command has one and the job is file-backed (`dataset=table1` never
+// touches disk, so there is nothing to cache; per-job `cache=off` opts
+// out). Falls through to the plain loader otherwise, so batch jobs and a
+// --no-cache service behave exactly as before.
+Status ResolveJobInputs(const ParamMap& params, const std::string& label,
+                        service::DatasetCache* cache,
+                        std::shared_ptr<const Dataset>& data,
+                        HierarchySet& hierarchies, JobCacheContext& jc) {
+  const bool file_backed = GetParam(params, "dataset").empty() &&
+                           !GetParam(params, "input").empty();
+  if (cache == nullptr || !file_backed || GetParam(params, "cache") == "off") {
+    return LoadJobInputs(params, label, data, hierarchies);
+  }
+  MDC_ASSIGN_OR_RETURN(jc.resolved,
+                       cache->Resolve(GetParam(params, "input"),
+                                      GetParam(params, "schema"),
+                                      GetParam(params, "hierarchies")));
+  jc.cache = cache;
+  jc.active = true;
+  data = jc.resolved.data;
+  hierarchies = jc.resolved.hierarchies;
+  return Status::Ok();
+}
+
 Status ParseJobKnobs(const ParamMap& params, const std::string& label,
                      int& k, double& max_suppression) {
   k = 2;
@@ -678,14 +761,31 @@ int RunBatchCommand(const CliArgs& args) {
 // optimal search and the perturbation sweep thread their Checkpointable
 // state through resume_checkpoint so a drained job resumes mid-sweep.
 service::ServiceCore::ExecResult ExecuteServiceJob(
-    const service::JobSpec& spec, RunContext* run,
-    std::string_view resume_checkpoint, int threads) {
+    const service::ServiceCore::ExecRequest& request, int threads,
+    bool service_unbudgeted) {
+  const service::JobSpec& spec = request.spec;
+  RunContext* run = request.run;
+  std::string_view resume_checkpoint = request.resume_checkpoint;
   service::ServiceCore::ExecResult out;
   std::string label = "job " + spec.id;
+  JobCacheContext jc;
   out.status = [&]() -> Status {
     std::shared_ptr<const Dataset> data;
     HierarchySet hierarchies;
-    MDC_RETURN_IF_ERROR(LoadJobInputs(spec.params, label, data, hierarchies));
+    MDC_RETURN_IF_ERROR(ResolveJobInputs(spec.params, label, request.cache,
+                                         data, hierarchies, jc));
+    // The derived-model store may only stand in for work that is provably
+    // complete and repeatable: no deadline or step budget anywhere (a
+    // budget can truncate the build) and no checkpoint resume (the replayed
+    // counter delta must match a from-scratch build).
+    jc.derived_ok = jc.active && service_unbudgeted &&
+                    spec.deadline_ms == 0 && spec.max_steps == 0 &&
+                    resume_checkpoint.empty();
+    jc.key_suffix = "|" + GetParam(spec.params, "k") + "|" +
+                    GetParam(spec.params, "max_suppression") + "|" +
+                    GetParam(spec.params, "seed") + "|" +
+                    GetParam(spec.params, "noise_scale") + "|" +
+                    GetParam(spec.params, "swap_window");
     int k = 2;
     double max_suppression = 0.0;
     MDC_RETURN_IF_ERROR(
@@ -702,6 +802,7 @@ service::ServiceCore::ExecResult ExecuteServiceJob(
         config.k = k;
         config.suppression = SuppressionBudget{max_suppression};
         config.threads = threads;
+        config.encoded = jc.EncodedOrNull();
         auto result = OptimalLatticeSearch(data, hierarchies, config,
                                            ProxyLoss, run, &checkpoint);
         if (checkpoint.has_state()) {
@@ -718,7 +819,7 @@ service::ServiceCore::ExecResult ExecuteServiceJob(
       }
       MDC_ASSIGN_OR_RETURN(NamedRelease release,
                            RunAlgorithm(algorithm, data, hierarchies, k,
-                                        max_suppression, run, threads));
+                                        max_suppression, run, threads, &jc));
       out.truncated = release.run_stats.truncated;
       out.artifact = release.anonymization.release.ToCsv();
       return Status::Ok();
@@ -764,7 +865,7 @@ service::ServiceCore::ExecResult ExecuteServiceJob(
             PermutationCompareReport(names, data, hierarchies, k,
                                      max_suppression, perturb_base,
                                      CompareEngine::kPacked, threads, run,
-                                     &truncated));
+                                     &truncated, &jc));
         out.truncated = truncated;
         return Status::Ok();
       }
@@ -774,10 +875,10 @@ service::ServiceCore::ExecResult ExecuteServiceJob(
       }
       MDC_ASSIGN_OR_RETURN(NamedRelease first,
                            RunAlgorithm(names[0], data, hierarchies, k,
-                                        max_suppression, run, threads));
+                                        max_suppression, run, threads, &jc));
       MDC_ASSIGN_OR_RETURN(NamedRelease second,
                            RunAlgorithm(names[1], data, hierarchies, k,
-                                        max_suppression, run, threads));
+                                        max_suppression, run, threads, &jc));
       ComparisonOptions options;
       options.threads = threads;
       std::string sensitive = GetParam(spec.params, "sensitive");
@@ -826,7 +927,7 @@ service::ServiceCore::ExecResult ExecuteServiceJob(
       }
       MDC_ASSIGN_OR_RETURN(NamedRelease release,
                            RunAlgorithm(algorithm, data, hierarchies, k,
-                                        max_suppression, run, threads));
+                                        max_suppression, run, threads, &jc));
       double achieved = KAnonymity(1).Measure(release.anonymization,
                                               release.partition);
       out.truncated = release.run_stats.truncated;
@@ -968,6 +1069,10 @@ int RunServeCommand(const CliArgs& args) {
     }
     config.backoff_base_ms = *parsed;
   }
+  if (args.flags.count("no-cache") > 0) config.cache_enabled = false;
+  if (Status s = parse_u64("cache-bytes", config.cache.max_bytes); !s.ok()) {
+    return Fail(s);
+  }
   int threads = 1;
   if (auto it = args.flags.find("threads"); it != args.flags.end()) {
     auto parsed = ParseInt64(it->second);
@@ -1012,10 +1117,14 @@ int RunServeCommand(const CliArgs& args) {
     return Fail(s);
   }
 
+  // A service-wide default deadline budgets every job, so the derived-model
+  // store (which requires provably unbudgeted builds) stays off under one.
+  const bool service_unbudgeted = config.default_deadline_ms == 0;
   auto core_or = service::ServiceCore::Start(
-      config, [threads](const service::ServiceCore::ExecRequest& request) {
-        return ExecuteServiceJob(request.spec, request.run,
-                                 request.resume_checkpoint, threads);
+      config,
+      [threads,
+       service_unbudgeted](const service::ServiceCore::ExecRequest& request) {
+        return ExecuteServiceJob(request, threads, service_unbudgeted);
       });
   if (!core_or.ok()) return Fail(core_or.status());
   service::ServiceCore& core = **core_or;

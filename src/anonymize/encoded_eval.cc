@@ -10,26 +10,38 @@
 
 namespace mdc {
 
+StatusOr<std::shared_ptr<const EncodedBundle>> BuildEncodedBundle(
+    const Dataset& original, const HierarchySet& hierarchies) {
+  auto bundle = std::make_shared<EncodedBundle>();
+  MDC_ASSIGN_OR_RETURN(bundle->view,
+                       EncodedView::Build(original, hierarchies.columns()));
+  MDC_ASSIGN_OR_RETURN(bundle->codec,
+                       LevelCodec::Build(bundle->view, hierarchies));
+  return std::shared_ptr<const EncodedBundle>(std::move(bundle));
+}
+
 StatusOr<EncodedNodeEvaluator> EncodedNodeEvaluator::Build(
     std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-    RunContext* run) {
+    RunContext* run, std::shared_ptr<const EncodedBundle> bundle) {
   if (original == nullptr) {
     return Status::InvalidArgument("null original dataset");
   }
   TRACE_SPAN("encoded_eval/build");
   MDC_METRIC_INC("eval.builds");
   EncodedNodeEvaluator evaluator;
-  MDC_ASSIGN_OR_RETURN(evaluator.view_,
-                       EncodedView::Build(*original, hierarchies.columns()));
-  MDC_ASSIGN_OR_RETURN(evaluator.codec_,
-                       LevelCodec::Build(evaluator.view_, hierarchies));
+  if (bundle != nullptr) {
+    MDC_METRIC_INC("eval.bundle_reuses");
+    evaluator.bundle_ = std::move(bundle);
+  } else {
+    MDC_ASSIGN_OR_RETURN(evaluator.bundle_,
+                         BuildEncodedBundle(*original, hierarchies));
+  }
   MDC_ASSIGN_OR_RETURN(
       evaluator.release_schema_,
       Generalizer::ReleaseSchema(original->schema(), hierarchies.columns()));
   evaluator.original_ = std::move(original);
   evaluator.hierarchies_ = hierarchies;
-  RunContext::ChargeMemory(run, evaluator.view_.CodeBytes() +
-                                    evaluator.codec_.TableBytes());
+  RunContext::ChargeMemory(run, evaluator.bundle_->Bytes());
   return evaluator;
 }
 
@@ -53,15 +65,15 @@ Status EncodedNodeEvaluator::ValidateNode(const LatticeNode& node) const {
 void EncodedNodeEvaluator::GatherLabelCodes(
     const LatticeNode& node, std::vector<std::vector<uint32_t>>& out,
     std::vector<uint32_t>& cards) const {
-  const size_t m = codec_.position_count();
-  const size_t rows = view_.row_count();
+  const size_t m = bundle_->codec.position_count();
+  const size_t rows = bundle_->view.row_count();
   const GatherKernels& kernels = ActiveGatherKernels();
   out.resize(m);
   cards.resize(m);
   for (size_t pos = 0; pos < m; ++pos) {
-    const LevelCodeTable& table = codec_.table(pos, node[pos]);
+    const LevelCodeTable& table = bundle_->codec.table(pos, node[pos]);
     cards[pos] = static_cast<uint32_t>(table.labels.size());
-    const AlignedVector<uint32_t>& codes = view_.codes(pos);
+    const AlignedVector<uint32_t>& codes = bundle_->view.codes(pos);
     std::vector<uint32_t>& labels = out[pos];
     labels.resize(rows);
     if (rows > 0) {
@@ -84,7 +96,7 @@ StatusOr<EncodedNodeEvaluator::Evaluation> EncodedNodeEvaluator::Evaluate(
   // path (admission-checked, workers run with run == nullptr) agree.
   MDC_METRIC_INC("eval.nodes");
 
-  const size_t rows = view_.row_count();
+  const size_t rows = bundle_->view.row_count();
   // Thread-local scratch: Evaluate runs once per lattice node (hundreds
   // to thousands of times per search, often from pool workers), and the
   // gathered label columns are dead once the partitions are built.
@@ -115,7 +127,7 @@ StatusOr<EncodedNodeEvaluator::Evaluation> EncodedNodeEvaluator::Evaluate(
   if (!to_suppress.empty()) {
     const size_t m = label_cols.size();
     for (size_t pos = 0; pos < m; ++pos) {
-      uint32_t star = codec_.table(pos, node[pos]).star_code;
+      uint32_t star = bundle_->codec.table(pos, node[pos]).star_code;
       for (size_t row : to_suppress) label_cols[pos][row] = star;
     }
     evaluation.partition =
@@ -140,8 +152,8 @@ StatusOr<NodeEvaluation> EncodedNodeEvaluator::Materialize(
   MDC_METRIC_INC("eval.materialized");
   MDC_ASSIGN_OR_RETURN(GeneralizationScheme scheme,
                        GeneralizationScheme::Create(hierarchies_, node));
-  const size_t rows = view_.row_count();
-  const size_t m = codec_.position_count();
+  const size_t rows = bundle_->view.row_count();
+  const size_t m = bundle_->codec.position_count();
   const std::vector<size_t>& qi_columns = hierarchies_.columns();
 
   std::vector<bool> suppressed(rows, false);
@@ -149,7 +161,7 @@ StatusOr<NodeEvaluation> EncodedNodeEvaluator::Materialize(
 
   std::vector<const LevelCodeTable*> tables(m);
   for (size_t pos = 0; pos < m; ++pos) {
-    tables[pos] = &codec_.table(pos, node[pos]);
+    tables[pos] = &bundle_->codec.table(pos, node[pos]);
   }
   Dataset release(release_schema_);
   release.ReserveRows(rows);
@@ -158,7 +170,7 @@ StatusOr<NodeEvaluation> EncodedNodeEvaluator::Materialize(
     for (size_t pos = 0; pos < m; ++pos) {
       uint32_t code = suppressed[r] ? tables[pos]->star_code
                                     : tables[pos]->value_to_label[
-                                          view_.codes(pos)[r]];
+                                          bundle_->view.codes(pos)[r]];
       row[qi_columns[pos]] = Value(tables[pos]->labels[code]);
     }
     MDC_RETURN_IF_ERROR(release.AppendRow(std::move(row)));
@@ -176,7 +188,7 @@ StatusOr<EncodedNodeEvaluator::Candidate>
 EncodedNodeEvaluator::MaterializeUnsuppressed(const LatticeNode& node,
                                               std::string algorithm) const {
   MDC_RETURN_IF_ERROR(ValidateNode(node));
-  const size_t rows = view_.row_count();
+  const size_t rows = bundle_->view.row_count();
   std::vector<std::vector<uint32_t>> label_cols;
   std::vector<uint32_t> cards;
   GatherLabelCodes(node, label_cols, cards);

@@ -43,6 +43,28 @@
 
 namespace mdc {
 
+// The immutable, dataset-derived half of an evaluator: the dictionary-coded
+// QI columns and every (position, level) translation table. Building it is
+// the expensive part of EncodedNodeEvaluator::Build, and it depends only on
+// (dataset, hierarchies) — not on k, suppression, or any search config — so
+// one bundle can back every lattice search against the same dataset. The
+// service's DatasetCache keeps bundles resident across jobs and hands them
+// back through SamaratiConfig/OptimalSearchConfig::encoded.
+struct EncodedBundle {
+  EncodedView view;
+  LevelCodec codec;
+
+  // The bytes Build() charges against a RunContext memory budget — charged
+  // identically whether the bundle was built fresh or shared, so budget
+  // accounting cannot observe the cache.
+  uint64_t Bytes() const { return view.CodeBytes() + codec.TableBytes(); }
+};
+
+// Encodes the QI columns and builds every (position, level) code table.
+// Pure function of (dataset, hierarchies); charges nothing.
+StatusOr<std::shared_ptr<const EncodedBundle>> BuildEncodedBundle(
+    const Dataset& original, const HierarchySet& hierarchies);
+
 class EncodedNodeEvaluator {
  public:
   // What a search needs from a node before deciding to keep it. `partition`
@@ -62,10 +84,14 @@ class EncodedNodeEvaluator {
   };
 
   // Encodes the QI columns and builds every (position, level) code table.
-  // Charges `run` for the code arrays and translation tables.
+  // Charges `run` for the code arrays and translation tables. When `bundle`
+  // is non-null it must have been built from the same (dataset, hierarchies)
+  // pair — the encode/translate work is skipped, but the memory charge is
+  // identical, so a run's budgets and counters cannot tell the difference.
   static StatusOr<EncodedNodeEvaluator> Build(
       std::shared_ptr<const Dataset> original, const HierarchySet& hierarchies,
-      RunContext* run = nullptr);
+      RunContext* run = nullptr,
+      std::shared_ptr<const EncodedBundle> bundle = nullptr);
 
   // Integer-path equivalent of EvaluateNode(); thread-safe for concurrent
   // calls (pass run = nullptr from workers — RunContext is not).
@@ -83,9 +109,12 @@ class EncodedNodeEvaluator {
   StatusOr<Candidate> MaterializeUnsuppressed(const LatticeNode& node,
                                               std::string algorithm) const;
 
-  const EncodedView& view() const { return view_; }
-  const LevelCodec& codec() const { return codec_; }
-  size_t row_count() const { return view_.row_count(); }
+  const EncodedView& view() const { return bundle_->view; }
+  const LevelCodec& codec() const { return bundle_->codec; }
+  const std::shared_ptr<const EncodedBundle>& bundle() const {
+    return bundle_;
+  }
+  size_t row_count() const { return bundle_->view.row_count(); }
 
  private:
   EncodedNodeEvaluator() = default;
@@ -101,8 +130,7 @@ class EncodedNodeEvaluator {
   std::shared_ptr<const Dataset> original_;
   HierarchySet hierarchies_;
   Schema release_schema_;
-  EncodedView view_;
-  LevelCodec codec_;
+  std::shared_ptr<const EncodedBundle> bundle_;
 };
 
 // Evaluates `nodes` concurrently over `pool`, each with run = nullptr.

@@ -28,6 +28,8 @@ namespace mdc {
 using PrivacyPredicate = std::function<bool(const Anonymization&,
                                             const EquivalencePartition&)>;
 
+struct EncodedBundle;
+
 struct OptimalSearchConfig {
   int k = 2;  // k-anonymity + suppression policy applied at every node.
   SuppressionBudget suppression;
@@ -43,6 +45,11 @@ struct OptimalSearchConfig {
   // identical for any thread count and step-budget expiry lands on the
   // same node as a serial run (deadlines at wave granularity).
   int threads = 1;
+  // Prebuilt encode/translate tables for exactly this (dataset,
+  // hierarchies) pair (see EncodedBundle in encoded_eval.h). Null builds
+  // them fresh; results, budgets, and deterministic counters are identical
+  // either way.
+  std::shared_ptr<const EncodedBundle> encoded;
 };
 
 // Resumable sweep position: `next_index` points into the deterministic

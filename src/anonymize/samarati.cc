@@ -149,7 +149,8 @@ StatusOr<SamaratiResult> SamaratiAnonymize(
   MDC_RETURN_IF_ERROR(hierarchies.CoversQuasiIdentifiers(original->schema()));
   MDC_ASSIGN_OR_RETURN(Lattice lattice, Lattice::ForHierarchies(hierarchies));
   MDC_ASSIGN_OR_RETURN(EncodedNodeEvaluator evaluator,
-                       EncodedNodeEvaluator::Build(original, hierarchies, run));
+                       EncodedNodeEvaluator::Build(original, hierarchies, run,
+                                                   config.encoded));
   const int threads = ThreadPool::ResolveThreadCount(config.threads);
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);

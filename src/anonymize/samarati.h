@@ -17,6 +17,8 @@
 
 namespace mdc {
 
+struct EncodedBundle;
+
 struct SamaratiConfig {
   int k = 2;
   SuppressionBudget suppression;
@@ -25,6 +27,11 @@ struct SamaratiConfig {
   // expiry and checkpoints land on the same node as a serial run (step
   // budgets exactly; deadlines at wave granularity).
   int threads = 1;
+  // Prebuilt encode/translate tables for exactly this (dataset,
+  // hierarchies) pair (see EncodedBundle in encoded_eval.h). Null builds
+  // them fresh; results, budgets, and deterministic counters are identical
+  // either way.
+  std::shared_ptr<const EncodedBundle> encoded;
 };
 
 // Resumable position in the three-phase search: phase 0 verifies the

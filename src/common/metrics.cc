@@ -252,6 +252,41 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
+std::string MetricsSnapshot::ToCompactJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(out, name);
+    out += ":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(out, name);
+    out += ":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(out, name);
+    out += ":{\"count\":" + std::to_string(hist.count) +
+           ",\"sum\":" + std::to_string(hist.sum) + ",\"buckets\":[";
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(hist.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
 std::string MetricsSnapshot::DeterministicCountersText() const {
   std::string out;
   for (const auto& [name, value] : counters) {

@@ -106,6 +106,11 @@ struct MetricsSnapshot {
   // keys sorted (std::map order), no whitespace dependence on content.
   std::string ToJson() const;
 
+  // The same JSON with no newlines or indentation — one line, so the
+  // newline-framed wire protocol can carry a live snapshot in a single
+  // `ok metrics ...` reply.
+  std::string ToCompactJson() const;
+
   // The deterministic subset: counters whose name starts with one of the
   // prefixes in kDeterministicPrefixes, rendered one "name=value" per
   // line in sorted order. This is what thread-count invariance tests

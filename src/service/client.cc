@@ -294,6 +294,37 @@ StatusOr<std::string> ServiceClient::GetStatusLine() {
   return reply.substr(kPrefix.size());
 }
 
+StatusOr<std::string> ServiceClient::GetMetricsJson() {
+  MDC_ASSIGN_OR_RETURN(std::string reply, Request("metrics"));
+  constexpr std::string_view kPrefix = "ok metrics ";
+  if (reply.size() < kPrefix.size() ||
+      std::string_view(reply).substr(0, kPrefix.size()) != kPrefix) {
+    return Status::Internal("client: unexpected metrics reply '" + reply +
+                            "'");
+  }
+  return reply.substr(kPrefix.size());
+}
+
+StatusOr<std::string> ServiceClient::GetCacheStatsLine() {
+  MDC_ASSIGN_OR_RETURN(std::string reply, Request("cache stats"));
+  constexpr std::string_view kPrefix = "ok cache ";
+  if (reply.size() < kPrefix.size() ||
+      std::string_view(reply).substr(0, kPrefix.size()) != kPrefix) {
+    return Status::Internal("client: unexpected cache reply '" + reply + "'");
+  }
+  return reply.substr(kPrefix.size());
+}
+
+StatusOr<std::string> ServiceClient::CacheClear() {
+  MDC_ASSIGN_OR_RETURN(std::string reply, Request("cache clear"));
+  constexpr std::string_view kPrefix = "ok cache ";
+  if (reply.size() < kPrefix.size() ||
+      std::string_view(reply).substr(0, kPrefix.size()) != kPrefix) {
+    return Status::Internal("client: unexpected cache reply '" + reply + "'");
+  }
+  return reply.substr(kPrefix.size());
+}
+
 Status ServiceClient::WaitIdle(int64_t timeout_ms) {
   MDC_ASSIGN_OR_RETURN(std::string reply,
                        RequestWithTimeout("wait", timeout_ms));

@@ -93,6 +93,17 @@ class ServiceClient {
   // "status" -> the stats line after "ok status ".
   StatusOr<std::string> GetStatusLine();
 
+  // "metrics" -> the one-line JSON snapshot after "ok metrics ".
+  StatusOr<std::string> GetMetricsJson();
+
+  // "cache stats" -> the stats text after "ok cache " ("off" when the
+  // daemon runs with --no-cache).
+  StatusOr<std::string> GetCacheStatsLine();
+
+  // "cache clear" -> the daemon's reply payload ("cleared entries=N", or
+  // "off" under --no-cache).
+  StatusOr<std::string> CacheClear();
+
   // "wait" -> blocks (server-side) until the service is idle. Uses
   // `timeout_ms` (-1 = config request timeout) for the round-trip since a
   // busy service legitimately answers late.

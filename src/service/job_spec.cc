@@ -81,6 +81,15 @@ StatusOr<JobSpec> ParseSubmitSpec(std::string_view text) {
                                        "'");
       }
       spec.max_steps = static_cast<uint64_t>(*parsed);
+    } else if (key == "cache") {
+      // Per-job cache opt-out; validated here so a typo is rejected at
+      // submit instead of silently caching. Stored in params — the journal
+      // record format is unchanged.
+      if (value != "on" && value != "off") {
+        return Status::InvalidArgument("submit: bad cache '" + value +
+                                       "' (on|off)");
+      }
+      spec.params[key] = value;
     } else {
       spec.params[key] = value;
     }

@@ -90,6 +90,9 @@ ServiceCore::ServiceCore(ServiceConfig config, Executor executor)
     : config_(std::move(config)),
       executor_(std::move(executor)),
       drain_token_(config_.drain_token),
+      cache_(config_.cache_enabled
+                 ? std::make_unique<DatasetCache>(config_.cache)
+                 : nullptr),
       queue_(config_.admission) {}
 
 ServiceCore::~ServiceCore() { (void)Drain(); }
@@ -292,7 +295,7 @@ void ServiceCore::ExecuteJob(const JobSpec& spec) {
         !injected.ok()) {
       result.status = std::move(injected);
     } else {
-      result = executor_({spec, &run, checkpoint});
+      result = executor_({spec, &run, checkpoint, cache_.get()});
     }
 
     if (drain_token_.cancelled() ||

@@ -53,6 +53,7 @@
 #include "common/status.h"
 #include "core/batch_runner.h"
 #include "service/admission.h"
+#include "service/dataset_cache.h"
 #include "service/job_spec.h"
 
 namespace mdc::service {
@@ -68,6 +69,11 @@ struct ServiceConfig {
   uint64_t backoff_jitter_seed = 0;
   // Deadline applied to jobs that do not carry their own; 0 = unbounded.
   int64_t default_deadline_ms = 0;
+  // Resident dataset cache (docs/service.md): file-backed job inputs are
+  // loaded + dictionary-encoded once and served across jobs. Memory-only —
+  // recovery never trusts it; artifacts are byte-identical either way.
+  bool cache_enabled = true;
+  DatasetCacheConfig cache;
   // Shared drain token: copies share one flag, so a signal handler can
   // Cancel() its copy to interrupt the in-flight job before the normal
   // control flow reaches Drain().
@@ -98,6 +104,10 @@ class ServiceCore {
     // fresh start. Executors that support Checkpointable resume restart
     // the search here.
     std::string_view resume_checkpoint;
+    // Resident dataset cache, or null when disabled (--no-cache).
+    // Executors resolve file-backed inputs through it; using it is an
+    // optimization only — artifacts must not depend on it.
+    DatasetCache* cache = nullptr;
   };
   struct ExecResult {
     // OK: `artifact` is the job's result. Budget code: the attempt was
@@ -158,6 +168,11 @@ class ServiceCore {
   // in-flight job before calling Drain() from a normal context.
   CancellationToken drain_token() const { return drain_token_; }
 
+  // The resident dataset cache; null when ServiceConfig::cache_enabled is
+  // false. Thread-safe for stats/clear from the front-end event loop
+  // while the worker resolves through it.
+  DatasetCache* cache() const { return cache_.get(); }
+
  private:
   ServiceCore(ServiceConfig config, Executor executor);
 
@@ -177,6 +192,7 @@ class ServiceCore {
   const ServiceConfig config_;
   const Executor executor_;
   CancellationToken drain_token_;
+  std::unique_ptr<DatasetCache> cache_;
 
   std::mutex drain_mu_;  // Serializes Drain() end to end.
   mutable std::mutex mu_;

@@ -194,6 +194,30 @@ ProtocolAction HandleProtocolLine(ServiceCore& core, const std::string& line) {
     action.kind = ProtocolAction::Kind::kDrain;
     return action;
   }
+  if (command == "metrics") {
+    // Live pull of the merged snapshot (LDMS-style): rendered immediately
+    // on the event-loop thread — Snapshot() only takes the registry's
+    // shard-list mutex, never a lock the dispatch worker holds across job
+    // execution, so a pull cannot block behind an in-flight job.
+    action.reply = "ok metrics " + metrics::Snapshot().ToCompactJson();
+    return action;
+  }
+  if (command == "cache") {
+    DatasetCache* cache = core.cache();
+    if (payload == "stats") {
+      action.reply = cache == nullptr
+                         ? "ok cache off"
+                         : "ok cache " + cache->GetStats().ToString();
+    } else if (payload == "clear") {
+      action.reply =
+          cache == nullptr
+              ? "ok cache off"
+              : "ok cache cleared entries=" + std::to_string(cache->Clear());
+    } else {
+      action.reply = "err cache usage: cache stats|clear";
+    }
+    return action;
+  }
   action.reply = "err unknown command '" + command + "'";
   return action;
 }

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "common/strings.h"
+
 namespace mdc {
 
 const char* AttributeRoleName(AttributeRole role) {
@@ -51,6 +53,40 @@ std::vector<size_t> Schema::IndicesWithRole(AttributeRole role) const {
     if (attributes_[i].role == role) indices.push_back(i);
   }
   return indices;
+}
+
+StatusOr<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<AttributeDef> attributes;
+  for (const std::string& column : StrSplit(spec, ',')) {
+    std::vector<std::string> parts = StrSplit(column, ':');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("schema column must be name:type:role");
+    }
+    AttributeDef attr;
+    attr.name = parts[0];
+    if (parts[1] == "int") {
+      attr.type = AttributeType::kInt;
+    } else if (parts[1] == "real") {
+      attr.type = AttributeType::kReal;
+    } else if (parts[1] == "string") {
+      attr.type = AttributeType::kString;
+    } else {
+      return Status::InvalidArgument("unknown type '" + parts[1] + "'");
+    }
+    if (parts[2] == "qi") {
+      attr.role = AttributeRole::kQuasiIdentifier;
+    } else if (parts[2] == "sensitive") {
+      attr.role = AttributeRole::kSensitive;
+    } else if (parts[2] == "insensitive") {
+      attr.role = AttributeRole::kInsensitive;
+    } else if (parts[2] == "id") {
+      attr.role = AttributeRole::kIdentifier;
+    } else {
+      return Status::InvalidArgument("unknown role '" + parts[2] + "'");
+    }
+    attributes.push_back(std::move(attr));
+  }
+  return Schema::Create(std::move(attributes));
 }
 
 }  // namespace mdc

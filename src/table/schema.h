@@ -59,6 +59,12 @@ class Schema {
   std::vector<AttributeDef> attributes_;
 };
 
+// Parses the CLI/service inline schema spelling "name:type:role,..." with
+// type in {int,real,string} and role in {qi,sensitive,insensitive,id}.
+// Shared by the CLI front-ends and the service's dataset cache so a cached
+// load and a direct load reject malformed specs with identical Statuses.
+StatusOr<Schema> ParseSchemaSpec(const std::string& spec);
+
 }  // namespace mdc
 
 #endif  // MDC_TABLE_SCHEMA_H_

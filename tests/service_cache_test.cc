@@ -1,0 +1,434 @@
+// Differential serving proof for the resident dataset cache
+// (src/service/dataset_cache.h), driven against the real CLI binary:
+//
+//  * **Byte identity.** A mixed anonymize/compare/perturb/report job
+//    sequence over file-backed inputs produces byte-identical artifacts
+//    AND byte-identical deterministic counters (counters.txt, excluding
+//    the cache's own svc.cache.* lines) whether the daemon runs with the
+//    cache on (default) or with --no-cache. The sequence repeats a
+//    multi-way permutation comparison so the derived-model store's
+//    counter-delta replay is exercised, not just the raw dataset path.
+//  * **LRU eviction-order law.** Under a tiny --cache-bytes budget,
+//    alternating two datasets evicts strictly least-recently-used:
+//    A(miss) B(miss, evicts A) A(miss, evicts B) — zero hits, two
+//    capacity evictions; the same sequence under the default budget gets
+//    the third job as a hit.
+//  * **Stale-file revalidation.** Rewriting a cached dataset mid-session
+//    bumps svc.cache.revalidations, misses, and evicted-stale, and the
+//    artifact matches a cold run over the new bytes; a touch (same
+//    content, new mtime) revalidates back to a hit.
+//  * **Protocol verbs.** `metrics` answers one line of JSON on stdin;
+//    `cache stats`/`cache clear` work, degrade to "off" under --no-cache,
+//    and reject bad subcommands.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service_process_util.h"
+
+namespace mdc {
+namespace {
+
+using testing::CliProcess;
+using testing::ListFilesUnder;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = "/tmp/mdc_cache_" + name + "_" +
+                    std::to_string(static_cast<long>(::getpid()));
+  std::string cleanup = "rm -rf " + dir;
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
+  EXPECT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  return dir;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+constexpr const char* kSchema =
+    "zip:string:qi,age:int:qi,marital:string:qi,diagnosis:string:sensitive";
+
+// The patients.spec grammar (hierarchy/spec_parser.h), inlined so the
+// test owns its fixture files and can rewrite them mid-session.
+constexpr const char* kHierSpec =
+    "column zip suffix 5\n"
+    "column age intervals 10@5 20@15\n"
+    "column marital taxonomy\n"
+    "edge Married|*\n"
+    "edge Not Married|*\n"
+    "edge CF-Spouse|Married\n"
+    "edge Spouse Present|Married\n"
+    "edge Separated|Not Married\n"
+    "edge Never Married|Not Married\n"
+    "edge Divorced|Not Married\n"
+    "edge Spouse Absent|Not Married\n"
+    "end\n";
+
+// Deterministic synthetic microdata in the patients.csv shape. `variant`
+// shifts the row mix so two variants have different content hashes.
+std::string MakeCsv(int variant, int rows = 80) {
+  static const char* kZips[] = {"13053", "13268", "13253", "13250"};
+  static const char* kMarital[] = {"CF-Spouse",     "Spouse Present",
+                                   "Separated",     "Never Married",
+                                   "Divorced",      "Spouse Absent"};
+  static const char* kDiagnosis[] = {"Flu", "Cold", "Angina"};
+  std::string csv = "zip,age,marital,diagnosis\n";
+  for (int i = 0; i < rows; ++i) {
+    int mixed = i * 7 + variant * 13;
+    csv += std::string(kZips[mixed % 4]) + "," +
+           std::to_string(20 + (mixed * 3) % 45) + "," +
+           kMarital[(mixed / 4) % 6] + "," + kDiagnosis[(mixed / 24) % 3] +
+           "\n";
+  }
+  return csv;
+}
+
+std::vector<std::pair<std::string, std::string>> ArtifactSet(
+    const std::string& state_dir) {
+  std::vector<std::string> names;
+  ListFilesUnder(state_dir + "/artifacts", "", names);
+  std::vector<std::pair<std::string, std::string>> set;
+  for (const std::string& name : names) {
+    set.emplace_back(name, ReadFileOrEmpty(state_dir + "/artifacts/" + name));
+  }
+  return set;
+}
+
+// counters.txt minus the cache's own lines: svc.cache.* legitimately
+// differs between a cached and an uncached run; everything else must not.
+std::string CountersWithoutCacheLines(const std::string& counters) {
+  std::string filtered;
+  std::istringstream in(counters);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("svc.cache.", 0) == 0) continue;
+    filtered += line + "\n";
+  }
+  return filtered;
+}
+
+// Parses one "key=value" field out of a `cache stats` payload such as
+// "hits=3 misses=2 ... bytes=4096".
+uint64_t StatField(const std::string& stats, const std::string& key) {
+  std::istringstream in(stats);
+  std::string token;
+  while (in >> token) {
+    if (token.rfind(key + "=", 0) == 0) {
+      return std::stoull(token.substr(key.size() + 1));
+    }
+  }
+  ADD_FAILURE() << "field '" << key << "' missing from: " << stats;
+  return 0;
+}
+
+// One resident-service session: start, run `lines`, collecting the reply
+// to each, then drain and exit. Extra serve flags via `flags`.
+std::vector<std::string> RunServeSession(
+    const std::string& dir, const std::vector<std::string>& flags,
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> argv = {"serve", "--state-dir", dir};
+  argv.insert(argv.end(), flags.begin(), flags.end());
+  CliProcess serve(MDC_CLI_BIN, argv);
+  std::string line;
+  EXPECT_TRUE(serve.ReadLine(line));
+  EXPECT_EQ(line.rfind("ready recovered=", 0), 0u) << line;
+  std::vector<std::string> replies;
+  for (const std::string& request : lines) {
+    EXPECT_TRUE(serve.SendLine(request));
+    EXPECT_TRUE(serve.ReadLine(line)) << "no reply to: " << request;
+    replies.push_back(line);
+  }
+  EXPECT_TRUE(serve.SendLine("wait"));
+  EXPECT_TRUE(serve.ReadLine(line));
+  EXPECT_EQ(line, "ok wait idle");
+  EXPECT_TRUE(serve.SendLine("drain"));
+  EXPECT_TRUE(serve.ReadLine(line));
+  EXPECT_EQ(line, "ok drain");
+  serve.CloseStdin();
+  int status = serve.Wait();
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  return replies;
+}
+
+// The mixed differential workload over one file-backed dataset. The
+// repeated multi-way comparison (c2/c3) is the derived-model leg; a4 opts
+// itself out per-job with cache=off.
+std::vector<std::string> MixedJobs(const std::string& input,
+                                   const std::string& hier) {
+  const std::string files =
+      " input=" + input + " schema=" + kSchema + " hierarchies=" + hier;
+  return {
+      "submit a1 kind=anonymize algorithm=datafly k=3" + files,
+      "submit a2 kind=anonymize algorithm=samarati k=3 max_suppression=0.2" +
+          files,
+      "submit a3 kind=anonymize algorithm=optimal k=2" + files,
+      "submit a4 kind=anonymize algorithm=mondrian k=2 cache=off" + files,
+      "submit c1 kind=compare algorithms=datafly,mondrian k=3 sensitive=3" +
+          files,
+      "submit c2 kind=compare algorithms=datafly,mondrian,noise k=3 seed=7" +
+          files,
+      "submit c3 kind=compare algorithms=datafly,mondrian,noise k=3 seed=7" +
+          files,
+      "submit p1 kind=perturb mechanism=noise seed=11" + files,
+      "submit r1 kind=report algorithm=datafly k=2" + files,
+  };
+}
+
+TEST(ServiceCacheTest, ArtifactsAndCountersAreByteIdenticalCacheOnOrOff) {
+  std::string fixtures = FreshDir("fixtures");
+  std::string input = fixtures + "/data.csv";
+  std::string hier = fixtures + "/hier.spec";
+  WriteFile(input, MakeCsv(1));
+  WriteFile(hier, kHierSpec);
+  const std::vector<std::string> jobs = MixedJobs(input, hier);
+
+  std::string cached_dir = FreshDir("diff_on");
+  std::vector<std::string> jobs_and_stats = jobs;
+  jobs_and_stats.push_back("wait");  // Stats only settle once jobs ran.
+  jobs_and_stats.push_back("cache stats");
+  std::vector<std::string> cached_replies =
+      RunServeSession(cached_dir, {}, jobs_and_stats);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(cached_replies[i].rfind("ok ", 0), 0u) << cached_replies[i];
+  }
+
+  // The cold script sends the same `wait` so svc.window_resets matches —
+  // the counter comparison needs identical protocol scripts, job-wise.
+  std::string cold_dir = FreshDir("diff_off");
+  std::vector<std::string> cold_lines = jobs;
+  cold_lines.push_back("wait");
+  std::vector<std::string> cold_replies =
+      RunServeSession(cold_dir, {"--no-cache"}, cold_lines);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(cold_replies[i].rfind("ok ", 0), 0u) << cold_replies[i];
+  }
+
+  // The cache must actually have been in play: the 9-job sequence resolves
+  // the same dataset repeatedly (one request is cache=off, one dataset
+  // load is the first touch), so hits must be strictly positive.
+  const std::string stats = cached_replies.back();
+  ASSERT_EQ(stats.rfind("ok cache ", 0), 0u) << stats;
+  EXPECT_GE(StatField(stats, "hits"), 6u) << stats;
+  EXPECT_EQ(StatField(stats, "misses"), 1u) << stats;
+  EXPECT_EQ(StatField(stats, "entries"), 1u) << stats;
+
+  // The differential law itself.
+  EXPECT_EQ(ArtifactSet(cached_dir), ArtifactSet(cold_dir))
+      << "artifacts must not depend on the cache";
+  std::string cached_counters = ReadFileOrEmpty(cached_dir + "/counters.txt");
+  std::string cold_counters = ReadFileOrEmpty(cold_dir + "/counters.txt");
+  ASSERT_FALSE(cached_counters.empty());
+  ASSERT_FALSE(cold_counters.empty());
+  EXPECT_EQ(CountersWithoutCacheLines(cached_counters),
+            CountersWithoutCacheLines(cold_counters))
+      << "deterministic counters (excluding svc.cache.*) must not depend "
+         "on the cache";
+  // The cached run really did charge cache counters (and the derived-model
+  // store really replayed work for the repeated comparison c3).
+  EXPECT_NE(cached_counters.find("svc.cache.hits="), std::string::npos);
+  EXPECT_NE(cached_counters.find("svc.cache.model_hits="), std::string::npos);
+  EXPECT_EQ(cold_counters.find("svc.cache."), std::string::npos);
+}
+
+TEST(ServiceCacheTest, TinyBudgetEvictsLeastRecentlyUsed) {
+  std::string fixtures = FreshDir("lru_fixtures");
+  std::string input_a = fixtures + "/a.csv";
+  std::string input_b = fixtures + "/b.csv";
+  std::string hier = fixtures + "/hier.spec";
+  WriteFile(input_a, MakeCsv(1));
+  WriteFile(input_b, MakeCsv(2));
+  WriteFile(hier, kHierSpec);
+  auto job = [&](const std::string& id, const std::string& input) {
+    return "submit " + id + " kind=anonymize algorithm=datafly k=3 input=" +
+           input + " schema=" + kSchema + " hierarchies=" + hier;
+  };
+  // Each entry costs at least its raw bytes (~2 KiB CSV + spec); 4096
+  // holds one entry but never two.
+  const std::vector<std::string> lines = {
+      job("j1", input_a), job("j2", input_b), job("j3", input_a),
+      "wait", "cache stats"};
+
+  std::string tiny_dir = FreshDir("lru_tiny");
+  std::vector<std::string> tiny_replies =
+      RunServeSession(tiny_dir, {"--cache-bytes", "4096"}, lines);
+  const std::string tiny_stats = tiny_replies.back();
+  ASSERT_EQ(tiny_stats.rfind("ok cache ", 0), 0u) << tiny_stats;
+  EXPECT_EQ(StatField(tiny_stats, "hits"), 0u) << tiny_stats;
+  EXPECT_EQ(StatField(tiny_stats, "misses"), 3u) << tiny_stats;
+  EXPECT_EQ(StatField(tiny_stats, "capacity"), 2u) << tiny_stats;
+  EXPECT_EQ(StatField(tiny_stats, "entries"), 1u) << tiny_stats;
+
+  // Control: the same sequence under the default budget keeps both
+  // datasets resident, so the third job is a pure hit.
+  std::string big_dir = FreshDir("lru_big");
+  std::vector<std::string> big_replies = RunServeSession(big_dir, {}, lines);
+  const std::string big_stats = big_replies.back();
+  ASSERT_EQ(big_stats.rfind("ok cache ", 0), 0u) << big_stats;
+  EXPECT_EQ(StatField(big_stats, "hits"), 1u) << big_stats;
+  EXPECT_EQ(StatField(big_stats, "misses"), 2u) << big_stats;
+  EXPECT_EQ(StatField(big_stats, "evictions"), 0u) << big_stats;
+  EXPECT_EQ(StatField(big_stats, "entries"), 2u) << big_stats;
+
+  // Same artifacts either way: eviction policy is performance, not truth.
+  EXPECT_EQ(ArtifactSet(tiny_dir), ArtifactSet(big_dir));
+}
+
+TEST(ServiceCacheTest, RewrittenDatasetIsRevalidatedAndServedFresh) {
+  std::string fixtures = FreshDir("stale_fixtures");
+  std::string input = fixtures + "/data.csv";
+  std::string hier = fixtures + "/hier.spec";
+  WriteFile(input, MakeCsv(1));
+  WriteFile(hier, kHierSpec);
+  const std::string job_tail =
+      " kind=anonymize algorithm=datafly k=3 input=" + input +
+      " schema=" + kSchema + " hierarchies=" + hier;
+
+  std::string dir = FreshDir("stale");
+  CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
+  std::string line;
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line.rfind("ready recovered=", 0), 0u) << line;
+  auto run_job = [&](const std::string& id) {
+    ASSERT_TRUE(serve.SendLine("submit " + id + job_tail));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line.rfind("ok ", 0), 0u) << line;
+    ASSERT_TRUE(serve.SendLine("wait"));
+    ASSERT_TRUE(serve.ReadLine(line));
+    ASSERT_EQ(line, "ok wait idle");
+  };
+  auto stats = [&]() -> std::string {
+    EXPECT_TRUE(serve.SendLine("cache stats"));
+    EXPECT_TRUE(serve.ReadLine(line));
+    EXPECT_EQ(line.rfind("ok cache ", 0), 0u) << line;
+    return line;
+  };
+
+  run_job("s1");  // Cold: miss.
+  // Rewrite with different content mid-session; the cached entry is stale.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  WriteFile(input, MakeCsv(2));
+  run_job("s2");  // Stamp mismatch -> revalidate -> new hash -> miss.
+  std::string after_rewrite = stats();
+  EXPECT_EQ(StatField(after_rewrite, "revalidations"), 1u) << after_rewrite;
+  EXPECT_EQ(StatField(after_rewrite, "misses"), 2u) << after_rewrite;
+  EXPECT_EQ(StatField(after_rewrite, "stale"), 1u) << after_rewrite;
+
+  // Touch: same bytes, new mtime. Revalidation re-hashes and keeps the
+  // entry — a hit, not a reload.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  WriteFile(input, MakeCsv(2));
+  run_job("s3");
+  std::string after_touch = stats();
+  EXPECT_EQ(StatField(after_touch, "revalidations"), 2u) << after_touch;
+  EXPECT_EQ(StatField(after_touch, "hits"), 1u) << after_touch;
+  EXPECT_EQ(StatField(after_touch, "misses"), 2u) << after_touch;
+
+  ASSERT_TRUE(serve.SendLine("drain"));
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line, "ok drain");
+  serve.CloseStdin();
+  int status = serve.Wait();
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  // Fresh-bytes proof: s2 (served after the rewrite, through the cache)
+  // must equal a cold --no-cache run over the new content, and must
+  // differ from s1 (the old content's release).
+  std::string cold_dir = FreshDir("stale_cold");
+  RunServeSession(cold_dir, {"--no-cache"}, {"submit s2" + job_tail});
+  EXPECT_EQ(ReadFileOrEmpty(dir + "/artifacts/s2"),
+            ReadFileOrEmpty(cold_dir + "/artifacts/s2"))
+      << "post-rewrite artifact must reflect the new file bytes";
+  EXPECT_NE(ReadFileOrEmpty(dir + "/artifacts/s1"),
+            ReadFileOrEmpty(dir + "/artifacts/s2"))
+      << "fixture variants must produce different releases";
+  EXPECT_EQ(ReadFileOrEmpty(dir + "/artifacts/s2"),
+            ReadFileOrEmpty(dir + "/artifacts/s3"))
+      << "touch revalidation must serve the same (current) content";
+}
+
+TEST(ServiceCacheTest, MetricsAndCacheVerbsOnStdin) {
+  std::string dir = FreshDir("verbs");
+  CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
+  std::string line;
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line.rfind("ready recovered=", 0), 0u) << line;
+
+  ASSERT_TRUE(serve.SendLine("metrics"));
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line.rfind("ok metrics {", 0), 0u) << line;
+  EXPECT_NE(line.find("\"counters\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"gauges\""), std::string::npos) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  ASSERT_TRUE(serve.SendLine("cache stats"));
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line.rfind("ok cache hits=", 0), 0u) << line;
+  ASSERT_TRUE(serve.SendLine("cache clear"));
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line, "ok cache cleared entries=0");
+  ASSERT_TRUE(serve.SendLine("cache drop-everything"));
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line, "err cache usage: cache stats|clear");
+  ASSERT_TRUE(serve.SendLine("cache"));
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line, "err cache usage: cache stats|clear");
+
+  serve.CloseStdin();
+  int status = serve.Wait();
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  // Under --no-cache the verbs degrade to "off" but never to errors.
+  std::string off_dir = FreshDir("verbs_off");
+  CliProcess off(MDC_CLI_BIN, {"serve", "--state-dir", off_dir, "--no-cache"});
+  ASSERT_TRUE(off.ReadLine(line));
+  ASSERT_EQ(line.rfind("ready recovered=", 0), 0u) << line;
+  ASSERT_TRUE(off.SendLine("cache stats"));
+  ASSERT_TRUE(off.ReadLine(line));
+  ASSERT_EQ(line, "ok cache off");
+  ASSERT_TRUE(off.SendLine("cache clear"));
+  ASSERT_TRUE(off.ReadLine(line));
+  ASSERT_EQ(line, "ok cache off");
+  off.CloseStdin();
+  status = off.Wait();
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(ServiceCacheTest, SubmitRejectsBadCacheParam) {
+  std::string dir = FreshDir("bad_param");
+  CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
+  std::string line;
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line.rfind("ready recovered=", 0), 0u) << line;
+  ASSERT_TRUE(serve.SendLine("submit x1 kind=anonymize cache=maybe"));
+  ASSERT_TRUE(serve.ReadLine(line));
+  ASSERT_EQ(line.rfind("err submit ", 0), 0u) << line;
+  EXPECT_NE(line.find("bad cache"), std::string::npos) << line;
+  serve.CloseStdin();
+  int status = serve.Wait();
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fcntl.h>
 #include <map>
 #include <string>
+#include <sys/wait.h>
 #include <unistd.h>
 #include <vector>
 
@@ -49,6 +51,7 @@ std::string RandomHostileLine(uint64_t& rng, size_t max_len) {
       "tenant=", "cost=",  "k=3",    "=",     "==",     " ",
       "\t",      "\xff",   "\xc3\x28", "\x00", "anonymize", "compare",
       "-",       ".",      "_",      "deadline_ms=", "max_steps=", "9999999999999999999",
+      "metrics", "cache",  "stats",  "clear", "cache=off", "cache=maybe",
   };
   std::string line;
   size_t parts = NextRandom(rng) % 12;
@@ -244,6 +247,122 @@ TEST(ProtocolFuzzTest, HostileLinesAlwaysGetTypedRepliesAndNeverWedgeTheCore) {
   (*core)->WaitIdle();
   EXPECT_TRUE((*core)->Drain().ok());
   core->reset();
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
+}
+
+// Directed fuzz of the observability verbs: `metrics` and `cache <sub>`
+// take arbitrary payloads straight off the wire, so every payload — byte
+// soup included — must come back as an immediate typed reply, and the
+// cache verbs must still work afterwards.
+TEST(ProtocolFuzzTest, MetricsAndCacheVerbsSurviveHostilePayloads) {
+  std::string dir = "/tmp/mdc_fuzz_cacheverb_" +
+                    std::to_string(static_cast<long>(::getpid()));
+  std::string cleanup = "rm -rf " + dir;
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
+
+  ServiceConfig config;
+  config.state_dir = dir;
+  auto core = ServiceCore::Start(config, [](const ServiceCore::ExecRequest&) {
+    ServiceCore::ExecResult result;
+    result.artifact = "x\n";
+    return result;
+  });
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+
+  uint64_t rng = 0x5eed0006;
+  for (int i = 0; i < 3000; ++i) {
+    std::string payload = RandomHostileLine(rng, 128);
+    std::string line =
+        (NextRandom(rng) % 2 == 0 ? "cache" : "metrics") +
+        (payload.empty() ? std::string() : " " + payload);
+    ProtocolAction action = HandleProtocolLine(**core, line);
+    ASSERT_EQ(action.kind, ProtocolAction::Kind::kReply)
+        << "verb line must reply immediately: " << line;
+    ASSERT_TRUE(action.reply.rfind("ok ", 0) == 0 ||
+                action.reply.rfind("err ", 0) == 0)
+        << "line " << i << " got off-grammar reply: " << action.reply;
+    // Replies are newline-framed on the wire; an embedded newline in a
+    // metrics snapshot or stats line would desynchronize every client.
+    ASSERT_EQ(action.reply.find('\n'), std::string::npos) << action.reply;
+  }
+
+  // The verbs still function after the barrage.
+  EXPECT_EQ(HandleProtocolLine(**core, "cache clear").reply.rfind("ok cache", 0),
+            0u);
+  EXPECT_EQ(HandleProtocolLine(**core, "cache stats").reply.rfind("ok cache", 0),
+            0u);
+  EXPECT_EQ(HandleProtocolLine(**core, "metrics").reply.rfind("ok metrics {", 0),
+            0u);
+  EXPECT_TRUE((*core)->Drain().ok());
+  core->reset();
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
+}
+
+// Runs the real CLI `serve` with one --cache-bytes value and stdin closed
+// immediately: an accepted value must start the service and drain cleanly
+// on EOF (exit 0); a rejected one must fail with the usage error (exit 1).
+// Either way the process may not die to a signal.
+int ServeExitWithCacheBytes(const std::string& dir, const std::string& value) {
+  int in_pipe[2] = {-1, -1};
+  if (::pipe(in_pipe) != 0) return -1;
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    // The corpus provokes error spew on purpose; keep the test log clean.
+    int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::dup2(devnull, STDERR_FILENO);
+    }
+    ::execl(MDC_CLI_BIN, MDC_CLI_BIN, "serve", "--state-dir", dir.c_str(),
+            "--cache-bytes", value.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(in_pipe[0]);
+  ::close(in_pipe[1]);  // EOF on stdin: accepted flags drain immediately.
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) return -1;
+  return wstatus;
+}
+
+TEST(CacheFlagFuzzTest, HostileCacheBytesValuesFailCleanlyOrServeAndDrain) {
+  std::string dir = "/tmp/mdc_fuzz_cachebytes_" +
+                    std::to_string(static_cast<long>(::getpid()));
+  std::string cleanup = "rm -rf " + dir;
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
+
+  struct Case {
+    const char* value;
+    bool valid;
+  };
+  // ParseInt64 strips surrounding whitespace, so " 4096" is accepted by
+  // design; everything non-decimal, negative, or overflowing is not.
+  const Case kCases[] = {
+      {"", false},
+      {"-1", false},
+      {"abc", false},
+      {"1e9", false},
+      {"0x1000", false},
+      {"99999999999999999999999999", false},
+      {"4096kb", false},
+      {"\xff\xfe", false},
+      {"=", false},
+      {"--no-cache", false},
+      {" 4096", true},
+      {"0", true},
+      {"4096", true},
+      {"1048576", true},
+  };
+  for (const Case& c : kCases) {
+    int wstatus = ServeExitWithCacheBytes(dir, c.value);
+    ASSERT_GE(wstatus, 0) << "spawn failed for value '" << c.value << "'";
+    ASSERT_TRUE(WIFEXITED(wstatus))
+        << "--cache-bytes '" << c.value << "' killed the CLI";
+    EXPECT_EQ(WEXITSTATUS(wstatus), c.valid ? 0 : 1)
+        << "--cache-bytes '" << c.value << "'";
+  }
   ASSERT_EQ(std::system(cleanup.c_str()), 0);
 }
 

@@ -88,6 +88,63 @@ const std::vector<std::string>& TortureSpecs() {
   return specs;
 }
 
+// Cache-enabled leg: the same six-job shape over file-backed fixtures, so
+// every execution resolves through the resident dataset cache while the
+// SIGKILL machinery runs. The cache is memory-only; recovery converging
+// byte-identically proves nothing durable ever depended on it.
+const std::vector<std::string>& CachedTortureSpecs() {
+  static const std::vector<std::string> specs = [] {
+    std::string dir = "/tmp/mdc_sock_torture_fixtures_" +
+                      std::to_string(static_cast<long>(::getpid()));
+    std::string cleanup = "rm -rf " + dir;
+    EXPECT_EQ(std::system(cleanup.c_str()), 0);
+    EXPECT_EQ(::mkdir(dir.c_str(), 0755), 0);
+    static const char* kZips[] = {"13053", "13268", "13253", "13250"};
+    static const char* kMarital[] = {"CF-Spouse",     "Spouse Present",
+                                     "Separated",     "Never Married",
+                                     "Divorced",      "Spouse Absent"};
+    static const char* kDiagnosis[] = {"Flu", "Cold", "Angina"};
+    std::string csv = "zip,age,marital,diagnosis\n";
+    for (int i = 0; i < 48; ++i) {
+      int mixed = i * 7 + 5;
+      csv += std::string(kZips[mixed % 4]) + "," +
+             std::to_string(20 + (mixed * 3) % 45) + "," +
+             kMarital[(mixed / 4) % 6] + "," +
+             kDiagnosis[(mixed / 24) % 3] + "\n";
+    }
+    std::ofstream(dir + "/data.csv", std::ios::binary) << csv;
+    std::ofstream(dir + "/hier.spec", std::ios::binary)
+        << "column zip suffix 5\n"
+           "column age intervals 10@5 20@15\n"
+           "column marital taxonomy\n"
+           "edge Married|*\n"
+           "edge Not Married|*\n"
+           "edge CF-Spouse|Married\n"
+           "edge Spouse Present|Married\n"
+           "edge Separated|Not Married\n"
+           "edge Never Married|Not Married\n"
+           "edge Divorced|Not Married\n"
+           "edge Spouse Absent|Not Married\n"
+           "end\n";
+    const std::string files =
+        " input=" + dir + "/data.csv" +
+        " schema=zip:string:qi,age:int:qi,marital:string:qi,"
+        "diagnosis:string:sensitive hierarchies=" +
+        dir + "/hier.spec";
+    return std::vector<std::string>{
+        "t-d1 kind=anonymize algorithm=datafly k=3" + files,
+        "t-m1 kind=anonymize algorithm=mondrian k=2" + files,
+        "t-s1 kind=anonymize algorithm=samarati k=3 max_suppression=0.2" +
+            files,
+        "t-o1 kind=anonymize algorithm=optimal k=2" + files,
+        "t-c1 kind=compare algorithms=datafly,mondrian,noise k=3 seed=7 "
+        "sensitive=3" + files,
+        "t-r1 kind=report algorithm=datafly k=2" + files,
+    };
+  }();
+  return specs;
+}
+
 std::vector<std::pair<std::string, std::string>> ArtifactSet(
     const std::string& state_dir) {
   std::vector<std::string> names;
@@ -114,13 +171,14 @@ int CountFilesWithSuffix(const std::string& dir, const std::string& suffix) {
 
 // The oracle is a clean STDIN-mode run: converging to it also proves the
 // socket front-end writes byte-identical durable state.
-std::vector<std::pair<std::string, std::string>> ReferenceArtifacts() {
+std::vector<std::pair<std::string, std::string>> ReferenceArtifacts(
+    const std::vector<std::string>& specs) {
   std::string dir = FreshDir("reference");
   CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
   std::string line;
   EXPECT_TRUE(serve.ReadLine(line));
   EXPECT_EQ(line.rfind("ready recovered=0", 0), 0u) << line;
-  for (const std::string& spec : TortureSpecs()) {
+  for (const std::string& spec : specs) {
     EXPECT_TRUE(serve.SendLine("submit " + spec));
     EXPECT_TRUE(serve.ReadLine(line));
     EXPECT_EQ(line.rfind("ok ", 0), 0u) << line;
@@ -153,6 +211,7 @@ service::ClientConfig TortureClientConfig(const std::string& target,
 
 // One tortured life + one recovery life over the socket.
 void RunSeed(uint64_t seed, const std::string& dir,
+             const std::vector<std::string>& specs,
              const std::vector<std::pair<std::string, std::string>>& want,
              bool* kill_landed_out, uint64_t* reconnects_out) {
   uint64_t rng = seed * 0x9e3779b97f4a7c15ull + 1;
@@ -224,7 +283,7 @@ void RunSeed(uint64_t seed, const std::string& dir,
           << "seed " << seed << ": " << line;
     }
     bool session_ok = alive;
-    for (const std::string& spec : TortureSpecs()) {
+    for (const std::string& spec : specs) {
       if (!session_ok) break;
       auto submit = client.Submit(spec);
       if (!submit.ok()) {
@@ -260,7 +319,7 @@ void RunSeed(uint64_t seed, const std::string& dir,
     ASSERT_TRUE(serve.ReadLine(line)) << "seed " << seed;
     ASSERT_EQ(line.rfind("ready recovered=", 0), 0u)
         << "seed " << seed << ": " << line;
-    for (const std::string& spec : TortureSpecs()) {
+    for (const std::string& spec : specs) {
       auto submit = client.Submit(spec);
       ASSERT_TRUE(submit.ok())
           << "seed " << seed << ": " << submit.status().ToString();
@@ -278,23 +337,30 @@ void RunSeed(uint64_t seed, const std::string& dir,
   EXPECT_EQ(ArtifactSet(dir), want) << "seed " << seed << " (mode " << mode
                                     << "): artifacts diverged";
   EXPECT_EQ(CountFilesWithSuffix(dir + "/done", ".done"),
-            static_cast<int>(TortureSpecs().size()))
+            static_cast<int>(specs.size()))
       << "seed " << seed;
   EXPECT_EQ(CountFilesWithSuffix(dir, ".tmp"), 0) << "seed " << seed;
   *reconnects_out = client.reconnects();
 }
 
 TEST(ServiceSocketTortureTest, KillMidConnectionRetryConvergeByteIdentical) {
-  const auto want = ReferenceArtifacts();
-  ASSERT_EQ(want.size(), TortureSpecs().size());
+  // Alternating legs by seed: the classic table1 specs and the file-backed
+  // specs that execute through the resident dataset cache.
+  const auto want_plain = ReferenceArtifacts(TortureSpecs());
+  ASSERT_EQ(want_plain.size(), TortureSpecs().size());
+  const auto want_cached = ReferenceArtifacts(CachedTortureSpecs());
+  ASSERT_EQ(want_cached.size(), CachedTortureSpecs().size());
   const int seeds = SeedCount();
   int killed = 0;
   uint64_t reconnects = 0;
   for (int seed = 1; seed <= seeds; ++seed) {
     std::string dir = FreshDir("seed_" + std::to_string(seed));
+    const bool cached_leg = (seed % 2) == 0;
     bool kill_landed = false;
     uint64_t seed_reconnects = 0;
-    RunSeed(static_cast<uint64_t>(seed), dir, want, &kill_landed,
+    RunSeed(static_cast<uint64_t>(seed), dir,
+            cached_leg ? CachedTortureSpecs() : TortureSpecs(),
+            cached_leg ? want_cached : want_plain, &kill_landed,
             &seed_reconnects);
     if (kill_landed) ++killed;
     reconnects += seed_reconnects;

@@ -87,6 +87,79 @@ const std::vector<std::string>& TortureJobs() {
   return jobs;
 }
 
+// File-backed fixtures for the cache-enabled leg, written once per
+// process. The daemon resolves these through the resident dataset cache,
+// so a SIGKILL can land mid-cached-execution; the cache is memory-only,
+// which is exactly what recovery must prove it never depends on.
+struct TortureFixtures {
+  std::string input;
+  std::string hier;
+};
+const TortureFixtures& Fixtures() {
+  static const TortureFixtures fixtures = [] {
+    std::string dir = "/tmp/mdc_torture_fixtures_" +
+                      std::to_string(static_cast<long>(::getpid()));
+    std::string cleanup = "rm -rf " + dir;
+    EXPECT_EQ(std::system(cleanup.c_str()), 0);
+    EXPECT_EQ(::mkdir(dir.c_str(), 0755), 0);
+    static const char* kZips[] = {"13053", "13268", "13253", "13250"};
+    static const char* kMarital[] = {"CF-Spouse",     "Spouse Present",
+                                     "Separated",     "Never Married",
+                                     "Divorced",      "Spouse Absent"};
+    static const char* kDiagnosis[] = {"Flu", "Cold", "Angina"};
+    std::string csv = "zip,age,marital,diagnosis\n";
+    for (int i = 0; i < 48; ++i) {
+      int mixed = i * 7 + 3;
+      csv += std::string(kZips[mixed % 4]) + "," +
+             std::to_string(20 + (mixed * 3) % 45) + "," +
+             kMarital[(mixed / 4) % 6] + "," +
+             kDiagnosis[(mixed / 24) % 3] + "\n";
+    }
+    std::ofstream(dir + "/data.csv", std::ios::binary) << csv;
+    std::ofstream(dir + "/hier.spec", std::ios::binary)
+        << "column zip suffix 5\n"
+           "column age intervals 10@5 20@15\n"
+           "column marital taxonomy\n"
+           "edge Married|*\n"
+           "edge Not Married|*\n"
+           "edge CF-Spouse|Married\n"
+           "edge Spouse Present|Married\n"
+           "edge Separated|Not Married\n"
+           "edge Never Married|Not Married\n"
+           "edge Divorced|Not Married\n"
+           "edge Spouse Absent|Not Married\n"
+           "end\n";
+    return TortureFixtures{dir + "/data.csv", dir + "/hier.spec"};
+  }();
+  return fixtures;
+}
+
+// The same six-job shape, file-backed so every execution goes through the
+// dataset cache (including a repeated dataset across all six jobs — hits,
+// the shared encoded bundle, and the derived-model store all in play when
+// the SIGKILL lands).
+const std::vector<std::string>& CachedTortureJobs() {
+  static const std::vector<std::string> jobs = [] {
+    const TortureFixtures& f = Fixtures();
+    const std::string files =
+        " input=" + f.input +
+        " schema=zip:string:qi,age:int:qi,marital:string:qi,"
+        "diagnosis:string:sensitive hierarchies=" +
+        f.hier;
+    return std::vector<std::string>{
+        "submit t-d1 kind=anonymize algorithm=datafly k=3" + files,
+        "submit t-m1 kind=anonymize algorithm=mondrian k=2" + files,
+        "submit t-s1 kind=anonymize algorithm=samarati k=3 "
+        "max_suppression=0.2" + files,
+        "submit t-o1 kind=anonymize algorithm=optimal k=2" + files,
+        "submit t-c1 kind=compare algorithms=datafly,mondrian,noise k=3 "
+        "seed=7 sensitive=3" + files,
+        "submit t-r1 kind=report algorithm=datafly k=2" + files,
+    };
+  }();
+  return jobs;
+}
+
 std::vector<std::pair<std::string, std::string>> ArtifactSet(
     const std::string& state_dir) {
   std::vector<std::string> names;
@@ -113,13 +186,14 @@ int CountFilesWithSuffix(const std::string& dir, const std::string& suffix) {
 
 // Runs a clean serve session to completion; the artifact bytes are the
 // oracle every tortured seed must converge to.
-std::vector<std::pair<std::string, std::string>> ReferenceArtifacts() {
+std::vector<std::pair<std::string, std::string>> ReferenceArtifacts(
+    const std::vector<std::string>& jobs) {
   std::string dir = FreshDir("reference");
   CliProcess serve(MDC_CLI_BIN, {"serve", "--state-dir", dir});
   std::string line;
   EXPECT_TRUE(serve.ReadLine(line));
   EXPECT_EQ(line.rfind("ready recovered=0", 0), 0u) << line;
-  for (const std::string& job : TortureJobs()) {
+  for (const std::string& job : jobs) {
     EXPECT_TRUE(serve.SendLine(job));
     EXPECT_TRUE(serve.ReadLine(line));
     EXPECT_EQ(line.rfind("ok ", 0), 0u) << line;
@@ -142,6 +216,7 @@ std::vector<std::pair<std::string, std::string>> ReferenceArtifacts() {
 // the caller can verify the harness stayed armed. (Out-param rather than a
 // return value because ASSERT_* requires a void function.)
 void RunSeed(uint64_t seed, const std::string& dir,
+             const std::vector<std::string>& jobs,
              const std::vector<std::pair<std::string, std::string>>& want,
              bool* kill_landed_out) {
   uint64_t rng = seed * 0x9e3779b97f4a7c15ull + 1;
@@ -192,7 +267,7 @@ void RunSeed(uint64_t seed, const std::string& dir,
       EXPECT_EQ(line.rfind("ready recovered=0", 0), 0u)
           << "seed " << seed << ": " << line;
     }
-    for (const std::string& job : TortureJobs()) {
+    for (const std::string& job : jobs) {
       if (!alive) break;
       if (!serve.SendLine(job)) break;
       if (!serve.ReadLine(line)) break;
@@ -229,7 +304,7 @@ void RunSeed(uint64_t seed, const std::string& dir,
     ASSERT_TRUE(serve.ReadLine(line)) << "seed " << seed;
     ASSERT_EQ(line.rfind("ready recovered=", 0), 0u)
         << "seed " << seed << ": " << line;
-    for (const std::string& job : TortureJobs()) {
+    for (const std::string& job : jobs) {
       ASSERT_TRUE(serve.SendLine(job)) << "seed " << seed;
       ASSERT_TRUE(serve.ReadLine(line)) << "seed " << seed;
       ASSERT_TRUE(line.rfind("ok ", 0) == 0 ||
@@ -258,20 +333,29 @@ void RunSeed(uint64_t seed, const std::string& dir,
   EXPECT_EQ(ArtifactSet(dir), want) << "seed " << seed << " (mode " << mode
                                     << "): artifacts diverged";
   EXPECT_EQ(CountFilesWithSuffix(dir + "/done", ".done"),
-            static_cast<int>(TortureJobs().size()))
+            static_cast<int>(jobs.size()))
       << "seed " << seed;
   EXPECT_EQ(CountFilesWithSuffix(dir, ".tmp"), 0) << "seed " << seed;
 }
 
 TEST(ServiceTortureTest, KillAnywhereRecoverEverywhere) {
-  const auto want = ReferenceArtifacts();
-  ASSERT_EQ(want.size(), TortureJobs().size());
+  // Two legs, alternating by seed: the classic table1 jobs and the
+  // file-backed jobs that execute through the resident dataset cache.
+  // Both converge to their own uninterrupted reference — the cache leg
+  // proves a kill mid-cached-execution loses nothing (memory-only cache).
+  const auto want_plain = ReferenceArtifacts(TortureJobs());
+  ASSERT_EQ(want_plain.size(), TortureJobs().size());
+  const auto want_cached = ReferenceArtifacts(CachedTortureJobs());
+  ASSERT_EQ(want_cached.size(), CachedTortureJobs().size());
   const int seeds = SeedCount();
   int killed = 0;
   for (int seed = 1; seed <= seeds; ++seed) {
     std::string dir = FreshDir("seed_" + std::to_string(seed));
+    const bool cached_leg = (seed % 2) == 0;
     bool kill_landed = false;
-    RunSeed(static_cast<uint64_t>(seed), dir, want, &kill_landed);
+    RunSeed(static_cast<uint64_t>(seed), dir,
+            cached_leg ? CachedTortureJobs() : TortureJobs(),
+            cached_leg ? want_cached : want_plain, &kill_landed);
     if (kill_landed) ++killed;
     if (::testing::Test::HasFatalFailure()) {
       ADD_FAILURE() << "stopping at first fatally broken seed: " << seed;

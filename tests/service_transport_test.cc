@@ -57,11 +57,13 @@ ServiceCore::Executor EchoExecutor() {
 class FrontEndHarness {
  public:
   explicit FrontEndHarness(TransportConfig config,
-                           AdmissionConfig admission = {}) {
+                           AdmissionConfig admission = {},
+                           ServiceCore::Executor executor = nullptr) {
     ServiceConfig service_config;
     service_config.state_dir = FreshStateDir("harness");
     service_config.admission = admission;
-    auto core = ServiceCore::Start(service_config, EchoExecutor());
+    auto core = ServiceCore::Start(
+        service_config, executor ? std::move(executor) : EchoExecutor());
     EXPECT_TRUE(core.ok()) << core.status().ToString();
     core_ = std::move(*core);
     front_ = std::make_unique<SocketFrontEnd>(core_.get(), std::move(config));
@@ -487,6 +489,67 @@ TEST(SocketFrontEndTest, DrainByInterruptClosesOpenConnections) {
   harness.Stop();
   EXPECT_TRUE(harness.run_status().ok()) << harness.run_status().ToString();
   EXPECT_TRUE(conn.WaitForClose(3000));
+}
+
+// Live observability under load: `metrics` and `cache stats` are answered
+// by the event loop, not the dispatch worker, so a pull must come back
+// promptly while a job is still executing — and far inside the write
+// deadline, so observing a busy daemon can never get a connection reaped.
+TEST(SocketFrontEndTest, MetricsPullAnswersWhileAJobIsInFlight) {
+  constexpr int kWriteDeadlineMs = 2000;
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto slow_executor = [&](const ServiceCore::ExecRequest& request) {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ServiceCore::ExecResult result;
+    result.artifact = "artifact for " + request.spec.id + "\n";
+    return result;
+  };
+  TransportConfig config;
+  config.listen = "unix:" + FreshSocketPath("livemetrics");
+  config.write_deadline_ms = kWriteDeadlineMs;
+  FrontEndHarness harness(std::move(config), {}, slow_executor);
+
+  ServiceClient submitter(QuickClient(harness.address()));
+  auto submit = submitter.Submit("slow-1 cost=1");
+  ASSERT_TRUE(submit.ok()) << submit.status().ToString();
+  EXPECT_TRUE(submit->accepted());
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // A second connection pulls metrics while slow-1 holds the worker.
+  ServiceClient observer(QuickClient(harness.address()));
+  auto pull_start = std::chrono::steady_clock::now();
+  auto json = observer.GetMetricsJson();
+  auto cache_stats = observer.GetCacheStatsLine();
+  auto pull_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - pull_start)
+                     .count();
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(json->rfind("{", 0), 0u) << *json;
+  EXPECT_NE(json->find("\"counters\""), std::string::npos) << *json;
+  ASSERT_TRUE(cache_stats.ok()) << cache_stats.status().ToString();
+  EXPECT_EQ(cache_stats->rfind("hits=", 0), 0u) << *cache_stats;
+  EXPECT_LT(pull_ms, kWriteDeadlineMs / 2)
+      << "metrics pull queued behind the in-flight job";
+  // No deadline trip: the observer never had to reconnect or retry.
+  EXPECT_EQ(observer.reconnects(), 0u);
+  EXPECT_EQ(observer.retries(), 0u);
+
+  // The job really was in flight during the pulls.
+  auto status = observer.GetStatusLine();
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(status->find("running=1"), std::string::npos) << *status;
+
+  release.store(true);
+  ASSERT_TRUE(submitter.WaitIdle().ok());
+  EXPECT_TRUE(submitter.Drain().ok());
+  harness.Stop();
+  EXPECT_TRUE(harness.run_status().ok()) << harness.run_status().ToString();
 }
 
 TEST(ServiceClientTest, ReportsConnectFailureAfterRetries) {
